@@ -1,0 +1,1 @@
+bench/arch_exp.ml: Algebra Cascades Exec Expr Extensions List Option Parallel Printf Relalg Schema Storage String Systemr Util Value Workload

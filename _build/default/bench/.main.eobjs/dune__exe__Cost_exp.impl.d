@@ -1,0 +1,1 @@
+bench/cost_exp.ml: Algebra Cost Exec Expr List Printf Relalg Stats Storage Tuple Util Value Workload

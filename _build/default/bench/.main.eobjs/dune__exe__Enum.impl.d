@@ -1,0 +1,1 @@
+bench/enum.ml: Algebra Expr Float List Printf Relalg Schema Stats Storage String Systemr Tuple Unix Util Value Workload

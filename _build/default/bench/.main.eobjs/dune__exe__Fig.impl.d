@@ -1,0 +1,1 @@
+bench/fig.ml: Core Exec Expr Hashtbl List Printf Query_graph Relalg Rewrite Schema Stats Storage Systemr Tuple Util Value Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Arch_exp Array Bechamel Benchmark Cascades Cost_exp Enum Fig Hashtbl List Measure Printf Rewrite_exp Staged Stats Stats_exp Sys Systemr Test Time Toolkit Util Workload

@@ -1,0 +1,1 @@
+bench/rewrite_exp.ml: Algebra Array Core Exec Expr List Pred Printf Relalg Rewrite Storage Util Workload

@@ -1,0 +1,1 @@
+bench/stats_exp.ml: Array Expr Float Hashtbl List Option Printf Relalg Stats Storage Tuple Util Value Workload

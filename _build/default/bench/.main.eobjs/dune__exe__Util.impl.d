@@ -1,0 +1,1 @@
+bench/util.ml: Exec Expr List Option Printf Relalg Rewrite Schema Storage String Systemr Workload

@@ -1,0 +1,112 @@
+(* The experiment harness: regenerates every figure (F1-F4) and every
+   quantified claim (E1-E17) of the paper; see DESIGN.md for the index and
+   EXPERIMENTS.md for paper-vs-measured.
+
+   Usage:
+     bench/main.exe              run every experiment
+     bench/main.exe F4 E6 ...    run selected experiments
+     bench/main.exe --timing     additionally run the Bechamel wall-clock
+                                 benchmarks of the optimizers *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [ ("F1", "Figure 1 operator tree", Fig.f1);
+    ("F2", "linear vs bushy join trees", Fig.f2);
+    ("F3", "query graph", Fig.f3);
+    ("F4", "group-by pushdown", Fig.f4);
+    ("E1", "naive vs DP enumeration", Enum.e1);
+    ("E2", "interesting orders", Enum.e2);
+    ("E3", "Cartesian products in star queries", Enum.e3);
+    ("E4", "unnesting vs tuple iteration", Rewrite_exp.e4);
+    ("E5", "the count bug", Rewrite_exp.e5);
+    ("E6", "magic decorrelation", Rewrite_exp.e6);
+    ("E7", "histogram accuracy", Stats_exp.e7);
+    ("E8", "sampled histograms", Stats_exp.e8);
+    ("E9", "distinct-value estimation", Stats_exp.e9);
+    ("E10", "independence assumption", Stats_exp.e10);
+    ("E11", "cost model vs execution", Cost_exp.e11);
+    ("E12", "join/outerjoin association", Rewrite_exp.e12);
+    ("E13", "System-R vs Cascades", Arch_exp.e13);
+    ("E14", "parallel two-phase", Arch_exp.e14);
+    ("E15", "expensive predicates", Arch_exp.e15);
+    ("E16", "materialized views", Arch_exp.e16);
+    ("E17", "parametric plans", Arch_exp.e17) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock benchmarks of the enumerators (one Test.make per
+   optimizer architecture). *)
+
+let timing () =
+  let open Bechamel in
+  let pieces n =
+    Workload.Schemas.join_shape ~rows:100 ~shape:Workload.Schemas.Clique_q ~n ()
+  in
+  let p5 = pieces 5 in
+  let q5 = Util.spj_of_pieces p5 in
+  let mk_dp config =
+    Staged.stage (fun () ->
+        ignore
+          (Systemr.Join_order.optimize ~config p5.Workload.Schemas.jcat
+             p5.Workload.Schemas.jdb q5))
+  in
+  let tests =
+    [ Test.make ~name:"systemr-linear-n5"
+        (mk_dp Systemr.Join_order.default_config);
+      Test.make ~name:"systemr-bushy-n5"
+        (mk_dp { Systemr.Join_order.default_config with bushy = true });
+      Test.make ~name:"naive-n5"
+        (Staged.stage (fun () ->
+             ignore
+               (Systemr.Naive.optimize p5.Workload.Schemas.jcat
+                  p5.Workload.Schemas.jdb q5)));
+      Test.make ~name:"cascades-n5"
+        (Staged.stage (fun () ->
+             ignore
+               (Cascades.Search.optimize p5.Workload.Schemas.jcat
+                  p5.Workload.Schemas.jdb q5)));
+      Test.make ~name:"histogram-equi-depth-20k"
+        (let data = Array.init 20000 (fun i -> float_of_int (i * 7 mod 997)) in
+         Staged.stage (fun () ->
+             ignore (Stats.Histogram.build_equi_depth ~buckets:20 data))) ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  Printf.printf "\n=== Bechamel timings ===\n%!";
+  List.iter
+    (fun test ->
+       let results = Benchmark.all cfg [ instance ] test in
+       Hashtbl.iter
+         (fun name raw ->
+            let stats =
+              Analyze.one
+                (Analyze.ols ~bootstrap:0 ~r_square:false
+                   ~predictors:[| Measure.run |])
+                instance raw
+            in
+            match Analyze.OLS.estimates stats with
+            | Some [ est ] -> Printf.printf "  %-40s %12.1f ns/run\n%!" name est
+            | Some _ | None -> Printf.printf "  %-40s (no estimate)\n%!" name)
+         results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let want_timing = List.mem "--timing" args in
+  let selected = List.filter (fun a -> a <> "--timing") args in
+  let to_run =
+    if selected = [] then experiments
+    else List.filter (fun (id, _, _) -> List.mem id selected) experiments
+  in
+  if to_run = [] && selected <> [] then begin
+    prerr_endline "unknown experiment id; available:";
+    List.iter (fun (id, t, _) -> Printf.eprintf "  %-4s %s\n" id t) experiments;
+    exit 1
+  end;
+  List.iter
+    (fun (_, _, f) ->
+       f ();
+       flush stdout)
+    to_run;
+  if want_timing then timing ();
+  Printf.printf "\nAll experiments completed.\n"

@@ -1,0 +1,67 @@
+(* Shared helpers for the experiment harness: table printing and common
+   query construction. *)
+
+open Relalg
+
+let header id title =
+  Printf.printf "\n=== %s: %s ===\n" id title
+
+let row fmt = Printf.printf fmt
+
+(* Print an aligned table: columns right-justified to their widest cell. *)
+let table (headers : string list) (rows : string list list) =
+  let all = headers :: rows in
+  let ncols = List.length headers in
+  let width c =
+    List.fold_left (fun w r -> max w (String.length (List.nth r c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let print_row r =
+    List.iteri
+      (fun i cell ->
+         Printf.printf "%s%s" (if i = 0 then "  " else "  ")
+           (String.make (List.nth widths i - String.length cell) ' ' ^ cell))
+      r;
+    print_newline ()
+  in
+  print_row headers;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f4 x = Printf.sprintf "%.4f" x
+let istr = string_of_int
+
+(* SPJ from workload pieces *)
+let spj_of_pieces ?(projections = None) ?(order_by = [])
+    (p : Workload.Schemas.join_pieces) : Systemr.Spj.t =
+  Systemr.Spj.make ~projections ~order_by
+    ~relations:
+      (List.map
+         (fun (alias, table) ->
+            { Systemr.Spj.alias; table;
+              schema =
+                Schema.requalify
+                  (Storage.Catalog.table p.Workload.Schemas.jcat table).Storage.Table.schema
+                  ~rel:alias })
+         p.Workload.Schemas.relations)
+    ~predicates:p.Workload.Schemas.predicates ()
+
+let col r c = Expr.col ~rel:r ~col:c
+let eq a b = Expr.Cmp (Expr.Eq, a, b)
+
+(* Execute a plan in a fresh context; return (result, weighted measured
+   cost, context). *)
+let measure ?(buffer_pages = 1024) cat plan =
+  let ctx = Exec.Context.create ~buffer_pages () in
+  let r = Exec.Executor.run ~ctx cat plan in
+  (r, Exec.Context.weighted_cost ctx, ctx)
+
+let base cat ?alias name : Rewrite.Qgm.source =
+  let alias = Option.value alias ~default:name in
+  Rewrite.Qgm.Base
+    { table = name; alias;
+      schema =
+        Schema.requalify (Storage.Catalog.table cat name).Storage.Table.schema
+          ~rel:alias }

@@ -1,0 +1,123 @@
+(* qopt — a small CLI over the optimizer pipeline.
+
+   The CLI operates on one of the built-in demo databases:
+     emp   the paper's Emp/Dept schema (default)
+     star  an OLAP star schema (Sales + 3 dimensions)
+
+   Commands:
+     qopt run "SELECT ..."        optimize, execute, print rows
+     qopt explain "SELECT ..."    print rewrites and the physical plan
+     qopt tables                  list tables, row counts, statistics *)
+
+open Relalg
+
+let load = function
+  | "emp" ->
+    let w = Workload.Schemas.emp_dept ~emps:5000 ~depts:100 () in
+    (w.Workload.Schemas.cat, w.Workload.Schemas.db)
+  | "star" ->
+    let w = Workload.Schemas.star ~fact_rows:20000 ~dim_rows:100 ~dims:3 () in
+    (w.Workload.Schemas.cat, w.Workload.Schemas.db)
+  | s -> failwith ("unknown demo database: " ^ s ^ " (use emp or star)")
+
+let optimizer_config = function
+  | "systemr" -> Core.Pipeline.default_config
+  | "bushy" ->
+    { Core.Pipeline.default_config with
+      join_config = { Systemr.Join_order.default_config with bushy = true } }
+  | "naive" -> Core.Pipeline.naive_config
+  | s -> failwith ("unknown optimizer: " ^ s ^ " (use systemr, bushy or naive)")
+
+let with_query db_name sql f =
+  let cat, db = load db_name in
+  match Sql.Binder.query_of_string cat sql with
+  | q -> f cat db q
+  | exception Sql.Parser.Error m ->
+    Printf.eprintf "parse error: %s\n" m;
+    exit 1
+  | exception Sql.Binder.Error m ->
+    Printf.eprintf "binding error: %s\n" m;
+    exit 1
+  | exception Sql.Lexer.Error m ->
+    Printf.eprintf "lexical error: %s\n" m;
+    exit 1
+
+let run_cmd db_name opt limit sql =
+  with_query db_name sql (fun cat db block ->
+      let config = optimizer_config opt in
+      let ctx = Exec.Context.create () in
+      let result, reports = Core.Pipeline.run_query ~ctx ~config cat db block in
+      let n = Array.length result.Exec.Executor.rows in
+      Fmt.pr "%a@." Schema.pp result.Exec.Executor.schema;
+      Array.iteri
+        (fun i t -> if i < limit then Fmt.pr "%a@." Tuple.pp t)
+        result.Exec.Executor.rows;
+      if n > limit then Fmt.pr "... (%d more rows)@." (n - limit);
+      Fmt.pr "-- %d rows; %a; path: %s@." n Exec.Context.pp ctx
+        (String.concat "+"
+           (List.map
+              (fun r ->
+                 match r.Core.Pipeline.path with
+                 | Core.Pipeline.Planned -> "planned"
+                 | Core.Pipeline.Interpreted -> "interpreted")
+              reports)))
+
+let explain_cmd db_name opt sql =
+  with_query db_name sql (fun cat db block ->
+      let config = optimizer_config opt in
+      print_endline (Core.Pipeline.explain_query ~config cat db block))
+
+let tables_cmd db_name =
+  let cat, db = load db_name in
+  List.iter
+    (fun name ->
+       let t = Storage.Catalog.table cat name in
+       Fmt.pr "%a@." Storage.Table.pp t;
+       List.iter
+         (fun idx -> Fmt.pr "  %a@." Storage.Btree.pp idx)
+         (Storage.Catalog.indexes cat name);
+       match Stats.Table_stats.find db name with
+       | Some ts -> Fmt.pr "  @[<v>%a@]@." Stats.Table_stats.pp ts
+       | None -> ())
+    (Storage.Catalog.table_names cat)
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let db_arg =
+  Arg.(value & opt string "emp"
+       & info [ "d"; "database" ] ~docv:"DB"
+           ~doc:"Demo database to query: emp or star.")
+
+let opt_arg =
+  Arg.(value & opt string "systemr"
+       & info [ "o"; "optimizer" ] ~docv:"OPT"
+           ~doc:"Optimizer pipeline: systemr, bushy or naive (no rewrites).")
+
+let limit_arg =
+  Arg.(value & opt int 20
+       & info [ "n"; "limit" ] ~docv:"N" ~doc:"Rows to print.")
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
+
+let run_t =
+  Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a SQL query")
+    Term.(const run_cmd $ db_arg $ opt_arg $ limit_arg $ sql_arg)
+
+let explain_t =
+  Cmd.v (Cmd.info "explain" ~doc:"Show rewrites and the chosen physical plan")
+    Term.(const explain_cmd $ db_arg $ opt_arg $ sql_arg)
+
+let tables_t =
+  Cmd.v (Cmd.info "tables" ~doc:"List tables, indexes and statistics")
+    Term.(const tables_cmd $ db_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "qopt" ~version:"1.0"
+       ~doc:"Cost-based SQL query optimizer (PODS'98 survey reproduction)")
+    [ run_t; explain_t; tables_t ]
+
+let () = exit (Cmd.eval main)

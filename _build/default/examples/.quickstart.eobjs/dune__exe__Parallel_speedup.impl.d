@@ -1,0 +1,1 @@
+examples/parallel_speedup.ml: Algebra Exec Expr Fmt List Parallel Printf Relalg String Workload

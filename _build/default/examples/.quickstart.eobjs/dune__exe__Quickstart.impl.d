@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Exec Fmt Relalg Schema Sql Stats Storage Tuple Value

@@ -1,0 +1,1 @@
+examples/selectivity_lab.ml: Array Core List Printf Rewrite Sql Stats Workload

@@ -1,0 +1,1 @@
+examples/star_schema.ml: Array Exec Expr Fmt List Printf Relalg Schema Storage String Systemr Workload

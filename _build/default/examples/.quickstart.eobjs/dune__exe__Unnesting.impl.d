@@ -1,0 +1,1 @@
+examples/unnesting.ml: Array Core Exec Fmt List Printf Rewrite Sql String Workload

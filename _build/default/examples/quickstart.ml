@@ -1,0 +1,67 @@
+(* Quickstart: create tables, load rows, ask SQL questions, look at plans.
+
+     dune exec examples/quickstart.exe *)
+
+open Relalg
+
+let () =
+  (* 1. create a catalog and two tables *)
+  let cat = Storage.Catalog.create () in
+  let authors =
+    Storage.Catalog.create_table cat ~name:"authors"
+      ~columns:[ ("aid", Value.Tint); ("name", Value.Tstring); ("born", Value.Tint) ]
+  in
+  let books =
+    Storage.Catalog.create_table cat ~name:"books"
+      ~columns:
+        [ ("bid", Value.Tint); ("aid", Value.Tint); ("title", Value.Tstring);
+          ("year", Value.Tint); ("pages", Value.Tint) ]
+  in
+  let a aid name born =
+    Storage.Table.insert authors
+      (Tuple.of_list [ Value.Int aid; Value.Str name; Value.Int born ])
+  in
+  let b bid aid title year pages =
+    Storage.Table.insert books
+      (Tuple.of_list
+         [ Value.Int bid; Value.Int aid; Value.Str title; Value.Int year;
+           Value.Int pages ])
+  in
+  a 1 "codd" 1923;
+  a 2 "gray" 1944;
+  a 3 "selinger" 1949;
+  b 1 1 "a relational model" 1970 12;
+  b 2 2 "transaction processing" 1992 1070;
+  b 3 3 "access path selection" 1979 12;
+  b 4 2 "the dangers of replication" 1996 10;
+
+  (* 2. an index and statistics *)
+  ignore (Storage.Catalog.create_index cat ~table:"books" ~column:"aid" ());
+  let db = Stats.Table_stats.analyze_catalog cat in
+
+  (* 3. ask a question in SQL *)
+  let sql =
+    "SELECT A.name, B.title FROM authors A, books B \
+     WHERE A.aid = B.aid AND B.year < 1990 ORDER BY A.name"
+  in
+  let block = Sql.Binder.of_string cat sql in
+
+  (* 4. look at the plan the optimizer chose ... *)
+  print_endline "--- EXPLAIN ---";
+  print_endline (Core.Pipeline.explain cat db block);
+
+  (* 5. ... and run it *)
+  print_endline "--- RESULT ---";
+  let result, _report = Core.Pipeline.run cat db block in
+  Fmt.pr "%a@." Schema.pp result.Exec.Executor.schema;
+  Array.iter (fun t -> Fmt.pr "%a@." Tuple.pp t) result.Exec.Executor.rows;
+
+  (* 6. aggregates work too *)
+  let sql2 =
+    "SELECT A.name, COUNT(*) AS n, SUM(B.pages) AS pages \
+     FROM authors A, books B WHERE A.aid = B.aid \
+     GROUP BY A.name HAVING COUNT(*) >= 1"
+  in
+  print_endline "--- AGGREGATE ---";
+  let result2, _ = Core.Pipeline.run cat db (Sql.Binder.of_string cat sql2) in
+  Array.iter (fun t -> Fmt.pr "%a@." Tuple.pp t) result2.Exec.Executor.rows

@@ -1,0 +1,61 @@
+(* Star-schema optimization walkthrough (Section 4.1.1): how linear join
+   trees, bushy trees, and Cartesian products among selective dimensions
+   change the plan, using the System-R enumerator directly.
+
+     dune exec examples/star_schema.exe *)
+
+open Relalg
+
+let () =
+  let w = Workload.Schemas.star ~fact_rows:50000 ~dim_rows:200 ~dims:3 () in
+  let cat = w.Workload.Schemas.cat and db = w.Workload.Schemas.db in
+  Printf.printf "schema: Sales (%d rows) joined to %s\n\n"
+    (Storage.Table.row_count (Storage.Catalog.table cat "Sales"))
+    (String.concat ", " w.Workload.Schemas.dims);
+
+  (* the star query: fact joined to every dimension, selective dim filters *)
+  let preds =
+    List.concat_map
+      (fun d ->
+         [ Expr.Cmp
+             (Expr.Eq,
+              Expr.col ~rel:"Sales" ~col:(String.lowercase_ascii d ^ "_id"),
+              Expr.col ~rel:d ~col:"id");
+           Expr.Cmp (Expr.Le, Expr.col ~rel:d ~col:"weight", Expr.int 2) ])
+      w.Workload.Schemas.dims
+  in
+  let q =
+    Systemr.Spj.make
+      ~relations:
+        (List.map
+           (fun n ->
+              { Systemr.Spj.alias = n; table = n;
+                schema =
+                  Schema.requalify
+                    (Storage.Catalog.table cat n).Storage.Table.schema ~rel:n })
+           (w.Workload.Schemas.fact :: w.Workload.Schemas.dims))
+      ~predicates:preds ()
+  in
+  let show name config =
+    let res = Systemr.Join_order.optimize ~config cat db q in
+    Printf.printf "--- %s: estimated cost %.1f (%d plans costed) ---\n%s\n\n"
+      name res.Systemr.Join_order.best.Systemr.Candidate.cost
+      res.Systemr.Join_order.plans_costed
+      (Exec.Plan.to_string res.Systemr.Join_order.best.Systemr.Candidate.plan);
+    let ctx = Exec.Context.create () in
+    let out =
+      Exec.Executor.run ~ctx cat res.Systemr.Join_order.best.Systemr.Candidate.plan
+    in
+    Printf.printf "executed: %d rows, %s\n\n"
+      (Array.length out.Exec.Executor.rows)
+      (Fmt.str "%a" Exec.Context.pp ctx)
+  in
+  show "linear, Cartesian products deferred" Systemr.Join_order.default_config;
+  show "bushy trees"
+    { Systemr.Join_order.default_config with bushy = true };
+  show "bushy + Cartesian products allowed"
+    { Systemr.Join_order.default_config with bushy = true; allow_cross = true };
+  print_endline
+    "With selective dimension predicates, crossing the tiny filtered\n\
+     dimensions and probing the fact's composite index once beats the\n\
+     cascade of per-dimension joins (Section 4.1.1)."

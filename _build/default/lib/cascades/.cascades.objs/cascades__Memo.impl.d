@@ -1,0 +1,1 @@
+lib/cascades/memo.ml: Hashtbl List Printf Stats Systemr

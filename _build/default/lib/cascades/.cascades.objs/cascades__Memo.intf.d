@@ -1,0 +1,1 @@
+lib/cascades/memo.mli: Hashtbl Stats Systemr

@@ -1,0 +1,1 @@
+lib/cascades/search.ml: Array Cost Exec Float List Memo Stats Systemr

@@ -1,0 +1,1 @@
+lib/cascades/search.mli: Stats Storage Systemr

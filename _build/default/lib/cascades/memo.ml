@@ -1,0 +1,62 @@
+(* The memo: groups of logically equivalent expressions (Section 6.2).
+
+   For SPJ queries with a fixed global conjunct list, two join trees are
+   logically equivalent iff they cover the same set of base relations —
+   every conjunct is applied at the lowest node covering its relations.  A
+   group is therefore keyed by its relation subset (a bitmask), its logical
+   property is the subset's statistical summary, and its multi-expressions
+   are the splits (or the base scan).  Winners per required physical
+   property are kept as a Pareto set over (cost, delivered order), exactly
+   the interesting-orders structure generalized to properties. *)
+
+type group_id = int
+
+type lexpr =
+  | Leaf of int (* relation index *)
+  | Split of group_id * group_id (* left join right *)
+
+type group = {
+  id : group_id;
+  mask : int;
+  stats : Stats.Derive.rel_stats;
+  mutable exprs : lexpr list;
+  mutable explored : bool;
+  mutable winners : Systemr.Candidate.t list; (* Pareto over (cost, order) *)
+  mutable optimized : bool;
+}
+
+type t = {
+  groups : (int, group) Hashtbl.t; (* mask -> group *)
+  mutable next_id : int;
+  mutable expr_count : int;
+  mutable rule_firings : int;
+}
+
+let create () =
+  { groups = Hashtbl.create 64; next_id = 0; expr_count = 0; rule_firings = 0 }
+
+let find_or_create (m : t) ~mask ~stats : group =
+  match Hashtbl.find_opt m.groups mask with
+  | Some g -> g
+  | None ->
+    let g =
+      { id = m.next_id; mask; stats; exprs = []; explored = false;
+        winners = []; optimized = false }
+    in
+    m.next_id <- m.next_id + 1;
+    Hashtbl.replace m.groups mask g;
+    g
+
+let add_expr (m : t) (g : group) (e : lexpr) : bool =
+  if List.mem e g.exprs then false
+  else begin
+    g.exprs <- g.exprs @ [ e ];
+    m.expr_count <- m.expr_count + 1;
+    true
+  end
+
+let group_count (m : t) = Hashtbl.length m.groups
+
+let stats_line (m : t) =
+  Printf.sprintf "groups=%d exprs=%d rule-firings=%d" (group_count m)
+    m.expr_count m.rule_firings

@@ -1,0 +1,42 @@
+(** The memo (Section 6.2): groups of logically equivalent expressions.
+
+    For SPJ queries with a fixed global conjunct list, two join trees are
+    equivalent iff they cover the same relation subset, so groups are keyed
+    by subset bitmasks; a group's logical property is the subset's
+    statistical summary, its multi-expressions are the splits, and its
+    winners are a Pareto set over (cost, delivered order) — per-physical-
+    property bests. *)
+
+type group_id = int
+
+type lexpr =
+  | Leaf of int  (** relation index *)
+  | Split of group_id * group_id  (** left join right (group masks) *)
+
+type group = {
+  id : group_id;
+  mask : int;
+  stats : Stats.Derive.rel_stats;
+  mutable exprs : lexpr list;
+  mutable explored : bool;
+  mutable winners : Systemr.Candidate.t list;
+  mutable optimized : bool;
+}
+
+type t = {
+  groups : (int, group) Hashtbl.t;  (** mask -> group *)
+  mutable next_id : int;
+  mutable expr_count : int;
+  mutable rule_firings : int;
+}
+
+val create : unit -> t
+
+(** Find the group for a mask, creating it with the given logical stats. *)
+val find_or_create : t -> mask:int -> stats:Stats.Derive.rel_stats -> group
+
+(** Add a multi-expression, deduplicated; true when new. *)
+val add_expr : t -> group -> lexpr -> bool
+
+val group_count : t -> int
+val stats_line : t -> string

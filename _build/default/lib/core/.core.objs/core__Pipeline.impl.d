@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Algebra Array Exec Expr Fmt Hashtbl List Pred Printf Relalg Rewrite Schema Stats Storage String Systemr

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Exec Rewrite Stats Storage Systemr

@@ -1,0 +1,317 @@
+(* The end-to-end query pipeline:
+
+     QGM block --rewrite rules--> QGM block
+               --materialize derived sources (block at a time)-->
+               single base-only block
+               --join enumeration (System-R DP)--> physical plan
+               --execute--> rows
+
+   Multi-block queries whose subquery predicates survive rewriting fall
+   back to the tuple-iteration interpreter — the paper's pre-unnesting
+   semantics — so every query always runs; the experiments compare the two
+   paths.  Materialized views (derived sources) are planned and executed
+   bottom-up into temporary tables, in the Starburst style of optimizing a
+   block at a time. *)
+
+open Relalg
+
+type config = {
+  rewrites : Rewrite.Rules.t list list; (* rule classes, run in order *)
+  join_config : Systemr.Join_order.config;
+}
+
+let default_rewrites : Rewrite.Rules.t list list =
+  [ [ Rewrite.View_merge.rule ];
+    Rewrite.Unnest.default_rules;
+    [ Rewrite.View_merge.rule ];
+    [ Rewrite.Predicate_move.constants_rule ];
+    [ Rewrite.Predicate_move.pushdown_rule ] ]
+
+let default_config =
+  { rewrites = default_rewrites;
+    join_config = Systemr.Join_order.default_config }
+
+(* No rewriting at all: the naive baseline. *)
+let naive_config = { default_config with rewrites = [] }
+
+type path = Planned | Interpreted (* fallback for residual correlation *)
+
+type report = {
+  rewritten : Rewrite.Qgm.block;
+  trace : Rewrite.Rules.trace;
+  path : path;
+  plan : Exec.Plan.t option;
+  est_cost : float;
+  plans_costed : int;
+}
+
+(* Can this block (and everything it contains) be planned, i.e. no subquery
+   predicates anywhere and no correlation? *)
+let rec plannable (b : Rewrite.Qgm.block) : bool =
+  let pred_ok = function
+    | Rewrite.Qgm.P _ -> true
+    | Rewrite.Qgm.In_sub _ | Rewrite.Qgm.Exists_sub _ | Rewrite.Qgm.Cmp_sub _
+      -> false
+  in
+  let source_ok = function
+    | Rewrite.Qgm.Base _ -> true
+    | Rewrite.Qgm.Derived { block; _ } -> plannable block
+  in
+  (not (Rewrite.Qgm.is_correlated b))
+  && List.for_all pred_ok b.Rewrite.Qgm.where
+  && List.for_all pred_ok b.Rewrite.Qgm.having
+  && List.for_all source_ok b.Rewrite.Qgm.from
+  && List.for_all (fun s -> source_ok s.Rewrite.Qgm.s_source) b.Rewrite.Qgm.semijoins
+  && List.for_all (fun o -> source_ok o.Rewrite.Qgm.o_source) b.Rewrite.Qgm.outerjoins
+
+(* ------------------------------------------------------------------ *)
+(* Planning a base-only single block *)
+
+let tmp_counter = ref 0
+
+(* Materialize a derived source into a temporary table registered in the
+   catalog and statistics registry; returns the replacement Base source, the
+   temp name, and the estimated cost spent. *)
+let rec materialize_source ctx config cat db (s : Rewrite.Qgm.source) :
+  Rewrite.Qgm.source * string list * float * int =
+  match s with
+  | Rewrite.Qgm.Base _ -> (s, [], 0., 0)
+  | Rewrite.Qgm.Derived { block; alias } ->
+    let plan, cost, costed, temps = plan_block ctx config cat db block in
+    let result = Exec.Executor.run ~ctx cat plan in
+    incr tmp_counter;
+    let tmp_name = Printf.sprintf "__mat%d_%s" !tmp_counter alias in
+    let columns =
+      List.map
+        (fun (c : Schema.column) -> (c.Schema.name, c.Schema.ty))
+        result.Exec.Executor.schema
+    in
+    let table = Storage.Catalog.create_table cat ~name:tmp_name ~columns in
+    Array.iter (Storage.Table.insert table) result.Exec.Executor.rows;
+    (* writing the temporary costs its pages *)
+    Exec.Context.charge_spill ctx (Storage.Table.page_count table);
+    Hashtbl.replace db tmp_name (Stats.Table_stats.analyze table);
+    ( Rewrite.Qgm.Base
+        { table = tmp_name; alias;
+          schema = Schema.requalify table.Storage.Table.schema ~rel:alias },
+      tmp_name :: temps,
+      cost,
+      costed )
+
+(* Attach a semi/anti/outer join of [source] (Base) to [plan], choosing a
+   hash join when an equi predicate is available. *)
+and attach_join cat kind (plan : Exec.Plan.t) (plan_aliases : string list)
+    (src : Rewrite.Qgm.source) (pred : Expr.t) : Exec.Plan.t =
+  let table, alias =
+    match src with
+    | Rewrite.Qgm.Base { table; alias; _ } -> (table, alias)
+    | Rewrite.Qgm.Derived { alias; _ } ->
+      invalid_arg ("attach_join: unmaterialized " ^ alias)
+  in
+  ignore cat;
+  let scan = Exec.Plan.Seq_scan { table; alias; filter = None } in
+  let pairs, residual =
+    Pred.equi_pairs ~left:plan_aliases ~right:[ alias ] (Pred.conjuncts pred)
+  in
+  if pairs <> [] then
+    Exec.Plan.Hash_join
+      { kind; pairs; residual = Pred.of_conjuncts residual; left = plan;
+        right = scan }
+  else
+    Exec.Plan.Nested_loop
+      { kind; pred; outer = plan; inner = Exec.Plan.Materialize scan }
+
+(* Plan a single plannable block.  Returns (plan, estimated cost, plans
+   costed, temp tables created). *)
+and plan_block ctx config cat db (b : Rewrite.Qgm.block) :
+  Exec.Plan.t * float * int * string list =
+  (* 1. materialize derived sources *)
+  let mat sources =
+    List.fold_left
+      (fun (acc, temps, cost, costed) s ->
+         let s', t, c, n = materialize_source ctx config cat db s in
+         (acc @ [ s' ], temps @ t, cost +. c, costed + n))
+      ([], [], 0., 0) sources
+  in
+  let from, temps1, cost1, costed1 = mat b.Rewrite.Qgm.from in
+  let sj_sources, temps2, cost2, costed2 =
+    mat (List.map (fun s -> s.Rewrite.Qgm.s_source) b.Rewrite.Qgm.semijoins)
+  in
+  let oj_sources, temps3, cost3, costed3 =
+    mat (List.map (fun o -> o.Rewrite.Qgm.o_source) b.Rewrite.Qgm.outerjoins)
+  in
+  (* 2. optimize the inner-join core with the System-R enumerator *)
+  let relations =
+    List.map
+      (function
+        | Rewrite.Qgm.Base { table; alias; schema } ->
+          { Systemr.Spj.alias; table; schema }
+        | Rewrite.Qgm.Derived { alias; _ } ->
+          invalid_arg ("plan_block: unmaterialized " ^ alias))
+      from
+  in
+  let predicates = Rewrite.Qgm.plain_preds b.Rewrite.Qgm.where in
+  let is_plain_group = b.Rewrite.Qgm.group_by = [] && b.Rewrite.Qgm.aggs = [] in
+  let spj_order =
+    (* exploit interesting orders end-to-end when no aggregation intervenes *)
+    if
+      is_plain_group && b.Rewrite.Qgm.semijoins = []
+      && b.Rewrite.Qgm.outerjoins = []
+      && List.for_all
+           (fun (e, _) -> match e with Expr.Col _ -> true | _ -> false)
+           b.Rewrite.Qgm.order_by
+    then
+      List.filter_map
+        (fun (e, d) ->
+           match e with Expr.Col c -> Some (c, d) | _ -> None)
+        b.Rewrite.Qgm.order_by
+    else []
+  in
+  let q =
+    Systemr.Spj.make ~relations ~predicates ~order_by:spj_order ()
+  in
+  let res =
+    Systemr.Join_order.optimize ~config:config.join_config cat db q
+  in
+  let plan = ref res.Systemr.Join_order.best.Systemr.Candidate.plan in
+  let cost = ref res.Systemr.Join_order.best.Systemr.Candidate.cost in
+  let aliases = ref (Systemr.Spj.relation_aliases q) in
+  (* 3. semijoins, then outerjoins *)
+  List.iter2
+    (fun (sj : Rewrite.Qgm.semijoin) src ->
+       let kind = if sj.Rewrite.Qgm.s_anti then Algebra.Anti else Algebra.Semi in
+       plan := attach_join cat kind !plan !aliases src sj.Rewrite.Qgm.s_pred)
+    b.Rewrite.Qgm.semijoins sj_sources;
+  List.iter2
+    (fun (oj : Rewrite.Qgm.outerjoin) src ->
+       plan := attach_join cat Algebra.Left_outer !plan !aliases src oj.Rewrite.Qgm.o_pred;
+       aliases := !aliases @ [ Rewrite.Qgm.alias_of_source src ])
+    b.Rewrite.Qgm.outerjoins oj_sources;
+  (* 4. grouping, having, order, projection, distinct *)
+  if not is_plain_group then
+    plan :=
+      Exec.Plan.Hash_agg
+        { keys = b.Rewrite.Qgm.group_by; aggs = b.Rewrite.Qgm.aggs;
+          input = !plan };
+  (match Rewrite.Qgm.plain_preds b.Rewrite.Qgm.having with
+   | [] -> ()
+   | ps -> plan := Exec.Plan.Filter (Pred.of_conjuncts ps, !plan));
+  (match b.Rewrite.Qgm.order_by with
+   | [] -> ()
+   | keys ->
+     if spj_order = [] then
+       plan :=
+         Exec.Plan.Sort
+           (List.map
+              (fun (e, d) ->
+                 { Exec.Plan.key = e; descending = (d = Algebra.Desc) })
+              keys,
+            !plan));
+  plan := Exec.Plan.Project (b.Rewrite.Qgm.select, !plan);
+  if b.Rewrite.Qgm.distinct then plan := Exec.Plan.Hash_distinct !plan;
+  ( !plan,
+    !cost +. cost1 +. cost2 +. cost3,
+    res.Systemr.Join_order.plans_costed + costed1 + costed2 + costed3,
+    temps1 @ temps2 @ temps3 )
+
+(* ------------------------------------------------------------------ *)
+(* Entry point *)
+
+let run ?(ctx = Exec.Context.create ()) ?(config = default_config)
+    (cat : Storage.Catalog.t) (db : Stats.Table_stats.db)
+    (block : Rewrite.Qgm.block) : Exec.Executor.result * report =
+  let rewritten, trace = Rewrite.Rules.run config.rewrites block in
+  if plannable rewritten then begin
+    let plan, est_cost, plans_costed, temps =
+      plan_block ctx config cat db rewritten
+    in
+    let result = Exec.Executor.run ~ctx cat plan in
+    List.iter
+      (fun t ->
+         Storage.Catalog.remove_table cat t;
+         Hashtbl.remove db t)
+      temps;
+    ( result,
+      { rewritten; trace; path = Planned; plan = Some plan; est_cost;
+        plans_costed } )
+  end
+  else begin
+    let result = Rewrite.Qgm_eval.run ~ctx cat rewritten in
+    ( result,
+      { rewritten; trace; path = Interpreted; plan = None; est_cost = 0.;
+        plans_costed = 0 } )
+  end
+
+let explain ?(config = default_config) cat db block : string =
+  let ctx = Exec.Context.create () in
+  let rewritten, trace = Rewrite.Rules.run config.rewrites block in
+  let body =
+    if plannable rewritten then begin
+      let plan, est_cost, _, temps = plan_block ctx config cat db rewritten in
+      List.iter
+        (fun t ->
+           Storage.Catalog.remove_table cat t;
+           Hashtbl.remove db t)
+        temps;
+      Fmt.str "@[<v>%a@,estimated cost: %.1f@]" Exec.Plan.pp plan est_cost
+    end
+    else
+      Fmt.str
+        "@[<v>(correlated query: tuple-iteration interpreter)@,%a@]"
+        Rewrite.Qgm.pp_block rewritten
+  in
+  let trace_s =
+    match trace with
+    | [] -> "(no rewrites applied)"
+    | t ->
+      String.concat ", "
+        (List.map (fun (n, k) -> Printf.sprintf "%s x%d" n k) t)
+  in
+  Fmt.str "@[<v>rewrites: %s@,%s@]" trace_s body
+
+(* ------------------------------------------------------------------ *)
+(* Full queries: UNION [ALL] above the block layer.  Each arm runs through
+   the normal block pipeline; UNION deduplicates the combined rows. *)
+
+let rec run_query ?(ctx = Exec.Context.create ()) ?(config = default_config)
+    cat db (q : Rewrite.Qgm.query) : Exec.Executor.result * report list =
+  match q with
+  | Rewrite.Qgm.Q_block b ->
+    let result, report = run ~ctx ~config cat db b in
+    (result, [ report ])
+  | Rewrite.Qgm.Q_union { all; left; right } ->
+    let l, lr = run_query ~ctx ~config cat db left in
+    let r, rr = run_query ~ctx ~config cat db right in
+    if
+      Relalg.Schema.arity l.Exec.Executor.schema
+      <> Relalg.Schema.arity r.Exec.Executor.schema
+    then invalid_arg "UNION: arity mismatch";
+    let rows = Array.append l.Exec.Executor.rows r.Exec.Executor.rows in
+    Exec.Context.charge_cpu ctx (Array.length rows);
+    let rows =
+      if all then rows
+      else begin
+        let seen = Hashtbl.create 64 in
+        let out = Storage.Vec.create () in
+        Array.iter
+          (fun t ->
+             let k = Array.to_list t in
+             if not (Hashtbl.mem seen k) then begin
+               Hashtbl.replace seen k ();
+               Storage.Vec.push out t
+             end)
+          rows;
+        Storage.Vec.to_array out
+      end
+    in
+    ({ Exec.Executor.schema = l.Exec.Executor.schema; rows }, lr @ rr)
+
+let rec explain_query ?(config = default_config) cat db
+    (q : Rewrite.Qgm.query) : string =
+  match q with
+  | Rewrite.Qgm.Q_block b -> explain ~config cat db b
+  | Rewrite.Qgm.Q_union { all; left; right } ->
+    Fmt.str "@[<v>%s@,UNION%s@,%s@]"
+      (explain_query ~config cat db left)
+      (if all then " ALL" else "")
+      (explain_query ~config cat db right)

@@ -1,0 +1,69 @@
+(** The end-to-end query pipeline:
+
+    QGM block → rewrite rules → derived sources materialized
+    block-at-a-time (the Starburst style of optimizing a block at a time) →
+    System-R join enumeration on the base-only core → semijoins,
+    outerjoins, grouping, having, order, projection → execution.
+
+    Queries whose subquery predicates survive rewriting fall back to the
+    tuple-iteration interpreter, so every query runs. *)
+
+type config = {
+  rewrites : Rewrite.Rules.t list list;  (** rule classes, run in order *)
+  join_config : Systemr.Join_order.config;
+}
+
+(** view merging; unnesting; view merging again; constant propagation;
+    predicate pushdown. *)
+val default_rewrites : Rewrite.Rules.t list list
+
+val default_config : config
+
+(** No rewriting at all — the tuple-iteration baseline for nested queries. *)
+val naive_config : config
+
+type path = Planned | Interpreted
+
+type report = {
+  rewritten : Rewrite.Qgm.block;
+  trace : Rewrite.Rules.trace;
+  path : path;
+  plan : Exec.Plan.t option;  (** [None] when interpreted *)
+  est_cost : float;
+  plans_costed : int;
+}
+
+(** Can this block (including nested ones) be planned — no residual
+    subquery predicates or correlation? *)
+val plannable : Rewrite.Qgm.block -> bool
+
+(** Plan a single plannable block, materializing derived sources into
+    temporary tables; returns (plan, estimated cost, plans costed, temp
+    tables created). *)
+val plan_block :
+  Exec.Context.t -> config -> Storage.Catalog.t -> Stats.Table_stats.db ->
+  Rewrite.Qgm.block -> Exec.Plan.t * float * int * string list
+
+(** Rewrite, plan (or fall back to interpretation), execute. *)
+val run :
+  ?ctx:Exec.Context.t -> ?config:config -> Storage.Catalog.t ->
+  Stats.Table_stats.db -> Rewrite.Qgm.block ->
+  Exec.Executor.result * report
+
+(** Human-readable rewrite trace + physical plan + estimated cost.  (Note:
+    derived sources are materialized to be planned, so EXPLAIN executes
+    subplans, like EXPLAIN ANALYZE for views.) *)
+val explain :
+  ?config:config -> Storage.Catalog.t -> Stats.Table_stats.db ->
+  Rewrite.Qgm.block -> string
+
+(** Run a full query (UNION [ALL] above the block layer); one report per
+    block arm.  @raise Invalid_argument on arity mismatch. *)
+val run_query :
+  ?ctx:Exec.Context.t -> ?config:config -> Storage.Catalog.t ->
+  Stats.Table_stats.db -> Rewrite.Qgm.query ->
+  Exec.Executor.result * report list
+
+val explain_query :
+  ?config:config -> Storage.Catalog.t -> Stats.Table_stats.db ->
+  Rewrite.Qgm.query -> string

@@ -1,0 +1,1 @@
+lib/cost/physical_props.ml: Algebra Expr Fmt List Relalg

@@ -1,0 +1,1 @@
+lib/cost/physical_props.mli: Algebra Expr Format Relalg

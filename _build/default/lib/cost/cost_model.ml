@@ -1,0 +1,150 @@
+(* The cost model (Section 5.2).
+
+   Formulas mirror what the executor actually charges, so that the same
+   model evaluated with *estimated* statistics prices candidate plans during
+   optimization, and the gap to *measured* execution cost (experiment E11)
+   is purely cardinality/buffer estimation error.
+
+   All costs are scalars in "sequential page read" units:
+   1 random read = [rand_page], 1 CPU tuple-op = [cpu_tuple]. *)
+
+type params = {
+  seq_page : float;
+  rand_page : float;
+  cpu_tuple : float;
+  buffer_pages : int; (* assumed buffer pool size *)
+  work_mem_pages : int; (* memory for sorts/hash builds *)
+  index_fanout : int;
+}
+
+let default_params =
+  { seq_page = 1.0;
+    rand_page = 4.0;
+    cpu_tuple = 0.001;
+    buffer_pages = 1024;
+    work_mem_pages = 64;
+    index_fanout = 256 }
+
+(* Weighted cost of measured execution counters, for predicted-vs-actual
+   comparisons. *)
+let of_counters p ~seq ~rand ~spill ~cpu =
+  (p.seq_page *. float_of_int (seq + spill))
+  +. (p.rand_page *. float_of_int rand)
+  +. (p.cpu_tuple *. float_of_int cpu)
+
+let log2 x = if x <= 1. then 0. else Float.log x /. Float.log 2.
+
+(* ------------------------------------------------------------------ *)
+(* Scans *)
+
+let seq_scan p ~pages ~rows = (p.seq_page *. pages) +. (p.cpu_tuple *. rows)
+
+let index_height p ~rows =
+  let leaf = Float.max 1. (rows /. float_of_int p.index_fanout) in
+  Float.max 1. (Float.round (1. +. (log2 leaf /. log2 (float_of_int p.index_fanout))))
+
+(* Index scan retrieving [matches] of [rows] rows from a table of [pages]
+   pages.  Non-clustered access pays one (buffered) random data page per
+   match — the Mackert–Lohman/Cardenas correction of [40]. *)
+let index_scan p ~clustered ~pages ~rows ~matches =
+  let h = index_height p ~rows in
+  let leaf_pages =
+    Float.max 1. (Float.ceil (matches /. float_of_int p.index_fanout))
+  in
+  let data_io =
+    if clustered then
+      let tpp = Float.max 1. (rows /. Float.max 1. pages) in
+      p.seq_page *. Float.ceil (matches /. tpp)
+    else
+      p.rand_page
+      *. Storage.Buffer.expected_fetches ~buffer:p.buffer_pages
+           ~pages:(int_of_float (Float.max 1. pages))
+           ~accesses:(int_of_float (Float.round matches))
+  in
+  (p.rand_page *. h)
+  +. (p.seq_page *. (leaf_pages -. 1.))
+  +. p.rand_page (* first leaf *)
+  +. data_io
+  +. (p.cpu_tuple *. matches)
+
+(* ------------------------------------------------------------------ *)
+(* Unary operators *)
+
+let filter p ~rows = p.cpu_tuple *. rows
+
+let project p ~rows = p.cpu_tuple *. rows
+
+let sort p ~pages ~rows =
+  let cpu = p.cpu_tuple *. rows *. log2 rows in
+  let spill =
+    let wm = float_of_int p.work_mem_pages in
+    if pages <= wm then 0.
+    else
+      let fan = Float.max 2. (wm -. 1.) in
+      let runs = Float.ceil (pages /. wm) in
+      let passes = Float.max 1. (Float.ceil (log2 runs /. log2 fan)) in
+      2. *. pages *. passes
+  in
+  cpu +. (p.seq_page *. spill)
+
+let hash_agg p ~rows ~groups = p.cpu_tuple *. (rows +. groups)
+
+let stream_agg p ~rows = p.cpu_tuple *. rows
+
+let hash_distinct p ~rows = p.cpu_tuple *. rows
+
+(* ------------------------------------------------------------------ *)
+(* Joins.  Input costs are paid by the caller; these price the join work
+   itself, including inner rescans for nested loops. *)
+
+(* Naive nested loop with a materialized-in-buffer inner: the first pass
+   reads the inner's pages; later passes re-read only what fell out of the
+   buffer. *)
+let nested_loop p ~outer_rows ~inner_rows ~inner_pages =
+  let rescans = Float.max 0. (outer_rows -. 1.) in
+  let overflow = Float.max 0. (inner_pages -. float_of_int p.buffer_pages) in
+  (p.seq_page *. rescans *. overflow)
+  +. (p.cpu_tuple *. outer_rows *. inner_rows)
+
+(* Index nested loop: per outer tuple, descend the index and fetch matching
+   rows.  Both the index pages and the data pages are read through the
+   buffer pool; we model them competing for it by splitting the pool one
+   third / two thirds (index pages are fewer but hotter). *)
+let index_nl p ~outer_rows ~inner_rows ~inner_pages ~matches_per_probe
+    ~clustered =
+  let h = index_height p ~rows:inner_rows in
+  let leaf_pages = Float.max 1. (inner_rows /. float_of_int p.index_fanout) in
+  let index_pages = int_of_float (h +. leaf_pages) in
+  let idx_buffer = max 1 (p.buffer_pages / 3) in
+  let internal_io =
+    p.rand_page
+    *. Storage.Buffer.expected_fetches ~buffer:idx_buffer ~pages:index_pages
+         ~accesses:(int_of_float (Float.max 1. (outer_rows *. h)))
+  in
+  let total_matches = outer_rows *. matches_per_probe in
+  let data_io =
+    if clustered then
+      let tpp = Float.max 1. (inner_rows /. Float.max 1. inner_pages) in
+      p.seq_page *. outer_rows *. Float.ceil (matches_per_probe /. tpp)
+    else
+      p.rand_page
+      *. Storage.Buffer.expected_fetches
+           ~buffer:(max 1 (p.buffer_pages * 2 / 3))
+           ~pages:(int_of_float (Float.max 1. inner_pages))
+           ~accesses:(int_of_float (Float.round total_matches))
+  in
+  internal_io +. data_io +. (p.cpu_tuple *. (outer_rows +. total_matches))
+
+(* Merge join of two sorted streams (sort enforcers priced separately). *)
+let merge_join p ~left_rows ~right_rows ~out_rows =
+  p.cpu_tuple *. (left_rows +. right_rows +. out_rows)
+
+(* Hash join, build on right. *)
+let hash_join p ~left_rows ~right_rows ~left_pages ~right_pages ~out_rows =
+  let spill =
+    if right_pages > float_of_int p.work_mem_pages then
+      2. *. (left_pages +. right_pages)
+    else 0.
+  in
+  (p.seq_page *. spill)
+  +. (p.cpu_tuple *. ((2. *. right_rows) +. left_rows +. out_rows))

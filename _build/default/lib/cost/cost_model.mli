@@ -1,0 +1,70 @@
+(** The cost model (Section 5.2).
+
+    Formulas mirror what the executor charges, so the same model priced
+    with *estimated* statistics during optimization differs from *measured*
+    execution cost only by estimation error (experiment E11).  Costs are
+    scalars in sequential-page-read units. *)
+
+type params = {
+  seq_page : float;
+  rand_page : float;
+  cpu_tuple : float;
+  buffer_pages : int;
+  work_mem_pages : int;  (** memory for sorts/hash builds before spilling *)
+  index_fanout : int;
+}
+
+val default_params : params
+
+(** Weighted cost of measured execution counters (for predicted-vs-actual
+    comparisons). *)
+val of_counters : params -> seq:int -> rand:int -> spill:int -> cpu:int -> float
+
+val log2 : float -> float
+
+(** {2 Scans} *)
+
+val seq_scan : params -> pages:float -> rows:float -> float
+
+(** Modelled B+-tree height for a table of [rows] rows. *)
+val index_height : params -> rows:float -> float
+
+(** Index scan retrieving [matches] of [rows] rows; non-clustered access
+    pays buffered random data reads (Mackert–Lohman/Cardenas, [40]). *)
+val index_scan :
+  params -> clustered:bool -> pages:float -> rows:float -> matches:float ->
+  float
+
+(** {2 Unary operators} *)
+
+val filter : params -> rows:float -> float
+val project : params -> rows:float -> float
+
+(** Sort with external-merge spill beyond [work_mem_pages]. *)
+val sort : params -> pages:float -> rows:float -> float
+
+val hash_agg : params -> rows:float -> groups:float -> float
+val stream_agg : params -> rows:float -> float
+val hash_distinct : params -> rows:float -> float
+
+(** {2 Joins} — input costs are paid by the caller; these price the join
+    work itself. *)
+
+(** Nested loop with a buffered inner: later passes re-read only the
+    buffer overflow. *)
+val nested_loop :
+  params -> outer_rows:float -> inner_rows:float -> inner_pages:float -> float
+
+(** Index nested loop; index and data pages compete for the buffer pool. *)
+val index_nl :
+  params -> outer_rows:float -> inner_rows:float -> inner_pages:float ->
+  matches_per_probe:float -> clustered:bool -> float
+
+(** Merge join of two sorted streams (sort enforcers priced separately). *)
+val merge_join :
+  params -> left_rows:float -> right_rows:float -> out_rows:float -> float
+
+(** Hash join, build on the right; Grace-style spill past [work_mem_pages]. *)
+val hash_join :
+  params -> left_rows:float -> right_rows:float -> left_pages:float ->
+  right_pages:float -> out_rows:float -> float

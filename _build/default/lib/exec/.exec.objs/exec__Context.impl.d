@@ -1,0 +1,1 @@
+lib/exec/context.ml: Fmt Storage

@@ -1,0 +1,1 @@
+lib/exec/context.mli: Format Storage

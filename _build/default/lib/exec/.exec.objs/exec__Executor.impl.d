@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Algebra Array Context Expr Fmt Hashtbl List Option Plan Printf Relalg Schema Storage Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Context Format Plan Relalg Schema Storage Tuple

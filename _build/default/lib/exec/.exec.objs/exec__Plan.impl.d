@@ -1,0 +1,1 @@
+lib/exec/plan.ml: Algebra Expr Fmt List Relalg Schema Storage Typing Value

@@ -1,0 +1,1 @@
+lib/exec/plan.mli: Algebra Expr Format Relalg Schema Storage Value

@@ -1,0 +1,29 @@
+(** Execution context: buffer pool plus physical I/O and CPU accounting —
+    the source of every "measured cost" number in the experiments. *)
+
+type t = {
+  pool : Storage.Buffer.Pool.t;
+  work_mem_pages : int;  (** memory for sorts and hash builds *)
+  mutable seq_io : int;  (** physical page reads, sequential pattern *)
+  mutable rand_io : int;  (** physical page reads, random pattern *)
+  mutable spill_io : int;  (** temp pages written + read back *)
+  mutable cpu_ops : int;  (** abstract per-tuple operations *)
+}
+
+val create : ?buffer_pages:int -> ?work_mem_pages:int -> unit -> t
+
+(** Access a page through the pool, charging a physical read on miss. *)
+val read_page : t -> random:bool -> Storage.Buffer.page_id -> unit
+
+val charge_cpu : t -> int -> unit
+val charge_spill : t -> int -> unit
+
+(** Total physical pages moved (seq + random + spill). *)
+val total_io : t -> int
+
+(** Scalar cost in the cost model's units (random reads dearer than
+    sequential, CPU far cheaper than either). *)
+val weighted_cost :
+  ?seq_weight:float -> ?rand_weight:float -> ?cpu_weight:float -> t -> float
+
+val pp : Format.formatter -> t -> unit

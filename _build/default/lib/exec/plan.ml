@@ -1,0 +1,208 @@
+(* Physical operator trees — the "execution plans" of Figure 1.
+
+   Conventions:
+   - [Nested_loop] re-executes its inner (right) child once per outer tuple,
+     exactly like the classical iterator; optimizers wrap expensive inners in
+     [Materialize].
+   - [Index_nl] is the index nested-loop join: for each outer tuple it probes
+     an index on the inner base table with the value of [outer_key].
+   - [Merge_join] and [Stream_agg] require their inputs to be sorted on the
+     join/grouping columns; optimizers must insert [Sort] enforcers (this is
+     the "physical property" machinery of Section 3).
+   - [Hash_join] builds on the right child, probes with the left. *)
+
+open Relalg
+
+type join_kind = Algebra.join_kind
+
+type bound = Storage.Btree.bound = Unbounded | Incl of Value.t | Excl of Value.t
+
+type sort_key = { key : Expr.t; descending : bool }
+
+type t =
+  | Seq_scan of { table : string; alias : string; filter : Expr.t option }
+  | Index_scan of {
+      table : string;
+      alias : string;
+      column : string; (* indexed column *)
+      lo : bound;
+      hi : bound;
+      filter : Expr.t option; (* residual predicate *)
+    }
+  | Filter of Expr.t * t
+  | Project of (Expr.t * string) list * t
+  | Sort of sort_key list * t
+  | Materialize of t
+  | Nested_loop of { kind : join_kind; pred : Expr.t; outer : t; inner : t }
+  | Index_nl of {
+      kind : join_kind;
+      outer : t;
+      table : string;
+      alias : string;
+      index : string; (* index name in the catalog *)
+      columns : string list; (* probed key prefix, in index order *)
+      outer_keys : Expr.t list; (* evaluated against the outer tuple *)
+      residual : Expr.t;
+    }
+  | Merge_join of {
+      kind : join_kind;
+      pairs : (Expr.col_ref * Expr.col_ref) list; (* (left, right) columns *)
+      residual : Expr.t;
+      left : t;
+      right : t;
+    }
+  | Hash_join of {
+      kind : join_kind;
+      pairs : (Expr.col_ref * Expr.col_ref) list;
+      residual : Expr.t;
+      left : t; (* probe *)
+      right : t; (* build *)
+    }
+  | Hash_agg of agg
+  | Stream_agg of agg (* input sorted on keys *)
+  | Hash_distinct of t
+
+and agg = {
+  keys : (Expr.t * string) list;
+  aggs : (Expr.agg * string) list;
+  input : t;
+}
+
+(* Output schema.  Scans need the catalog to resolve table schemas. *)
+let rec schema (cat : Storage.Catalog.t) (p : t) : Schema.t =
+  match p with
+  | Seq_scan { table; alias; _ } | Index_scan { table; alias; _ } ->
+    Schema.requalify (Storage.Catalog.table cat table).Storage.Table.schema
+      ~rel:alias
+  | Filter (_, i) | Sort (_, i) | Materialize i | Hash_distinct i ->
+    schema cat i
+  | Project (items, i) ->
+    let s = schema cat i in
+    List.map
+      (fun (e, a) -> Schema.column ~rel:"" ~name:a ~ty:(Typing.infer s e))
+      items
+  | Nested_loop { kind; outer; inner; _ } -> (
+    match kind with
+    | Algebra.Semi | Algebra.Anti -> schema cat outer
+    | Algebra.Inner | Algebra.Left_outer ->
+      Schema.concat (schema cat outer) (schema cat inner))
+  | Index_nl { kind; outer; table; alias; _ } -> (
+    let inner =
+      Schema.requalify (Storage.Catalog.table cat table).Storage.Table.schema
+        ~rel:alias
+    in
+    match kind with
+    | Algebra.Semi | Algebra.Anti -> schema cat outer
+    | Algebra.Inner | Algebra.Left_outer ->
+      Schema.concat (schema cat outer) inner)
+  | Merge_join { kind; left; right; _ } | Hash_join { kind; left; right; _ }
+    -> (
+    match kind with
+    | Algebra.Semi | Algebra.Anti -> schema cat left
+    | Algebra.Inner | Algebra.Left_outer ->
+      Schema.concat (schema cat left) (schema cat right))
+  | Hash_agg { keys; aggs; input } | Stream_agg { keys; aggs; input } ->
+    let s = schema cat input in
+    List.map
+      (fun (e, a) -> Schema.column ~rel:"" ~name:a ~ty:(Typing.infer s e))
+      keys
+    @ List.map
+        (fun (g, a) -> Schema.column ~rel:"" ~name:a ~ty:(Typing.infer_agg s g))
+        aggs
+
+let pp_sort_key ppf { key; descending } =
+  Fmt.pf ppf "%a%s" Expr.pp key (if descending then " DESC" else "")
+
+let pp_pairs ppf pairs =
+  Fmt.(list ~sep:(any " AND ")
+         (fun ppf ((a : Expr.col_ref), (b : Expr.col_ref)) ->
+            Fmt.pf ppf "%s.%s = %s.%s" a.Expr.rel a.Expr.col b.Expr.rel
+              b.Expr.col))
+    ppf pairs
+
+let kind_prefix = function
+  | Algebra.Inner -> ""
+  | Algebra.Left_outer -> "Outer "
+  | Algebra.Semi -> "Semi "
+  | Algebra.Anti -> "Anti "
+
+let rec pp ppf (p : t) =
+  let kid ppf c = Fmt.pf ppf "@,@[<v 2>  %a@]" pp c in
+  let opt_filter ppf = function
+    | None -> ()
+    | Some f -> Fmt.pf ppf " [%a]" Expr.pp f
+  in
+  match p with
+  | Seq_scan { table; alias; filter } ->
+    Fmt.pf ppf "Table Scan %s%s%a" table
+      (if alias = table then "" else " AS " ^ alias)
+      opt_filter filter
+  | Index_scan { table; alias; column; lo; hi; filter } ->
+    let pp_bound side ppf = function
+      | Unbounded -> ()
+      | Incl v -> Fmt.pf ppf " %s%s %a" column side Value.pp v
+      | Excl v ->
+        Fmt.pf ppf " %s%s %a" column
+          (match side with ">=" -> ">" | "<=" -> "<" | s -> s)
+          Value.pp v
+    in
+    Fmt.pf ppf "Index Scan %s(%s)%s%a%a%a" table column
+      (if alias = table then "" else " AS " ^ alias)
+      (pp_bound ">=") lo (pp_bound "<=") hi opt_filter filter
+  | Filter (e, i) -> Fmt.pf ppf "@[<v>Filter %a%a@]" Expr.pp e kid i
+  | Project (items, i) ->
+    Fmt.pf ppf "@[<v>Project %a%a@]"
+      Fmt.(list ~sep:(any ", ")
+             (fun ppf (e, a) ->
+                if Expr.to_string e = a then Expr.pp ppf e
+                else Fmt.pf ppf "%a AS %s" Expr.pp e a))
+      items kid i
+  | Sort (keys, i) ->
+    Fmt.pf ppf "@[<v>Sort [%a]%a@]"
+      Fmt.(list ~sep:(any ", ") pp_sort_key) keys kid i
+  | Materialize i -> Fmt.pf ppf "@[<v>Materialize%a@]" kid i
+  | Nested_loop { kind; pred; outer; inner } ->
+    Fmt.pf ppf "@[<v>%sNested Loop (%a)%a%a@]" (kind_prefix kind) Expr.pp pred
+      kid outer kid inner
+  | Index_nl { kind; outer; table; alias; index; columns; outer_keys; residual }
+    ->
+    Fmt.pf ppf "@[<v>%sIndex Nested Loop (%a)%s%a@,@[<v 2>  Index Scan %s%s via %s@]@]"
+      (kind_prefix kind)
+      Fmt.(list ~sep:(any " AND ")
+             (fun ppf (k, c) -> Fmt.pf ppf "%a = %s.%s" Expr.pp k alias c))
+      (List.combine outer_keys columns)
+      (match residual with
+       | Expr.Const (Value.Bool true) -> ""
+       | r -> Fmt.str " [%a]" Expr.pp r)
+      kid outer table
+      (if alias = table then "" else " AS " ^ alias)
+      index
+  | Merge_join { kind; pairs; left; right; _ } ->
+    Fmt.pf ppf "@[<v>%sMerge Join (%a)%a%a@]" (kind_prefix kind) pp_pairs pairs
+      kid left kid right
+  | Hash_join { kind; pairs; left; right; _ } ->
+    Fmt.pf ppf "@[<v>%sHash Join (%a)%a%a@]" (kind_prefix kind) pp_pairs pairs
+      kid left kid right
+  | Hash_agg { keys; aggs; input } ->
+    Fmt.pf ppf "@[<v>Hash Aggregate [%a | %a]%a@]"
+      Fmt.(list ~sep:(any ", ") (fun ppf (e, _) -> Expr.pp ppf e)) keys
+      Fmt.(list ~sep:(any ", ") (fun ppf (g, a) -> Fmt.pf ppf "%a AS %s" Expr.pp_agg g a))
+      aggs kid input
+  | Stream_agg { keys; aggs; input } ->
+    Fmt.pf ppf "@[<v>Stream Aggregate [%a | %a]%a@]"
+      Fmt.(list ~sep:(any ", ") (fun ppf (e, _) -> Expr.pp ppf e)) keys
+      Fmt.(list ~sep:(any ", ") (fun ppf (g, a) -> Fmt.pf ppf "%a AS %s" Expr.pp_agg g a))
+      aggs kid input
+  | Hash_distinct i -> Fmt.pf ppf "@[<v>Hash Distinct%a@]" kid i
+
+let to_string p = Fmt.str "%a" pp p
+
+let rec size = function
+  | Seq_scan _ | Index_scan _ -> 1
+  | Filter (_, i) | Project (_, i) | Sort (_, i) | Materialize i
+  | Hash_distinct i -> 1 + size i
+  | Nested_loop { outer; inner; _ } -> 1 + size outer + size inner
+  | Index_nl { outer; _ } -> 2 + size outer
+  | Merge_join { left; right; _ } | Hash_join { left; right; _ } ->
+    1 + size left + size right
+  | Hash_agg { input; _ } | Stream_agg { input; _ } -> 1 + size input

@@ -1,0 +1,1 @@
+lib/extensions/expensive_pred.ml: Array Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/extensions/matview.ml: Array Exec Expr Hashtbl List Option Printf Relalg Schema Stats Storage Systemr

@@ -1,0 +1,1 @@
+lib/extensions/matview.mli: Exec Stats Storage Systemr

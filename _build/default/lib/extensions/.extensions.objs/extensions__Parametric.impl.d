@@ -1,0 +1,1 @@
+lib/extensions/parametric.ml: Exec Expr List Option Relalg String Systemr Value

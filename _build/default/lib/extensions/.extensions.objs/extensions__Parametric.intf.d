@@ -1,0 +1,1 @@
+lib/extensions/parametric.mli: Exec Relalg Stats Storage Systemr Value

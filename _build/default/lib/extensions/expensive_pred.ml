@@ -1,0 +1,150 @@
+(* Optimization of queries with expensive user-defined predicates
+   (Section 7.2, after Hellerstein/Stonebraker [29,30] and Chaudhuri/Shim
+   [8]).
+
+   Model: a stream of [n] rows flows through joins (each join multiplies
+   cardinality by its selectivity against the next relation) and through
+   expensive predicates p_i with per-tuple cost c_i and selectivity s_i.
+
+   - With no joins, ordering predicates by ascending rank
+     (s - 1) / c is optimal.
+   - With joins, rank-interleaving can be suboptimal; treating the set of
+     applied predicates as a plan property and running dynamic programming
+     over (relations joined, predicates applied) is optimal — and
+     polynomial in the number of predicates for regular cost models. *)
+
+type upred = { p_name : string; sel : float; cost : float }
+
+type join = { j_name : string; j_sel : float; j_cost : float; j_card : float }
+(* joining multiplies the stream by j_card * j_sel and costs
+   j_cost per (input row x j_card) pairs *)
+
+let rank (p : upred) = (p.sel -. 1.) /. p.cost
+
+(* Total cost of applying predicates in the given order to [n] rows. *)
+let sequence_cost ~n (ps : upred list) : float =
+  let rec go n acc = function
+    | [] -> acc
+    | p :: rest -> go (n *. p.sel) (acc +. (n *. p.cost)) rest
+  in
+  go n 0. ps
+
+let order_by_rank (ps : upred list) : upred list =
+  List.sort (fun a b -> Float.compare (rank a) (rank b)) ps
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+         List.map (fun rest -> x :: rest)
+           (permutations (List.filter (fun y -> y != x) xs)))
+      xs
+
+let optimal_order_exhaustive ~n (ps : upred list) : upred list * float =
+  List.fold_left
+    (fun (bo, bc) o ->
+       let c = sequence_cost ~n o in
+       if c < bc then (o, c) else (bo, bc))
+    (ps, sequence_cost ~n ps)
+    (permutations ps)
+
+(* ------------------------------------------------------------------ *)
+(* Predicates interleaved with joins *)
+
+(* A plan is an interleaving: apply some predicates, join, apply more, ...
+   Cost of executing a prefix with cardinality tracking. *)
+type step = Apply of upred | Do_join of join
+
+let interleaving_cost ~n (steps : step list) : float =
+  let rec go n acc = function
+    | [] -> acc
+    | Apply p :: rest -> go (n *. p.sel) (acc +. (n *. p.cost)) rest
+    | Do_join j :: rest ->
+      let pairs = n *. j.j_card in
+      go (pairs *. j.j_sel) (acc +. (pairs *. j.j_cost)) rest
+  in
+  go n 0. steps
+
+(* Heuristic 1: push all predicates down (apply all before any join) —
+   the classical "evaluate predicates as early as possible", unsound for
+   expensive predicates. *)
+let pushdown_always (ps : upred list) (js : join list) : step list =
+  List.map (fun p -> Apply p) (order_by_rank ps)
+  @ List.map (fun j -> Do_join j) js
+
+(* Heuristic 2: rank-interleave — treat each join as a pseudo-predicate
+   with selectivity (j_card * j_sel) and cost (j_card * j_cost), keep the
+   join order fixed, and place predicates among the joins by rank.
+   Suboptimal in general ([29]'s extension, fixed by [8]). *)
+let rank_interleave (ps : upred list) (js : join list) : step list =
+  let pseudo j = ((j.j_card *. j.j_sel) -. 1.) /. (j.j_card *. j.j_cost) in
+  let rec place ps js =
+    match ps, js with
+    | [], js -> List.map (fun j -> Do_join j) js
+    | ps, [] -> List.map (fun p -> Apply p) ps
+    | p :: prest, j :: jrest ->
+      if rank p <= pseudo j then Apply p :: place prest js
+      else Do_join j :: place ps jrest
+  in
+  place (order_by_rank ps) js
+
+(* Optimal: dynamic programming over (joins done, predicate set applied) —
+   the predicate set is a plan property ([8]).  Join order is fixed (they
+   are applied in sequence); the choice is where each predicate goes. *)
+let property_dp ~n (ps : upred list) (js : join list) : step list * float =
+  let ps = Array.of_list ps in
+  let k = Array.length ps in
+  let js = Array.of_list js in
+  let m = Array.length js in
+  (* state: (next join index, bitmask of applied predicates) ->
+     (cardinality, best cost, steps-so-far reversed) *)
+  let best : (int * int, float * float * step list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let card_of ji mask =
+    (* cardinality after ji joins and the predicates in mask *)
+    let c = ref n in
+    for j = 0 to ji - 1 do
+      c := !c *. js.(j).j_card *. js.(j).j_sel
+    done;
+    for i = 0 to k - 1 do
+      if mask land (1 lsl i) <> 0 then c := !c *. ps.(i).sel
+    done;
+    !c
+  in
+  let update key cost steps =
+    match Hashtbl.find_opt best key with
+    | Some (_, c, _) when c <= cost -> ()
+    | _ ->
+      let ji, mask = key in
+      Hashtbl.replace best key (card_of ji mask, cost, steps)
+  in
+  update (0, 0) 0. [];
+  let full_mask = (1 lsl k) - 1 in
+  for ji = 0 to m do
+    (* ascending masks: every submask is settled before its supersets *)
+    for mask = 0 to full_mask do
+      match Hashtbl.find_opt best (ji, mask) with
+      | None -> ()
+      | Some (card, cost, steps) ->
+        (* apply one more predicate *)
+        for i = 0 to k - 1 do
+          if mask land (1 lsl i) = 0 then
+            update (ji, mask lor (1 lsl i))
+              (cost +. (card *. ps.(i).cost))
+              (Apply ps.(i) :: steps)
+        done;
+        (* or do the next join *)
+        if ji < m then begin
+          let j = js.(ji) in
+          update (ji + 1, mask)
+            (cost +. (card *. j.j_card *. j.j_cost))
+            (Do_join j :: steps)
+        end
+    done
+  done;
+  let full = (1 lsl k) - 1 in
+  match Hashtbl.find_opt best (m, full) with
+  | Some (_, cost, steps) -> (List.rev steps, cost)
+  | None -> invalid_arg "property_dp: unreachable state"

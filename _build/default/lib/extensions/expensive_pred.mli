@@ -1,0 +1,40 @@
+(** Expensive user-defined predicates (Section 7.2, after [29,30] and [8]):
+    rank ordering without joins, heuristics and the optimal property-DP
+    with joins. *)
+
+(** A user-defined predicate: selectivity and per-tuple cost. *)
+type upred = { p_name : string; sel : float; cost : float }
+
+(** A join step: joining multiplies the stream by j_card * j_sel and costs
+    j_cost per (input row x j_card) pair. *)
+type join = { j_name : string; j_sel : float; j_cost : float; j_card : float }
+
+(** rank = (selectivity - 1) / cost; ascending rank is optimal without
+    joins. *)
+val rank : upred -> float
+
+(** Total cost of applying predicates in order to [n] rows. *)
+val sequence_cost : n:float -> upred list -> float
+
+val order_by_rank : upred list -> upred list
+val permutations : 'a list -> 'a list list
+
+(** Exhaustive optimum over orderings (small inputs only). *)
+val optimal_order_exhaustive : n:float -> upred list -> upred list * float
+
+(** An interleaving of predicate applications and joins. *)
+type step = Apply of upred | Do_join of join
+
+val interleaving_cost : n:float -> step list -> float
+
+(** "Evaluate predicates as early as possible" — unsound for expensive
+    predicates. *)
+val pushdown_always : upred list -> join list -> step list
+
+(** Rank-interleave with joins as pseudo-predicates — suboptimal in
+    general ([29]'s extension, fixed by [8]). *)
+val rank_interleave : upred list -> join list -> step list
+
+(** Optimal placement: dynamic programming over (joins done, predicate set
+    applied) — predicates-applied as a plan property ([8]). *)
+val property_dp : n:float -> upred list -> join list -> step list * float

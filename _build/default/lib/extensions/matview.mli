@@ -1,0 +1,34 @@
+(** Materialized views (Section 7.3, after [15,9]): syntactic containment
+    matching for conjunctive views, query rewriting, and cost-based choice
+    between base tables and views. *)
+
+type view = {
+  name : string;
+  definition : Systemr.Spj.t;
+  table : string;  (** materialized storage *)
+}
+
+(** Execute an SPJ definition and store it as a table (also registered in
+    the statistics db). *)
+val materialize :
+  Storage.Catalog.t -> Stats.Table_stats.db -> name:string -> Systemr.Spj.t ->
+  view
+
+(** Rewrite a query to read the view: view relations/predicates must be
+    subsumed and every needed column stored; [None] otherwise.  The
+    produced relations carry empty schemas — see {!resolve_schemas}. *)
+val rewrite : view -> Systemr.Spj.t -> Systemr.Spj.t option
+
+(** Fill in catalog schemas for rewritten relations. *)
+val resolve_schemas : Storage.Catalog.t -> Systemr.Spj.t -> Systemr.Spj.t
+
+type choice = {
+  plan : Exec.Plan.t;
+  cost : float;
+  used_view : string option;  (** [None] = base tables won *)
+}
+
+(** Cost-based selection between the original query and each view rewrite. *)
+val optimize_with_views :
+  ?config:Systemr.Join_order.config -> Storage.Catalog.t ->
+  Stats.Table_stats.db -> view list -> Systemr.Spj.t -> choice

@@ -1,0 +1,37 @@
+(** Parametric query optimization (Section 7.4, after [33] and [19]):
+    optimize at several candidate parameter values, keep the distinct plan
+    shapes, and dispatch on the actual value at runtime. *)
+
+open Relalg
+
+(** Plan "shape": the plan with every literal constant blanked, so two
+    instantiations of one strategy compare equal. *)
+val shape : Exec.Plan.t -> Exec.Plan.t
+
+val shape_key : Exec.Plan.t -> string
+
+type t = {
+  samples : (Value.t * Exec.Plan.t * float) list;
+      (** sorted by parameter: (value, plan optimized there, est. cost) *)
+  shapes : int;  (** distinct plan shapes across the parameter space *)
+}
+
+val optimize :
+  ?config:Systemr.Join_order.config -> Storage.Catalog.t ->
+  Stats.Table_stats.db -> param_values:Value.t list ->
+  (Value.t -> Systemr.Spj.t) -> t
+
+(** Runtime dispatch: the plan optimized at the nearest sampled parameter
+    at or below the actual value (clamped at the extremes).
+    @raise Invalid_argument on an empty sample list. *)
+val plan_for : t -> Value.t -> Exec.Plan.t
+
+(** The conventional choice: one plan optimized at a fixed assumed value. *)
+val static_plan :
+  ?config:Systemr.Join_order.config -> Storage.Catalog.t ->
+  Stats.Table_stats.db -> (Value.t -> Systemr.Spj.t) -> assumed:Value.t ->
+  Exec.Plan.t
+
+(** Replace the literal parameter inside a plan so a static plan can run at
+    a different parameter value. *)
+val rebind : assumed:Value.t -> actual:Value.t -> Exec.Plan.t -> Exec.Plan.t

@@ -1,0 +1,1 @@
+lib/parallel/plan_stats.ml: Cost Exec Expr Float List Pred Relalg Schema Stats Storage

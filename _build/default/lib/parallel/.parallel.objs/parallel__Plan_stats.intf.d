@@ -1,0 +1,1 @@
+lib/parallel/plan_stats.mli: Cost Exec Stats Storage

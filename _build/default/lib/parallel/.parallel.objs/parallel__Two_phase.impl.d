@@ -1,0 +1,1 @@
+lib/parallel/two_phase.ml: Cost Exec Expr Float Fmt Hashtbl List Plan_stats Relalg Stats Storage String

@@ -1,0 +1,1 @@
+lib/parallel/two_phase.mli: Cost Exec Expr Format Relalg Stats Storage

@@ -1,0 +1,122 @@
+(* Cardinality and per-operator work estimates for physical plans, used by
+   the parallel scheduler to size its tasks. *)
+
+open Relalg
+
+type node_est = { rows : float; pages : float; work : float }
+
+let rec derive (params : Cost.Cost_model.params) cat db (p : Exec.Plan.t) :
+  node_est * Stats.Derive.rel_stats =
+  let stats_of_table table alias =
+    let t = Storage.Catalog.table cat table in
+    let schema = Schema.requalify t.Storage.Table.schema ~rel:alias in
+    match Stats.Table_stats.find db table with
+    | Some ts -> Stats.Derive.of_table ts ~alias ~schema
+    | None ->
+      { Stats.Derive.card = float_of_int (Storage.Table.row_count t);
+        schema; cols = [] }
+  in
+  let est_of stats work =
+    ( { rows = stats.Stats.Derive.card; pages = Stats.Derive.pages stats; work },
+      stats )
+  in
+  match p with
+  | Exec.Plan.Seq_scan { table; alias; filter } ->
+    let base = stats_of_table table alias in
+    let t = Storage.Catalog.table cat table in
+    let work =
+      Cost.Cost_model.seq_scan params
+        ~pages:(float_of_int (Storage.Table.page_count t))
+        ~rows:base.Stats.Derive.card
+    in
+    let stats =
+      match filter with
+      | None -> base
+      | Some f -> Stats.Derive.apply_select base f
+    in
+    est_of stats work
+  | Exec.Plan.Index_scan { table; alias; filter; _ } ->
+    let base = stats_of_table table alias in
+    let stats =
+      match filter with
+      | None -> base
+      | Some f -> Stats.Derive.apply_select base f
+    in
+    let t = Storage.Catalog.table cat table in
+    let work =
+      Cost.Cost_model.index_scan params ~clustered:true
+        ~pages:(float_of_int (Storage.Table.page_count t))
+        ~rows:base.Stats.Derive.card ~matches:stats.Stats.Derive.card
+    in
+    est_of stats work
+  | Exec.Plan.Filter (f, i) ->
+    let (ie, istats) = derive params cat db i in
+    let stats = Stats.Derive.apply_select istats f in
+    est_of stats (Cost.Cost_model.filter params ~rows:ie.rows)
+  | Exec.Plan.Project (items, i) ->
+    let (ie, istats) = derive params cat db i in
+    est_of (Stats.Derive.project istats items)
+      (Cost.Cost_model.project params ~rows:ie.rows)
+  | Exec.Plan.Sort (_, i) ->
+    let (ie, istats) = derive params cat db i in
+    est_of istats (Cost.Cost_model.sort params ~pages:ie.pages ~rows:ie.rows)
+  | Exec.Plan.Materialize i ->
+    let (ie, istats) = derive params cat db i in
+    est_of istats (params.Cost.Cost_model.seq_page *. ie.pages)
+  | Exec.Plan.Nested_loop { kind; pred; outer; inner } ->
+    let (oe, os) = derive params cat db outer in
+    let (ie, is) = derive params cat db inner in
+    let stats = Stats.Derive.join kind os is pred in
+    est_of stats
+      (Cost.Cost_model.nested_loop params ~outer_rows:oe.rows
+         ~inner_rows:ie.rows ~inner_pages:ie.pages)
+  | Exec.Plan.Index_nl { kind; outer; table; alias; residual; _ } ->
+    let (oe, os) = derive params cat db outer in
+    let is = stats_of_table table alias in
+    let stats = Stats.Derive.join kind os is residual in
+    let t = Storage.Catalog.table cat table in
+    est_of stats
+      (Cost.Cost_model.index_nl params ~outer_rows:oe.rows
+         ~inner_rows:is.Stats.Derive.card
+         ~inner_pages:(float_of_int (Storage.Table.page_count t))
+         ~matches_per_probe:
+           (stats.Stats.Derive.card /. Float.max 1. oe.rows)
+         ~clustered:false)
+  | Exec.Plan.Merge_join { kind; pairs; residual; left; right } ->
+    let (le, ls) = derive params cat db left in
+    let (re, rs) = derive params cat db right in
+    let pred = pred_of_pairs pairs residual in
+    let stats = Stats.Derive.join kind ls rs pred in
+    est_of stats
+      (Cost.Cost_model.merge_join params ~left_rows:le.rows
+         ~right_rows:re.rows ~out_rows:stats.Stats.Derive.card)
+  | Exec.Plan.Hash_join { kind; pairs; residual; left; right } ->
+    let (le, ls) = derive params cat db left in
+    let (re, rs) = derive params cat db right in
+    let pred = pred_of_pairs pairs residual in
+    let stats = Stats.Derive.join kind ls rs pred in
+    est_of stats
+      (Cost.Cost_model.hash_join params ~left_rows:le.rows
+         ~right_rows:re.rows ~left_pages:le.pages ~right_pages:re.pages
+         ~out_rows:stats.Stats.Derive.card)
+  | Exec.Plan.Hash_agg { keys; aggs; input } ->
+    let (ie, istats) = derive params cat db input in
+    let stats = Stats.Derive.group istats ~keys ~aggs in
+    est_of stats
+      (Cost.Cost_model.hash_agg params ~rows:ie.rows
+         ~groups:stats.Stats.Derive.card)
+  | Exec.Plan.Stream_agg { keys; aggs; input } ->
+    let (ie, istats) = derive params cat db input in
+    let stats = Stats.Derive.group istats ~keys ~aggs in
+    est_of stats (Cost.Cost_model.stream_agg params ~rows:ie.rows)
+  | Exec.Plan.Hash_distinct i ->
+    let (ie, istats) = derive params cat db i in
+    est_of (Stats.Derive.distinct istats)
+      (Cost.Cost_model.hash_distinct params ~rows:ie.rows)
+
+and pred_of_pairs pairs residual =
+  Pred.of_conjuncts
+    (List.map
+       (fun (l, r) -> Expr.Cmp (Expr.Eq, Expr.Col l, Expr.Col r))
+       pairs
+     @ Pred.conjuncts residual)

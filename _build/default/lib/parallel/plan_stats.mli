@@ -1,0 +1,12 @@
+(** Cardinality and per-operator work estimates for physical plans, used by
+    the parallel scheduler to size its tasks. *)
+
+type node_est = {
+  rows : float;
+  pages : float;
+  work : float;  (** this operator's own cost, children excluded *)
+}
+
+val derive :
+  Cost.Cost_model.params -> Storage.Catalog.t -> Stats.Table_stats.db ->
+  Exec.Plan.t -> node_est * Stats.Derive.rel_stats

@@ -1,0 +1,56 @@
+(** Two-phase parallel optimization (Section 7.1, XPRS [31,32] and Hasan
+    [28]): decompose a phase-1 plan into pipelined segments separated by
+    blocking operators, derive each segment's work, parallelism cap and
+    produced partitioning (a physical property), then schedule segments
+    wave by wave.  [partition_aware = false] reproduces XPRS's phase 2
+    (every join repartitions both inputs); [true] reuses compatible
+    upstream partitioning, after Hasan. *)
+
+open Relalg
+
+type partitioning =
+  | Any  (** round-robin / unknown *)
+  | On of Expr.col_ref list  (** hash-partitioned on these columns *)
+
+type segment = {
+  id : int;
+  ops : string list;
+  work : float;
+  max_dop : float;  (** parallelizability cap *)
+  comm_rows : float;  (** rows repartitioned to feed this segment *)
+  deps : int list;  (** blocking predecessors *)
+  produces : partitioning;
+}
+
+type schedule = {
+  segments : segment list;
+  response_time : float;
+  total_work : float;
+  comm_cost : float;
+}
+
+type config = {
+  params : Cost.Cost_model.params;
+  processors : int;
+  partition_aware : bool;
+  comm_cost_per_row : float;
+}
+
+val default_config : config
+
+val compatible : partitioning -> partitioning -> bool
+
+(** Phase-2 segment extraction from a physical plan. *)
+val decompose :
+  config -> Storage.Catalog.t -> Stats.Table_stats.db -> Exec.Plan.t ->
+  segment list
+
+(** Topological waves of malleable tasks. *)
+val schedule_segments : config -> segment list -> schedule
+
+(** {!decompose} then {!schedule_segments}. *)
+val run :
+  ?config:config -> Storage.Catalog.t -> Stats.Table_stats.db -> Exec.Plan.t ->
+  schedule
+
+val pp_schedule : Format.formatter -> schedule -> unit

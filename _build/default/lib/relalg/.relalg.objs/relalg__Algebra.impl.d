@@ -1,0 +1,1 @@
+lib/relalg/algebra.ml: Expr Fmt List Schema Typing

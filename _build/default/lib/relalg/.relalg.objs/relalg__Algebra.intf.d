@@ -1,0 +1,1 @@
+lib/relalg/algebra.mli: Expr Format Schema

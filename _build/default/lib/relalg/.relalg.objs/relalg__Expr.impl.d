@@ -1,0 +1,1 @@
+lib/relalg/expr.ml: Float Fmt List Option Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/pred.ml: Expr List Value

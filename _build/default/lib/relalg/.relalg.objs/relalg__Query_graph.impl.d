@@ -1,0 +1,1 @@
+lib/relalg/query_graph.ml: Expr Fmt List String

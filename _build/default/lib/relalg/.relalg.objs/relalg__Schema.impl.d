@@ -1,0 +1,1 @@
+lib/relalg/schema.ml: Fmt List Printf Value

@@ -1,0 +1,1 @@
+lib/relalg/typing.ml: Expr Fmt Option Schema Value

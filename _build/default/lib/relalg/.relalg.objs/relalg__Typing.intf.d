@@ -1,0 +1,1 @@
+lib/relalg/typing.mli: Expr Schema Value

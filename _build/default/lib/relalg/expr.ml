@@ -1,0 +1,258 @@
+(* Scalar expressions with SQL three-valued logic.
+
+   Evaluation is two-stage: [compile schema e] resolves every column
+   reference to a position once, returning a closure evaluated per tuple.
+   [eval schema tuple e] is the convenience one-shot form. *)
+
+type col_ref = { rel : string; col : string }
+
+type binop = Add | Sub | Mul | Div | Mod
+
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Const of Value.t
+  | Col of col_ref
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Udf of udf * t list
+      (* user-defined function/predicate with an optimizer-visible cost and
+         selectivity contract (Section 7.2 of the paper) *)
+
+and udf = {
+  udf_name : string;
+  udf_fn : Value.t list -> Value.t;
+  udf_cost_per_tuple : float; (* CPU cost units per invocation *)
+  udf_selectivity : float;    (* fraction of tuples passing when boolean *)
+}
+
+let col ~rel ~col = Col { rel; col }
+let int i = Const (Value.Int i)
+let str s = Const (Value.Str s)
+let bool b = Const (Value.Bool b)
+let ftrue = Const (Value.Bool true)
+
+let cmp_name = function
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Col { rel; col } ->
+    if rel = "" then Fmt.string ppf col else Fmt.pf ppf "%s.%s" rel col
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | Cmp (op, a, b) -> Fmt.pf ppf "%a %s %a" pp a (cmp_name op) pp b
+  | And (a, b) -> Fmt.pf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp a pp b
+  | Not a -> Fmt.pf ppf "NOT (%a)" pp a
+  | Is_null a -> Fmt.pf ppf "%a IS NULL" pp a
+  | Udf (u, args) ->
+    Fmt.pf ppf "%s(%a)" u.udf_name Fmt.(list ~sep:(any ", ") pp) args
+
+let to_string e = Fmt.str "%a" pp e
+
+(* Columns referenced by an expression, in occurrence order, deduplicated. *)
+let columns e =
+  let acc = ref [] in
+  let add c = if not (List.mem c !acc) then acc := c :: !acc in
+  let rec go = function
+    | Const _ -> ()
+    | Col c -> add c
+    | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) -> go a; go b
+    | Not a | Is_null a -> go a
+    | Udf (_, args) -> List.iter go args
+  in
+  go e;
+  List.rev !acc
+
+(* Relation aliases an expression depends on. *)
+let relations e =
+  columns e |> List.map (fun c -> c.rel)
+  |> List.sort_uniq String.compare
+
+exception Type_error of string
+
+let arith op a b =
+  let open Value in
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> (
+    match op with
+    | Add -> Int (x + y)
+    | Sub -> Int (x - y)
+    | Mul -> Int (x * y)
+    | Div -> if y = 0 then Null else Int (x / y)
+    | Mod -> if y = 0 then Null else Int (x mod y))
+  | (Int _ | Float _), (Int _ | Float _) ->
+    let x = Option.get (to_float a) and y = Option.get (to_float b) in
+    (match op with
+     | Add -> Float (x +. y)
+     | Sub -> Float (x -. y)
+     | Mul -> Float (x *. y)
+     | Div -> if y = 0. then Null else Float (x /. y)
+     | Mod -> if y = 0. then Null else Float (Float.rem x y))
+  | Str x, Str y when op = Add -> Str (x ^ y)
+  | (Bool _ | Str _), _ | _, (Bool _ | Str _) ->
+    raise (Type_error
+             (Fmt.str "arith %s on %a, %a" (binop_name op) Value.pp a Value.pp b))
+
+let compare_op op c =
+  match op with
+  | Eq -> c = 0 | Neq -> c <> 0 | Lt -> c < 0 | Le -> c <= 0
+  | Gt -> c > 0 | Ge -> c >= 0
+
+(* Three-valued boolean combinators on Value.t (Null = UNKNOWN). *)
+let v3_and a b =
+  let open Value in
+  match a, b with
+  | Bool false, _ | _, Bool false -> Bool false
+  | Bool true, x | x, Bool true -> x
+  | Null, Null -> Null
+  | _ -> raise (Type_error "AND on non-boolean")
+
+let v3_or a b =
+  let open Value in
+  match a, b with
+  | Bool true, _ | _, Bool true -> Bool true
+  | Bool false, x | x, Bool false -> x
+  | Null, Null -> Null
+  | _ -> raise (Type_error "OR on non-boolean")
+
+let v3_not = function
+  | Value.Bool b -> Value.Bool (not b)
+  | Value.Null -> Value.Null
+  | Value.Int _ | Value.Float _ | Value.Str _ ->
+    raise (Type_error "NOT on non-boolean")
+
+(* Compile to a closure over the tuple, resolving columns against [schema]. *)
+let rec compile (schema : Schema.t) (e : t) : Tuple.t -> Value.t =
+  match e with
+  | Const v -> fun _ -> v
+  | Col { rel; col } ->
+    let i =
+      try Schema.index_of schema ~rel ~name:col
+      with Not_found ->
+        raise (Type_error
+                 (Fmt.str "unknown column %s.%s in schema %a" rel col
+                    Schema.pp schema))
+    in
+    fun t -> Tuple.get t i
+  | Binop (op, a, b) ->
+    let fa = compile schema a and fb = compile schema b in
+    fun t -> arith op (fa t) (fb t)
+  | Cmp (op, a, b) ->
+    let fa = compile schema a and fb = compile schema b in
+    fun t ->
+      (match Value.sql_cmp (fa t) (fb t) with
+       | None -> Value.Null
+       | Some c -> Value.Bool (compare_op op c))
+  | And (a, b) ->
+    let fa = compile schema a and fb = compile schema b in
+    fun t -> v3_and (fa t) (fb t)
+  | Or (a, b) ->
+    let fa = compile schema a and fb = compile schema b in
+    fun t -> v3_or (fa t) (fb t)
+  | Not a ->
+    let fa = compile schema a in
+    fun t -> v3_not (fa t)
+  | Is_null a ->
+    let fa = compile schema a in
+    fun t -> Value.Bool (Value.is_null (fa t))
+  | Udf (u, args) ->
+    let fs = List.map (compile schema) args in
+    fun t -> u.udf_fn (List.map (fun f -> f t) fs)
+
+let eval schema tuple e = compile schema e tuple
+
+(* Predicate evaluation: UNKNOWN rejects the tuple, as in SQL WHERE. *)
+let holds schema e =
+  let f = compile schema e in
+  fun t -> match f t with Value.Bool b -> b | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates *)
+
+type agg =
+  | Count_star
+  | Count of t
+  | Sum of t
+  | Min of t
+  | Max of t
+  | Avg of t
+
+let agg_arg = function
+  | Count_star -> None
+  | Count e | Sum e | Min e | Max e | Avg e -> Some e
+
+let pp_agg ppf = function
+  | Count_star -> Fmt.string ppf "COUNT(*)"
+  | Count e -> Fmt.pf ppf "COUNT(%a)" pp e
+  | Sum e -> Fmt.pf ppf "SUM(%a)" pp e
+  | Min e -> Fmt.pf ppf "MIN(%a)" pp e
+  | Max e -> Fmt.pf ppf "MAX(%a)" pp e
+  | Avg e -> Fmt.pf ppf "AVG(%a)" pp e
+
+(* Streaming aggregate state: fold values, then finalize.  SUM/AVG follow
+   SQL semantics (NULL on empty/no non-null input; COUNT is 0). *)
+type agg_state = { mutable count : int; mutable sum : float;
+                   mutable any_float : bool;
+                   mutable minv : Value.t; mutable maxv : Value.t }
+
+let agg_init () =
+  { count = 0; sum = 0.; any_float = false;
+    minv = Value.Null; maxv = Value.Null }
+
+let agg_step st (v : Value.t) =
+  if not (Value.is_null v) then begin
+    st.count <- st.count + 1;
+    (match v with
+     | Value.Int i -> st.sum <- st.sum +. float_of_int i
+     | Value.Float f -> st.sum <- st.sum +. f; st.any_float <- true
+     | Value.Bool _ | Value.Str _ | Value.Null -> ());
+    if Value.is_null st.minv || Value.compare v st.minv < 0 then st.minv <- v;
+    if Value.is_null st.maxv || Value.compare v st.maxv > 0 then st.maxv <- v
+  end
+
+let agg_final (a : agg) st : Value.t =
+  match a with
+  | Count_star | Count _ -> Value.Int st.count
+  | Sum _ ->
+    if st.count = 0 then Value.Null
+    else if st.any_float then Value.Float st.sum
+    else Value.Int (int_of_float st.sum)
+  | Min _ -> st.minv
+  | Max _ -> st.maxv
+  | Avg _ ->
+    if st.count = 0 then Value.Null
+    else Value.Float (st.sum /. float_of_int st.count)
+
+(* Combine two partial states (used by staged aggregation, Fig 4c).  Only
+   valid for aggregates satisfying Agg(S ∪ S') = combine(Agg S, Agg S'). *)
+let agg_combine st st' =
+  { count = st.count + st'.count;
+    sum = st.sum +. st'.sum;
+    any_float = st.any_float || st'.any_float;
+    minv =
+      (if Value.is_null st.minv then st'.minv
+       else if Value.is_null st'.minv then st.minv
+       else if Value.compare st.minv st'.minv <= 0 then st.minv else st'.minv);
+    maxv =
+      (if Value.is_null st.maxv then st'.maxv
+       else if Value.is_null st'.maxv then st.maxv
+       else if Value.compare st.maxv st'.maxv >= 0 then st.maxv else st'.maxv) }
+
+(* Result type of an aggregate, given its argument type. *)
+let agg_ty (a : agg) (arg_ty : Value.ty option) : Value.ty =
+  match a, arg_ty with
+  | (Count_star | Count _), _ -> Value.Tint
+  | Sum _, Some Value.Tfloat -> Value.Tfloat
+  | Sum _, _ -> Value.Tint
+  | Avg _, _ -> Value.Tfloat
+  | (Min _ | Max _), Some ty -> ty
+  | (Min _ | Max _), None -> Value.Tint

@@ -1,0 +1,104 @@
+(** Scalar expressions with SQL three-valued logic, and aggregate
+    functions. *)
+
+(** A (relation alias, column name) reference. An empty [rel] is resolved
+    against the whole schema. *)
+type col_ref = { rel : string; col : string }
+
+type binop = Add | Sub | Mul | Div | Mod
+
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+(** Expression trees.  [Udf] carries a user-defined function together with
+    its optimizer contract (per-tuple cost and selectivity, Section 7.2 of
+    the paper). *)
+type t =
+  | Const of Value.t
+  | Col of col_ref
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Udf of udf * t list
+
+and udf = {
+  udf_name : string;
+  udf_fn : Value.t list -> Value.t;
+  udf_cost_per_tuple : float;
+  udf_selectivity : float;
+}
+
+(** {2 Construction helpers} *)
+
+val col : rel:string -> col:string -> t
+val int : int -> t
+val str : string -> t
+val bool : bool -> t
+
+(** The constant TRUE (the identity of conjunction). *)
+val ftrue : t
+
+val cmp_name : cmpop -> string
+val binop_name : binop -> string
+
+(** {2 Inspection} *)
+
+(** Columns referenced, deduplicated, in first-occurrence order. *)
+val columns : t -> col_ref list
+
+(** Relation aliases referenced, sorted and deduplicated. *)
+val relations : t -> string list
+
+(** {2 Evaluation} *)
+
+exception Type_error of string
+
+(** [compile schema e] resolves column positions once and returns a
+    per-tuple evaluator.  @raise Type_error on unresolvable columns. *)
+val compile : Schema.t -> t -> Tuple.t -> Value.t
+
+(** One-shot evaluation. *)
+val eval : Schema.t -> Tuple.t -> t -> Value.t
+
+(** Predicate evaluation with WHERE semantics: UNKNOWN rejects. *)
+val holds : Schema.t -> t -> Tuple.t -> bool
+
+(** [compare_op op c] applies comparison operator [op] to the sign [c] of a
+    three-way comparison. *)
+val compare_op : cmpop -> int -> bool
+
+(** {2 Aggregates} *)
+
+type agg =
+  | Count_star
+  | Count of t
+  | Sum of t
+  | Min of t
+  | Max of t
+  | Avg of t
+
+(** The argument expression, or [None] for [Count_star]. *)
+val agg_arg : agg -> t option
+
+val pp_agg : Format.formatter -> agg -> unit
+
+(** Streaming aggregate state: {!agg_init}, then {!agg_step} per value,
+    then {!agg_final}.  SUM/MIN/MAX/AVG of an empty (or all-NULL) input are
+    NULL; COUNT is 0. *)
+type agg_state
+
+val agg_init : unit -> agg_state
+val agg_step : agg_state -> Value.t -> unit
+val agg_final : agg -> agg_state -> Value.t
+
+(** Merge two partial states — the combining form used by staged
+    aggregation (Figure 4c).  Valid for COUNT/SUM/MIN/MAX/AVG. *)
+val agg_combine : agg_state -> agg_state -> agg_state
+
+(** Result type of an aggregate given its argument type. *)
+val agg_ty : agg -> Value.ty option -> Value.ty
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,92 @@
+(* Predicate analysis used by the optimizers: conjunct splitting, CNF,
+   classification into single-relation filters vs. (equi-)join predicates. *)
+
+type t = Expr.t
+
+(* Split a predicate into its top-level conjuncts. *)
+let rec conjuncts (e : t) : t list =
+  match e with
+  | Expr.And (a, b) -> conjuncts a @ conjuncts b
+  | Expr.Const (Value.Bool true) -> []
+  | e -> [ e ]
+
+let of_conjuncts = function
+  | [] -> Expr.ftrue
+  | c :: cs -> List.fold_left (fun acc c -> Expr.And (acc, c)) c cs
+
+(* Conjunctive normal form via distribution.  Exponential in the worst case;
+   optimizer inputs are small.  NOT is pushed inward first (De Morgan);
+   NOT over comparisons flips the operator (sound only under 2-valued
+   interpretation of WHERE, where UNKNOWN and FALSE both reject). *)
+let negate_cmp = function
+  | Expr.Eq -> Expr.Neq | Expr.Neq -> Expr.Eq
+  | Expr.Lt -> Expr.Ge | Expr.Ge -> Expr.Lt
+  | Expr.Le -> Expr.Gt | Expr.Gt -> Expr.Le
+
+let rec push_not (e : t) : t =
+  match e with
+  | Expr.Not (Expr.And (a, b)) -> Expr.Or (push_not (Expr.Not a), push_not (Expr.Not b))
+  | Expr.Not (Expr.Or (a, b)) -> Expr.And (push_not (Expr.Not a), push_not (Expr.Not b))
+  | Expr.Not (Expr.Not a) -> push_not a
+  | Expr.Not (Expr.Cmp (op, a, b)) -> Expr.Cmp (negate_cmp op, a, b)
+  | Expr.Not (Expr.Const (Value.Bool b)) -> Expr.Const (Value.Bool (not b))
+  | Expr.Not a -> Expr.Not (push_not a)
+  | Expr.And (a, b) -> Expr.And (push_not a, push_not b)
+  | Expr.Or (a, b) -> Expr.Or (push_not a, push_not b)
+  | Expr.Const _ | Expr.Col _ | Expr.Binop _ | Expr.Cmp _ | Expr.Is_null _
+  | Expr.Udf _ -> e
+
+let rec cnf_of (e : t) : t list =
+  match push_not e with
+  | Expr.And (a, b) -> cnf_of a @ cnf_of b
+  | Expr.Or (a, b) ->
+    let ca = cnf_of a and cb = cnf_of b in
+    List.concat_map (fun x -> List.map (fun y -> Expr.Or (x, y)) cb) ca
+  | Expr.Const (Value.Bool true) -> []
+  | e -> [ e ]
+
+let cnf e = of_conjuncts (cnf_of e)
+
+(* Classify one conjunct with respect to a set of relation aliases. *)
+type conjunct_class =
+  | Constant                           (* references no relation *)
+  | Single of string                   (* filter on one relation *)
+  | Equi_join of Expr.col_ref * Expr.col_ref
+      (* R.a = S.b with R <> S: the workhorse of join ordering *)
+  | Theta_join of string list          (* references >= 2 relations *)
+
+let classify (e : t) : conjunct_class =
+  match Expr.relations e with
+  | [] -> Constant
+  | [ r ] -> Single r
+  | rels -> (
+    match e with
+    | Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) when a.Expr.rel <> b.Expr.rel ->
+      Equi_join (a, b)
+    | _ -> Theta_join rels)
+
+(* Conjuncts of [e] that only mention relations in [avail] (and at least one
+   of them), i.e. those evaluable at this point of a plan. *)
+let applicable ~avail (cs : t list) : t list * t list =
+  List.partition
+    (fun c ->
+       let rels = Expr.relations c in
+       rels <> [] && List.for_all (fun r -> List.mem r avail) rels)
+    cs
+
+(* Equi-join column pairs between two alias sets, for sort-merge/hash. *)
+let equi_pairs ~left ~right (cs : t list) :
+  (Expr.col_ref * Expr.col_ref) list * t list =
+  let is_left r = List.mem r left and is_right r = List.mem r right in
+  let rec go pairs residual = function
+    | [] -> (List.rev pairs, List.rev residual)
+    | c :: rest -> (
+      match classify c with
+      | Equi_join (a, b) when is_left a.Expr.rel && is_right b.Expr.rel ->
+        go ((a, b) :: pairs) residual rest
+      | Equi_join (a, b) when is_right a.Expr.rel && is_left b.Expr.rel ->
+        go ((b, a) :: pairs) residual rest
+      | Constant | Single _ | Equi_join _ | Theta_join _ ->
+        go pairs (c :: residual) rest)
+  in
+  go [] [] cs

@@ -1,0 +1,44 @@
+(** Predicate analysis for optimizers: conjunct handling, CNF, and
+    classification into filters and (equi-)join predicates. *)
+
+type t = Expr.t
+
+(** Top-level conjuncts; TRUE yields []. *)
+val conjuncts : t -> t list
+
+(** Inverse of {!conjuncts}; [] yields TRUE. *)
+val of_conjuncts : t list -> t
+
+(** Negation-normal-form helper: NOT pushed inward (De Morgan, comparison
+    flipping — sound under 2-valued WHERE interpretation). *)
+val push_not : t -> t
+
+(** Conjunctive normal form, as a clause list. Worst-case exponential. *)
+val cnf_of : t -> t list
+
+(** CNF as a single expression. *)
+val cnf : t -> t
+
+(** Classification of one conjunct with respect to relation aliases. *)
+type conjunct_class =
+  | Constant  (** references no relation *)
+  | Single of string  (** filter on exactly one relation *)
+  | Equi_join of Expr.col_ref * Expr.col_ref
+      (** [R.a = S.b] with distinct relations *)
+  | Theta_join of string list  (** any other multi-relation conjunct *)
+
+val classify : t -> conjunct_class
+
+(** [applicable ~avail cs] splits [cs] into the conjuncts fully evaluable
+    over the aliases in [avail] (and referencing at least one) and the
+    rest. *)
+val applicable : avail:string list -> t list -> t list * t list
+
+(** Equi-join column pairs between two alias sets, each pair oriented
+    (left-side column, right-side column); the second component is the
+    residual conjuncts. *)
+val equi_pairs :
+  left:string list ->
+  right:string list ->
+  t list ->
+  (Expr.col_ref * Expr.col_ref) list * t list

@@ -1,0 +1,110 @@
+(* Query graphs (Figure 3): nodes are relations (correlation variables),
+   labelled edges are join predicates.  Used by join enumerators to avoid
+   Cartesian products and by the workload generators to synthesize chain,
+   star and clique query shapes. *)
+
+type node = { alias : string; table : string }
+
+type edge = { left : string; right : string; pred : Expr.t }
+
+type t = { nodes : node list; edges : edge list }
+
+let empty = { nodes = []; edges = [] }
+
+let add_node g ~alias ~table =
+  if List.exists (fun n -> n.alias = alias) g.nodes then g
+  else { g with nodes = g.nodes @ [ { alias; table } ] }
+
+let add_edge g ~left ~right ~pred =
+  { g with edges = g.edges @ [ { left; right; pred } ] }
+
+(* Build from a join predicate list over a set of scans.  Conjuncts touching
+   exactly two relations become edges; single-relation conjuncts are node
+   annotations the caller keeps separately; conjuncts over >2 relations are
+   attached as a clique of edges among their relations (conservative). *)
+let of_query ~(scans : (string * string) list) (preds : Expr.t list) : t =
+  let g =
+    List.fold_left
+      (fun g (alias, table) -> add_node g ~alias ~table)
+      empty scans
+  in
+  List.fold_left
+    (fun g p ->
+       match Expr.relations p with
+       | [] | [ _ ] -> g
+       | [ a; b ] -> add_edge g ~left:a ~right:b ~pred:p
+       | rels ->
+         let rec pairs = function
+           | [] | [ _ ] -> []
+           | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+         in
+         List.fold_left
+           (fun g (a, b) -> add_edge g ~left:a ~right:b ~pred:p)
+           g (pairs rels))
+    g preds
+
+let neighbours g alias =
+  List.filter_map
+    (fun e ->
+       if e.left = alias then Some e.right
+       else if e.right = alias then Some e.left
+       else None)
+    g.edges
+  |> List.sort_uniq String.compare
+
+let connected_to g ~group alias =
+  List.exists
+    (fun e ->
+       (e.left = alias && List.mem e.right group)
+       || (e.right = alias && List.mem e.left group))
+    g.edges
+
+(* Is the whole graph connected?  (A disconnected graph forces a Cartesian
+   product somewhere.) *)
+let connected g =
+  match g.nodes with
+  | [] -> true
+  | first :: _ ->
+    let rec grow seen =
+      let next =
+        List.filter
+          (fun n ->
+             (not (List.mem n.alias seen)) && connected_to g ~group:seen n.alias)
+          g.nodes
+      in
+      match next with
+      | [] -> seen
+      | _ -> grow (seen @ List.map (fun n -> n.alias) next)
+    in
+    List.length (grow [ first.alias ]) = List.length g.nodes
+
+type shape = Chain | Star | Clique | Other
+
+(* Shape classification for the experiments of Section 4.1.1: a star has one
+   hub touching all edges; a chain has exactly two degree-1 endpoints and the
+   rest degree 2; a clique has all pairs connected. *)
+let shape g =
+  let n = List.length g.nodes in
+  if n <= 2 then Chain
+  else
+    let degree a = List.length (neighbours g a) in
+    let degrees = List.map (fun nd -> degree nd.alias) g.nodes in
+    let count p = List.length (List.filter p degrees) in
+    if count (fun d -> d = n - 1) = n then Clique
+    else if count (fun d -> d = n - 1) = 1 && count (fun d -> d = 1) = n - 1
+    then Star
+    else if count (fun d -> d = 1) = 2 && count (fun d -> d = 2) = n - 2 then
+      Chain
+    else Other
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>nodes: %a@,edges:@,%a@]"
+    Fmt.(list ~sep:(any ", ") (fun ppf n ->
+        if n.alias = n.table then Fmt.string ppf n.alias
+        else Fmt.pf ppf "%s(%s)" n.alias n.table))
+    g.nodes
+    Fmt.(list ~sep:cut (fun ppf e ->
+        Fmt.pf ppf "  %s -- %s : %a" e.left e.right Expr.pp e.pred))
+    g.edges
+
+let to_string g = Fmt.str "%a" pp g

@@ -1,0 +1,35 @@
+(** Query graphs (Figure 3): nodes are relations (correlation variables),
+    labelled edges are join predicates. *)
+
+type node = { alias : string; table : string }
+
+type edge = { left : string; right : string; pred : Expr.t }
+
+type t = { nodes : node list; edges : edge list }
+
+val empty : t
+
+val add_node : t -> alias:string -> table:string -> t
+val add_edge : t -> left:string -> right:string -> pred:Expr.t -> t
+
+(** Build a graph from scans and join conjuncts; conjuncts over more than
+    two relations become a clique among them. *)
+val of_query : scans:(string * string) list -> Expr.t list -> t
+
+(** Aliases directly joined to [alias], sorted and deduplicated. *)
+val neighbours : t -> string -> string list
+
+(** Is [alias] joined to some member of [group]? *)
+val connected_to : t -> group:string list -> string -> bool
+
+(** Whole-graph connectivity (a disconnected graph forces a Cartesian
+    product somewhere). *)
+val connected : t -> bool
+
+(** Query-graph shape classification (Section 4.1.1's chain/star language). *)
+type shape = Chain | Star | Clique | Other
+
+val shape : t -> shape
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

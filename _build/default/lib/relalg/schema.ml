@@ -1,0 +1,52 @@
+(* Schemas: ordered lists of columns, each qualified by a relation alias.
+   Column positions are resolved once at plan-build time (see [index_of]);
+   evaluation then works on plain value arrays. *)
+
+type column = {
+  rel : string;  (* relation alias, e.g. "E" or "Emp" *)
+  name : string; (* column name, e.g. "sal" *)
+  ty : Value.ty;
+}
+
+type t = column list
+
+let column ~rel ~name ~ty = { rel; name; ty }
+
+let arity (s : t) = List.length s
+
+let matches ~rel ~name (c : column) =
+  c.name = name && (rel = "" || c.rel = rel)
+
+(* Position of a (possibly unqualified) column reference. Raises [Not_found]
+   if absent, [Failure] if an unqualified reference is ambiguous. *)
+let index_of (s : t) ~rel ~name =
+  let hits =
+    List.filteri (fun _ c -> matches ~rel ~name c) s
+    |> fun cs -> List.length cs
+  in
+  if rel = "" && hits > 1 then
+    failwith (Printf.sprintf "ambiguous column reference: %s" name);
+  let rec go i = function
+    | [] -> raise Not_found
+    | c :: rest -> if matches ~rel ~name c then i else go (i + 1) rest
+  in
+  go 0 s
+
+let find_opt (s : t) ~rel ~name =
+  match index_of s ~rel ~name with
+  | i -> Some (i, List.nth s i)
+  | exception Not_found -> None
+
+let mem (s : t) ~rel ~name = find_opt s ~rel ~name <> None
+
+(* Concatenation for joins: left columns first. *)
+let concat (a : t) (b : t) : t = a @ b
+
+(* Re-qualify every column under a new alias (view renaming). *)
+let requalify (s : t) ~rel = List.map (fun c -> { c with rel }) s
+
+let pp_column ppf c =
+  if c.rel = "" then Fmt.pf ppf "%s:%s" c.name (Value.ty_name c.ty)
+  else Fmt.pf ppf "%s.%s:%s" c.rel c.name (Value.ty_name c.ty)
+
+let pp ppf s = Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_column) s

@@ -1,0 +1,32 @@
+(** Schemas: ordered lists of relation-qualified, typed columns. *)
+
+(** One column: relation alias (possibly [""] for derived outputs), name,
+    type. *)
+type column = { rel : string; name : string; ty : Value.ty }
+
+type t = column list
+
+val column : rel:string -> name:string -> ty:Value.ty -> column
+
+(** Number of columns. *)
+val arity : t -> int
+
+(** Position of a column reference. An empty [rel] matches any qualifier.
+    @raise Not_found when absent.
+    @raise Failure when an unqualified reference is ambiguous. *)
+val index_of : t -> rel:string -> name:string -> int
+
+(** Like {!index_of}, returning the position and the column, or [None]. *)
+val find_opt : t -> rel:string -> name:string -> (int * column) option
+
+(** Membership test with the same matching rules as {!index_of}. *)
+val mem : t -> rel:string -> name:string -> bool
+
+(** Concatenation for joins: left columns first. *)
+val concat : t -> t -> t
+
+(** Re-qualify every column under a new alias (view renaming). *)
+val requalify : t -> rel:string -> t
+
+val pp_column : Format.formatter -> column -> unit
+val pp : Format.formatter -> t -> unit

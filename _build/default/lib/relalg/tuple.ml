@@ -1,0 +1,29 @@
+(* Tuples are immutable value arrays positioned against a schema. *)
+
+type t = Value.t array
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let get (t : t) i = t.(i)
+let arity = Array.length
+let concat (a : t) (b : t) : t = Array.append a b
+
+(* A tuple of NULLs, used to pad outer-join mismatches. *)
+let nulls n : t = Array.make n Value.Null
+
+let compare (a : t) (b : t) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i = n then Stdlib.compare (Array.length a) (Array.length b)
+    else
+      match Value.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let hash (t : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 t
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any "; ") Value.pp) t

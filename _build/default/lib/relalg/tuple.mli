@@ -1,0 +1,24 @@
+(** Tuples: immutable value arrays positioned against a {!Schema.t}. *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+(** [get t i] is the value at position [i]. *)
+val get : t -> int -> Value.t
+
+val arity : t -> int
+
+(** Concatenation for joins: left values first. *)
+val concat : t -> t -> t
+
+(** [nulls n] is a tuple of [n] NULLs (outer-join padding). *)
+val nulls : int -> t
+
+(** Lexicographic order using {!Value.compare}. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(* Static type inference for scalar expressions, used to derive the output
+   schema of projections and aggregations. *)
+
+exception Error of string
+
+let value_ty (v : Value.t) : Value.ty =
+  match Value.type_of v with
+  | Some ty -> ty
+  | None -> Value.Tint (* untyped NULL literal; int is a harmless default *)
+
+let rec infer (schema : Schema.t) (e : Expr.t) : Value.ty =
+  match e with
+  | Expr.Const v -> value_ty v
+  | Expr.Col { rel; col } -> (
+    match Schema.find_opt schema ~rel ~name:col with
+    | Some (_, c) -> c.Schema.ty
+    | None ->
+      raise (Error (Fmt.str "unknown column %s.%s in %a" rel col Schema.pp schema)))
+  | Expr.Binop (op, a, b) -> (
+    let ta = infer schema a and tb = infer schema b in
+    match op, ta, tb with
+    | Expr.Add, Value.Tstring, Value.Tstring -> Value.Tstring
+    | (Expr.Add | Expr.Sub | Expr.Mul | Expr.Mod), Value.Tint, Value.Tint ->
+      Value.Tint
+    | Expr.Div, Value.Tint, Value.Tint -> Value.Tint
+    | _, (Value.Tint | Value.Tfloat), (Value.Tint | Value.Tfloat) ->
+      Value.Tfloat
+    | _ ->
+      raise (Error (Fmt.str "arithmetic on %s and %s"
+                      (Value.ty_name ta) (Value.ty_name tb))))
+  | Expr.Cmp _ | Expr.And _ | Expr.Or _ | Expr.Not _ | Expr.Is_null _ ->
+    Value.Tbool
+  | Expr.Udf _ -> Value.Tbool
+    (* UDFs in this library act as user-defined predicates (Section 7.2) *)
+
+let infer_agg (schema : Schema.t) (a : Expr.agg) : Value.ty =
+  let arg_ty = Option.map (infer schema) (Expr.agg_arg a) in
+  Expr.agg_ty a arg_ty

@@ -1,0 +1,14 @@
+(** Static type inference for expressions, used to derive output schemas of
+    projections and aggregations. *)
+
+exception Error of string
+
+(** Type of a value; an untyped NULL literal defaults to int. *)
+val value_ty : Value.t -> Value.ty
+
+(** Type of an expression against a schema. @raise Error on unknown
+    columns or ill-typed arithmetic. *)
+val infer : Schema.t -> Expr.t -> Value.ty
+
+(** Result type of an aggregate whose argument is typed against [schema]. *)
+val infer_agg : Schema.t -> Expr.agg -> Value.ty

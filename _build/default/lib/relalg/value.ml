@@ -1,0 +1,74 @@
+(* SQL values with three-valued logic.
+
+   [compare] is a total order used by sort operators and B-trees: NULL sorts
+   lowest, then booleans, then numerics (ints and floats compare by numeric
+   value), then strings.  SQL comparison predicates instead use [sql_cmp],
+   which returns [None] when either operand is NULL (three-valued UNKNOWN). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty = Tbool | Tint | Tfloat | Tstring
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some Tbool
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Str _ -> Some Tstring
+
+let ty_name = function
+  | Tbool -> "bool"
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+
+let is_null = function Null -> true | Bool _ | Int _ | Float _ | Str _ -> false
+
+(* Rank used only to totally order values of distinct types. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Str _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Str x, Str y -> Stdlib.compare x y
+  | (Null | Bool _ | Int _ | Float _ | Str _), _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+(* SQL comparison: NULL makes the result UNKNOWN. *)
+let sql_cmp a b = if is_null a || is_null b then None else Some (compare a b)
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Bool _ | Str _ | Null -> None
+
+let hash = function
+  | Null -> 17
+  | Bool b -> Hashtbl.hash b
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+let pp ppf = function
+  | Null -> Fmt.string ppf "NULL"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | Str s -> Fmt.pf ppf "'%s'" s
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,37 @@
+(** SQL values and their two comparison orders. *)
+
+(** A SQL value. [Null] is the SQL NULL, participating in three-valued
+    logic. *)
+type t = Null | Bool of bool | Int of int | Float of float | Str of string
+
+(** Column types. *)
+type ty = Tbool | Tint | Tfloat | Tstring
+
+(** [type_of v] is the type of [v], or [None] for [Null]. *)
+val type_of : t -> ty option
+
+(** Short name of a type ("int", "string", ...). *)
+val ty_name : ty -> string
+
+(** [is_null v] is true iff [v] is [Null]. *)
+val is_null : t -> bool
+
+(** Total order used by sorts and B-trees: NULL sorts lowest; ints and
+    floats compare numerically. *)
+val compare : t -> t -> int
+
+(** [equal a b] is [compare a b = 0]. *)
+val equal : t -> t -> bool
+
+(** SQL comparison: [None] (UNKNOWN) when either operand is NULL, otherwise
+    [Some (compare a b)]. *)
+val sql_cmp : t -> t -> int option
+
+(** Numeric view of ints and floats; [None] for other values. *)
+val to_float : t -> float option
+
+(** Hash consistent with {!equal} (ints and floats hash alike). *)
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/rewrite/groupby.ml: Expr List Printf Qgm Relalg Rules

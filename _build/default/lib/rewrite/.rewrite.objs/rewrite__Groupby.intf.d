@@ -1,0 +1,1 @@
+lib/rewrite/groupby.mli: Qgm Rules

@@ -1,0 +1,1 @@
+lib/rewrite/lower.ml: Algebra Expr Fmt List Pred Qgm Relalg

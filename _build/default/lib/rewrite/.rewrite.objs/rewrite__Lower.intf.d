@@ -1,0 +1,1 @@
+lib/rewrite/lower.mli: Qgm Relalg

@@ -1,0 +1,1 @@
+lib/rewrite/magic.ml: Expr List Printf Qgm Relalg Rules

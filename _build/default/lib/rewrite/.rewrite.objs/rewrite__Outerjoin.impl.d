@@ -1,0 +1,1 @@
+lib/rewrite/outerjoin.ml: Algebra Expr List Option Relalg

@@ -1,0 +1,1 @@
+lib/rewrite/outerjoin.mli: Algebra Relalg

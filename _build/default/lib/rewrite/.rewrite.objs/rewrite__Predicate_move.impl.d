@@ -1,0 +1,1 @@
+lib/rewrite/predicate_move.ml: Expr List Qgm Relalg Rules

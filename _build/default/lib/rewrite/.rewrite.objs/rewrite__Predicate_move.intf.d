@@ -1,0 +1,1 @@
+lib/rewrite/predicate_move.mli: Qgm Rules

@@ -1,0 +1,1 @@
+lib/rewrite/qgm.ml: Algebra Expr Fmt List Printf Relalg Schema String Typing

@@ -1,0 +1,1 @@
+lib/rewrite/qgm.mli: Algebra Expr Format Relalg Schema

@@ -1,0 +1,1 @@
+lib/rewrite/qgm_eval.ml: Algebra Array Exec Expr Hashtbl List Pred Qgm Relalg Schema Storage Tuple Typing Value

@@ -1,0 +1,1 @@
+lib/rewrite/qgm_eval.mli: Exec Qgm Storage

@@ -1,0 +1,1 @@
+lib/rewrite/unnest.ml: Expr List Pred Printf Qgm Relalg Rules Schema

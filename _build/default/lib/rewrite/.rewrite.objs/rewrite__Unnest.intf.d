@@ -1,0 +1,1 @@
+lib/rewrite/unnest.mli: Expr Qgm Relalg Rules

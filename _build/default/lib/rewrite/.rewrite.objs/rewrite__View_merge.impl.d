@@ -1,0 +1,1 @@
+lib/rewrite/view_merge.ml: Expr List Qgm Relalg Rules

@@ -1,0 +1,1 @@
+lib/rewrite/view_merge.mli: Qgm Rules

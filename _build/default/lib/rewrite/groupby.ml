@@ -1,0 +1,152 @@
+(* Group-by and join commutation: eager (staged) aggregation, Figure 4(c)
+   and [5,60].
+
+   Pattern: a block grouping the join of several sources, where every
+   aggregate argument comes from one source R.  R is replaced by a derived
+   source that pre-aggregates R on (its group-by columns ∪ its join
+   columns); the outer group-by re-aggregates the partial results with the
+   combining form of each aggregate (SUM→SUM, COUNT→SUM, MIN→MIN, MAX→MAX).
+   Correct for arbitrary join multiplicities because all rows of a partial
+   partition share their join-column values.  AVG is not decomposed (it
+   would need a SUM/COUNT pair); blocks using it are left unchanged. *)
+
+open Relalg
+
+let combining_agg (g : Expr.agg) (partial_col : Expr.t) : Expr.agg option =
+  match g with
+  | Expr.Sum _ -> Some (Expr.Sum partial_col)
+  | Expr.Count _ | Expr.Count_star -> Some (Expr.Sum partial_col)
+  | Expr.Min _ -> Some (Expr.Min partial_col)
+  | Expr.Max _ -> Some (Expr.Max partial_col)
+  | Expr.Avg _ -> None
+
+(* Columns of alias [a] referenced anywhere in [exprs]. *)
+let cols_of_alias a exprs =
+  List.concat_map Expr.columns exprs
+  |> List.filter (fun (c : Expr.col_ref) -> c.Expr.rel = a)
+  |> List.sort_uniq compare
+
+let apply (b : Qgm.block) : Qgm.block option =
+  if b.Qgm.aggs = [] || b.Qgm.group_by = [] then None
+  else if List.length b.Qgm.from < 2 then None
+  else if b.Qgm.semijoins <> [] || b.Qgm.outerjoins <> [] then None
+  else if not (List.for_all (function Qgm.P _ -> true | _ -> false) b.Qgm.where)
+  then None
+  else begin
+    (* candidate source: a Base source R such that every aggregate argument
+       references only R *)
+    let agg_args =
+      List.filter_map (fun (g, _) -> Expr.agg_arg g) b.Qgm.aggs
+    in
+    let arg_aliases =
+      List.concat_map Expr.relations agg_args |> List.sort_uniq compare
+    in
+    let candidate =
+      match arg_aliases with
+      | [ a ] ->
+        List.find_opt
+          (fun src ->
+             Qgm.alias_of_source src = a
+             &&
+             match src with
+             | Qgm.Base _ -> true
+             | Qgm.Derived _ -> false)
+          b.Qgm.from
+      | [] | _ :: _ -> None
+    in
+    match candidate with
+    | None -> None
+    | Some (Qgm.Derived _) -> None
+    | Some (Qgm.Base { alias = r_alias; _ } as r_src) ->
+      (* every aggregate must be decomposable *)
+      let decomposable =
+        List.for_all
+          (fun (g, _) -> combining_agg g (Expr.int 0) <> None)
+          b.Qgm.aggs
+      in
+      (* group-by keys must be plain columns (so we can re-point them) *)
+      let keys_are_cols =
+        List.for_all
+          (fun (e, _) -> match e with Expr.Col _ -> true | _ -> false)
+          b.Qgm.group_by
+      in
+      if (not decomposable) || not keys_are_cols then None
+      else begin
+        let others = List.filter (fun s -> s != r_src) b.Qgm.from in
+        let where_exprs = Qgm.plain_preds b.Qgm.where in
+        let r_local, rest_preds =
+          List.partition
+            (fun e -> Expr.relations e = [ r_alias ])
+            where_exprs
+        in
+        (* R columns needed above the pre-aggregation: join/filter columns
+           of cross predicates, group-by columns from R, select refs *)
+        let needed =
+          cols_of_alias r_alias
+            (rest_preds
+             @ List.map fst b.Qgm.group_by
+             @ List.map fst b.Qgm.select)
+        in
+        if needed = [] then None
+        else begin
+          let v_alias = Qgm.fresh_alias "eag" in
+          let partial_aggs =
+            List.mapi
+              (fun i (g, _) -> (g, Printf.sprintf "partial%d" i))
+              b.Qgm.aggs
+          in
+          let view =
+            (* select references the grouped output: unqualified key aliases
+               and partial-aggregate aliases *)
+            Qgm.simple
+              ~select:
+                (List.map
+                   (fun (c : Expr.col_ref) ->
+                      (Expr.col ~rel:"" ~col:c.Expr.col, c.Expr.col))
+                   needed
+                 @ List.map
+                     (fun (g, a) -> ignore g; (Expr.col ~rel:"" ~col:a, a))
+                     partial_aggs)
+              ~from:[ r_src ] ~where:r_local
+              ~group_by:
+                (List.map
+                   (fun (c : Expr.col_ref) -> (Expr.Col c, c.Expr.col))
+                   needed)
+              ~aggs:partial_aggs ()
+          in
+          (* re-point references R.c -> V.c everywhere above the view *)
+          let map =
+            List.map
+              (fun (c : Expr.col_ref) ->
+                 (c, Expr.col ~rel:v_alias ~col:c.Expr.col))
+              needed
+          in
+          let s e = Qgm.subst_expr map e in
+          let outer_aggs =
+            List.map2
+              (fun (g, a) (_, pname) ->
+                 match combining_agg g (Expr.col ~rel:v_alias ~col:pname) with
+                 | Some g' -> (g', a)
+                 | None -> assert false)
+              b.Qgm.aggs partial_aggs
+          in
+          Some
+            { b with
+              Qgm.from =
+                others @ [ Qgm.Derived { block = view; alias = v_alias } ];
+              where = List.map (fun e -> Qgm.P (s e)) rest_preds;
+              group_by = List.map (fun (e, a) -> (s e, a)) b.Qgm.group_by;
+              aggs = outer_aggs;
+              having =
+                List.map
+                  (function
+                    | Qgm.P e -> Qgm.P (s e)
+                    | p -> p)
+                  b.Qgm.having;
+              select = List.map (fun (e, a) -> (s e, a)) b.Qgm.select;
+              order_by = List.map (fun (e, d) -> (s e, d)) b.Qgm.order_by }
+        end
+      end
+    end
+
+let rule : Rules.t = { name = "eager_groupby"; apply }

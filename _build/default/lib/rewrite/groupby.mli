@@ -1,0 +1,9 @@
+(** Eager (staged) aggregation — group-by pushed below a join, Figure 4(c)
+    and [5,60].  A source supplying every aggregate argument is replaced by
+    a pre-aggregating view grouped on (its group-by ∪ join columns); the
+    outer group-by re-aggregates with the combining form of each aggregate
+    (SUM→SUM, COUNT→SUM, MIN→MIN, MAX→MAX).  AVG is not decomposed. *)
+
+val apply : Qgm.block -> Qgm.block option
+
+val rule : Rules.t

@@ -1,0 +1,71 @@
+(* Lowering a QGM block to the logical algebra.
+
+   Only blocks whose sources are all [Base] and whose predicates are all
+   plain can be lowered — the pipeline first runs rewrites and materializes
+   any remaining derived sources into temporary tables. *)
+
+open Relalg
+
+exception Not_lowerable of string
+
+let source_scan = function
+  | Qgm.Base { table; alias; schema } -> Algebra.Scan { table; alias; schema }
+  | Qgm.Derived { alias; _ } ->
+    raise (Not_lowerable ("derived source not materialized: " ^ alias))
+
+let plain = function
+  | Qgm.P e -> e
+  | (Qgm.In_sub _ | Qgm.Exists_sub _ | Qgm.Cmp_sub _) as p ->
+    raise (Not_lowerable ("subquery predicate not unnested: " ^ Fmt.str "%a" Qgm.pp_pred p))
+
+let to_algebra (b : Qgm.block) : Algebra.t =
+  if Qgm.is_correlated b then
+    raise (Not_lowerable "block is correlated");
+  let joined =
+    match b.Qgm.from with
+    | [] -> raise (Not_lowerable "no sources")
+    | s :: rest ->
+      List.fold_left
+        (fun acc src ->
+           Algebra.Join (Algebra.Inner, Expr.ftrue, acc, source_scan src))
+        (source_scan s) rest
+  in
+  let where = List.map plain b.Qgm.where in
+  let selected =
+    match where with
+    | [] -> joined
+    | ps -> Algebra.Select (Pred.of_conjuncts ps, joined)
+  in
+  let with_semi =
+    List.fold_left
+      (fun acc (sj : Qgm.semijoin) ->
+         Algebra.Join
+           ((if sj.Qgm.s_anti then Algebra.Anti else Algebra.Semi),
+            sj.Qgm.s_pred, acc, source_scan sj.Qgm.s_source))
+      selected b.Qgm.semijoins
+  in
+  let with_outer =
+    List.fold_left
+      (fun acc (oj : Qgm.outerjoin) ->
+         Algebra.Join (Algebra.Left_outer, oj.Qgm.o_pred, acc,
+                       source_scan oj.Qgm.o_source))
+      with_semi b.Qgm.outerjoins
+  in
+  let grouped =
+    if b.Qgm.group_by = [] && b.Qgm.aggs = [] then with_outer
+    else
+      Algebra.Group_by
+        { keys = b.Qgm.group_by; aggs = b.Qgm.aggs; input = with_outer }
+  in
+  let having =
+    match List.map plain b.Qgm.having with
+    | [] -> grouped
+    | ps -> Algebra.Select (Pred.of_conjuncts ps, grouped)
+  in
+  let ordered =
+    match b.Qgm.order_by with
+    | [] -> having
+    | keys -> Algebra.Order_by (keys, having)
+  in
+  let projected = Algebra.Project (b.Qgm.select, ordered) in
+  if b.Qgm.distinct then Algebra.Distinct projected else projected

@@ -1,0 +1,9 @@
+(** Lowering a QGM block to the logical algebra.  Only blocks whose sources
+    are all [Base] and whose predicates are plain can be lowered; the
+    pipeline first rewrites and materializes the rest. *)
+
+exception Not_lowerable of string
+
+(** @raise Not_lowerable on derived sources, subquery predicates or
+    correlation. *)
+val to_algebra : Qgm.block -> Relalg.Algebra.t

@@ -1,0 +1,9 @@
+(** Magic / semijoin-like decorrelation (Section 4.3, after [42,56]): when
+    a query joins an aggregating view on its group-by key, compute the rest
+    of the query first (PartialResult), project its distinct keys (Filter),
+    and restrict the view to them (LimitedView) — the paper's DepAvgSal
+    example. *)
+
+val apply : Qgm.block -> Qgm.block option
+
+val rule : Rules.t

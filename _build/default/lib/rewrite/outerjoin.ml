@@ -1,0 +1,71 @@
+(* Join/outerjoin association (Section 4.1.2, after [53]): when the join
+   predicate links R and S and the outerjoin predicate links S and T,
+
+     Join(R, S LOJ T)  =  Join(R, S) LOJ T
+
+   Repeated application turns a tree into a "block of joins" followed by a
+   "block of outerjoins", after which the joins reorder freely.  This
+   normalization runs on the logical algebra; the QGM layer maintains the
+   same normal form structurally (inner FROM list + trailing outerjoins). *)
+
+open Relalg
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+(* One rewrite step anywhere in the tree; None when normal. *)
+let rec step (a : Algebra.t) : Algebra.t option =
+  match a with
+  (* Join(R, S LOJ T) -> Join(R,S) LOJ T, when p only touches R ∪ S *)
+  | Algebra.Join (Algebra.Inner, p, r, Algebra.Join (Algebra.Left_outer, q, s, t))
+    when subset (Expr.relations p)
+        (Algebra.base_aliases r @ Algebra.base_aliases s) ->
+    Some
+      (Algebra.Join (Algebra.Left_outer, q,
+                     Algebra.Join (Algebra.Inner, p, r, s), t))
+  (* symmetric: Join(S LOJ T, R) -> Join(S, R) LOJ T *)
+  | Algebra.Join (Algebra.Inner, p, Algebra.Join (Algebra.Left_outer, q, s, t), r)
+    when subset (Expr.relations p)
+        (Algebra.base_aliases s @ Algebra.base_aliases r) ->
+    Some
+      (Algebra.Join (Algebra.Left_outer, q,
+                     Algebra.Join (Algebra.Inner, p, s, r), t))
+  | Algebra.Join (k, p, l, r) -> (
+    match step l with
+    | Some l' -> Some (Algebra.Join (k, p, l', r))
+    | None -> (
+      match step r with
+      | Some r' -> Some (Algebra.Join (k, p, l, r'))
+      | None -> None))
+  | Algebra.Select (p, i) ->
+    Option.map (fun i' -> Algebra.Select (p, i')) (step i)
+  | Algebra.Project (items, i) ->
+    Option.map (fun i' -> Algebra.Project (items, i')) (step i)
+  | Algebra.Group_by g ->
+    Option.map (fun i' -> Algebra.Group_by { g with Algebra.input = i' })
+      (step g.Algebra.input)
+  | Algebra.Distinct i -> Option.map (fun i' -> Algebra.Distinct i') (step i)
+  | Algebra.Order_by (k, i) ->
+    Option.map (fun i' -> Algebra.Order_by (k, i')) (step i)
+  | Algebra.Scan _ -> None
+
+let rec normalize (a : Algebra.t) : Algebra.t =
+  match step a with Some a' -> normalize a' | None -> a
+
+(* Does the tree have the normal form where no outerjoin appears below an
+   inner join? *)
+let rec normalized (a : Algebra.t) : bool =
+  let rec no_outerjoin = function
+    | Algebra.Scan _ -> true
+    | Algebra.Join (Algebra.Left_outer, _, _, _) -> false
+    | Algebra.Join (_, _, l, r) -> no_outerjoin l && no_outerjoin r
+    | Algebra.Select (_, i) | Algebra.Project (_, i) | Algebra.Distinct i
+    | Algebra.Order_by (_, i) -> no_outerjoin i
+    | Algebra.Group_by { input; _ } -> no_outerjoin input
+  in
+  match a with
+  | Algebra.Join (Algebra.Inner, _, l, r) -> no_outerjoin l && no_outerjoin r && normalized l && normalized r
+  | Algebra.Join (_, _, l, r) -> normalized l && normalized r
+  | Algebra.Select (_, i) | Algebra.Project (_, i) | Algebra.Distinct i
+  | Algebra.Order_by (_, i) -> normalized i
+  | Algebra.Group_by { input; _ } -> normalized input
+  | Algebra.Scan _ -> true

@@ -1,0 +1,15 @@
+(** Join/outerjoin association (Section 4.1.2, after [53]):
+    Join(R, S LOJ T) = Join(R,S) LOJ T when the join predicate links R and
+    S.  Repeated application yields a block of joins below a block of
+    outerjoins, after which the joins reorder freely. *)
+
+open Relalg
+
+(** One rewrite step anywhere in the tree; [None] when already normal. *)
+val step : Algebra.t -> Algebra.t option
+
+(** Apply {!step} to fixpoint. *)
+val normalize : Algebra.t -> Algebra.t
+
+(** No outerjoin appears below an inner join. *)
+val normalized : Algebra.t -> bool

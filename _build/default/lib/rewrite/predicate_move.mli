@@ -1,0 +1,15 @@
+(** Predicate pushdown and move-around (Section 4.3's degenerate case,
+    generalized in [36]). *)
+
+(** Push outer conjuncts into a derived FROM source when every referenced
+    column is answerable there (only group-by key columns may cross an
+    aggregation). *)
+val pushdown : Qgm.block -> Qgm.block option
+
+val pushdown_rule : Rules.t
+
+(** One-step transitive constant propagation: from a = c and a = k derive
+    c = k. *)
+val move_constants : Qgm.block -> Qgm.block option
+
+val constants_rule : Rules.t

@@ -1,0 +1,115 @@
+(* Starburst-style forward-chaining rule engine (Section 6.1): rules are
+   condition/transform pairs over QGM blocks, grouped into classes that run
+   to fixpoint in order.  Every application yields a valid block, so any
+   subset of applications preserves equivalence (assuming rule validity —
+   which the test suite checks by execution). *)
+
+type t = { name : string; apply : Qgm.block -> Qgm.block option }
+
+(* Apply [rule] once somewhere in the block tree (top-down, leftmost). *)
+let rec apply_once (rule : t) (b : Qgm.block) : Qgm.block option =
+  match rule.apply b with
+  | Some b' -> Some b'
+  | None ->
+    (* descend into derived sources *)
+    let try_sources sources rebuild =
+      let rec go acc = function
+        | [] -> None
+        | (Qgm.Derived { block; alias } as src) :: rest -> (
+          match apply_once rule block with
+          | Some block' ->
+            Some (rebuild (List.rev acc @ (Qgm.Derived { block = block'; alias } :: rest)))
+          | None -> go (src :: acc) rest)
+        | src :: rest -> go (src :: acc) rest
+      in
+      go [] sources
+    in
+    let from_result =
+      try_sources b.Qgm.from (fun from -> { b with Qgm.from })
+    in
+    (match from_result with
+     | Some _ as r -> r
+     | None ->
+       let sj_sources = List.map (fun s -> s.Qgm.s_source) b.Qgm.semijoins in
+       let sj_result =
+         try_sources sj_sources (fun sources ->
+             { b with
+               Qgm.semijoins =
+                 List.map2
+                   (fun s src -> { s with Qgm.s_source = src })
+                   b.Qgm.semijoins sources })
+       in
+       (match sj_result with
+        | Some _ as r -> r
+        | None ->
+          let oj_sources = List.map (fun o -> o.Qgm.o_source) b.Qgm.outerjoins in
+          let oj_result =
+            try_sources oj_sources (fun sources ->
+                { b with
+                  Qgm.outerjoins =
+                    List.map2
+                      (fun o src -> { o with Qgm.o_source = src })
+                      b.Qgm.outerjoins sources })
+          in
+          (match oj_result with
+           | Some _ as r -> r
+           | None ->
+             (* descend into subquery predicates *)
+             let try_preds preds rebuild =
+               let rec go acc = function
+                 | [] -> None
+                 | p :: rest -> (
+                   let sub =
+                     match p with
+                     | Qgm.P _ -> None
+                     | Qgm.In_sub (e, blk) ->
+                       Option.map (fun blk' -> Qgm.In_sub (e, blk'))
+                         (apply_once rule blk)
+                     | Qgm.Exists_sub (pos, blk) ->
+                       Option.map (fun blk' -> Qgm.Exists_sub (pos, blk'))
+                         (apply_once rule blk)
+                     | Qgm.Cmp_sub (op, e, blk) ->
+                       Option.map (fun blk' -> Qgm.Cmp_sub (op, e, blk'))
+                         (apply_once rule blk)
+                   in
+                   match sub with
+                   | Some p' -> Some (rebuild (List.rev acc @ (p' :: rest)))
+                   | None -> go (p :: acc) rest)
+               in
+               go [] preds
+             in
+             (match try_preds b.Qgm.where (fun where -> { b with Qgm.where }) with
+              | Some _ as r -> r
+              | None ->
+                try_preds b.Qgm.having (fun having -> { b with Qgm.having })))))
+
+type trace = (string * int) list
+
+(* Run each rule class to fixpoint, in order.  [budget] bounds total
+   applications (the paper's point about tuning rule engines). *)
+let run ?(budget = 200) (classes : t list list) (b : Qgm.block) :
+  Qgm.block * trace =
+  let applications = Hashtbl.create 8 in
+  let budget_left = ref budget in
+  let rec fix_class rules b =
+    if !budget_left <= 0 then b
+    else
+      let rec try_rules = function
+        | [] -> None
+        | r :: rest -> (
+          match apply_once r b with
+          | Some b' ->
+            decr budget_left;
+            Hashtbl.replace applications r.name
+              (1 + Option.value (Hashtbl.find_opt applications r.name) ~default:0);
+            Some b'
+          | None -> try_rules rest)
+      in
+      match try_rules rules with
+      | Some b' -> fix_class rules b'
+      | None -> b
+  in
+  let final = List.fold_left (fun b cls -> fix_class cls b) b classes in
+  (final,
+   Hashtbl.fold (fun name n acc -> (name, n) :: acc) applications []
+   |> List.sort compare)

@@ -1,0 +1,16 @@
+(** Starburst-style forward-chaining rule engine (Section 6.1): rules are
+    condition/transform pairs over QGM blocks, grouped into classes that
+    run to fixpoint in order. *)
+
+type t = { name : string; apply : Qgm.block -> Qgm.block option }
+
+(** Apply a rule once somewhere in the block tree (top-down, leftmost),
+    descending into derived sources and subquery predicates. *)
+val apply_once : t -> Qgm.block -> Qgm.block option
+
+(** (rule name, application count) pairs. *)
+type trace = (string * int) list
+
+(** Run each class to fixpoint in order; [budget] bounds total
+    applications. *)
+val run : ?budget:int -> t list list -> Qgm.block -> Qgm.block * trace

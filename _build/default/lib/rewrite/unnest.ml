@@ -1,0 +1,280 @@
+(* Subquery unnesting (Section 4.2.2, after Kim [35], Dayal [13], and
+   Muralikrishna [44]).
+
+   - IN / EXISTS subqueries become semijoins against a decorrelated view
+     (Dayal's algebraic view: tuple semantics = Semijoin).
+   - NOT EXISTS becomes an antijoin.
+   - Scalar aggregate subqueries compared in WHERE become a left outerjoin
+     plus grouping — the outerjoin is what preserves zero-match outer tuples
+     (the "count bug"); [naive_cmp_rule] below deliberately uses an inner
+     join instead and is exported only for experiment E5. *)
+
+open Relalg
+
+(* Decorrelate a SPJ subquery: split its WHERE into local and correlated
+   conjuncts, export every internal column the correlated conjuncts touch,
+   and return the local view plus the correlation predicate rewritten
+   against the view. *)
+type decorrelated = {
+  view : Qgm.block;
+  view_alias : string;
+  corr_pred : Expr.t list; (* conjuncts referencing view + outer columns *)
+  out_col : Expr.col_ref; (* the subquery's first output column, in the view *)
+}
+
+let plain_only ps =
+  List.for_all (function Qgm.P _ -> true | Qgm.In_sub _ | Qgm.Exists_sub _ | Qgm.Cmp_sub _ -> false) ps
+
+let decorrelate_spj (sub : Qgm.block) : decorrelated option =
+  if
+    sub.Qgm.aggs <> [] || sub.Qgm.group_by <> [] || sub.Qgm.having <> []
+    || sub.Qgm.semijoins <> [] || sub.Qgm.outerjoins <> []
+    || not (plain_only sub.Qgm.where)
+    || sub.Qgm.select = []
+  then None
+  else begin
+    let bound = Qgm.bound_aliases sub in
+    let is_local e =
+      List.for_all (fun r -> r = "" || List.mem r bound) (Expr.relations e)
+    in
+    let locals, corrs = List.partition is_local (Qgm.plain_preds sub.Qgm.where) in
+    let alias = Qgm.fresh_alias "sq" in
+    (* exported columns: internal columns used by correlated conjuncts *)
+    let exports = ref [] in
+    let export (c : Expr.col_ref) =
+      match
+        List.find_opt (fun (c', _) -> c' = c) !exports
+      with
+      | Some (_, name) -> name
+      | None ->
+        let name = Printf.sprintf "x_%s_%s" c.Expr.rel c.Expr.col in
+        exports := !exports @ [ (c, name) ];
+        name
+    in
+    let subst_corr e =
+      let map =
+        Expr.columns e
+        |> List.filter (fun (c : Expr.col_ref) -> List.mem c.Expr.rel bound)
+        |> List.map (fun c ->
+            (c, Expr.col ~rel:alias ~col:(export c)))
+      in
+      Qgm.subst_expr map e
+    in
+    let corr_pred = List.map subst_corr corrs in
+    let extra_select =
+      List.map (fun ((c : Expr.col_ref), name) -> (Expr.Col c, name)) !exports
+    in
+    let view =
+      { sub with
+        Qgm.distinct = false;
+        where = List.map (fun e -> Qgm.P e) locals;
+        select = sub.Qgm.select @ extra_select;
+        order_by = [] }
+    in
+    let out_name = snd (List.hd sub.Qgm.select) in
+    Some
+      { view; view_alias = alias; corr_pred;
+        out_col = { Expr.rel = alias; col = out_name } }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* IN / EXISTS -> semijoin; NOT EXISTS -> antijoin *)
+
+let unnest_quantified (b : Qgm.block) : Qgm.block option =
+  let rec go acc = function
+    | [] -> None
+    | (Qgm.In_sub (e, sub) as p) :: rest -> (
+      match decorrelate_spj sub with
+      | None -> go (p :: acc) rest
+      | Some d ->
+        let pred =
+          Pred.of_conjuncts
+            (Expr.Cmp (Expr.Eq, e, Expr.Col d.out_col) :: d.corr_pred)
+        in
+        Some
+          { b with
+            Qgm.where = List.rev acc @ rest;
+            semijoins =
+              b.Qgm.semijoins
+              @ [ { Qgm.s_source =
+                      Qgm.Derived { block = d.view; alias = d.view_alias };
+                    s_pred = pred;
+                    s_anti = false } ] })
+    | (Qgm.Exists_sub (positive, sub) as p) :: rest -> (
+      match decorrelate_spj sub with
+      | None -> go (p :: acc) rest
+      | Some d ->
+        let pred = Pred.of_conjuncts d.corr_pred in
+        Some
+          { b with
+            Qgm.where = List.rev acc @ rest;
+            semijoins =
+              b.Qgm.semijoins
+              @ [ { Qgm.s_source =
+                      Qgm.Derived { block = d.view; alias = d.view_alias };
+                    s_pred = pred;
+                    s_anti = not positive } ] })
+    | p :: rest -> go (p :: acc) rest
+  in
+  go [] b.Qgm.where
+
+let quantified_rule : Rules.t =
+  { name = "unnest_in_exists"; apply = unnest_quantified }
+
+(* ------------------------------------------------------------------ *)
+(* Scalar aggregate subqueries *)
+
+let is_scalar_agg (sub : Qgm.block) =
+  (match sub.Qgm.aggs with [ _ ] -> true | _ -> false)
+  && sub.Qgm.group_by = [] && sub.Qgm.having = []
+  && sub.Qgm.semijoins = [] && sub.Qgm.outerjoins = []
+  && (not sub.Qgm.distinct)
+  && plain_only sub.Qgm.where
+
+(* Uncorrelated scalar subquery: evaluate once as a one-row derived source
+   and compare directly. *)
+let unnest_scalar_uncorrelated (b : Qgm.block) : Qgm.block option =
+  let rec go acc = function
+    | [] -> None
+    | (Qgm.Cmp_sub (op, e, sub) as p) :: rest ->
+      if is_scalar_agg sub && not (Qgm.is_correlated sub) then begin
+        let alias = Qgm.fresh_alias "sc" in
+        let out_name = snd (List.hd sub.Qgm.select) in
+        Some
+          { b with
+            Qgm.from =
+              b.Qgm.from @ [ Qgm.Derived { block = sub; alias } ];
+            where =
+              List.rev acc
+              @ (Qgm.P (Expr.Cmp (op, e, Expr.col ~rel:alias ~col:out_name))
+                 :: rest) }
+      end
+      else go (p :: acc) rest
+    | p :: rest -> go (p :: acc) rest
+  in
+  go [] b.Qgm.where
+
+let scalar_uncorrelated_rule : Rules.t =
+  { name = "unnest_scalar_uncorrelated"; apply = unnest_scalar_uncorrelated }
+
+(* Correlated scalar aggregate: the outerjoin + group-by rewrite.
+
+   SELECT s FROM O WHERE o_preds AND e op (SELECT AGG(a) FROM I WHERE corr
+   AND local)
+   ==>
+   SELECT s' FROM O LEFT OUTER JOIN V(I restricted to local) ON corr'
+   WHERE o_preds GROUP BY all columns of O HAVING e' op AGG'(V.a)
+
+   Grouping is by every column of the outer sources; this assumes outer rows
+   are pairwise distinct (e.g. each source has a key), the standard
+   assumption of [44].  COUNT-star is rewritten to COUNT(V.c) on a correlation
+   column so padded tuples count as zero. *)
+let unnest_scalar_correlated ~(use_outerjoin : bool) (b : Qgm.block) :
+  Qgm.block option =
+  if b.Qgm.group_by <> [] || b.Qgm.aggs <> [] || b.Qgm.having <> [] then None
+  else
+    let rec go acc = function
+      | [] -> None
+      | (Qgm.Cmp_sub (op, e, sub) as p) :: rest ->
+        if is_scalar_agg sub && Qgm.is_correlated sub then begin
+          (* build the decorrelated view exporting corr cols + agg argument *)
+          let agg, _agg_alias = List.hd sub.Qgm.aggs in
+          let spj_sub = { sub with Qgm.aggs = []; select = [] } in
+          match decorrelate_spj { spj_sub with Qgm.select = [ (Expr.int 1, "one") ] } with
+          | None -> go (p :: acc) rest
+          | Some d when d.corr_pred = [] -> go (p :: acc) rest
+          | Some d ->
+            let view_alias = d.view_alias in
+            (* add the aggregate argument to the view's select list *)
+            let agg_arg_name = "agg_arg" in
+            let view, agg' =
+              match Expr.agg_arg agg with
+              | Some arg ->
+                let view =
+                  { d.view with
+                    Qgm.select = d.view.Qgm.select @ [ (arg, agg_arg_name) ] }
+                in
+                let col = Expr.col ~rel:view_alias ~col:agg_arg_name in
+                let agg' =
+                  match agg with
+                  | Expr.Count _ -> Expr.Count col
+                  | Expr.Sum _ -> Expr.Sum col
+                  | Expr.Min _ -> Expr.Min col
+                  | Expr.Max _ -> Expr.Max col
+                  | Expr.Avg _ -> Expr.Avg col
+                  | Expr.Count_star -> Expr.Count_star
+                in
+                (view, agg')
+              | None ->
+                (* COUNT-star: count a non-null exported correlation column *)
+                let marker =
+                  match d.view.Qgm.select with
+                  | _ :: (Expr.Col _, name) :: _ ->
+                    Expr.col ~rel:view_alias ~col:name
+                  | _ -> Expr.col ~rel:view_alias ~col:"one"
+                in
+                (d.view, Expr.Count marker)
+            in
+            (* group by all outer source columns *)
+            let keys =
+              List.concat_map
+                (fun src ->
+                   let a = Qgm.alias_of_source src in
+                   List.map
+                     (fun (c : Schema.column) ->
+                        ( Expr.col ~rel:a ~col:c.Schema.name,
+                          Printf.sprintf "%s__%s" a c.Schema.name ))
+                     (Qgm.source_schema src))
+                b.Qgm.from
+            in
+            let key_map =
+              List.map
+                (fun (expr, alias) ->
+                   match expr with
+                   | Expr.Col c -> (c, Expr.col ~rel:"" ~col:alias)
+                   | _ -> assert false)
+                keys
+            in
+            let sk e = Qgm.subst_expr key_map e in
+            let agg_alias = Qgm.fresh_alias "agg" in
+            let source = Qgm.Derived { block = view; alias = view_alias } in
+            let base_where = List.rev acc @ rest in
+            let joined =
+              if use_outerjoin then
+                { b with
+                  Qgm.where = base_where;
+                  outerjoins =
+                    b.Qgm.outerjoins
+                    @ [ { Qgm.o_source = source;
+                          o_pred = Pred.of_conjuncts d.corr_pred } ] }
+              else
+                (* the naive (count-bug) variant: plain join *)
+                { b with
+                  Qgm.where =
+                    base_where @ List.map (fun e -> Qgm.P e) d.corr_pred;
+                  from = b.Qgm.from @ [ source ] }
+            in
+            Some
+              { joined with
+                Qgm.group_by = keys;
+                aggs = [ (agg', agg_alias) ];
+                having =
+                  [ Qgm.P (Expr.Cmp (op, sk e, Expr.col ~rel:"" ~col:agg_alias)) ];
+                select = List.map (fun (se, a) -> (sk se, a)) b.Qgm.select;
+                order_by = List.map (fun (oe, dct) -> (sk oe, dct)) b.Qgm.order_by }
+        end
+        else go (p :: acc) rest
+      | p :: rest -> go (p :: acc) rest
+    in
+    go [] b.Qgm.where
+
+let scalar_correlated_rule : Rules.t =
+  { name = "unnest_scalar_correlated";
+    apply = unnest_scalar_correlated ~use_outerjoin:true }
+
+(* The deliberately wrong rewrite exhibiting the count bug (E5). *)
+let naive_cmp_rule : Rules.t =
+  { name = "unnest_scalar_correlated_NAIVE";
+    apply = unnest_scalar_correlated ~use_outerjoin:false }
+
+let default_rules = [ quantified_rule; scalar_uncorrelated_rule; scalar_correlated_rule ]

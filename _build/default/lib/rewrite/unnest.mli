@@ -1,0 +1,36 @@
+(** Subquery unnesting (Section 4.2.2, after Kim [35], Dayal [13] and
+    Muralikrishna [44]): IN/EXISTS become semijoins against a decorrelated
+    view, NOT EXISTS an antijoin, and correlated scalar aggregates a left
+    outerjoin plus grouping — the outerjoin being what avoids the count
+    bug. *)
+
+open Relalg
+
+(** A decorrelated SPJ subquery: the local view, the correlation conjuncts
+    rewritten against it, and its first output column. *)
+type decorrelated = {
+  view : Qgm.block;
+  view_alias : string;
+  corr_pred : Expr.t list;
+  out_col : Expr.col_ref;
+}
+
+val decorrelate_spj : Qgm.block -> decorrelated option
+
+(** IN / EXISTS -> semijoin; NOT EXISTS -> antijoin. *)
+val quantified_rule : Rules.t
+
+(** Uncorrelated scalar subquery -> one-row derived source. *)
+val scalar_uncorrelated_rule : Rules.t
+
+(** Correlated scalar aggregate -> left outerjoin + group-by (count-bug
+    safe; grouping by all outer columns assumes distinct outer rows, the
+    standard assumption of [44]). *)
+val scalar_correlated_rule : Rules.t
+
+(** The deliberately wrong inner-join variant, kept to exhibit the count
+    bug (experiment E5). *)
+val naive_cmp_rule : Rules.t
+
+(** [quantified_rule; scalar_uncorrelated_rule; scalar_correlated_rule]. *)
+val default_rules : Rules.t list

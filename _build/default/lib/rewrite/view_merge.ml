@@ -1,0 +1,59 @@
+(* View merging (Section 4.2.1): a derived source defined by a simple
+   conjunctive (SPJ) block is unfolded into its parent, so that the joins of
+   view and query may be reordered freely by the plan optimizer. *)
+
+open Relalg
+
+(* Substitution map turning references V.x into the view's defining
+   expression for x. *)
+let subst_map alias (view : Qgm.block) : (Expr.col_ref * Expr.t) list =
+  List.map
+    (fun (e, out_name) -> ({ Expr.rel = alias; col = out_name }, e))
+    view.Qgm.select
+
+let subst_pred map = function
+  | Qgm.P e -> Qgm.P (Qgm.subst_expr map e)
+  | Qgm.In_sub (e, b) -> Qgm.In_sub (Qgm.subst_expr map e, b)
+  | Qgm.Exists_sub (pos, b) -> Qgm.Exists_sub (pos, b)
+  | Qgm.Cmp_sub (op, e, b) -> Qgm.Cmp_sub (op, Qgm.subst_expr map e, b)
+
+(* Merge the first mergeable derived FROM source. *)
+let apply (b : Qgm.block) : Qgm.block option =
+  let mergeable = function
+    | Qgm.Derived { block; _ } ->
+      Qgm.is_simple_spj block && not (Qgm.is_correlated block)
+    | Qgm.Base _ -> false
+  in
+  match List.find_opt mergeable b.Qgm.from with
+  | None -> None
+  | Some (Qgm.Base _) -> None
+  | Some (Qgm.Derived { block = view; alias }) ->
+    let map = subst_map alias view in
+    let s e = Qgm.subst_expr map e in
+    let from =
+      List.concat_map
+        (fun src ->
+           match src with
+           | Qgm.Derived { alias = a; _ } when a = alias -> view.Qgm.from
+           | _ -> [ src ])
+        b.Qgm.from
+    in
+    Some
+      { b with
+        Qgm.from;
+        select = List.map (fun (e, a) -> (s e, a)) b.Qgm.select;
+        where =
+          List.map (subst_pred map) b.Qgm.where
+          @ view.Qgm.where (* simple SPJ: all plain, uncorrelated *);
+        group_by = List.map (fun (e, a) -> (s e, a)) b.Qgm.group_by;
+        aggs = List.map (fun (g, a) -> (Qgm.subst_agg map g, a)) b.Qgm.aggs;
+        having = List.map (subst_pred map) b.Qgm.having;
+        semijoins =
+          List.map (fun sj -> { sj with Qgm.s_pred = s sj.Qgm.s_pred })
+            b.Qgm.semijoins;
+        outerjoins =
+          List.map (fun oj -> { oj with Qgm.o_pred = s oj.Qgm.o_pred })
+            b.Qgm.outerjoins;
+        order_by = List.map (fun (e, d) -> (s e, d)) b.Qgm.order_by }
+
+let rule : Rules.t = { name = "view_merge"; apply }

@@ -1,0 +1,8 @@
+(** View merging (Section 4.2.1): a derived source defined by a simple
+    conjunctive (SPJ) block is unfolded into its parent so that view and
+    query joins may be reordered freely. *)
+
+(** Merge the first mergeable derived FROM source, or [None]. *)
+val apply : Qgm.block -> Qgm.block option
+
+val rule : Rules.t

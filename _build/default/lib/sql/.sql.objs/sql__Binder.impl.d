@@ -1,0 +1,1 @@
+lib/sql/binder.ml: Ast Expr Fmt List Option Parser Printf Relalg Rewrite Schema Storage Value

@@ -1,0 +1,52 @@
+(* SQL abstract syntax (pre-binding): names are unresolved strings. *)
+
+type cmpop = Relalg.Expr.cmpop
+
+type expr =
+  | Lit_int of int
+  | Lit_float of float
+  | Lit_string of string
+  | Lit_bool of bool
+  | Lit_null
+  | Column of string option * string (* qualifier?, name *)
+  | Binop of Relalg.Expr.binop * expr * expr
+  | Cmp of cmpop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Is_null of expr * bool (* IS NULL (true) / IS NOT NULL (false) *)
+  | In_query of expr * select (* expr IN (SELECT ...) *)
+  | Exists of bool * select (* EXISTS / NOT EXISTS *)
+  | Cmp_query of cmpop * expr * select (* expr op (SELECT ...) *)
+  | Agg of agg_fn * expr option (* COUNT-star = (Count, None) *)
+
+and agg_fn = Fn_count | Fn_sum | Fn_min | Fn_max | Fn_avg
+
+and select_item = Star | Item of expr * string option
+
+and from_item =
+  | Table of string * string option (* name, alias *)
+  | Subquery of select * string (* derived table, alias required *)
+
+and joined =
+  | Plain of from_item
+  | Left_outer_join of joined * from_item * expr
+
+and select = {
+  distinct : bool;
+  items : select_item list;
+  from : joined list; (* comma-separated *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * Relalg.Algebra.dir) list;
+}
+
+(** Full query expressions: UNION [ALL] chains of SELECTs. *)
+type query =
+  | Single of select
+  | Union of query * bool * query  (* all? *)
+
+type statement =
+  | Select_stmt of query
+  | Create_view of string * select

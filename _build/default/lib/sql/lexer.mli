@@ -1,0 +1,19 @@
+(** Hand-written SQL lexer for the subset the paper's examples use. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string  (** uppercased keyword *)
+  | SYM of string  (** punctuation / operators *)
+  | EOF
+
+exception Error of string
+
+val keywords : string list
+
+(** @raise Error on unterminated strings or unexpected characters. *)
+val tokenize : string -> token list
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,341 @@
+(* Recursive-descent parser for the SQL subset. *)
+
+exception Error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> Lexer.EOF
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect_kw st kw =
+  match peek st with
+  | Lexer.KW k when k = kw -> advance st
+  | t -> raise (Error (Fmt.str "expected %s, got %a" kw Lexer.pp_token t))
+
+let expect_sym st sym =
+  match peek st with
+  | Lexer.SYM s when s = sym -> advance st
+  | t -> raise (Error (Fmt.str "expected '%s', got %a" sym Lexer.pp_token t))
+
+let accept_kw st kw =
+  match peek st with
+  | Lexer.KW k when k = kw -> advance st; true
+  | _ -> false
+
+let accept_sym st sym =
+  match peek st with
+  | Lexer.SYM s when s = sym -> advance st; true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | t -> raise (Error (Fmt.str "expected identifier, got %a" Lexer.pp_token t))
+
+let cmp_of_sym = function
+  | "=" -> Some Relalg.Expr.Eq
+  | "<>" -> Some Relalg.Expr.Neq
+  | "<" -> Some Relalg.Expr.Lt
+  | "<=" -> Some Relalg.Expr.Le
+  | ">" -> Some Relalg.Expr.Gt
+  | ">=" -> Some Relalg.Expr.Ge
+  | _ -> None
+
+let agg_of_kw = function
+  | "COUNT" -> Some Ast.Fn_count
+  | "SUM" -> Some Ast.Fn_sum
+  | "MIN" -> Some Ast.Fn_min
+  | "MAX" -> Some Ast.Fn_max
+  | "AVG" -> Some Ast.Fn_avg
+  | _ -> None
+
+(* expression grammar:
+   or_expr   := and_expr (OR and_expr)*
+   and_expr  := not_expr (AND not_expr)*
+   not_expr  := NOT not_expr | predicate
+   predicate := EXISTS (select)
+              | add (IS [NOT] NULL, IN (select), or cmp with expr or (select))
+   add       := mul ((plus|minus) mul)*
+   mul       := atom ((times|div|mod) atom)*
+   atom      := literal | agg | column | (or_expr) *)
+
+let rec parse_or st =
+  let a = parse_and st in
+  if accept_kw st "OR" then Ast.Or (a, parse_or st) else a
+
+and parse_and st =
+  let a = parse_not st in
+  if accept_kw st "AND" then Ast.And (a, parse_and st) else a
+
+and parse_not st =
+  if accept_kw st "NOT" then
+    if accept_kw st "EXISTS" then begin
+      expect_sym st "(";
+      let s = parse_select st in
+      expect_sym st ")";
+      Ast.Exists (false, s)
+    end
+    else Ast.Not (parse_not st)
+  else parse_predicate st
+
+and parse_predicate st =
+  if accept_kw st "EXISTS" then begin
+    expect_sym st "(";
+    let s = parse_select st in
+    expect_sym st ")";
+    Ast.Exists (true, s)
+  end
+  else begin
+    let lhs = parse_add st in
+    match peek st with
+    | Lexer.KW "IS" ->
+      advance st;
+      let positive = not (accept_kw st "NOT") in
+      expect_kw st "NULL";
+      Ast.Is_null (lhs, positive)
+    | Lexer.KW "IN" ->
+      advance st;
+      expect_sym st "(";
+      let s = parse_select st in
+      expect_sym st ")";
+      Ast.In_query (lhs, s)
+    | Lexer.KW "NOT" when peek2 st = Lexer.KW "IN" ->
+      advance st;
+      advance st;
+      expect_sym st "(";
+      let s = parse_select st in
+      expect_sym st ")";
+      Ast.Not (Ast.In_query (lhs, s))
+    | Lexer.SYM s when cmp_of_sym s <> None ->
+      advance st;
+      let op = Option.get (cmp_of_sym s) in
+      if peek st = Lexer.SYM "(" && peek2 st = Lexer.KW "SELECT" then begin
+        expect_sym st "(";
+        let sub = parse_select st in
+        expect_sym st ")";
+        Ast.Cmp_query (op, lhs, sub)
+      end
+      else Ast.Cmp (op, lhs, parse_add st)
+    | _ -> lhs
+  end
+
+and parse_add st =
+  let a = ref (parse_mul st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept_sym st "+" then a := Ast.Binop (Relalg.Expr.Add, !a, parse_mul st)
+    else if accept_sym st "-" then
+      a := Ast.Binop (Relalg.Expr.Sub, !a, parse_mul st)
+    else continue_ := false
+  done;
+  !a
+
+and parse_mul st =
+  let a = ref (parse_atom st) in
+  let continue_ = ref true in
+  while !continue_ do
+    (* '*' is also SELECT-list star; as an operator it only appears after a
+       complete atom, which parse_atom has consumed *)
+    if accept_sym st "*" then a := Ast.Binop (Relalg.Expr.Mul, !a, parse_atom st)
+    else if accept_sym st "/" then
+      a := Ast.Binop (Relalg.Expr.Div, !a, parse_atom st)
+    else if accept_sym st "%" then
+      a := Ast.Binop (Relalg.Expr.Mod, !a, parse_atom st)
+    else continue_ := false
+  done;
+  !a
+
+and parse_atom st =
+  match peek st with
+  | Lexer.INT i -> advance st; Ast.Lit_int i
+  | Lexer.FLOAT f -> advance st; Ast.Lit_float f
+  | Lexer.STRING s -> advance st; Ast.Lit_string s
+  | Lexer.KW "TRUE" -> advance st; Ast.Lit_bool true
+  | Lexer.KW "FALSE" -> advance st; Ast.Lit_bool false
+  | Lexer.KW "NULL" -> advance st; Ast.Lit_null
+  | Lexer.SYM "-" ->
+    advance st;
+    (match parse_atom st with
+     | Ast.Lit_int i -> Ast.Lit_int (-i)
+     | Ast.Lit_float f -> Ast.Lit_float (-.f)
+     | e -> Ast.Binop (Relalg.Expr.Sub, Ast.Lit_int 0, e))
+  | Lexer.SYM "(" ->
+    advance st;
+    let e = parse_or st in
+    expect_sym st ")";
+    e
+  | Lexer.KW k when agg_of_kw k <> None ->
+    advance st;
+    let fn = Option.get (agg_of_kw k) in
+    expect_sym st "(";
+    let arg =
+      if accept_sym st "*" then None else Some (parse_or st)
+    in
+    expect_sym st ")";
+    Ast.Agg (fn, arg)
+  | Lexer.IDENT name ->
+    advance st;
+    if accept_sym st "." then begin
+      let col = ident st in
+      Ast.Column (Some name, col)
+    end
+    else Ast.Column (None, name)
+  | t -> raise (Error (Fmt.str "unexpected token %a" Lexer.pp_token t))
+
+(* ---------- SELECT ---------- *)
+
+and parse_select_item st =
+  if accept_sym st "*" then Ast.Star
+  else begin
+    let e = parse_or st in
+    let alias =
+      if accept_kw st "AS" then Some (ident st)
+      else
+        match peek st with
+        | Lexer.IDENT a -> advance st; Some a
+        | _ -> None
+    in
+    Ast.Item (e, alias)
+  end
+
+and parse_from_item st : Ast.from_item =
+  if peek st = Lexer.SYM "(" then begin
+    advance st;
+    let s = parse_select st in
+    expect_sym st ")";
+    ignore (accept_kw st "AS");
+    let alias = ident st in
+    Ast.Subquery (s, alias)
+  end
+  else begin
+    let name = ident st in
+    let alias =
+      if accept_kw st "AS" then Some (ident st)
+      else
+        match peek st with
+        | Lexer.IDENT a -> advance st; Some a
+        | _ -> None
+    in
+    Ast.Table (name, alias)
+  end
+
+and parse_joined st : Ast.joined =
+  let base = Ast.Plain (parse_from_item st) in
+  let rec extend acc =
+    if accept_kw st "LEFT" then begin
+      ignore (accept_kw st "OUTER");
+      expect_kw st "JOIN";
+      let item = parse_from_item st in
+      expect_kw st "ON";
+      let pred = parse_or st in
+      extend (Ast.Left_outer_join (acc, item, pred))
+    end
+    else acc
+  in
+  extend base
+
+and parse_select st : Ast.select =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let items = ref [ parse_select_item st ] in
+  while accept_sym st "," do
+    items := parse_select_item st :: !items
+  done;
+  expect_kw st "FROM";
+  let from = ref [ parse_joined st ] in
+  while accept_sym st "," do
+    from := parse_joined st :: !from
+  done;
+  let where = if accept_kw st "WHERE" then Some (parse_or st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let es = ref [ parse_add st ] in
+      while accept_sym st "," do
+        es := parse_add st :: !es
+      done;
+      List.rev !es
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_or st) else None in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let one () =
+        let e = parse_add st in
+        let d =
+          if accept_kw st "DESC" then Relalg.Algebra.Desc
+          else begin
+            ignore (accept_kw st "ASC");
+            Relalg.Algebra.Asc
+          end
+        in
+        (e, d)
+      in
+      let es = ref [ one () ] in
+      while accept_sym st "," do
+        es := one () :: !es
+      done;
+      List.rev !es
+    end
+    else []
+  in
+  { Ast.distinct; items = List.rev !items; from = List.rev !from; where;
+    group_by; having; order_by }
+
+(* select (UNION [ALL] select)* — left-associative *)
+let parse_query_expr st : Ast.query =
+  let rec extend acc =
+    if accept_kw st "UNION" then begin
+      let all = accept_kw st "ALL" in
+      let rhs = parse_select st in
+      extend (Ast.Union (acc, all, Ast.Single rhs))
+    end
+    else acc
+  in
+  extend (Ast.Single (parse_select st))
+
+let parse_statement st : Ast.statement =
+  if accept_kw st "CREATE" then begin
+    expect_kw st "VIEW";
+    let name = ident st in
+    expect_kw st "AS";
+    let s =
+      if accept_sym st "(" then begin
+        let s = parse_select st in
+        expect_sym st ")";
+        s
+      end
+      else parse_select st
+    in
+    Ast.Create_view (name, s)
+  end
+  else Ast.Select_stmt (parse_query_expr st)
+
+let parse (src : string) : Ast.statement list =
+  let st = { toks = Lexer.tokenize src } in
+  let stmts = ref [] in
+  let rec go () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.SYM ";" -> advance st; go ()
+    | _ ->
+      stmts := parse_statement st :: !stmts;
+      (match peek st with
+       | Lexer.SYM ";" -> advance st
+       | Lexer.EOF -> ()
+       | t -> raise (Error (Fmt.str "trailing tokens: %a" Lexer.pp_token t)));
+      go ()
+  in
+  go ();
+  List.rev !stmts
+
+let parse_query (src : string) : Ast.select =
+  match parse src with
+  | [ Ast.Select_stmt (Ast.Single s) ] -> s
+  | _ -> raise (Error "expected exactly one SELECT statement")

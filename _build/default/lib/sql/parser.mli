@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the SQL subset: SELECT [DISTINCT] ... FROM
+    (tables, derived tables, LEFT OUTER JOIN) WHERE (with IN / EXISTS /
+    scalar subqueries as conjuncts) GROUP BY / HAVING / ORDER BY, plus
+    CREATE VIEW scripts. *)
+
+exception Error of string
+
+(** Parse a script of ';'-separated statements.  @raise Error on syntax
+    errors. *)
+val parse : string -> Ast.statement list
+
+(** Parse exactly one SELECT.  @raise Error otherwise. *)
+val parse_query : string -> Ast.select

@@ -1,0 +1,1 @@
+lib/stats/derive.ml: Algebra Array Expr Float Histogram List Option Pred Relalg Schema Storage Table_stats Typing Value

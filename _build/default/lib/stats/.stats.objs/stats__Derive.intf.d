@@ -1,0 +1,1 @@
+lib/stats/derive.mli: Algebra Expr Relalg Schema Table_stats

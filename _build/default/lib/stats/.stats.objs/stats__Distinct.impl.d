@@ -1,0 +1,1 @@
+lib/stats/distinct.ml: Array Hashtbl Option

@@ -1,0 +1,1 @@
+lib/stats/histogram2d.ml: Array Float Fmt

@@ -1,0 +1,1 @@
+lib/stats/sample.ml: Array Float Histogram Random

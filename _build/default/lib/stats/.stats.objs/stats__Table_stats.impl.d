@@ -1,0 +1,1 @@
+lib/stats/table_stats.ml: Array Float Fmt Hashtbl Histogram List Printf Relalg Sample Schema Storage Tuple Value

@@ -1,0 +1,1 @@
+lib/stats/table_stats.mli: Format Hashtbl Histogram Sample Storage

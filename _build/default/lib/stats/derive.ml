@@ -1,0 +1,343 @@
+(* Propagation of statistical summaries through operators (Section 5.1.3)
+   and predicate selectivity estimation.
+
+   A [rel_stats] is the statistical summary of one data stream: estimated
+   cardinality plus per-column statistics keyed by (alias, column).  It is a
+   *logical* property: every plan for the same expression shares it (5.2's
+   logical-vs-physical distinction), which is why the optimizers attach it
+   to memo groups, not to plans. *)
+
+open Relalg
+
+type col_key = string * string (* alias, column *)
+
+type rel_stats = {
+  card : float;
+  schema : Schema.t; (* used for width/pages of intermediate streams *)
+  cols : (col_key * Table_stats.col_stats) list;
+}
+
+(* Estimation assumptions, the knobs exercised by experiment E10. *)
+type assumption = {
+  conjunction : [ `Independence | `Most_selective ];
+  use_histograms : bool;
+}
+
+let default_assumption = { conjunction = `Independence; use_histograms = true }
+
+(* System-R's ad-hoc constants, used when no statistics apply ([55]). *)
+let default_eq_sel = 0.1
+let default_range_sel = 1. /. 3.
+let default_sel = 1. /. 3.
+
+let pages (r : rel_stats) : float =
+  float_of_int
+    (Storage.Page.pages_for ~rows:(int_of_float (Float.round r.card)) r.schema)
+
+let of_table (ts : Table_stats.t) ~alias ~(schema : Schema.t) : rel_stats =
+  { card = ts.Table_stats.rows;
+    schema;
+    cols =
+      List.map (fun (name, cs) -> ((alias, name), cs)) ts.Table_stats.cols }
+
+let find_col (r : rel_stats) (c : Expr.col_ref) : Table_stats.col_stats option
+  =
+  match List.assoc_opt (c.Expr.rel, c.Expr.col) r.cols with
+  | Some cs -> Some cs
+  | None ->
+    (* unqualified output columns of projections/aggregations *)
+    List.assoc_opt ("", c.Expr.col) r.cols
+
+let const_float (e : Expr.t) : float option =
+  match e with
+  | Expr.Const v -> Value.to_float v
+  | _ -> None
+
+let ndv_of (r : rel_stats) c =
+  match find_col r c with
+  | Some cs -> max 1. cs.Table_stats.n_distinct
+  | None -> max 1. r.card
+
+(* Selectivity of a comparison between a column and a constant. *)
+let cmp_col_const asm (r : rel_stats) op (c : Expr.col_ref) (v : float) =
+  match find_col r c with
+  | None -> (match op with Expr.Eq -> default_eq_sel | _ -> default_range_sel)
+  | Some cs -> (
+    let hist =
+      if asm.use_histograms then cs.Table_stats.hist else None
+    in
+    match op, hist with
+    | Expr.Eq, Some h -> Histogram.est_eq h v
+    | Expr.Neq, Some h -> 1. -. Histogram.est_eq h v
+    | Expr.Lt, Some h | Expr.Le, Some h -> Histogram.est_range h ~hi:v ()
+    | Expr.Gt, Some h | Expr.Ge, Some h -> Histogram.est_range h ~lo:v ()
+    | Expr.Eq, None -> 1. /. max 1. cs.Table_stats.n_distinct
+    | Expr.Neq, None -> 1. -. (1. /. max 1. cs.Table_stats.n_distinct)
+    | (Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge), None -> (
+      (* interpolate against robust bounds when available *)
+      match cs.Table_stats.lo, cs.Table_stats.hi with
+      | Some lo, Some hi when hi > lo ->
+        let frac = (v -. lo) /. (hi -. lo) in
+        let frac = Float.max 0. (Float.min 1. frac) in
+        (match op with
+         | Expr.Lt | Expr.Le -> frac
+         | Expr.Gt | Expr.Ge -> 1. -. frac
+         | Expr.Eq | Expr.Neq -> default_range_sel)
+      | _ -> default_range_sel))
+
+let clamp01 s = Float.max 0. (Float.min 1. s)
+
+(* Selectivity of an arbitrary predicate against a single stream. *)
+let rec selectivity ?(asm = default_assumption) (r : rel_stats) (e : Expr.t) :
+  float =
+  clamp01 (sel asm r e)
+
+and sel asm r (e : Expr.t) : float =
+  match e with
+  | Expr.Const (Value.Bool true) -> 1.
+  | Expr.Const (Value.Bool false) -> 0.
+  | Expr.And (a, b) -> (
+    let sa = sel asm r a and sb = sel asm r b in
+    match asm.conjunction with
+    | `Independence -> sa *. sb
+    | `Most_selective -> Float.min sa sb)
+  | Expr.Or (a, b) ->
+    let sa = sel asm r a and sb = sel asm r b in
+    sa +. sb -. (sa *. sb)
+  | Expr.Not (Expr.Is_null (Expr.Col c)) -> (
+    match find_col r c with
+    | Some cs -> 1. -. cs.Table_stats.null_frac
+    | None -> 1. -. default_eq_sel)
+  | Expr.Not a -> 1. -. sel asm r a
+  | Expr.Is_null (Expr.Col c) -> (
+    match find_col r c with
+    | Some cs -> cs.Table_stats.null_frac
+    | None -> default_eq_sel)
+  | Expr.Is_null _ -> default_eq_sel
+  | Expr.Cmp (op, Expr.Col a, Expr.Col b) when a.Expr.rel <> b.Expr.rel -> (
+    (* join predicate: containment assumption *)
+    match op with
+    | Expr.Eq -> (
+      let join_sel_hist =
+        if asm.use_histograms then
+          match find_col r a, find_col r b with
+          | Some { Table_stats.hist = Some ha; _ },
+            Some { Table_stats.hist = Some hb; _ } ->
+            let na = Histogram.total ha and nb = Histogram.total hb in
+            if na > 0. && nb > 0. then
+              Some (Histogram.join_rows ha hb /. (na *. nb))
+            else None
+          | _ -> None
+        else None
+      in
+      match join_sel_hist with
+      | Some s -> s
+      | None -> 1. /. Float.max (ndv_of r a) (ndv_of r b))
+    | Expr.Neq -> 1. -. (1. /. Float.max (ndv_of r a) (ndv_of r b))
+    | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge -> default_range_sel)
+  | Expr.Cmp (op, Expr.Col c, rhs) -> (
+    match const_float rhs with
+    | Some v -> cmp_col_const asm r op c v
+    | None -> (
+      match op with Expr.Eq -> default_eq_sel | _ -> default_range_sel))
+  | Expr.Cmp (op, lhs, Expr.Col c) -> (
+    match const_float lhs with
+    | Some v ->
+      let flipped =
+        match op with
+        | Expr.Lt -> Expr.Gt | Expr.Le -> Expr.Ge
+        | Expr.Gt -> Expr.Lt | Expr.Ge -> Expr.Le
+        | Expr.Eq -> Expr.Eq | Expr.Neq -> Expr.Neq
+      in
+      cmp_col_const asm r flipped c v
+    | None -> (
+      match op with Expr.Eq -> default_eq_sel | _ -> default_range_sel))
+  | Expr.Udf (u, _) -> u.Expr.udf_selectivity
+  | Expr.Cmp _ | Expr.Const _ | Expr.Col _ | Expr.Binop _ -> default_sel
+
+(* ------------------------------------------------------------------ *)
+(* Propagation through operators *)
+
+let cap_distinct card cols =
+  List.map
+    (fun (k, cs) ->
+       (k, { cs with Table_stats.n_distinct = Float.min cs.Table_stats.n_distinct (Float.max 1. card) }))
+    cols
+
+(* Selection: scale cardinality; if the predicate constrains a single column
+   through a histogram, restrict that histogram too (the simplest propagation
+   case of 5.1.3). *)
+let apply_select ?(asm = default_assumption) (r : rel_stats) (e : Expr.t) :
+  rel_stats =
+  let s = selectivity ~asm r e in
+  let card = Float.max 0. (r.card *. s) in
+  (* restrict histograms for conjuncts of shape col CMP const *)
+  let conjuncts = Pred.conjuncts e in
+  let restrict ((alias, col), cs) =
+    let applies op v =
+      match cs.Table_stats.hist with
+      | None -> None
+      | Some h -> (
+        match op with
+        | Expr.Eq ->
+          let selv = Histogram.est_eq h v in
+          let open Histogram in
+          Some
+            { total = h.total *. selv;
+              singletons = [| (v, h.total *. selv) |];
+              buckets = [||] }
+        | Expr.Lt | Expr.Le ->
+          let open Histogram in
+          let keep =
+            Array.to_list h.buckets
+            |> List.filter_map (fun b ->
+                if b.lo > v then None
+                else if b.hi <= v then Some b
+                else
+                  Some { b with hi = v;
+                                count = Histogram.bucket_range_rows b ~lo_v:b.lo ~hi_v:v })
+          in
+          Some { buckets = Array.of_list keep;
+                        total = List.fold_left (fun a b -> a +. b.count) 0. keep
+                                +. Array.fold_left (fun a (w, c) -> if w <= v then a +. c else a) 0. h.singletons;
+                        singletons = Array.of_list (List.filter (fun (w, _) -> w <= v) (Array.to_list h.singletons)) }
+        | Expr.Gt | Expr.Ge ->
+          let open Histogram in
+          let keep =
+            Array.to_list h.buckets
+            |> List.filter_map (fun b ->
+                if b.hi < v then None
+                else if b.lo >= v then Some b
+                else
+                  Some { b with lo = v;
+                                count = Histogram.bucket_range_rows b ~lo_v:v ~hi_v:b.hi })
+          in
+          Some { buckets = Array.of_list keep;
+                        total = List.fold_left (fun a b -> a +. b.count) 0. keep
+                                +. Array.fold_left (fun a (w, c) -> if w >= v then a +. c else a) 0. h.singletons;
+                        singletons = Array.of_list (List.filter (fun (w, _) -> w >= v) (Array.to_list h.singletons)) }
+        | Expr.Neq -> None)
+    in
+    let new_hist =
+      List.fold_left
+        (fun acc conj ->
+           match conj with
+           | Expr.Cmp (op, Expr.Col c, rhs)
+             when c.Expr.rel = alias && c.Expr.col = col ->
+             (match const_float rhs with
+              | Some v -> (
+                match applies op v with Some h -> Some h | None -> acc)
+              | None -> acc)
+           | _ -> acc)
+        cs.Table_stats.hist conjuncts
+    in
+    ((alias, col), { cs with Table_stats.hist = new_hist })
+  in
+  let cols = List.map restrict r.cols in
+  { r with card; cols = cap_distinct card cols }
+
+let join ?(asm = default_assumption) (kind : Algebra.join_kind)
+    (l : rel_stats) (rr : rel_stats) (pred : Expr.t) : rel_stats =
+  let combined_cols = l.cols @ rr.cols in
+  let combined =
+    { card = l.card *. rr.card;
+      schema = Schema.concat l.schema rr.schema;
+      cols = combined_cols }
+  in
+  let s = selectivity ~asm combined pred in
+  let inner_card = Float.max 0. (l.card *. rr.card *. s) in
+  let card, schema =
+    match kind with
+    | Algebra.Inner -> (inner_card, combined.schema)
+    | Algebra.Left_outer -> (Float.max inner_card l.card, combined.schema)
+    | Algebra.Semi ->
+      (Float.min l.card inner_card, l.schema)
+    | Algebra.Anti ->
+      (Float.max 0. (l.card -. Float.min l.card inner_card), l.schema)
+  in
+  let cols =
+    match kind with
+    | Algebra.Semi | Algebra.Anti -> l.cols
+    | Algebra.Inner | Algebra.Left_outer -> combined_cols
+  in
+  { card; schema; cols = cap_distinct card cols }
+
+let group (r : rel_stats) ~(keys : (Expr.t * string) list)
+    ~(aggs : (Expr.agg * string) list) : rel_stats =
+  let key_ndv (e, _) =
+    match e with
+    | Expr.Col c -> ndv_of r c
+    | _ -> Float.max 1. (r.card /. 10.)
+  in
+  let groups =
+    if keys = [] then 1.
+    else
+      Float.min r.card (List.fold_left (fun acc k -> acc *. key_ndv k) 1. keys)
+  in
+  let schema =
+    List.map
+      (fun (e, a) ->
+         Schema.column ~rel:"" ~name:a ~ty:(Typing.infer r.schema e))
+      keys
+    @ List.map
+        (fun (g, a) ->
+           Schema.column ~rel:"" ~name:a ~ty:(Typing.infer_agg r.schema g))
+        aggs
+  in
+  let cols =
+    List.filter_map
+      (fun (e, a) ->
+         match e with
+         | Expr.Col c -> (
+           match find_col r c with
+           | Some cs -> Some (("", a), { cs with Table_stats.hist = cs.Table_stats.hist })
+           | None -> None)
+         | _ -> None)
+      keys
+  in
+  { card = Float.max 1. groups; schema; cols = cap_distinct groups cols }
+
+let project (r : rel_stats) (items : (Expr.t * string) list) : rel_stats =
+  let schema =
+    List.map
+      (fun (e, a) ->
+         Schema.column ~rel:"" ~name:a ~ty:(Typing.infer r.schema e))
+      items
+  in
+  let cols =
+    List.filter_map
+      (fun (e, a) ->
+         match e with
+         | Expr.Col c ->
+           Option.map (fun cs -> (("", a), cs)) (find_col r c)
+         | _ -> None)
+      items
+  in
+  { r with schema; cols }
+
+let distinct (r : rel_stats) : rel_stats =
+  let ndv_all =
+    List.fold_left
+      (fun acc (_, cs) -> acc *. Float.max 1. cs.Table_stats.n_distinct)
+      1.
+      (List.filteri (fun i _ -> i < 4) r.cols)
+  in
+  let card = Float.min r.card (Float.max 1. ndv_all) in
+  { r with card; cols = cap_distinct card r.cols }
+
+(* Full bottom-up derivation over a logical tree. *)
+let rec of_algebra ?(asm = default_assumption) (db : Table_stats.db)
+    (t : Algebra.t) : rel_stats =
+  match t with
+  | Algebra.Scan { table; alias; schema } -> (
+    match Table_stats.find db table with
+    | Some ts -> of_table ts ~alias ~schema
+    | None -> { card = 1000.; schema; cols = [] })
+  | Algebra.Select (p, i) -> apply_select ~asm (of_algebra ~asm db i) p
+  | Algebra.Project (items, i) -> project (of_algebra ~asm db i) items
+  | Algebra.Join (k, p, l, r) ->
+    join ~asm k (of_algebra ~asm db l) (of_algebra ~asm db r) p
+  | Algebra.Group_by { keys; aggs; input } ->
+    group (of_algebra ~asm db input) ~keys ~aggs
+  | Algebra.Distinct i -> distinct (of_algebra ~asm db i)
+  | Algebra.Order_by (_, i) -> of_algebra ~asm db i

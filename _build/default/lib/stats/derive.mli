@@ -1,0 +1,63 @@
+(** Selectivity estimation and propagation of statistical summaries through
+    operators (Section 5.1.3).
+
+    A {!rel_stats} is the statistical summary of one data stream — a
+    *logical* property shared by every plan for the same expression (the
+    logical/physical distinction of Section 5.2). *)
+
+open Relalg
+
+type col_key = string * string  (** (alias, column) *)
+
+type rel_stats = {
+  card : float;
+  schema : Schema.t;  (** used for width/pages of intermediate streams *)
+  cols : (col_key * Table_stats.col_stats) list;
+}
+
+(** Estimation assumptions (exercised by experiment E10). *)
+type assumption = {
+  conjunction : [ `Independence | `Most_selective ];
+  use_histograms : bool;
+}
+
+val default_assumption : assumption
+
+(** System-R's ad-hoc fallback constants ([55]). *)
+val default_eq_sel : float
+val default_range_sel : float
+val default_sel : float
+
+(** Estimated pages of the stream. *)
+val pages : rel_stats -> float
+
+(** Summary of a base table under a query alias. *)
+val of_table : Table_stats.t -> alias:string -> schema:Schema.t -> rel_stats
+
+val find_col : rel_stats -> Expr.col_ref -> Table_stats.col_stats option
+
+(** Predicate selectivity in [0, 1]. *)
+val selectivity : ?asm:assumption -> rel_stats -> Expr.t -> float
+
+(** {2 Propagation through operators} *)
+
+(** Selection: scales cardinality and restricts single-column histograms
+    (the simplest propagation case of 5.1.3). *)
+val apply_select : ?asm:assumption -> rel_stats -> Expr.t -> rel_stats
+
+(** Join of two streams under a predicate. *)
+val join :
+  ?asm:assumption -> Algebra.join_kind -> rel_stats -> rel_stats -> Expr.t ->
+  rel_stats
+
+(** Grouping: output cardinality from key distinct counts, capped by the
+    input cardinality. *)
+val group :
+  rel_stats -> keys:(Expr.t * string) list -> aggs:(Expr.agg * string) list ->
+  rel_stats
+
+val project : rel_stats -> (Expr.t * string) list -> rel_stats
+val distinct : rel_stats -> rel_stats
+
+(** Full bottom-up derivation over a logical tree. *)
+val of_algebra : ?asm:assumption -> Table_stats.db -> Algebra.t -> rel_stats

@@ -1,0 +1,24 @@
+(** Distinct-value estimation from samples (Section 5.1.2): provably
+    error-prone ([11]) — these classical estimators let experiment E9
+    exhibit exactly that. *)
+
+(** Exact distinct count of the full data. *)
+val exact : float array -> int
+
+(** Naive scale-up: sample distinct ratio extrapolated to the population. *)
+val scale_up : population:int -> float array -> float
+
+(** Chao (1984): d + f1²/(2 f2). *)
+val chao : population:int -> float array -> float
+
+(** GEE (Charikar et al.): √(N/n)·f1 + Σ_{i≥2} f_i, achieving the optimal
+    √(N/n) ratio-error guarantee. *)
+val gee : population:int -> float array -> float
+
+type estimator = Scale_up | Chao | Gee
+
+val estimator_name : estimator -> string
+val estimate : estimator -> population:int -> float array -> float
+
+(** Standard metric: max(est/true, true/est). *)
+val ratio_error : truth:float -> float -> float

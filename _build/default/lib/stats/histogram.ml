@@ -1,0 +1,245 @@
+(* Column histograms over numeric data (Section 5.1.1).
+
+   Three bucketizations from the paper:
+   - equi-width: k ranges of equal value span;
+   - equi-depth (equi-height): k ranges of (near-)equal row count;
+   - compressed: frequent values in singleton buckets, equi-depth on the
+     rest — effective for both high- and low-skew data ([52]).
+
+   Within a bucket, values are assumed uniformly spread over the bucket's
+   distinct values — the accuracy-relevant assumption discussed in 5.1.1. *)
+
+type bucket = {
+  lo : float; (* inclusive *)
+  hi : float; (* inclusive *)
+  count : float; (* rows with lo <= v <= hi *)
+  distinct : float; (* distinct values inside *)
+}
+
+type t = {
+  total : float; (* rows covered (non-null) *)
+  singletons : (float * float) array; (* (value, frequency), sorted *)
+  buckets : bucket array; (* disjoint, sorted by lo *)
+}
+
+let total t = t.total
+
+let empty = { total = 0.; singletons = [||]; buckets = [||] }
+
+(* Frequency table of a sorted array: (value, count) pairs. *)
+let frequencies (sorted : float array) : (float * int) list =
+  let n = Array.length sorted in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let v = sorted.(i) in
+      let j = ref i in
+      while !j < n && sorted.(!j) = v do incr j done;
+      go !j ((v, !j - i) :: acc)
+  in
+  go 0 []
+
+let bucket_of_freqs (fs : (float * int) list) : bucket option =
+  match fs with
+  | [] -> None
+  | (v0, _) :: _ ->
+    let hi, count, distinct =
+      List.fold_left
+        (fun (_, c, d) (v, k) -> (v, c + k, d + 1))
+        (v0, 0, 0) fs
+    in
+    Some { lo = v0; hi; count = float_of_int count;
+           distinct = float_of_int distinct }
+
+let of_buckets buckets singletons =
+  let total =
+    Array.fold_left (fun acc b -> acc +. b.count) 0. buckets
+    +. Array.fold_left (fun acc (_, c) -> acc +. c) 0. singletons
+  in
+  { total; singletons; buckets }
+
+let build_equi_width ~buckets:k (values : float array) : t =
+  if Array.length values = 0 then empty
+  else begin
+    let sorted = Array.copy values in
+    Array.sort Float.compare sorted;
+    let fs = frequencies sorted in
+    let lo = sorted.(0) and hi = sorted.(Array.length sorted - 1) in
+    let width = if hi > lo then (hi -. lo) /. float_of_int k else 1. in
+    let bucket_index v =
+      if width <= 0. then 0
+      else min (k - 1) (int_of_float ((v -. lo) /. width))
+    in
+    let parts = Array.make k [] in
+    List.iter (fun (v, c) -> let i = bucket_index v in parts.(i) <- (v, c) :: parts.(i)) fs;
+    let bs =
+      Array.to_list parts
+      |> List.filter_map (fun part -> bucket_of_freqs (List.rev part))
+      |> Array.of_list
+    in
+    of_buckets bs [||]
+  end
+
+let build_equi_depth ~buckets:k (values : float array) : t =
+  if Array.length values = 0 then empty
+  else begin
+    let sorted = Array.copy values in
+    Array.sort Float.compare sorted;
+    let fs = frequencies sorted in
+    let n = Array.length sorted in
+    let target = max 1 (n / k) in
+    (* greedy fill: close a bucket when it reaches the target depth; a single
+       heavy value may overflow its bucket (values are never split) *)
+    let rec fill cur cur_n acc = function
+      | [] ->
+        let acc = match bucket_of_freqs (List.rev cur) with
+          | Some b -> b :: acc | None -> acc in
+        List.rev acc
+      | (v, c) :: rest ->
+        if cur_n > 0 && cur_n + c > target then
+          let acc = match bucket_of_freqs (List.rev cur) with
+            | Some b -> b :: acc | None -> acc in
+          fill [ (v, c) ] c acc rest
+        else fill ((v, c) :: cur) (cur_n + c) acc rest
+    in
+    of_buckets (Array.of_list (fill [] 0 [] fs)) [||]
+  end
+
+let build_compressed ~buckets:k ~singletons:s (values : float array) : t =
+  if Array.length values = 0 then empty
+  else begin
+    let sorted = Array.copy values in
+    Array.sort Float.compare sorted;
+    let fs = frequencies sorted in
+    (* top-s most frequent values become singleton buckets *)
+    let by_freq =
+      List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) fs
+    in
+    let rec take n = function
+      | [] -> [] | x :: r -> if n = 0 then [] else x :: take (n - 1) r
+    in
+    let top = take s by_freq in
+    let is_top v = List.exists (fun (w, _) -> w = v) top in
+    let rest = List.filter (fun (v, _) -> not (is_top v)) fs in
+    let rest_hist =
+      build_equi_depth ~buckets:k
+        (Array.of_list
+           (List.concat_map (fun (v, c) -> List.init c (fun _ -> v)) rest))
+    in
+    let singles =
+      List.map (fun (v, c) -> (v, float_of_int c)) top
+      |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+      |> Array.of_list
+    in
+    of_buckets rest_hist.buckets singles
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Estimation *)
+
+(* Fraction of the bucket's rows with value = v under uniform spread. *)
+let bucket_eq_fraction b v =
+  if v < b.lo || v > b.hi then 0.
+  else if b.distinct <= 0. then 0.
+  else b.count /. b.distinct
+
+(* Rows with value in [lo_v, hi_v] inside bucket [b]: linear interpolation
+   over the value span. *)
+let bucket_range_rows b ~lo_v ~hi_v =
+  let lo_v = max lo_v b.lo and hi_v = min hi_v b.hi in
+  if hi_v < lo_v then 0.
+  else if b.hi = b.lo then b.count
+  else b.count *. ((hi_v -. lo_v) /. (b.hi -. b.lo))
+
+(* Selectivity of [column = v]. *)
+let est_eq t v =
+  if t.total <= 0. then 0.
+  else
+    let s =
+      match Array.find_opt (fun (w, _) -> w = v) t.singletons with
+      | Some (_, c) -> c
+      | None ->
+        Array.fold_left (fun acc b -> acc +. bucket_eq_fraction b v) 0. t.buckets
+    in
+    s /. t.total
+
+(* Selectivity of [lo <= column <= hi] (either side optional). *)
+let est_range t ?lo ?hi () =
+  if t.total <= 0. then 0.
+  else
+    let lo_v = Option.value lo ~default:neg_infinity in
+    let hi_v = Option.value hi ~default:infinity in
+    let from_buckets =
+      Array.fold_left
+        (fun acc b -> acc +. bucket_range_rows b ~lo_v ~hi_v)
+        0. t.buckets
+    in
+    let from_singles =
+      Array.fold_left
+        (fun acc (v, c) -> if v >= lo_v && v <= hi_v then acc +. c else acc)
+        0. t.singletons
+    in
+    min 1. ((from_buckets +. from_singles) /. t.total)
+
+(* Histogram "join" (Section 5.1.3): align bucket boundaries of two
+   histograms and estimate matching row pairs per aligned interval as
+   (r1 * r2) / max(d1, d2) — the containment assumption.  Returns estimated
+   join result rows (not selectivity). *)
+let join_rows (a : t) (b : t) : float =
+  let expand t =
+    Array.to_list t.buckets
+    @ (Array.to_list t.singletons
+       |> List.map (fun (v, c) -> { lo = v; hi = v; count = c; distinct = 1. }))
+  in
+  let ba = expand a and bb = expand b in
+  (* boundary set *)
+  let bounds =
+    List.concat_map (fun bk -> [ bk.lo; bk.hi ]) (ba @ bb)
+    |> List.sort_uniq Float.compare
+  in
+  let rec intervals = function
+    | x :: (y :: _ as rest) -> (x, y) :: intervals rest
+    | [ x ] -> [ (x, x) ]
+    | [] -> []
+  in
+  let rows_in bs ~lo_v ~hi_v =
+    List.fold_left (fun acc bk -> acc +. bucket_range_rows bk ~lo_v ~hi_v) 0. bs
+  in
+  let distinct_in bs ~lo_v ~hi_v =
+    List.fold_left
+      (fun acc bk ->
+         let overlap_lo = max lo_v bk.lo and overlap_hi = min hi_v bk.hi in
+         if overlap_hi < overlap_lo then acc
+         else if bk.hi = bk.lo then acc +. bk.distinct
+         else
+           acc +. (bk.distinct *. ((overlap_hi -. overlap_lo) /. (bk.hi -. bk.lo))))
+      0. bs
+  in
+  (* halve interval double-counting at shared boundaries by using half-open
+     [lo, hi) intervals except the last *)
+  let ivs = intervals bounds in
+  let n = List.length ivs in
+  List.fold_left
+    (fun (acc, i) (lo_v, hi_v) ->
+       let hi_eff =
+         if i = n - 1 then hi_v
+         else hi_v -. (1e-9 *. (1. +. Float.abs hi_v))
+       in
+       let r1 = rows_in ba ~lo_v ~hi_v:hi_eff
+       and r2 = rows_in bb ~lo_v ~hi_v:hi_eff in
+       let d1 = distinct_in ba ~lo_v ~hi_v:hi_eff
+       and d2 = distinct_in bb ~lo_v ~hi_v:hi_eff in
+       let d = max d1 d2 in
+       ((if d > 0. then acc +. (r1 *. r2 /. d) else acc), i + 1))
+    (0., 0) ivs
+  |> fst
+
+let bucket_count t = Array.length t.buckets + Array.length t.singletons
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>hist total=%.0f@,singletons: %a@,%a@]" t.total
+    Fmt.(array ~sep:(any ", ") (fun ppf (v, c) -> Fmt.pf ppf "%g:%g" v c))
+    t.singletons
+    Fmt.(array ~sep:cut (fun ppf b ->
+        Fmt.pf ppf "  [%g, %g] count=%g distinct=%g" b.lo b.hi b.count b.distinct))
+    t.buckets

@@ -1,0 +1,112 @@
+(* Statistical summaries of base data (Section 5.1.1): per-table row and
+   page counts, per-column distinct counts, null fraction, second-lowest /
+   second-highest values (the paper's outlier-robust min/max), and an
+   optional histogram on numeric columns. *)
+
+open Relalg
+
+type col_stats = {
+  n_distinct : float;
+  null_frac : float;
+  lo : float option; (* second-lowest value, numeric columns *)
+  hi : float option; (* second-highest *)
+  hist : Histogram.t option;
+}
+
+type t = {
+  table : string;
+  rows : float;
+  pages : int;
+  cols : (string * col_stats) list; (* by column name *)
+}
+
+(* The statistics registry: the [stats]-side companion of the catalog. *)
+type db = (string, t) Hashtbl.t
+
+let create_db () : db = Hashtbl.create 16
+
+let numeric_values (table : Storage.Table.t) ci : float array =
+  let out = Storage.Vec.create () in
+  Storage.Table.iter
+    (fun tu ->
+       match Value.to_float (Tuple.get tu ci) with
+       | Some f -> Storage.Vec.push out f
+       | None -> ())
+    table;
+  Storage.Vec.to_array out
+
+let robust_bounds (sorted : float array) =
+  let n = Array.length sorted in
+  if n = 0 then (None, None)
+  else if n <= 2 then (Some sorted.(0), Some sorted.(n - 1))
+  else (Some sorted.(1), Some sorted.(n - 2))
+    (* 2nd-lowest / 2nd-highest: min and max are likely outliers (5.1.1) *)
+
+let analyze_column ?(hist_buckets = 20) ?(hist_kind = Sample.Equi_depth)
+    (table : Storage.Table.t) cname : col_stats =
+  let ci = Storage.Table.column_index table cname in
+  let n = Storage.Table.row_count table in
+  let nulls = ref 0 in
+  let distinct = Hashtbl.create 256 in
+  Storage.Table.iter
+    (fun tu ->
+       let v = Tuple.get tu ci in
+       if Value.is_null v then incr nulls else Hashtbl.replace distinct v ())
+    table;
+  let col = List.nth table.Storage.Table.schema ci in
+  let is_numeric =
+    match col.Schema.ty with
+    | Value.Tint | Value.Tfloat -> true
+    | Value.Tbool | Value.Tstring -> false
+  in
+  let values = if is_numeric then numeric_values table ci else [||] in
+  let sorted = Array.copy values in
+  Array.sort Float.compare sorted;
+  let lo, hi = robust_bounds sorted in
+  let hist =
+    if is_numeric && Array.length values > 0 then
+      Some (Sample.build hist_kind ~buckets:hist_buckets values)
+    else None
+  in
+  { n_distinct = float_of_int (Hashtbl.length distinct);
+    null_frac = (if n = 0 then 0. else float_of_int !nulls /. float_of_int n);
+    lo;
+    hi;
+    hist }
+
+let analyze ?hist_buckets ?hist_kind (table : Storage.Table.t) : t =
+  { table = table.Storage.Table.name;
+    rows = float_of_int (Storage.Table.row_count table);
+    pages = Storage.Table.page_count table;
+    cols =
+      List.map
+        (fun (c : Schema.column) ->
+           (c.Schema.name,
+            analyze_column ?hist_buckets ?hist_kind table c.Schema.name))
+        table.Storage.Table.schema }
+
+(* ANALYZE every table of the catalog into a fresh registry. *)
+let analyze_catalog ?hist_buckets ?hist_kind (cat : Storage.Catalog.t) : db =
+  let db = create_db () in
+  List.iter
+    (fun name ->
+       Hashtbl.replace db name
+         (analyze ?hist_buckets ?hist_kind (Storage.Catalog.table cat name)))
+    (Storage.Catalog.table_names cat);
+  db
+
+let find (db : db) table : t option = Hashtbl.find_opt db table
+
+let col (t : t) name : col_stats option = List.assoc_opt name t.cols
+
+let pp_col ppf (name, c) =
+  Fmt.pf ppf "%s: ndv=%.0f nulls=%.2f lo=%a hi=%a%s" name c.n_distinct
+    c.null_frac
+    Fmt.(option ~none:(any "-") float) c.lo
+    Fmt.(option ~none:(any "-") float) c.hi
+    (match c.hist with None -> "" | Some h ->
+       Printf.sprintf " hist(%d)" (Histogram.bucket_count h))
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s: %.0f rows, %d pages@,%a@]" t.table t.rows t.pages
+    Fmt.(list ~sep:cut pp_col) t.cols

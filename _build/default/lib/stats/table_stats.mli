@@ -1,0 +1,40 @@
+(** Statistical summaries of base data (Section 5.1.1): row/page counts and
+    per-column distinct counts, null fraction, outlier-robust bounds
+    (second-lowest / second-highest) and optional histograms. *)
+
+type col_stats = {
+  n_distinct : float;
+  null_frac : float;
+  lo : float option;  (** second-lowest value (numeric columns) *)
+  hi : float option;  (** second-highest value *)
+  hist : Histogram.t option;
+}
+
+type t = {
+  table : string;
+  rows : float;
+  pages : int;
+  cols : (string * col_stats) list;
+}
+
+(** The statistics registry — the stats-side companion of the catalog,
+    keyed by table name. *)
+type db = (string, t) Hashtbl.t
+
+val create_db : unit -> db
+
+val analyze_column :
+  ?hist_buckets:int -> ?hist_kind:Sample.kind -> Storage.Table.t -> string ->
+  col_stats
+
+(** ANALYZE one table. *)
+val analyze : ?hist_buckets:int -> ?hist_kind:Sample.kind -> Storage.Table.t -> t
+
+(** ANALYZE every table of a catalog into a fresh registry. *)
+val analyze_catalog :
+  ?hist_buckets:int -> ?hist_kind:Sample.kind -> Storage.Catalog.t -> db
+
+val find : db -> string -> t option
+val col : t -> string -> col_stats option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array Fmt List Relalg Stdlib String Table Tuple Value

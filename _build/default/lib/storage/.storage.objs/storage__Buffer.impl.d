@@ -1,0 +1,1 @@
+lib/storage/buffer.ml: Hashtbl Queue

@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Btree Hashtbl List Option Printf Relalg String Table

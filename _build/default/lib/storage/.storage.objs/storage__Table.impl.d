@@ -1,0 +1,1 @@
+lib/storage/table.ml: Fmt List Page Printf Relalg Schema Tuple Value Vec

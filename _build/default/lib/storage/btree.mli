@@ -1,0 +1,56 @@
+(** Composite-key B+-tree-shaped indexes.
+
+    Keys are value lists, one per indexed column, sorted lexicographically;
+    probes may supply any non-empty key prefix (the multi-column index
+    contract).  [distinct_keys] is the exact count of distinct full keys —
+    the paper's "distinct combinations" statistic for multi-column indexes
+    (Section 5.1.1).  [clustered] declares that the base table is stored in
+    key order. *)
+
+type t = private {
+  name : string;
+  table : string;
+  columns : string list;
+  clustered : bool;
+  entries : (Relalg.Value.t list * int) array;  (** (key, rid), sorted *)
+  fanout : int;
+  distinct_keys : int;
+}
+
+val default_fanout : int
+
+(** Lexicographic key order using {!Relalg.Value.compare}. *)
+val compare_keys : Relalg.Value.t list -> Relalg.Value.t list -> int
+
+(** Build over a table. @raise Invalid_argument on an empty column list. *)
+val build :
+  ?fanout:int -> name:string -> clustered:bool -> Table.t ->
+  columns:string list -> t
+
+(** Leading column (for single-column call sites and display). *)
+val column : t -> string
+
+val entry_count : t -> int
+val leaf_pages : t -> int
+
+(** B+-tree height (internal levels, at least 1) for a tree of this fanout. *)
+val height : t -> int
+
+(** First entry position with key >= / > the given prefix. *)
+val lower_bound : t -> Relalg.Value.t list -> int
+val upper_bound : t -> Relalg.Value.t list -> int
+
+(** Bounds on the leading column. *)
+type bound = Unbounded | Incl of Relalg.Value.t | Excl of Relalg.Value.t
+
+(** Entries whose leading column lies in the range, in key order.  NULL
+    keys never match (SQL comparison semantics). *)
+val range : t -> lo:bound -> hi:bound -> (Relalg.Value.t list * int) array
+
+(** Equality probe on a key prefix; NULLs in the probe match nothing. *)
+val probe : t -> Relalg.Value.t list -> (Relalg.Value.t list * int) array
+
+(** Leaf page number of an entry position, for buffer accounting. *)
+val leaf_page_of : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+(* Buffer pool: an LRU simulator used during execution, and the analytic
+   approximations ([40]'s point: buffer utilization matters to costing) used
+   by the cost model.
+
+   Page identities are (object name, page number) pairs, covering both data
+   pages and index pages. *)
+
+type page_id = string * int
+
+module Pool = struct
+  (* LRU with lazy deletion: [order] holds (page, seq) access records; a
+     record is current iff its seq matches [latest].  Stale records are
+     skipped during eviction, giving O(1) amortized accesses. *)
+  type t = {
+    capacity : int;
+    latest : (page_id, int) Hashtbl.t; (* resident pages -> newest seq *)
+    order : (page_id * int) Queue.t;
+    mutable seq : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ~capacity =
+    { capacity = max 1 capacity;
+      latest = Hashtbl.create 1024;
+      order = Queue.create ();
+      seq = 0;
+      hits = 0;
+      misses = 0 }
+
+  let resident t = Hashtbl.length t.latest
+
+  let touch t pid =
+    t.seq <- t.seq + 1;
+    Hashtbl.replace t.latest pid t.seq;
+    Queue.push (pid, t.seq) t.order
+
+  let rec evict_one t =
+    match Queue.take_opt t.order with
+    | None -> ()
+    | Some (pid, seq) -> (
+      match Hashtbl.find_opt t.latest pid with
+      | Some cur when cur = seq -> Hashtbl.remove t.latest pid
+      | Some _ | None -> evict_one t (* stale record *))
+
+  let access t (pid : page_id) : [ `Hit | `Miss ] =
+    if Hashtbl.mem t.latest pid then begin
+      t.hits <- t.hits + 1;
+      touch t pid;
+      `Hit
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      if resident t >= t.capacity then evict_one t;
+      touch t pid;
+      `Miss
+    end
+
+  let stats t = (t.hits, t.misses)
+end
+
+(* Cardenas' formula: expected number of distinct pages touched when [k]
+   records are drawn uniformly from a table of [n] pages. *)
+let cardenas ~pages:n ~accesses:k =
+  if n <= 0 then 0.
+  else
+    let n = float_of_int n in
+    n *. (1. -. ((1. -. (1. /. n)) ** float_of_int k))
+
+(* Mackert–Lohman-style approximation of physical I/O for [accesses] page
+   requests against [pages] distinct pages through a buffer of [buffer]
+   pages: if the working set fits, each distinct page faults once; otherwise
+   the first [buffer] requests fault to fill the pool and later requests hit
+   with probability buffer/pages. *)
+let expected_fetches ~buffer ~pages ~accesses =
+  let distinct = cardenas ~pages ~accesses in
+  if distinct <= float_of_int buffer then distinct
+  else
+    let b = float_of_int buffer in
+    let k = float_of_int accesses in
+    let p_hit = b /. float_of_int pages in
+    b +. ((k -. b) *. (1. -. p_hit))

@@ -1,0 +1,31 @@
+(** Buffer pool: an LRU simulator used during execution, and the analytic
+    approximations used by the cost model ([40]'s point that buffer
+    utilization matters). *)
+
+(** Page identity: (object name, page number), covering data and index
+    pages. *)
+type page_id = string * int
+
+module Pool : sig
+  type t
+
+  val create : capacity:int -> t
+
+  (** Currently resident pages. *)
+  val resident : t -> int
+
+  (** Access a page, updating recency; [`Miss] means a physical read. *)
+  val access : t -> page_id -> [ `Hit | `Miss ]
+
+  (** (hits, misses) so far. *)
+  val stats : t -> int * int
+end
+
+(** Cardenas' formula: expected distinct pages touched by [accesses]
+    uniform draws over [pages] pages. *)
+val cardenas : pages:int -> accesses:int -> float
+
+(** Mackert–Lohman-style expected physical reads for [accesses] page
+    requests against [pages] distinct pages through a buffer of [buffer]
+    pages. *)
+val expected_fetches : buffer:int -> pages:int -> accesses:int -> float

@@ -1,0 +1,54 @@
+(* Heap tables: an append-only in-memory tuple store with a page model.
+   Row ids are dense 0-based positions; the page of row [i] is
+   [i / tuples_per_page], which lets scans and index lookups charge the
+   buffer-pool simulator with realistic page access patterns. *)
+
+open Relalg
+
+type t = {
+  name : string;
+  schema : Schema.t; (* columns qualified by the table name *)
+  rows : Tuple.t Vec.t;
+}
+
+let create ~name ~(columns : (string * Value.ty) list) : t =
+  let schema =
+    List.map (fun (cn, ty) -> Schema.column ~rel:name ~name:cn ~ty) columns
+  in
+  { name; schema; rows = Vec.create () }
+
+let insert t (tuple : Tuple.t) =
+  if Tuple.arity tuple <> Schema.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Table.insert %s: arity %d <> %d" t.name
+         (Tuple.arity tuple) (Schema.arity t.schema));
+  Vec.push t.rows tuple
+
+let insert_all t tuples = List.iter (insert t) tuples
+
+let row_count t = Vec.length t.rows
+
+let get t rid = Vec.get t.rows rid
+
+let tuples_per_page t = Page.tuples_per_page t.schema
+
+let page_count t = Page.pages_for ~rows:(row_count t) t.schema
+
+let page_of_row t rid = rid / tuples_per_page t
+
+let iter f t = Vec.iter f t.rows
+
+and iteri f t =
+  for rid = 0 to row_count t - 1 do
+    f rid (get t rid)
+  done
+
+let to_list t = Vec.to_list t.rows
+
+(* Column position within this table's schema. *)
+let column_index t name =
+  Schema.index_of t.schema ~rel:t.name ~name
+
+let pp ppf t =
+  Fmt.pf ppf "%s%a (%d rows, %d pages)" t.name Schema.pp t.schema
+    (row_count t) (page_count t)

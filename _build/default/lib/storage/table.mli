@@ -1,0 +1,35 @@
+(** Heap tables: append-only in-memory tuple stores with a page model.
+    Row ids are dense 0-based positions; row [i] lives on page
+    [i / tuples_per_page]. *)
+
+type t = {
+  name : string;
+  schema : Relalg.Schema.t;  (** columns qualified by the table name *)
+  rows : Relalg.Tuple.t Vec.t;
+}
+
+val create : name:string -> columns:(string * Relalg.Value.ty) list -> t
+
+(** @raise Invalid_argument on arity mismatch. *)
+val insert : t -> Relalg.Tuple.t -> unit
+
+val insert_all : t -> Relalg.Tuple.t list -> unit
+val row_count : t -> int
+
+(** Tuple at row id [rid]. *)
+val get : t -> int -> Relalg.Tuple.t
+
+val tuples_per_page : t -> int
+val page_count : t -> int
+
+(** Page number holding a row id. *)
+val page_of_row : t -> int -> int
+
+val iter : (Relalg.Tuple.t -> unit) -> t -> unit
+val iteri : (int -> Relalg.Tuple.t -> unit) -> t -> unit
+val to_list : t -> Relalg.Tuple.t list
+
+(** Position of a column within this table's schema. *)
+val column_index : t -> string -> int
+
+val pp : Format.formatter -> t -> unit

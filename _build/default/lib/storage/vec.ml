@@ -1,0 +1,35 @@
+(* Minimal growable array (OCaml 5.1 lacks Dynarray). *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let cap = max 8 (2 * Array.length v.data) in
+    let data = Array.make cap x in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+let to_array v = Array.sub v.data 0 v.len
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let to_list v = Array.to_list (to_array v)

@@ -1,0 +1,15 @@
+(** Minimal growable array (OCaml 5.1 lacks [Dynarray]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+
+(** @raise Invalid_argument on out-of-bounds access. *)
+val get : 'a t -> int -> 'a
+
+val push : 'a t -> 'a -> unit
+val of_list : 'a list -> 'a t
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val iter : ('a -> unit) -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/systemr/access_path.ml: Algebra Candidate Cost Exec Expr List Pred Relalg Spj Stats Storage Value

@@ -1,0 +1,1 @@
+lib/systemr/access_path.mli: Candidate Cost Exec Expr Relalg Spj Stats Storage

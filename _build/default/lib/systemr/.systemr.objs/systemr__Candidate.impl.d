@@ -1,0 +1,1 @@
+lib/systemr/candidate.ml: Cost Exec List Relalg

@@ -1,0 +1,1 @@
+lib/systemr/candidate.mli: Cost Exec

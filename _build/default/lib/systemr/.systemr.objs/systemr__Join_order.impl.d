@@ -1,0 +1,1 @@
+lib/systemr/join_order.ml: Access_path Algebra Array Candidate Cost Exec Expr Float Fun Hashtbl List Option Pred Relalg Spj Stats Storage

@@ -1,0 +1,1 @@
+lib/systemr/join_order.mli: Candidate Cost Expr Hashtbl Relalg Spj Stats Storage

@@ -1,0 +1,1 @@
+lib/systemr/naive.ml: Array Candidate Fun Join_order List Spj

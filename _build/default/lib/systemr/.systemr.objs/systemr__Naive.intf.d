@@ -1,0 +1,1 @@
+lib/systemr/naive.mli: Candidate Join_order Spj Stats Storage

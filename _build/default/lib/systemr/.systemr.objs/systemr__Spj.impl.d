@@ -1,0 +1,1 @@
+lib/systemr/spj.ml: Algebra Cost Expr List Pred Query_graph Relalg Schema

@@ -1,0 +1,1 @@
+lib/systemr/spj.mli: Algebra Cost Expr Query_graph Relalg Schema

@@ -1,0 +1,24 @@
+(** Access-path selection for one relation (Section 3): sequential scan
+    versus index scans, with sargable conjuncts turned into index bounds
+    and the rest applied as residual filters. *)
+
+open Relalg
+
+type bounds = {
+  lo : Exec.Plan.bound;
+  hi : Exec.Plan.bound;
+  used : Expr.t list;  (** conjuncts consumed by the bounds *)
+}
+
+val no_bounds : bounds
+
+(** Bounds on [alias.column] extracted from local conjuncts of shape
+    [col CMP const]. *)
+val sargable : alias:string -> column:string -> Expr.t list -> bounds
+
+(** Candidate access paths (Pareto-pruned) and the post-filter logical
+    statistics of the relation. *)
+val candidates :
+  Cost.Cost_model.params -> Stats.Derive.assumption -> Storage.Catalog.t ->
+  Stats.Table_stats.db -> Spj.relation -> Expr.t list ->
+  Candidate.t list * Stats.Derive.rel_stats

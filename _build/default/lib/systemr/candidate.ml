@@ -1,0 +1,65 @@
+(* A candidate physical plan for some subexpression, with its estimated
+   cost and delivered order.  Candidate sets are pruned to the Pareto
+   frontier over (cost, order): keeping per-order bests is exactly
+   System-R's interesting-orders mechanism (Section 3). *)
+
+type t = {
+  plan : Exec.Plan.t;
+  cost : float;
+  order : Cost.Physical_props.order;
+}
+
+(* [a] dominates [b] when [a] is no more expensive and delivers at least as
+   strong an order ([b]'s order is a prefix of [a]'s). *)
+let dominates a b =
+  a.cost <= b.cost
+  && Cost.Physical_props.satisfies ~have:a.order ~want:b.order
+
+(* Insert with pruning.  When [interesting_orders] is false the order is
+   ignored and a single cheapest plan survives — the broken pruning that
+   experiment E2 shows to be globally suboptimal. *)
+let insert ~interesting_orders (cands : t list) (c : t) : t list =
+  if not interesting_orders then
+    match cands with
+    | [] -> [ c ]
+    | best :: _ -> if c.cost < best.cost then [ c ] else cands
+  else if List.exists (fun c' -> dominates c' c) cands then cands
+  else c :: List.filter (fun c' -> not (dominates c c')) cands
+
+let cheapest (cands : t list) : t option =
+  List.fold_left
+    (fun acc c ->
+       match acc with
+       | None -> Some c
+       | Some b -> if c.cost < b.cost then Some c else acc)
+    None cands
+
+(* Cheapest way to deliver [want]: either a candidate already ordered
+   suitably, or the cheapest candidate plus a sort enforcer. *)
+let cheapest_with_order ~params ~rows ~pages ~want (cands : t list) :
+  t option =
+  let sorted_cands =
+    List.filter
+      (fun c -> Cost.Physical_props.satisfies ~have:c.order ~want)
+      cands
+  in
+  let direct = cheapest sorted_cands in
+  let enforced =
+    match cheapest cands with
+    | None -> None
+    | Some c ->
+      let keys =
+        List.map
+          (fun ((col : Relalg.Expr.col_ref), d) ->
+             { Exec.Plan.key = Relalg.Expr.Col col;
+               descending = (d = Relalg.Algebra.Desc) })
+          want
+      in
+      Some
+        { plan = Exec.Plan.Sort (keys, c.plan);
+          cost = c.cost +. Cost.Cost_model.sort params ~pages ~rows;
+          order = want }
+  in
+  match direct, enforced with
+  | None, x | x, None -> x
+  | Some d, Some e -> Some (if d.cost <= e.cost then d else e)

@@ -1,0 +1,26 @@
+(** Candidate plans with cost and delivered order, pruned to the Pareto
+    frontier over (cost, order) — exactly System-R's interesting-orders
+    mechanism (Section 3). *)
+
+type t = {
+  plan : Exec.Plan.t;
+  cost : float;
+  order : Cost.Physical_props.order;
+}
+
+(** [a] dominates [b] when it is no dearer and delivers at least as strong
+    an order. *)
+val dominates : t -> t -> bool
+
+(** Insert with pruning.  With [interesting_orders:false] the order is
+    ignored and a single cheapest plan survives — the broken pruning that
+    experiment E2 shows to be globally suboptimal. *)
+val insert : interesting_orders:bool -> t list -> t -> t list
+
+val cheapest : t list -> t option
+
+(** Cheapest way to deliver [want]: an already-ordered candidate or the
+    cheapest one plus a sort enforcer. *)
+val cheapest_with_order :
+  params:Cost.Cost_model.params -> rows:float -> pages:float ->
+  want:Cost.Physical_props.order -> t list -> t option

@@ -1,0 +1,486 @@
+(* Bottom-up dynamic-programming join enumeration (Section 3), with:
+   - left-deep (linear) or bushy trees (Section 4.1.1, Figure 2);
+   - Cartesian products deferred unless [allow_cross] (System-R's rule) —
+     with a rescue path so disconnected query graphs still optimize;
+   - interesting orders: per-subset candidate sets pruned to the Pareto
+     frontier over (cost, delivered order);
+   - pluggable join methods (nested loop, index nested loop, sort-merge,
+     hash). *)
+
+open Relalg
+
+type meth = Nl | Inl | Smj | Hj
+
+type config = {
+  params : Cost.Cost_model.params;
+  asm : Stats.Derive.assumption;
+  allow_cross : bool;
+  interesting_orders : bool;
+  bushy : bool;
+  methods : meth list;
+}
+
+let default_config =
+  { params = Cost.Cost_model.default_params;
+    asm = Stats.Derive.default_assumption;
+    allow_cross = false;
+    interesting_orders = true;
+    bushy = false;
+    methods = [ Nl; Inl; Smj; Hj ] }
+
+(* The 1979 System-R repertoire: nested loop and sort-merge only, linear
+   trees, no Cartesian products. *)
+let system_r_1979 =
+  { default_config with methods = [ Nl; Inl; Smj ] }
+
+type ctx = {
+  cfg : config;
+  cat : Storage.Catalog.t;
+  db : Stats.Table_stats.db;
+  rels : Spj.relation array;
+  locals : Expr.t list array;
+  join_preds : Expr.t list;
+  base : (Candidate.t list * Stats.Derive.rel_stats) array;
+  stats_memo : (int, Stats.Derive.rel_stats) Hashtbl.t;
+  mutable plans_costed : int;
+}
+
+type entry = { stats : Stats.Derive.rel_stats; mutable cands : Candidate.t list }
+
+type result = {
+  best : Candidate.t;
+  card : float;
+  plans_costed : int;
+  subsets : int;
+}
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let make_ctx cfg cat db (q : Spj.t) : ctx =
+  let rels = Array.of_list q.Spj.relations in
+  let locals =
+    Array.map (fun (r : Spj.relation) -> Spj.local_predicates q r.Spj.alias) rels
+  in
+  let base =
+    Array.mapi
+      (fun i r -> Access_path.candidates cfg.params cfg.asm cat db r locals.(i))
+      rels
+  in
+  { cfg;
+    cat;
+    db;
+    rels;
+    locals;
+    join_preds = Spj.join_predicates q;
+    base;
+    stats_memo = Hashtbl.create 64;
+    plans_costed = 0 }
+
+let aliases_of ctx mask =
+  let acc = ref [] in
+  Array.iteri
+    (fun i (r : Spj.relation) ->
+       if mask land (1 lsl i) <> 0 then acc := r.Spj.alias :: !acc)
+    ctx.rels;
+  List.rev !acc
+
+(* Join conjuncts crossing the (left, right) alias partition and fully
+   contained in their union. *)
+let crossing_preds ctx ~left_aliases ~right_aliases =
+  List.filter
+    (fun p ->
+       let rels = Expr.relations p in
+       List.exists (fun r -> List.mem r left_aliases) rels
+       && List.exists (fun r -> List.mem r right_aliases) rels
+       && List.for_all
+            (fun r -> List.mem r left_aliases || List.mem r right_aliases)
+            rels)
+    ctx.join_preds
+
+(* Canonical subset statistics: peel the highest relation and join it to the
+   rest — the result is independent of which plan produced the subset
+   (statistics are a logical property, Section 5). *)
+let rec stats_of ctx mask : Stats.Derive.rel_stats =
+  match Hashtbl.find_opt ctx.stats_memo mask with
+  | Some s -> s
+  | None ->
+    let s =
+      let bits =
+        List.filter
+          (fun i -> mask land (1 lsl i) <> 0)
+          (List.init (Array.length ctx.rels) Fun.id)
+      in
+      match bits with
+      | [] -> invalid_arg "stats_of: empty subset"
+      | [ i ] -> snd ctx.base.(i)
+      | _ ->
+        let top = List.fold_left max 0 bits in
+        let rest = mask land lnot (1 lsl top) in
+        let ls = stats_of ctx rest in
+        let rs = snd ctx.base.(top) in
+        let preds =
+          crossing_preds ctx
+            ~left_aliases:(aliases_of ctx rest)
+            ~right_aliases:[ ctx.rels.(top).Spj.alias ]
+        in
+        Stats.Derive.join ~asm:ctx.cfg.asm Algebra.Inner ls rs
+          (Pred.of_conjuncts preds)
+    in
+    Hashtbl.replace ctx.stats_memo mask s;
+    s
+
+(* ------------------------------------------------------------------ *)
+(* Join candidate construction *)
+
+let col_order pairs side =
+  List.map (fun (l, r) -> ((if side = `L then l else r), Algebra.Asc)) pairs
+
+(* Build all join candidates combining [left] (composite) with [right]
+   (composite when bushy; [right_base] set when it is one base relation). *)
+let join_cands ctx ~(left : entry) ~left_aliases ~(right : entry)
+    ~right_aliases ~right_base ~(out_stats : Stats.Derive.rel_stats) :
+  Candidate.t list =
+  let p = ctx.cfg.params in
+  let preds =
+    crossing_preds ctx ~left_aliases ~right_aliases
+  in
+  let pred_expr = Pred.of_conjuncts preds in
+  let pairs, residual_list = Pred.equi_pairs ~left:left_aliases ~right:right_aliases preds in
+  let residual = Pred.of_conjuncts residual_list in
+  let lstats = left.stats and rstats = right.stats in
+  let lrows = lstats.Stats.Derive.card and rrows = rstats.Stats.Derive.card in
+  let lpages = Stats.Derive.pages lstats and rpages = Stats.Derive.pages rstats in
+  let out_rows = out_stats.Stats.Derive.card in
+  let count c = ctx.plans_costed <- ctx.plans_costed + 1; c in
+  let nl_cands () =
+    match Candidate.cheapest right.cands with
+    | None -> []
+    | Some rc ->
+      List.filter_map
+        (fun (lc : Candidate.t) ->
+           let inner, rescan_cost =
+             match right_base with
+             | Some _ ->
+               ( rc.Candidate.plan,
+                 Cost.Cost_model.nested_loop p ~outer_rows:lrows
+                   ~inner_rows:rrows ~inner_pages:rpages )
+             | None ->
+               ( Exec.Plan.Materialize rc.Candidate.plan,
+                 p.Cost.Cost_model.cpu_tuple *. lrows *. rrows )
+           in
+           Some
+             (count
+                { Candidate.plan =
+                    Exec.Plan.Nested_loop
+                      { kind = Algebra.Inner; pred = pred_expr;
+                        outer = lc.Candidate.plan; inner };
+                  cost = lc.Candidate.cost +. rc.Candidate.cost +. rescan_cost;
+                  order = lc.Candidate.order }))
+        left.cands
+  in
+  let inl_cands () =
+    match right_base with
+    | None -> []
+    | Some ri ->
+      let rel = ctx.rels.(ri) in
+      let base_table = Storage.Catalog.table ctx.cat rel.Spj.table in
+      let base_rows = float_of_int (Storage.Table.row_count base_table) in
+      let base_pages = float_of_int (Storage.Table.page_count base_table) in
+      List.concat_map
+        (fun (idx : Storage.Btree.t) ->
+           (* longest prefix of the index key covered by equi-join pairs *)
+           let rec covered cols =
+             match cols with
+             | [] -> []
+             | c :: rest -> (
+               match
+                 List.find_opt
+                   (fun ((_ : Expr.col_ref), r) -> r.Expr.col = c)
+                   pairs
+               with
+               | Some (lcol, _) -> (c, lcol) :: covered rest
+               | None -> [])
+           in
+           let cov = covered idx.Storage.Btree.columns in
+           match cov with
+           | [] -> []
+           | _ ->
+             let probe_cols = List.map fst cov in
+             let other_pairs =
+               List.filter
+                 (fun (_, (r : Expr.col_ref)) ->
+                    not (List.mem r.Expr.col probe_cols))
+                 pairs
+             in
+             let residual_all =
+               Pred.of_conjuncts
+                 (List.map
+                    (fun ((l : Expr.col_ref), (r : Expr.col_ref)) ->
+                       Expr.Cmp (Expr.Eq, Expr.Col l, Expr.Col r))
+                    other_pairs
+                  @ residual_list @ ctx.locals.(ri))
+             in
+             let col_ndv c =
+               match
+                 Stats.Table_stats.find ctx.db rel.Spj.table
+                 |> Fun.flip Option.bind (fun ts -> Stats.Table_stats.col ts c)
+               with
+               | Some cs -> Float.max 1. cs.Stats.Table_stats.n_distinct
+               | None -> Float.max 1. base_rows
+             in
+             let ndv =
+               if List.length probe_cols = List.length idx.Storage.Btree.columns
+               then
+                 (* full key: use the exact distinct-combinations statistic *)
+                 Float.max 1. (float_of_int idx.Storage.Btree.distinct_keys)
+               else
+                 Float.min base_rows
+                   (List.fold_left
+                      (fun acc c -> acc *. col_ndv c)
+                      1. probe_cols)
+             in
+             List.map
+               (fun (lc : Candidate.t) ->
+                  count
+                    { Candidate.plan =
+                        Exec.Plan.Index_nl
+                          { kind = Algebra.Inner; outer = lc.Candidate.plan;
+                            table = rel.Spj.table; alias = rel.Spj.alias;
+                            index = idx.Storage.Btree.name;
+                            columns = probe_cols;
+                            outer_keys =
+                              List.map (fun (_, l) -> Expr.Col l) cov;
+                            residual = residual_all };
+                      cost =
+                        lc.Candidate.cost
+                        +. Cost.Cost_model.index_nl p ~outer_rows:lrows
+                             ~inner_rows:base_rows ~inner_pages:base_pages
+                             ~matches_per_probe:(base_rows /. ndv)
+                             ~clustered:idx.Storage.Btree.clustered;
+                      order = lc.Candidate.order })
+               left.cands)
+        (Storage.Catalog.indexes ctx.cat rel.Spj.table)
+  in
+  let smj_cands () =
+    if pairs = [] then []
+    else
+      let want_l = col_order pairs `L and want_r = col_order pairs `R in
+      let lc =
+        Candidate.cheapest_with_order ~params:p ~rows:lrows ~pages:lpages
+          ~want:want_l left.cands
+      and rc =
+        Candidate.cheapest_with_order ~params:p ~rows:rrows ~pages:rpages
+          ~want:want_r right.cands
+      in
+      match lc, rc with
+      | Some lc, Some rc ->
+        [ count
+            { Candidate.plan =
+                Exec.Plan.Merge_join
+                  { kind = Algebra.Inner; pairs; residual;
+                    left = lc.Candidate.plan; right = rc.Candidate.plan };
+              cost =
+                lc.Candidate.cost +. rc.Candidate.cost
+                +. Cost.Cost_model.merge_join p ~left_rows:lrows
+                     ~right_rows:rrows ~out_rows;
+              order = lc.Candidate.order } ]
+      | _ -> []
+  in
+  let hj_cands () =
+    if pairs = [] then []
+    else
+      match Candidate.cheapest right.cands with
+      | None -> []
+      | Some rc ->
+        List.map
+          (fun (lc : Candidate.t) ->
+             count
+               { Candidate.plan =
+                   Exec.Plan.Hash_join
+                     { kind = Algebra.Inner; pairs; residual;
+                       left = lc.Candidate.plan; right = rc.Candidate.plan };
+                 cost =
+                   lc.Candidate.cost +. rc.Candidate.cost
+                   +. Cost.Cost_model.hash_join p ~left_rows:lrows
+                        ~right_rows:rrows ~left_pages:lpages
+                        ~right_pages:rpages ~out_rows;
+                 order = lc.Candidate.order })
+          left.cands
+  in
+  List.concat_map
+    (fun m ->
+       match m with
+       | Nl -> nl_cands ()
+       | Inl -> inl_cands ()
+       | Smj -> smj_cands ()
+       | Hj -> hj_cands ())
+    ctx.cfg.methods
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration *)
+
+let insert_all ctx entry cands =
+  List.iter
+    (fun c ->
+       entry.cands <-
+         Candidate.insert ~interesting_orders:ctx.cfg.interesting_orders
+           entry.cands c)
+    cands
+
+let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
+  ctx * entry =
+  let ctx = make_ctx config cat db q in
+  let n = Array.length ctx.rels in
+  if n = 0 then invalid_arg "Join_order.optimize: no relations";
+  let entries : (int, entry) Hashtbl.t = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    let cands, stats = ctx.base.(i) in
+    Hashtbl.replace entries (1 lsl i) { stats; cands }
+  done;
+  let full = (1 lsl n) - 1 in
+  let get mask = Hashtbl.find_opt entries mask in
+  let ensure mask =
+    match get mask with
+    | Some e -> e
+    | None ->
+      let e = { stats = stats_of ctx mask; cands = [] } in
+      Hashtbl.replace entries mask e;
+      e
+  in
+  let connected l_aliases r_aliases =
+    crossing_preds ctx ~left_aliases:l_aliases ~right_aliases:r_aliases <> []
+  in
+  if not config.bushy then begin
+    (* left-deep, by subset size *)
+    for size = 1 to n - 1 do
+      (* masks of this size may be created during this pass; snapshot *)
+      let masks =
+        Hashtbl.fold (fun m _ acc -> if popcount m = size then m :: acc else acc)
+          entries []
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun mask ->
+           let left = Hashtbl.find entries mask in
+           let l_aliases = aliases_of ctx mask in
+           let exts = List.filter (fun i -> mask land (1 lsl i) = 0) (List.init n Fun.id) in
+           let connected_exts =
+             List.filter
+               (fun i -> connected l_aliases [ ctx.rels.(i).Spj.alias ])
+               exts
+           in
+           let chosen =
+             if config.allow_cross then exts
+             else if connected_exts <> [] then connected_exts
+             else exts (* rescue: disconnected graph needs a cross product *)
+           in
+           List.iter
+             (fun i ->
+                let rmask = 1 lsl i in
+                let right = Hashtbl.find entries rmask in
+                let union = mask lor rmask in
+                let out = ensure union in
+                let cands =
+                  join_cands ctx ~left ~left_aliases:l_aliases ~right
+                    ~right_aliases:[ ctx.rels.(i).Spj.alias ]
+                    ~right_base:(Some i) ~out_stats:out.stats
+                in
+                insert_all ctx out cands)
+             chosen)
+        masks
+    done
+  end
+  else begin
+    (* bushy: every subset, every split.  Cartesian rescue applies only when
+       the whole query graph is disconnected — a merely-disconnected
+       intermediate subset is simply skipped, as in standard connected-
+       subgraph enumeration. *)
+    let graph_connected =
+      let rec grow seen =
+        let next =
+          List.filter
+            (fun i ->
+               (not (List.mem i seen))
+               && connected
+                    (List.map (fun j -> ctx.rels.(j).Spj.alias) seen)
+                    [ ctx.rels.(i).Spj.alias ])
+            (List.init n Fun.id)
+        in
+        if next = [] then seen else grow (seen @ next)
+      in
+      List.length (grow [ 0 ]) = n
+    in
+    for mask = 1 to full do
+      if popcount mask >= 2 then begin
+        let out = ensure mask in
+        let splits = ref [] in
+        let s = ref ((mask - 1) land mask) in
+        while !s > 0 do
+          let s1 = !s and s2 = mask land lnot !s in
+          if s2 <> 0 then splits := (s1, s2) :: !splits;
+          s := (!s - 1) land mask
+        done;
+        let with_conn =
+          List.filter
+            (fun (s1, s2) ->
+               connected (aliases_of ctx s1) (aliases_of ctx s2))
+            !splits
+        in
+        let chosen =
+          if config.allow_cross then !splits
+          else if with_conn <> [] then with_conn
+          else if not graph_connected then !splits
+          else []
+        in
+        List.iter
+          (fun (s1, s2) ->
+             match get s1, get s2 with
+             | Some left, Some right ->
+               let right_base =
+                 if popcount s2 = 1 then
+                   let rec bit i = if s2 land (1 lsl i) <> 0 then i else bit (i + 1) in
+                   Some (bit 0)
+                 else None
+               in
+               let cands =
+                 join_cands ctx ~left ~left_aliases:(aliases_of ctx s1) ~right
+                   ~right_aliases:(aliases_of ctx s2) ~right_base
+                   ~out_stats:out.stats
+               in
+               insert_all ctx out cands
+             | _ -> ())
+          chosen
+      end
+    done
+  end;
+  (ctx, Hashtbl.find entries full)
+
+let finish ctx (q : Spj.t) (final : entry) : result =
+  let stats = final.stats in
+  let rows = stats.Stats.Derive.card and pages = Stats.Derive.pages stats in
+  let best =
+    match
+      Candidate.cheapest_with_order ~params:ctx.cfg.params ~rows ~pages
+        ~want:q.Spj.order_by final.cands
+    with
+    | Some c -> c
+    | None -> invalid_arg "Join_order: no plan found"
+  in
+  let best =
+    match q.Spj.projections with
+    | None -> best
+    | Some items ->
+      { best with
+        Candidate.plan = Exec.Plan.Project (items, best.Candidate.plan);
+        cost = best.Candidate.cost +. Cost.Cost_model.project ctx.cfg.params ~rows }
+  in
+  { best;
+    card = stats.Stats.Derive.card;
+    plans_costed = ctx.plans_costed;
+    subsets = Hashtbl.length ctx.stats_memo }
+
+let optimize ?config cat db (q : Spj.t) : result =
+  let ctx, final = optimize_entry ?config cat db q in
+  finish ctx q final

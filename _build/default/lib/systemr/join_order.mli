@@ -1,0 +1,89 @@
+(** Bottom-up dynamic-programming join enumeration (Section 3): left-deep
+    or bushy trees, Cartesian-product deferral, interesting orders
+    (per-subset Pareto candidate sets), pluggable join methods.
+
+    The lower-level pieces ([ctx], [entry], [join_cands], ...) are exposed
+    for the naive enumerator and the Cascades optimizer, which share this
+    module's statistics and costing machinery. *)
+
+open Relalg
+
+type meth = Nl | Inl | Smj | Hj
+
+type config = {
+  params : Cost.Cost_model.params;
+  asm : Stats.Derive.assumption;
+  allow_cross : bool;  (** permit Cartesian products freely *)
+  interesting_orders : bool;  (** keep per-order bests, not one cheapest *)
+  bushy : bool;  (** all splits instead of left-deep extensions *)
+  methods : meth list;
+}
+
+val default_config : config
+
+(** The 1979 repertoire: nested loop, index nested loop, sort-merge;
+    linear trees; Cartesian products deferred. *)
+val system_r_1979 : config
+
+(** Shared optimization state: base access paths, subset statistics memo,
+    plans-costed counter. *)
+type ctx = {
+  cfg : config;
+  cat : Storage.Catalog.t;
+  db : Stats.Table_stats.db;
+  rels : Spj.relation array;
+  locals : Expr.t list array;
+  join_preds : Expr.t list;
+  base : (Candidate.t list * Stats.Derive.rel_stats) array;
+  stats_memo : (int, Stats.Derive.rel_stats) Hashtbl.t;
+  mutable plans_costed : int;
+}
+
+(** Per-subset entry: logical statistics plus the Pareto candidate set. *)
+type entry = {
+  stats : Stats.Derive.rel_stats;
+  mutable cands : Candidate.t list;
+}
+
+type result = {
+  best : Candidate.t;
+  card : float;
+  plans_costed : int;
+  subsets : int;
+}
+
+val popcount : int -> int
+val make_ctx : config -> Storage.Catalog.t -> Stats.Table_stats.db -> Spj.t -> ctx
+val aliases_of : ctx -> int -> string list
+
+(** Join conjuncts crossing the alias partition and contained in its
+    union. *)
+val crossing_preds :
+  ctx -> left_aliases:string list -> right_aliases:string list -> Expr.t list
+
+(** Canonical subset statistics (independent of how the subset's plans are
+    built — a logical property). *)
+val stats_of : ctx -> int -> Stats.Derive.rel_stats
+
+(** All join candidates combining [left] with [right] ([right_base] set
+    when the right side is one base relation, enabling index nested
+    loops). *)
+val join_cands :
+  ctx -> left:entry -> left_aliases:string list -> right:entry ->
+  right_aliases:string list -> right_base:int option ->
+  out_stats:Stats.Derive.rel_stats -> Candidate.t list
+
+val insert_all : ctx -> entry -> Candidate.t list -> unit
+
+(** Run the enumeration, returning the context and the full-set entry. *)
+val optimize_entry :
+  ?config:config -> Storage.Catalog.t -> Stats.Table_stats.db -> Spj.t ->
+  ctx * entry
+
+(** Apply the required output order and projection to the best candidate. *)
+val finish : ctx -> Spj.t -> entry -> result
+
+(** End-to-end optimization.  @raise Invalid_argument on empty queries. *)
+val optimize :
+  ?config:config -> Storage.Catalog.t -> Stats.Table_stats.db -> Spj.t ->
+  result

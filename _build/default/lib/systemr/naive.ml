@@ -1,0 +1,118 @@
+(* The naive exhaustive enumerator: optimize every permutation of the
+   relations as a left-deep sequence, with no sharing of subplans between
+   permutations.  Considers O(n!) sequences where dynamic programming
+   considers O(n·2^(n-1)) subsets (Section 3) — experiment E1 measures both.
+
+   Because it explores exactly the same plan shapes as the left-deep DP, its
+   best cost must equal the DP's best cost; that equality is a property
+   test. *)
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+(* Number of left-deep join *sequences* considered by each strategy. *)
+let linear_sequences n = factorial n
+
+let dp_extensions n =
+  (* subsets of size k each extended by (n-k) relations *)
+  let rec binom n k =
+    if k = 0 || k = n then 1 else binom (n - 1) (k - 1) + binom (n - 1) k
+  in
+  let total = ref 0 in
+  for k = 1 to n - 1 do
+    total := !total + (binom n k * (n - k))
+  done;
+  !total
+
+let permutations (xs : 'a list) : 'a list list =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: ys ->
+      (x :: y :: ys) :: List.map (fun zs -> y :: zs) (insert_everywhere x ys)
+  in
+  List.fold_left
+    (fun acc x -> List.concat_map (insert_everywhere x) acc)
+    [ [] ] xs
+
+type result = {
+  best : Candidate.t;
+  plans_costed : int;
+  sequences : int;
+}
+
+let optimize ?(config = Join_order.default_config) cat db (q : Spj.t) : result
+  =
+  let open Join_order in
+  let ctx = make_ctx config cat db q in
+  let n = Array.length ctx.rels in
+  if n > 10 then invalid_arg "Naive.optimize: too many relations (n > 10)";
+  let idxs = List.init n Fun.id in
+  let perms = permutations idxs in
+  let best = ref None in
+  let seqs = ref 0 in
+  List.iter
+    (fun perm ->
+       match perm with
+       | [] -> ()
+       | first :: rest ->
+         incr seqs;
+         (* skip permutations introducing avoidable Cartesian products *)
+         let introduces_cross =
+           (not config.allow_cross)
+           && (let rec check seen = function
+                 | [] -> false
+                 | r :: more ->
+                   let l_aliases =
+                     List.map (fun i -> ctx.rels.(i).Spj.alias) seen
+                   in
+                   let r_alias = ctx.rels.(r).Spj.alias in
+                   if
+                     Join_order.crossing_preds ctx ~left_aliases:l_aliases
+                       ~right_aliases:[ r_alias ]
+                     = []
+                     && List.exists
+                          (fun i ->
+                             Join_order.crossing_preds ctx
+                               ~left_aliases:l_aliases
+                               ~right_aliases:[ ctx.rels.(i).Spj.alias ]
+                             <> [])
+                          (List.filter (fun i -> not (List.mem i seen)) idxs)
+                   then true
+                   else check (seen @ [ r ]) more
+               in
+               check [ first ] rest)
+         in
+         if not introduces_cross then begin
+           let cands0, stats0 = ctx.base.(first) in
+           let entry0 = { stats = stats0; cands = cands0 } in
+           let _, final =
+             List.fold_left
+               (fun (mask, left) r ->
+                  let rmask = 1 lsl r in
+                  let union = mask lor rmask in
+                  let rcands, rstats = ctx.base.(r) in
+                  let right = { stats = rstats; cands = rcands } in
+                  let out_stats = Join_order.stats_of ctx union in
+                  let out = { stats = out_stats; cands = [] } in
+                  let cands =
+                    Join_order.join_cands ctx ~left
+                      ~left_aliases:(Join_order.aliases_of ctx mask) ~right
+                      ~right_aliases:[ ctx.rels.(r).Spj.alias ]
+                      ~right_base:(Some r) ~out_stats
+                  in
+                  Join_order.insert_all ctx out cands;
+                  (union, out))
+               (1 lsl first, entry0)
+               rest
+           in
+           let res = Join_order.finish ctx q final in
+           match !best with
+           | None -> best := Some res.Join_order.best
+           | Some b ->
+             if res.Join_order.best.Candidate.cost < b.Candidate.cost then
+               best := Some res.Join_order.best
+         end)
+    perms;
+  match !best with
+  | None -> invalid_arg "Naive.optimize: no plan (all permutations pruned)"
+  | Some b ->
+    { best = b; plans_costed = ctx.plans_costed; sequences = !seqs }

@@ -1,0 +1,24 @@
+(** The naive exhaustive enumerator: every permutation of the relations as
+    a left-deep sequence, no sharing between permutations — O(n!) sequences
+    where dynamic programming considers O(n·2^(n-1)) subsets (Section 3).
+    Explores exactly the left-deep DP's plan shapes, so its best cost
+    equals the DP's (a property test). *)
+
+val factorial : int -> int
+
+(** Left-deep sequences each strategy considers. *)
+val linear_sequences : int -> int
+val dp_extensions : int -> int
+
+val permutations : 'a list -> 'a list list
+
+type result = {
+  best : Candidate.t;
+  plans_costed : int;
+  sequences : int;
+}
+
+(** @raise Invalid_argument beyond 10 relations. *)
+val optimize :
+  ?config:Join_order.config -> Storage.Catalog.t -> Stats.Table_stats.db ->
+  Spj.t -> result

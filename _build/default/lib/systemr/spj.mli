@@ -1,0 +1,36 @@
+(** Normalized Select-Project-Join queries — the class the System-R
+    framework optimizes (Section 3): relations to join, conjunctive
+    predicate, optional projection and output order. *)
+
+open Relalg
+
+type relation = { alias : string; table : string; schema : Schema.t }
+
+type t = {
+  relations : relation list;
+  predicates : Expr.t list;  (** conjuncts: filters and join predicates *)
+  projections : (Expr.t * string) list option;  (** [None] = SELECT * *)
+  order_by : Cost.Physical_props.order;
+}
+
+val make :
+  ?projections:(Expr.t * string) list option ->
+  ?order_by:Cost.Physical_props.order ->
+  relations:relation list -> predicates:Expr.t list -> unit -> t
+
+val relation_aliases : t -> string list
+
+(** Single-relation conjuncts for one alias. *)
+val local_predicates : t -> string -> Expr.t list
+
+(** Conjuncts spanning at least two relations. *)
+val join_predicates : t -> Expr.t list
+
+val graph : t -> Query_graph.t
+
+(** Recognize an SPJ logical tree ([None] on group-by/distinct/outerjoin
+    shapes — handled by the rewrite layer first). *)
+val of_algebra : Algebra.t -> t option
+
+(** Canonical left-deep logical tree in declaration order. *)
+val to_algebra : t -> Algebra.t

@@ -1,0 +1,1 @@
+lib/workload/schemas.ml: Expr Gen List Printf Relalg Stats Storage String Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/schemas.mli: Relalg Stats Storage

@@ -1,0 +1,47 @@
+(* Random data generation: uniform and Zipfian distributions, seeded for
+   reproducible experiments. *)
+
+let rng seed = Random.State.make [| seed; 0x5eed |]
+
+let uniform_int st ~lo ~hi = lo + Random.State.int st (hi - lo + 1)
+
+(* Zipfian over ranks 1..n with exponent [skew] (0 = uniform), via inverse
+   CDF on precomputed cumulative weights. *)
+type zipf = { cum : float array }
+
+let zipf_make ~n ~skew =
+  let w = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** skew)) in
+  let cum = Array.make n 0. in
+  let total = Array.fold_left ( +. ) 0. w in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i x ->
+       acc := !acc +. x;
+       cum.(i) <- !acc /. total)
+    w;
+  { cum }
+
+let zipf_draw st z =
+  let u = Random.State.float st 1.0 in
+  let n = Array.length z.cum in
+  let rec bs lo hi =
+    if lo >= hi then lo + 1
+    else
+      let mid = (lo + hi) / 2 in
+      if z.cum.(mid) < u then bs (mid + 1) hi else bs lo mid
+  in
+  bs 0 (n - 1)
+
+let zipf_array st ~n ~size ~skew =
+  let z = zipf_make ~n ~skew in
+  Array.init size (fun _ -> zipf_draw st z)
+
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+
+let name_pool =
+  [ "alice"; "bob"; "carol"; "dave"; "erin"; "frank"; "grace"; "heidi";
+    "ivan"; "judy"; "mallory"; "niaj"; "olivia"; "peggy"; "rupert"; "sybil" ]
+
+let city_pool =
+  [ "Denver"; "Seattle"; "Austin"; "Boston"; "Chicago"; "Portland";
+    "Atlanta"; "Raleigh" ]

@@ -1,0 +1,22 @@
+(** Random data generation: uniform and Zipfian distributions, seeded for
+    reproducible experiments. *)
+
+val rng : int -> Random.State.t
+
+(** Uniform integer in [lo, hi]. *)
+val uniform_int : Random.State.t -> lo:int -> hi:int -> int
+
+type zipf
+
+(** Zipfian over ranks 1..n with exponent [skew] (0 = uniform). *)
+val zipf_make : n:int -> skew:float -> zipf
+
+val zipf_draw : Random.State.t -> zipf -> int
+
+(** [size] Zipfian draws over ranks 1..n. *)
+val zipf_array : Random.State.t -> n:int -> size:int -> skew:float -> int array
+
+val pick : Random.State.t -> 'a list -> 'a
+
+val name_pool : string list
+val city_pool : string list

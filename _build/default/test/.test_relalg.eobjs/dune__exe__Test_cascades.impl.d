@@ -1,0 +1,1 @@
+test/test_cascades.ml: Alcotest Algebra Array Cascades Exec Expr List Pred Printf QCheck QCheck_alcotest Relalg Schema Storage Systemr Tuple Unix Value Workload

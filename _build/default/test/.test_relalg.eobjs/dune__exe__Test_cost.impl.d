@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Algebra Char Cost Exec Expr Float Parallel Printf QCheck QCheck_alcotest Relalg Storage String Tuple Value Workload

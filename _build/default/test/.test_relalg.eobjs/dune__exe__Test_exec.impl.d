@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Algebra Array Exec Expr Gen List QCheck QCheck_alcotest Relalg Schema Storage Tuple Value

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Exec Expr Extensions Gen List Printf QCheck QCheck_alcotest Relalg Schema Storage Systemr Value Workload

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Algebra Exec Expr List Parallel Printf Relalg String Workload

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Algebra Expr List Pred Printf QCheck QCheck_alcotest Query_graph Relalg Schema Tuple Value

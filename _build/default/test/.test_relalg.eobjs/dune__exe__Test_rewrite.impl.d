@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Algebra Array Core Exec Expr List Option Printf QCheck QCheck_alcotest Relalg Rewrite Schema Storage Workload

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Core Exec Expr Lazy List Printf Relalg Rewrite Sql String Tuple Value Workload

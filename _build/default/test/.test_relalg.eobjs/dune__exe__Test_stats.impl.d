@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Algebra Array Expr Float List Option Printf QCheck QCheck_alcotest Relalg Stats Storage Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Algebra Array Gen List QCheck QCheck_alcotest Relalg Schema Storage Tuple Value

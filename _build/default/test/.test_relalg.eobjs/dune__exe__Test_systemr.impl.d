@@ -1,0 +1,1 @@
+test/test_systemr.ml: Alcotest Algebra Array Exec Expr List Pred Printf QCheck QCheck_alcotest Relalg Schema Storage Systemr Tuple Value Workload

@@ -1,0 +1,131 @@
+(* Cascades optimizer tests: plan correctness by execution, cost parity
+   with the System-R bushy DP over the same search space, memoization
+   statistics. *)
+
+open Relalg
+
+let spj_of_pieces (p : Workload.Schemas.join_pieces) : Systemr.Spj.t =
+  Systemr.Spj.make
+    ~relations:
+      (List.map
+         (fun (alias, table) ->
+            { Systemr.Spj.alias; table;
+              schema =
+                Schema.requalify
+                  (Storage.Catalog.table p.Workload.Schemas.jcat table).Storage.Table.schema
+                  ~rel:alias })
+         p.Workload.Schemas.relations)
+    ~predicates:p.Workload.Schemas.predicates ()
+
+let reference_rows (p : Workload.Schemas.join_pieces) (q : Systemr.Spj.t) =
+  (* canonical nested-loop plan in declaration order *)
+  match q.Systemr.Spj.relations with
+  | [] -> assert false
+  | first :: rest ->
+    let scan (r : Systemr.Spj.relation) =
+      Exec.Plan.Seq_scan { table = r.Systemr.Spj.table; alias = r.Systemr.Spj.alias; filter = None }
+    in
+    let joined =
+      List.fold_left
+        (fun acc r ->
+           Exec.Plan.Nested_loop
+             { kind = Algebra.Inner; pred = Expr.ftrue; outer = acc;
+               inner = scan r })
+        (scan first) rest
+    in
+    let filtered =
+      Exec.Plan.Filter (Pred.of_conjuncts q.Systemr.Spj.predicates, joined)
+    in
+    Exec.Executor.run p.Workload.Schemas.jcat filtered
+
+let shapes =
+  [ ("chain", Workload.Schemas.Chain_q); ("star", Workload.Schemas.Star_q);
+    ("clique", Workload.Schemas.Clique_q) ]
+
+let test_correctness () =
+  List.iter
+    (fun (name, shape) ->
+       let p = Workload.Schemas.join_shape ~rows:25 ~shape ~n:4 () in
+       let q = spj_of_pieces p in
+       let res = Cascades.Search.optimize p.Workload.Schemas.jcat p.Workload.Schemas.jdb q in
+       let out = Exec.Executor.run p.Workload.Schemas.jcat res.Cascades.Search.best.Systemr.Candidate.plan in
+       let expect = reference_rows p q in
+       Alcotest.(check bool) (name ^ " correct") true
+         (Exec.Executor.same_multiset_modulo_columns out expect))
+    shapes
+
+let test_cost_parity_with_bushy_dp () =
+  List.iter
+    (fun (name, shape) ->
+       let p = Workload.Schemas.join_shape ~rows:200 ~shape ~n:5 () in
+       let q = spj_of_pieces p in
+       let casc = Cascades.Search.optimize p.Workload.Schemas.jcat p.Workload.Schemas.jdb q in
+       let dp =
+         Systemr.Join_order.optimize
+           ~config:{ Systemr.Join_order.default_config with bushy = true }
+           p.Workload.Schemas.jcat p.Workload.Schemas.jdb q
+       in
+       (* same logical space and cost model: best costs must agree *)
+       Alcotest.(check (float 1e-6)) (name ^ " best cost parity")
+         dp.Systemr.Join_order.best.Systemr.Candidate.cost
+         casc.Cascades.Search.best.Systemr.Candidate.cost)
+    shapes
+
+let test_memo_statistics () =
+  let p = Workload.Schemas.join_shape ~rows:100 ~shape:Workload.Schemas.Chain_q ~n:5 () in
+  let q = spj_of_pieces p in
+  let res = Cascades.Search.optimize p.Workload.Schemas.jcat p.Workload.Schemas.jdb q in
+  (* chain of 5 without cross products: groups = connected subchains =
+     n(n+1)/2 = 15 *)
+  Alcotest.(check int) "groups" 15 res.Cascades.Search.groups;
+  Alcotest.(check bool) "exprs >= groups" true
+    (res.Cascades.Search.exprs >= res.Cascades.Search.groups);
+  Alcotest.(check bool) "rules fired" true (res.Cascades.Search.rule_firings > 0)
+
+let test_memoization_bounds_work () =
+  (* a clique of 7 explodes without memoization; with the memo it completes
+     quickly and visits exactly 2^n - 1 groups *)
+  let p = Workload.Schemas.join_shape ~rows:50 ~shape:Workload.Schemas.Clique_q ~n:7 () in
+  let q = spj_of_pieces p in
+  let t0 = Unix.gettimeofday () in
+  let res = Cascades.Search.optimize p.Workload.Schemas.jcat p.Workload.Schemas.jdb q in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "all subsets" 127 res.Cascades.Search.groups;
+  Alcotest.(check bool) (Printf.sprintf "fast enough (%.2fs)" dt) true (dt < 10.)
+
+let test_order_requirement () =
+  let p = Workload.Schemas.join_shape ~rows:60 ~shape:Workload.Schemas.Chain_q ~n:3 () in
+  let q =
+    { (spj_of_pieces p) with
+      Systemr.Spj.order_by = [ ({ Expr.rel = "R1"; col = "a" }, Algebra.Asc) ] }
+  in
+  let res = Cascades.Search.optimize p.Workload.Schemas.jcat p.Workload.Schemas.jdb q in
+  let out = Exec.Executor.run p.Workload.Schemas.jcat res.Cascades.Search.best.Systemr.Candidate.plan in
+  let i = Schema.index_of out.Exec.Executor.schema ~rel:"R1" ~name:"a" in
+  let keys = Array.to_list out.Exec.Executor.rows |> List.map (fun t -> Tuple.get t i) in
+  Alcotest.(check bool) "sorted" true
+    (List.for_all2 Value.equal keys (List.sort Value.compare keys))
+
+let prop_cascades_correct =
+  QCheck.Test.make ~name:"cascades plans always correct" ~count:10
+    (QCheck.make
+       QCheck.Gen.(
+         pair (oneofl [ Workload.Schemas.Chain_q; Workload.Schemas.Star_q ])
+           (pair (int_range 2 4) (int_range 1 1000))))
+    (fun (shape, (n, seed)) ->
+       let p = Workload.Schemas.join_shape ~seed ~rows:20 ~shape ~n () in
+       let q = spj_of_pieces p in
+       let res = Cascades.Search.optimize p.Workload.Schemas.jcat p.Workload.Schemas.jdb q in
+       let out = Exec.Executor.run p.Workload.Schemas.jcat res.Cascades.Search.best.Systemr.Candidate.plan in
+       Exec.Executor.same_multiset_modulo_columns out (reference_rows p q))
+
+let () =
+  Alcotest.run "cascades"
+    [ ("search",
+       [ Alcotest.test_case "correctness" `Quick test_correctness;
+         Alcotest.test_case "cost parity with bushy DP" `Quick test_cost_parity_with_bushy_dp;
+         Alcotest.test_case "order requirement" `Quick test_order_requirement;
+         QCheck_alcotest.to_alcotest prop_cascades_correct ]);
+      ("memo",
+       [ Alcotest.test_case "statistics" `Quick test_memo_statistics;
+         Alcotest.test_case "memoization bounds work" `Quick test_memoization_bounds_work ]) ]

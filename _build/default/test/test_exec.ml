@@ -1,0 +1,282 @@
+(* Execution-engine tests: every join algorithm must agree with the naive
+   nested loop on every join kind, aggregation must follow SQL semantics,
+   and page accounting must behave. *)
+
+open Relalg
+
+let mk_catalog rs ss =
+  let cat = Storage.Catalog.create () in
+  let r = Storage.Catalog.create_table cat ~name:"R"
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ] in
+  let s = Storage.Catalog.create_table cat ~name:"S"
+      ~columns:[ ("a", Value.Tint); ("c", Value.Tint) ] in
+  List.iter (fun (a, b) -> Storage.Table.insert r (Tuple.of_list [ a; b ])) rs;
+  List.iter (fun (a, c) -> Storage.Table.insert s (Tuple.of_list [ a; c ])) ss;
+  cat
+
+let default_r =
+  [ (Value.Int 1, Value.Int 10); (Value.Int 2, Value.Int 20);
+    (Value.Int 2, Value.Int 21); (Value.Int 3, Value.Int 30);
+    (Value.Null, Value.Int 99) ]
+
+let default_s =
+  [ (Value.Int 2, Value.Int 200); (Value.Int 2, Value.Int 201);
+    (Value.Int 3, Value.Int 300); (Value.Int 4, Value.Int 400);
+    (Value.Null, Value.Int 999) ]
+
+let scan t = Exec.Plan.Seq_scan { table = t; alias = t; filter = None }
+
+let join_pred =
+  Expr.Cmp (Expr.Eq, Expr.col ~rel:"R" ~col:"a", Expr.col ~rel:"S" ~col:"a")
+
+let pair = ({ Expr.rel = "R"; col = "a" }, { Expr.rel = "S"; col = "a" })
+
+let sort_on rel col input =
+  Exec.Plan.Sort ([ { Exec.Plan.key = Expr.col ~rel ~col; descending = false } ], input)
+
+let run cat p = Exec.Executor.run cat p
+
+let rows_sorted (r : Exec.Executor.result) =
+  Array.to_list r.Exec.Executor.rows |> List.sort Tuple.compare
+
+let check_same name a b =
+  Alcotest.(check int) (name ^ ": row count") (List.length (rows_sorted a)) (List.length (rows_sorted b));
+  Alcotest.(check bool) (name ^ ": multiset equal") true (Exec.Executor.same_multiset a b)
+
+let all_join_algorithms kind cat =
+  let nl =
+    Exec.Plan.Nested_loop { kind; pred = join_pred; outer = scan "R"; inner = scan "S" }
+  in
+  let hj =
+    Exec.Plan.Hash_join { kind; pairs = [ pair ]; residual = Expr.ftrue;
+                          left = scan "R"; right = scan "S" }
+  in
+  let mj =
+    Exec.Plan.Merge_join { kind; pairs = [ pair ]; residual = Expr.ftrue;
+                           left = sort_on "R" "a" (scan "R");
+                           right = sort_on "S" "a" (scan "S") }
+  in
+  (run cat nl, [ ("hash", run cat hj); ("merge", run cat mj) ])
+
+let test_join_kind kind () =
+  let cat = mk_catalog default_r default_s in
+  let reference, others = all_join_algorithms kind cat in
+  List.iter (fun (name, r) -> check_same name reference r) others
+
+let test_inner_join_content () =
+  let cat = mk_catalog default_r default_s in
+  let r = run cat (Exec.Plan.Nested_loop
+                     { kind = Algebra.Inner; pred = join_pred;
+                       outer = scan "R"; inner = scan "S" }) in
+  (* keys 2 (2x2 rows) and 3 (1x1): 5 rows; NULLs never join *)
+  Alcotest.(check int) "rows" 5 (Array.length r.Exec.Executor.rows)
+
+let test_left_outer_content () =
+  let cat = mk_catalog default_r default_s in
+  let r = run cat (Exec.Plan.Nested_loop
+                     { kind = Algebra.Left_outer; pred = join_pred;
+                       outer = scan "R"; inner = scan "S" }) in
+  (* 5 matches + unmatched R rows (a=1 and a=NULL) padded *)
+  Alcotest.(check int) "rows" 7 (Array.length r.Exec.Executor.rows);
+  let padded =
+    Array.to_list r.Exec.Executor.rows
+    |> List.filter (fun t -> Value.is_null (Tuple.get t 2))
+  in
+  Alcotest.(check int) "padded rows" 2 (List.length padded)
+
+let test_semi_anti_content () =
+  let cat = mk_catalog default_r default_s in
+  let semi = run cat (Exec.Plan.Nested_loop
+                        { kind = Algebra.Semi; pred = join_pred;
+                          outer = scan "R"; inner = scan "S" }) in
+  Alcotest.(check int) "semi rows" 3 (Array.length semi.Exec.Executor.rows);
+  Alcotest.(check int) "semi arity = R" 2 (Schema.arity semi.Exec.Executor.schema);
+  let anti = run cat (Exec.Plan.Nested_loop
+                        { kind = Algebra.Anti; pred = join_pred;
+                          outer = scan "R"; inner = scan "S" }) in
+  Alcotest.(check int) "anti rows" 2 (Array.length anti.Exec.Executor.rows)
+
+(* property: random inputs, all algorithms and kinds agree *)
+let arb_rows =
+  QCheck.(list_of_size Gen.(int_range 0 25)
+            (pair (int_range 0 5) (int_range 0 50)))
+
+let prop_join_agreement =
+  QCheck.Test.make ~name:"join algorithms agree on all kinds" ~count:60
+    (QCheck.pair arb_rows arb_rows)
+    (fun (rs, ss) ->
+       let mk (a, b) = (Value.Int a, Value.Int b) in
+       let cat = mk_catalog (List.map mk rs) (List.map mk ss) in
+       List.for_all
+         (fun kind ->
+            let reference, others = all_join_algorithms kind cat in
+            List.for_all
+              (fun (_, r) -> Exec.Executor.same_multiset reference r)
+              others)
+         [ Algebra.Inner; Algebra.Left_outer; Algebra.Semi; Algebra.Anti ])
+
+let test_index_nl_agrees () =
+  let cat = mk_catalog default_r default_s in
+  ignore (Storage.Catalog.create_index cat ~table:"S" ~column:"a" ());
+  let reference = run cat (Exec.Plan.Nested_loop
+                             { kind = Algebra.Inner; pred = join_pred;
+                               outer = scan "R"; inner = scan "S" }) in
+  let inl = run cat (Exec.Plan.Index_nl
+                       { kind = Algebra.Inner; outer = scan "R"; table = "S";
+                         alias = "S"; index = "idx_S_a"; columns = [ "a" ];
+                         outer_keys = [ Expr.col ~rel:"R" ~col:"a" ];
+                         residual = Expr.ftrue }) in
+  check_same "index-nl" reference inl
+
+let test_index_scan_bounds () =
+  let cat = mk_catalog default_r default_s in
+  ignore (Storage.Catalog.create_index cat ~table:"S" ~column:"a" ());
+  let via_index =
+    run cat (Exec.Plan.Index_scan
+               { table = "S"; alias = "S"; column = "a";
+                 lo = Exec.Plan.Incl (Value.Int 2);
+                 hi = Exec.Plan.Excl (Value.Int 4); filter = None })
+  in
+  let via_filter =
+    run cat
+      (Exec.Plan.Seq_scan
+         { table = "S"; alias = "S";
+           filter =
+             Some (Expr.And
+                     (Expr.Cmp (Expr.Ge, Expr.col ~rel:"S" ~col:"a", Expr.int 2),
+                      Expr.Cmp (Expr.Lt, Expr.col ~rel:"S" ~col:"a", Expr.int 4))) })
+  in
+  check_same "index scan" via_filter via_index
+
+let test_sort_order_and_stability () =
+  let cat = mk_catalog default_r default_s in
+  let r = run cat (sort_on "R" "a" (scan "R")) in
+  let keys = Array.to_list r.Exec.Executor.rows |> List.map (fun t -> Tuple.get t 0) in
+  let sorted = List.sort Value.compare keys in
+  Alcotest.(check bool) "sorted (nulls first)" true
+    (List.for_all2 Value.equal keys sorted);
+  (* descending *)
+  let d =
+    run cat
+      (Exec.Plan.Sort
+         ([ { Exec.Plan.key = Expr.col ~rel:"R" ~col:"a"; descending = true } ],
+          scan "R"))
+  in
+  let dkeys = Array.to_list d.Exec.Executor.rows |> List.map (fun t -> Tuple.get t 0) in
+  Alcotest.(check bool) "descending" true
+    (List.for_all2 Value.equal dkeys (List.rev sorted))
+
+let test_aggregation () =
+  let cat = mk_catalog default_r default_s in
+  let mk_agg op =
+    op { Exec.Plan.keys = [ (Expr.col ~rel:"S" ~col:"a", "a") ];
+         aggs = [ (Expr.Count_star, "n");
+                  (Expr.Sum (Expr.col ~rel:"S" ~col:"c"), "total") ];
+         input = sort_on "S" "a" (scan "S") }
+  in
+  let hash = run cat (mk_agg (fun a -> Exec.Plan.Hash_agg a)) in
+  let stream = run cat (mk_agg (fun a -> Exec.Plan.Stream_agg a)) in
+  check_same "hash vs stream agg" hash stream;
+  (* 4 groups: NULL, 2, 3, 4 *)
+  Alcotest.(check int) "groups" 4 (Array.length hash.Exec.Executor.rows)
+
+let test_scalar_agg_empty_input () =
+  let cat = mk_catalog [] [] in
+  let r =
+    run cat
+      (Exec.Plan.Hash_agg
+         { keys = []; aggs = [ (Expr.Count_star, "n") ]; input = scan "R" })
+  in
+  Alcotest.(check int) "one row" 1 (Array.length r.Exec.Executor.rows);
+  Alcotest.(check bool) "count 0" true
+    (Value.equal (Tuple.get r.Exec.Executor.rows.(0) 0) (Value.Int 0));
+  (* but a grouped aggregate over empty input returns no rows *)
+  let g =
+    run cat
+      (Exec.Plan.Hash_agg
+         { keys = [ (Expr.col ~rel:"R" ~col:"a", "a") ];
+           aggs = [ (Expr.Count_star, "n") ]; input = scan "R" })
+  in
+  Alcotest.(check int) "no groups" 0 (Array.length g.Exec.Executor.rows)
+
+let test_distinct () =
+  let cat = mk_catalog default_r default_s in
+  let r =
+    run cat
+      (Exec.Plan.Hash_distinct
+         (Exec.Plan.Project ([ (Expr.col ~rel:"S" ~col:"a", "a") ], scan "S")))
+  in
+  Alcotest.(check int) "distinct keys" 4 (Array.length r.Exec.Executor.rows)
+
+let test_filter_project () =
+  let cat = mk_catalog default_r default_s in
+  let r =
+    run cat
+      (Exec.Plan.Project
+         ([ (Expr.Binop (Expr.Add, Expr.col ~rel:"R" ~col:"b", Expr.int 1), "b1") ],
+          Exec.Plan.Filter
+            (Expr.Cmp (Expr.Ge, Expr.col ~rel:"R" ~col:"a", Expr.int 2),
+             scan "R")))
+  in
+  Alcotest.(check int) "filtered" 3 (Array.length r.Exec.Executor.rows);
+  Alcotest.(check bool) "projected" true
+    (Array.for_all
+       (fun t -> match Tuple.get t 0 with Value.Int v -> v > 10 | _ -> false)
+       r.Exec.Executor.rows)
+
+let test_io_accounting () =
+  let cat = Storage.Catalog.create () in
+  let t = Storage.Catalog.create_table cat ~name:"Big" ~columns:[ ("k", Value.Tint) ] in
+  for i = 0 to 9999 do
+    Storage.Table.insert t (Tuple.of_list [ Value.Int i ])
+  done;
+  let pages = Storage.Table.page_count t in
+  Alcotest.(check bool) "multi-page" true (pages > 1);
+  let ctx = Exec.Context.create ~buffer_pages:1024 () in
+  ignore (Exec.Executor.run ~ctx cat (scan "Big"));
+  Alcotest.(check int) "scan reads all pages once" pages ctx.Exec.Context.seq_io;
+  (* second scan through the same context: buffer hits, no new I/O *)
+  ignore (Exec.Executor.run ~ctx cat (scan "Big"));
+  Alcotest.(check int) "rescan is free with big buffer" pages ctx.Exec.Context.seq_io;
+  (* tiny buffer: rescan faults again *)
+  let ctx2 = Exec.Context.create ~buffer_pages:2 () in
+  ignore (Exec.Executor.run ~ctx:ctx2 cat (scan "Big"));
+  ignore (Exec.Executor.run ~ctx:ctx2 cat (scan "Big"));
+  Alcotest.(check int) "rescan faults with tiny buffer" (2 * pages) ctx2.Exec.Context.seq_io
+
+let test_materialize_caches () =
+  let cat = mk_catalog default_r default_s in
+  let ctx = Exec.Context.create ~buffer_pages:2 () in
+  let inner = Exec.Plan.Materialize (scan "S") in
+  ignore
+    (Exec.Executor.run ~ctx cat
+       (Exec.Plan.Nested_loop
+          { kind = Algebra.Inner; pred = join_pred; outer = scan "R"; inner }));
+  (* S scanned exactly once despite 5 outer tuples *)
+  Alcotest.(check int) "materialized inner scanned once" 2 ctx.Exec.Context.seq_io
+
+let () =
+  Alcotest.run "exec"
+    [ ("joins",
+       [ Alcotest.test_case "inner agree" `Quick (test_join_kind Algebra.Inner);
+         Alcotest.test_case "left outer agree" `Quick (test_join_kind Algebra.Left_outer);
+         Alcotest.test_case "semi agree" `Quick (test_join_kind Algebra.Semi);
+         Alcotest.test_case "anti agree" `Quick (test_join_kind Algebra.Anti);
+         Alcotest.test_case "inner content" `Quick test_inner_join_content;
+         Alcotest.test_case "left outer content" `Quick test_left_outer_content;
+         Alcotest.test_case "semi/anti content" `Quick test_semi_anti_content;
+         Alcotest.test_case "index-nl agrees" `Quick test_index_nl_agrees;
+         QCheck_alcotest.to_alcotest prop_join_agreement ]);
+      ("scans",
+       [ Alcotest.test_case "index scan bounds" `Quick test_index_scan_bounds ]);
+      ("sort",
+       [ Alcotest.test_case "order and direction" `Quick test_sort_order_and_stability ]);
+      ("aggregate",
+       [ Alcotest.test_case "hash vs stream" `Quick test_aggregation;
+         Alcotest.test_case "scalar agg on empty" `Quick test_scalar_agg_empty_input;
+         Alcotest.test_case "distinct" `Quick test_distinct ]);
+      ("scalar ops",
+       [ Alcotest.test_case "filter + project" `Quick test_filter_project ]);
+      ("io",
+       [ Alcotest.test_case "page accounting" `Quick test_io_accounting;
+         Alcotest.test_case "materialize caches" `Quick test_materialize_caches ]) ]

@@ -1,0 +1,264 @@
+(* Extensions tests: expensive user-defined predicates (rank ordering,
+   property DP) and materialized-view matching. *)
+
+open Relalg
+module Ep = Extensions.Expensive_pred
+
+let mk name sel cost = { Ep.p_name = name; sel; cost }
+
+(* ---------- expensive predicates ---------- *)
+
+let test_rank_order_optimal_no_joins () =
+  (* exhaustive check on fixed predicate sets *)
+  let sets =
+    [ [ mk "cheap_selective" 0.1 1.; mk "pricey_loose" 0.9 50.;
+        mk "mid" 0.5 10. ];
+      [ mk "a" 0.99 0.1; mk "b" 0.01 100.; mk "c" 0.3 5.; mk "d" 0.7 2. ] ]
+  in
+  List.iter
+    (fun ps ->
+       let ranked_cost = Ep.sequence_cost ~n:10000. (Ep.order_by_rank ps) in
+       let _, best_cost = Ep.optimal_order_exhaustive ~n:10000. ps in
+       Alcotest.(check (float 1e-6)) "rank order is optimal" best_cost ranked_cost)
+    sets
+
+let prop_rank_optimal =
+  QCheck.Test.make ~name:"rank ordering optimal for any predicate set"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 5)
+              (pair (float_range 0.01 0.99) (float_range 0.1 20.)))
+    (fun specs ->
+       let ps = List.mapi (fun i (s, c) -> mk (string_of_int i) s c) specs in
+       let ranked = Ep.sequence_cost ~n:1000. (Ep.order_by_rank ps) in
+       let _, best = Ep.optimal_order_exhaustive ~n:1000. ps in
+       ranked <= best +. 1e-6)
+
+let test_pushdown_suboptimal_for_expensive () =
+  (* an expensive loose predicate should run after the reducing join *)
+  let ps = [ mk "image_match" 0.9 100. ] in
+  let js = [ { Ep.j_name = "j"; j_sel = 0.001; j_cost = 0.01; j_card = 100. } ] in
+  let pd = Ep.interleaving_cost ~n:1000. (Ep.pushdown_always ps js) in
+  let _, opt = Ep.property_dp ~n:1000. ps js in
+  Alcotest.(check bool)
+    (Printf.sprintf "pushdown %.0f > optimal %.0f" pd opt)
+    true (pd > opt *. 2.)
+
+let test_property_dp_never_worse () =
+  let check ps js =
+    let n = 1000. in
+    let _, opt = Ep.property_dp ~n ps js in
+    let pd = Ep.interleaving_cost ~n (Ep.pushdown_always ps js) in
+    let ri = Ep.interleaving_cost ~n (Ep.rank_interleave ps js) in
+    Alcotest.(check bool) "dp <= pushdown" true (opt <= pd +. 1e-6);
+    Alcotest.(check bool) "dp <= rank-interleave" true (opt <= ri +. 1e-6)
+  in
+  check
+    [ mk "p1" 0.5 5.; mk "p2" 0.05 0.5 ]
+    [ { Ep.j_name = "j1"; j_sel = 0.01; j_cost = 0.02; j_card = 50. };
+      { Ep.j_name = "j2"; j_sel = 0.1; j_cost = 0.02; j_card = 10. } ]
+
+let prop_dp_dominates =
+  QCheck.Test.make ~name:"property DP dominates both heuristics" ~count:100
+    QCheck.(pair
+              (list_of_size Gen.(int_range 1 4)
+                 (pair (float_range 0.01 0.99) (float_range 0.1 30.)))
+              (list_of_size Gen.(int_range 0 3)
+                 (pair (float_range 0.001 0.5) (float_range 1. 50.))))
+    (fun (pspecs, jspecs) ->
+       let ps = List.mapi (fun i (s, c) -> mk (string_of_int i) s c) pspecs in
+       let js =
+         List.mapi
+           (fun i (s, card) ->
+              { Ep.j_name = string_of_int i; j_sel = s; j_cost = 0.01;
+                j_card = card })
+           jspecs
+       in
+       let n = 1000. in
+       let _, opt = Ep.property_dp ~n ps js in
+       opt <= Ep.interleaving_cost ~n (Ep.pushdown_always ps js) +. 1e-6
+       && opt <= Ep.interleaving_cost ~n (Ep.rank_interleave ps js) +. 1e-6)
+
+let test_rank_interleave_can_be_suboptimal () =
+  (* the [29] shortcoming fixed by [8]: exhibit an instance where the rank
+     heuristic with joins is strictly worse than the DP *)
+  let ps = [ mk "p" 0.5 1.0 ] in
+  let js =
+    [ { Ep.j_name = "blowup"; j_sel = 1.0; j_cost = 0.001; j_card = 20. };
+      { Ep.j_name = "reduce"; j_sel = 0.001; j_cost = 0.001; j_card = 1. } ]
+  in
+  let n = 1000. in
+  let ri = Ep.interleaving_cost ~n (Ep.rank_interleave ps js) in
+  let _, opt = Ep.property_dp ~n ps js in
+  Alcotest.(check bool)
+    (Printf.sprintf "rank-interleave %.1f vs dp %.1f" ri opt)
+    true (opt <= ri)
+
+(* ---------- materialized views ---------- *)
+
+let spj cat rels preds projections =
+  Systemr.Spj.make
+    ~relations:
+      (List.map
+         (fun (alias, table) ->
+            { Systemr.Spj.alias; table;
+              schema =
+                Schema.requalify
+                  (Storage.Catalog.table cat table).Storage.Table.schema
+                  ~rel:alias })
+         rels)
+    ~predicates:preds ~projections ()
+
+let col r c = Expr.col ~rel:r ~col:c
+let eq a b = Expr.Cmp (Expr.Eq, a, b)
+
+let test_matview_rewrite_and_equivalence () =
+  let w = Workload.Schemas.emp_dept ~emps:800 ~depts:30 () in
+  let cat = w.Workload.Schemas.cat and db = w.Workload.Schemas.db in
+  (* view: young employees with their department *)
+  let vdef =
+    spj cat [ ("E", "Emp"); ("D", "Dept") ]
+      [ eq (col "E" "did") (col "D" "did");
+        Expr.Cmp (Expr.Lt, col "E" "age", Expr.int 40) ]
+      (Some [ (col "E" "eid", "eid"); (col "E" "sal", "sal");
+              (col "E" "age", "age"); (col "D" "loc", "loc") ])
+  in
+  let v = Extensions.Matview.materialize cat db ~name:"young_emps" vdef in
+  (* query: subsumed by the view, with an extra filter *)
+  let q =
+    spj cat [ ("E", "Emp"); ("D", "Dept") ]
+      [ eq (col "E" "did") (col "D" "did");
+        Expr.Cmp (Expr.Lt, col "E" "age", Expr.int 40);
+        eq (col "D" "loc") (Expr.str "Denver") ]
+      (Some [ (col "E" "eid", "eid"); (col "E" "sal", "sal") ])
+  in
+  (match Extensions.Matview.rewrite v q with
+   | None -> Alcotest.fail "expected a rewrite"
+   | Some q' ->
+     let q' = Extensions.Matview.resolve_schemas cat q' in
+     Alcotest.(check int) "single relation" 1
+       (List.length q'.Systemr.Spj.relations);
+     (* execute both: same answers *)
+     let run query =
+       let r = Systemr.Join_order.optimize cat db query in
+       Exec.Executor.run cat r.Systemr.Join_order.best.Systemr.Candidate.plan
+     in
+     Alcotest.(check bool) "equivalent" true
+       (Exec.Executor.same_multiset (run q) (run q')));
+  (* cost-based choice picks the view here (it is much smaller) *)
+  let choice = Extensions.Matview.optimize_with_views cat db [ v ] q in
+  Alcotest.(check (option string)) "view chosen" (Some "young_emps")
+    choice.Extensions.Matview.used_view
+
+let test_matview_no_false_match () =
+  let w = Workload.Schemas.emp_dept ~emps:300 ~depts:10 () in
+  let cat = w.Workload.Schemas.cat and db = w.Workload.Schemas.db in
+  let vdef =
+    spj cat [ ("E", "Emp") ]
+      [ Expr.Cmp (Expr.Lt, col "E" "age", Expr.int 30) ]
+      (Some [ (col "E" "eid", "eid") ])
+  in
+  let v = Extensions.Matview.materialize cat db ~name:"very_young" vdef in
+  (* query misses the view's predicate: must not match *)
+  let q1 =
+    spj cat [ ("E", "Emp") ] [] (Some [ (col "E" "eid", "eid") ])
+  in
+  Alcotest.(check bool) "predicate mismatch rejected" true
+    (Extensions.Matview.rewrite v q1 = None);
+  (* query needs a column the view does not store: must not match *)
+  let q2 =
+    spj cat [ ("E", "Emp") ]
+      [ Expr.Cmp (Expr.Lt, col "E" "age", Expr.int 30) ]
+      (Some [ (col "E" "sal", "sal") ])
+  in
+  Alcotest.(check bool) "missing column rejected" true
+    (Extensions.Matview.rewrite v q2 = None)
+
+(* ---------- parametric plans (Section 7.4) ---------- *)
+
+let parametric_setup () =
+  let w = Workload.Schemas.emp_dept ~emps:5000 ~depts:50 () in
+  let cat = w.Workload.Schemas.cat and db = w.Workload.Schemas.db in
+  let make_query v =
+    Systemr.Spj.make
+      ~relations:
+        [ { Systemr.Spj.alias = "E"; table = "Emp";
+            schema =
+              Schema.requalify
+                (Storage.Catalog.table cat "Emp").Storage.Table.schema ~rel:"E" } ]
+      ~predicates:[ Expr.Cmp (Expr.Lt, col "E" "eid", Expr.Const v) ] ()
+  in
+  (cat, db, make_query)
+
+let test_parametric_shapes_and_dispatch () =
+  let cat, db, make_query = parametric_setup () in
+  let pp =
+    Extensions.Parametric.optimize cat db
+      ~param_values:(List.map (fun i -> Value.Int i) [ 50; 1000; 4500 ])
+      make_query
+  in
+  (* selective end uses the clustered index, wide end the seq scan *)
+  Alcotest.(check int) "two shapes" 2 pp.Extensions.Parametric.shapes;
+  (match Extensions.Parametric.plan_for pp (Value.Int 60) with
+   | Exec.Plan.Index_scan _ -> ()
+   | p -> Alcotest.fail ("expected index scan, got " ^ Exec.Plan.to_string p));
+  (match Extensions.Parametric.plan_for pp (Value.Int 4600) with
+   | Exec.Plan.Seq_scan _ -> ()
+   | p -> Alcotest.fail ("expected seq scan, got " ^ Exec.Plan.to_string p));
+  (* dispatch clamps below the lowest sample *)
+  (match Extensions.Parametric.plan_for pp (Value.Int 1) with
+   | Exec.Plan.Index_scan _ -> ()
+   | _ -> Alcotest.fail "expected index scan at the low extreme")
+
+let test_parametric_rebind_correct () =
+  let cat, db, make_query = parametric_setup () in
+  let assumed = Value.Int 1000 and actual = Value.Int 200 in
+  let static = Extensions.Parametric.static_plan cat db make_query ~assumed in
+  let rebound = Extensions.Parametric.rebind ~assumed ~actual static in
+  let direct =
+    (Systemr.Join_order.optimize cat db (make_query actual))
+      .Systemr.Join_order.best.Systemr.Candidate.plan
+  in
+  let run p = Exec.Executor.run cat p in
+  Alcotest.(check bool) "rebound plan computes the right answer" true
+    (Exec.Executor.same_multiset (run rebound) (run direct));
+  Alcotest.(check int) "row count = eids below 200" 200
+    (Array.length (run rebound).Exec.Executor.rows)
+
+let test_parametric_shape_blanking () =
+  (* two instantiations of the same strategy share a shape key *)
+  let mk v =
+    Exec.Plan.Seq_scan
+      { table = "T"; alias = "T";
+        filter = Some (Expr.Cmp (Expr.Lt, col "T" "x", Expr.int v)) }
+  in
+  Alcotest.(check string) "same shape"
+    (Extensions.Parametric.shape_key (mk 1))
+    (Extensions.Parametric.shape_key (mk 99));
+  Alcotest.(check bool) "different operators differ" true
+    (Extensions.Parametric.shape_key (mk 1)
+     <> Extensions.Parametric.shape_key
+          (Exec.Plan.Seq_scan { table = "T"; alias = "T"; filter = None }))
+
+let () =
+  Alcotest.run "extensions"
+    [ ("expensive-predicates",
+       [ Alcotest.test_case "rank optimal (no joins)" `Quick
+           test_rank_order_optimal_no_joins;
+         QCheck_alcotest.to_alcotest prop_rank_optimal;
+         Alcotest.test_case "pushdown suboptimal" `Quick
+           test_pushdown_suboptimal_for_expensive;
+         Alcotest.test_case "dp never worse" `Quick test_property_dp_never_worse;
+         QCheck_alcotest.to_alcotest prop_dp_dominates;
+         Alcotest.test_case "rank interleave suboptimal" `Quick
+           test_rank_interleave_can_be_suboptimal ]);
+      ("materialized-views",
+       [ Alcotest.test_case "rewrite + equivalence + choice" `Quick
+           test_matview_rewrite_and_equivalence;
+         Alcotest.test_case "no false match" `Quick test_matview_no_false_match ]);
+      ("parametric",
+       [ Alcotest.test_case "shapes + dispatch" `Quick
+           test_parametric_shapes_and_dispatch;
+         Alcotest.test_case "rebind correctness" `Quick
+           test_parametric_rebind_correct;
+         Alcotest.test_case "shape blanking" `Quick
+           test_parametric_shape_blanking ]) ]

@@ -1,0 +1,340 @@
+(* Statistics tests: histogram estimation, sampling, distinct-value
+   estimators, selectivity and propagation. *)
+
+open Relalg
+
+let uniform_data n = Array.init n (fun i -> float_of_int (i mod 100))
+
+let zipf_data ?(seed = 3) n =
+  let st = Workload.Gen.rng seed in
+  Array.map float_of_int (Workload.Gen.zipf_array st ~n:100 ~size:n ~skew:1.2)
+
+(* ---------- histograms ---------- *)
+
+let test_equi_depth_uniform () =
+  let h = Stats.Histogram.build_equi_depth ~buckets:10 (uniform_data 1000) in
+  (* eq selectivity on uniform data with 100 distinct values: ~1/100 *)
+  let s = Stats.Histogram.est_eq h 42. in
+  Alcotest.(check bool) "eq approx 0.01" true (s > 0.005 && s < 0.02);
+  (* range covering ~half *)
+  let r = Stats.Histogram.est_range h ~lo:0. ~hi:49. () in
+  Alcotest.(check bool) "half range" true (r > 0.4 && r < 0.6);
+  (* full range = 1 *)
+  Alcotest.(check bool) "full range" true
+    (Stats.Histogram.est_range h () > 0.999)
+
+let test_selectivity_bounds () =
+  List.iter
+    (fun data ->
+       List.iter
+         (fun h ->
+            for v = -10 to 110 do
+              let s = Stats.Histogram.est_eq h (float_of_int v) in
+              Alcotest.(check bool) "eq in [0,1]" true (s >= 0. && s <= 1.);
+              let r =
+                Stats.Histogram.est_range h ~lo:(float_of_int (v - 20))
+                  ~hi:(float_of_int v) ()
+              in
+              Alcotest.(check bool) "range in [0,1]" true (r >= 0. && r <= 1.)
+            done)
+         [ Stats.Histogram.build_equi_width ~buckets:10 data;
+           Stats.Histogram.build_equi_depth ~buckets:10 data;
+           Stats.Histogram.build_compressed ~buckets:8 ~singletons:4 data ])
+    [ uniform_data 500; zipf_data 500 ]
+
+let test_compressed_exact_heavy_hitters () =
+  let data = zipf_data 2000 in
+  let h = Stats.Histogram.build_compressed ~buckets:8 ~singletons:4 data in
+  (* value 1 is the most frequent rank under Zipf: its selectivity must be
+     estimated exactly by the singleton bucket *)
+  let truth =
+    float_of_int (Array.length (Array.of_list (List.filter (fun v -> v = 1.) (Array.to_list data))))
+    /. float_of_int (Array.length data)
+  in
+  let est = Stats.Histogram.est_eq h 1. in
+  Alcotest.(check (float 1e-9)) "heavy hitter exact" truth est
+
+let test_equi_depth_beats_width_on_skew () =
+  let data = zipf_data 4000 in
+  let st = Workload.Gen.rng 99 in
+  let err kind =
+    Stats.Sample.range_query_error st ~queries:200 data
+      (Stats.Sample.build kind ~buckets:20 data)
+  in
+  let w = err Stats.Sample.Equi_width and d = err Stats.Sample.Equi_depth in
+  Alcotest.(check bool)
+    (Printf.sprintf "depth (%.4f) <= width (%.4f) on skew" d w)
+    true (d <= w +. 0.01)
+
+let test_histogram_join_rows () =
+  let a = Stats.Histogram.build_equi_depth ~buckets:10 (uniform_data 1000) in
+  let b = Stats.Histogram.build_equi_depth ~buckets:10 (uniform_data 500) in
+  (* truth: each of 100 values: 10 x 5 matches = 5000 *)
+  let est = Stats.Histogram.join_rows a b in
+  Alcotest.(check bool)
+    (Printf.sprintf "join rows ~5000, got %.0f" est)
+    true (est > 2000. && est < 12000.)
+
+(* ---------- sampling ---------- *)
+
+let test_sample_full_fraction () =
+  let data = uniform_data 400 in
+  let st = Workload.Gen.rng 1 in
+  let h = Stats.Sample.sampled_histogram st Stats.Sample.Equi_depth ~buckets:10 ~fraction:1.0 data in
+  Alcotest.(check (float 1.)) "total preserved" 400. (Stats.Histogram.total h)
+
+let test_sample_error_decreases () =
+  let data = zipf_data 5000 in
+  let st = Workload.Gen.rng 5 in
+  let err fraction =
+    let h =
+      Stats.Sample.sampled_histogram st Stats.Sample.Equi_depth ~buckets:20
+        ~fraction data
+    in
+    Stats.Sample.range_query_error st ~queries:300 data h
+  in
+  let tiny = err 0.005 and big = err 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "err(0.5)=%.4f <= err(0.005)=%.4f + eps" big tiny)
+    true (big <= tiny +. 0.02)
+
+(* ---------- distinct values ---------- *)
+
+let test_distinct_exact_on_full () =
+  let data = uniform_data 1000 in
+  Alcotest.(check int) "exact" 100 (Stats.Distinct.exact data);
+  (* full sample: scale-up is exact *)
+  let est = Stats.Distinct.scale_up ~population:1000 data in
+  Alcotest.(check (float 1e-6)) "scale-up on full sample" 100. est
+
+let test_distinct_estimators_reasonable () =
+  let st = Workload.Gen.rng 17 in
+  let data = Array.map float_of_int (Workload.Gen.zipf_array st ~n:500 ~size:5000 ~skew:1.0) in
+  let truth = float_of_int (Stats.Distinct.exact data) in
+  let sample = Stats.Sample.uniform_sample st ~fraction:0.1 data in
+  List.iter
+    (fun est ->
+       let e = Stats.Distinct.estimate est ~population:5000 sample in
+       let err = Stats.Distinct.ratio_error ~truth e in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s ratio error %.2f < 20" (Stats.Distinct.estimator_name est) err)
+         true (err < 20.))
+    [ Stats.Distinct.Scale_up; Stats.Distinct.Chao; Stats.Distinct.Gee ]
+
+(* The provably-hard pair ([11]): all-distinct data and low-distinct data
+   look similar in a small sample.  Scale-up is exact on the former but
+   overestimates the latter by an order of magnitude; GEE stays within its
+   sqrt(N/n) guarantee on both. *)
+let test_distinct_hard_case () =
+  let n = 10000 in
+  let fraction = 0.01 in
+  let bound = sqrt (1. /. fraction) in
+  let st = Workload.Gen.rng 23 in
+  let all_distinct = Array.init n (fun i -> float_of_int i) in
+  let low_distinct = Array.init n (fun i -> float_of_int (i mod 100)) in
+  let check name data truth =
+    let sample = Stats.Sample.uniform_sample st ~fraction data in
+    let su = Stats.Distinct.scale_up ~population:n sample in
+    let gee = Stats.Distinct.gee ~population:n sample in
+    let gee_err = Stats.Distinct.ratio_error ~truth gee in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: GEE err %.1f within sqrt(N/n)=%.0f" name gee_err bound)
+      true (gee_err <= bound +. 1.);
+    su
+  in
+  let su_exact = check "all-distinct" all_distinct (float_of_int n) in
+  Alcotest.(check (float 1.)) "scale-up exact on all-distinct"
+    (float_of_int n) su_exact;
+  let su_bad = check "low-distinct" low_distinct 100. in
+  Alcotest.(check bool)
+    (Printf.sprintf "scale-up overestimates low-distinct: %.0f >> 100" su_bad)
+    true (Stats.Distinct.ratio_error ~truth:100. su_bad > 5.)
+
+(* ---------- table stats & derive ---------- *)
+
+let mk_emp_cat () =
+  let cat = Storage.Catalog.create () in
+  let t =
+    Storage.Catalog.create_table cat ~name:"E"
+      ~columns:[ ("id", Value.Tint); ("age", Value.Tint); ("name", Value.Tstring) ]
+  in
+  for i = 0 to 999 do
+    Storage.Table.insert t
+      (Tuple.of_list
+         [ Value.Int i; (if i mod 10 = 0 then Value.Null else Value.Int (20 + (i mod 50)));
+           Value.Str "x" ])
+  done;
+  cat
+
+let test_analyze () =
+  let cat = mk_emp_cat () in
+  let ts = Stats.Table_stats.analyze (Storage.Catalog.table cat "E") in
+  Alcotest.(check (float 0.1)) "rows" 1000. ts.Stats.Table_stats.rows;
+  let age = Option.get (Stats.Table_stats.col ts "age") in
+  Alcotest.(check (float 0.001)) "null frac" 0.1 age.Stats.Table_stats.null_frac;
+  (* ages 20 + (i mod 50), but i ≡ 0 (mod 10) is NULL, which removes the 5
+     residues {0,10,20,30,40}: 45 distinct non-null ages remain *)
+  Alcotest.(check (float 0.1)) "ndv" 45. age.Stats.Table_stats.n_distinct;
+  let id = Option.get (Stats.Table_stats.col ts "id") in
+  (* robust bounds: second-lowest and second-highest *)
+  Alcotest.(check (option (float 0.01))) "lo" (Some 1.) id.Stats.Table_stats.lo;
+  Alcotest.(check (option (float 0.01))) "hi" (Some 998.) id.Stats.Table_stats.hi
+
+let test_derive_select () =
+  let cat = mk_emp_cat () in
+  let db = Stats.Table_stats.analyze_catalog cat in
+  let ts = Option.get (Stats.Table_stats.find db "E") in
+  let schema = (Storage.Catalog.table cat "E").Storage.Table.schema in
+  let r = Stats.Derive.of_table ts ~alias:"E" ~schema in
+  let sel_eq =
+    Stats.Derive.selectivity r
+      (Expr.Cmp (Expr.Eq, Expr.col ~rel:"E" ~col:"age", Expr.int 25))
+  in
+  (* age=25: 20 rows of 1000 -> 0.02 *)
+  Alcotest.(check bool) (Printf.sprintf "eq sel %.4f" sel_eq) true
+    (sel_eq > 0.01 && sel_eq < 0.04);
+  let r' =
+    Stats.Derive.apply_select r
+      (Expr.Cmp (Expr.Lt, Expr.col ~rel:"E" ~col:"id", Expr.int 100))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "card %.0f ~100" r'.Stats.Derive.card)
+    true (r'.Stats.Derive.card > 50. && r'.Stats.Derive.card < 200.)
+
+let test_derive_conjunction_modes () =
+  let cat = mk_emp_cat () in
+  let db = Stats.Table_stats.analyze_catalog cat in
+  let ts = Option.get (Stats.Table_stats.find db "E") in
+  let schema = (Storage.Catalog.table cat "E").Storage.Table.schema in
+  let r = Stats.Derive.of_table ts ~alias:"E" ~schema in
+  let p =
+    Expr.And
+      (Expr.Cmp (Expr.Lt, Expr.col ~rel:"E" ~col:"id", Expr.int 500),
+       Expr.Cmp (Expr.Lt, Expr.col ~rel:"E" ~col:"age", Expr.int 40))
+  in
+  let indep = Stats.Derive.selectivity r p in
+  let most =
+    Stats.Derive.selectivity
+      ~asm:{ Stats.Derive.conjunction = `Most_selective; use_histograms = true }
+      r p
+  in
+  Alcotest.(check bool) "independence <= most-selective" true (indep <= most +. 1e-9)
+
+let test_derive_join_and_group () =
+  let ed = Workload.Schemas.emp_dept ~emps:1000 ~depts:20 () in
+  let e = Storage.Catalog.scan ed.Workload.Schemas.cat ~alias:"E" "Emp" in
+  let d = Storage.Catalog.scan ed.Workload.Schemas.cat ~alias:"D" "Dept" in
+  let joined =
+    Algebra.Join
+      (Algebra.Inner,
+       Expr.Cmp (Expr.Eq, Expr.col ~rel:"E" ~col:"did", Expr.col ~rel:"D" ~col:"did"),
+       e, d)
+  in
+  let s = Stats.Derive.of_algebra ed.Workload.Schemas.db joined in
+  (* FK join: estimated rows close to Emp rows *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fk join card %.0f ~1000" s.Stats.Derive.card)
+    true (s.Stats.Derive.card > 300. && s.Stats.Derive.card < 3000.);
+  let g =
+    Stats.Derive.group s
+      ~keys:[ (Expr.col ~rel:"E" ~col:"did", "did") ]
+      ~aggs:[ (Expr.Count_star, "n") ]
+  in
+  Alcotest.(check bool) "group card <= ndv(did)" true (g.Stats.Derive.card <= 21.)
+
+let prop_selectivity_in_unit =
+  let gen =
+    let open QCheck.Gen in
+    let leaf =
+      let* col = oneofl [ "id"; "age" ] in
+      let* op = oneofl [ Expr.Eq; Expr.Neq; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ] in
+      let* c = int_range (-100) 1200 in
+      return (Expr.Cmp (op, Expr.col ~rel:"E" ~col, Expr.int c))
+    in
+    let rec go d =
+      if d = 0 then leaf
+      else
+        frequency
+          [ (3, leaf);
+            (1, map2 (fun a b -> Expr.And (a, b)) (go (d - 1)) (go (d - 1)));
+            (1, map2 (fun a b -> Expr.Or (a, b)) (go (d - 1)) (go (d - 1)));
+            (1, map (fun a -> Expr.Not a) (go (d - 1))) ]
+    in
+    go 3
+  in
+  let cat = mk_emp_cat () in
+  let db = Stats.Table_stats.analyze_catalog cat in
+  let ts = Option.get (Stats.Table_stats.find db "E") in
+  let schema = (Storage.Catalog.table cat "E").Storage.Table.schema in
+  let r = Stats.Derive.of_table ts ~alias:"E" ~schema in
+  QCheck.Test.make ~name:"selectivity always in [0,1]" ~count:300
+    (QCheck.make ~print:Expr.to_string gen)
+    (fun p ->
+       let s = Stats.Derive.selectivity r p in
+       s >= 0. && s <= 1.)
+
+
+(* ---------- 2-d histograms ---------- *)
+
+let test_hist2d_independent_matches_1d () =
+  let st = Workload.Gen.rng 41 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> float_of_int (Workload.Gen.uniform_int st ~lo:0 ~hi:999)) in
+  let ys = Array.init n (fun _ -> float_of_int (Workload.Gen.uniform_int st ~lo:0 ~hi:999)) in
+  let h2 = Stats.Histogram2d.build ~buckets:10 xs ys in
+  let est = Stats.Histogram2d.est_range h2 ~xhi:100. ~yhi:100. () in
+  (* independent uniform: truth ~ 0.1 * 0.1 = 0.01 *)
+  Alcotest.(check bool) (Printf.sprintf "independent est %.4f ~ 0.01" est)
+    true (est > 0.005 && est < 0.02)
+
+let test_hist2d_captures_correlation () =
+  let st = Workload.Gen.rng 42 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> float_of_int (Workload.Gen.uniform_int st ~lo:0 ~hi:999)) in
+  let ys = Array.map (fun x -> x +. float_of_int (Workload.Gen.uniform_int st ~lo:(-20) ~hi:20)) xs in
+  let h2 = Stats.Histogram2d.build ~buckets:10 xs ys in
+  let est = Stats.Histogram2d.est_range h2 ~xhi:100. ~yhi:100. () in
+  let truth =
+    let c = ref 0 in
+    Array.iteri (fun i x -> if x <= 100. && ys.(i) <= 100. then incr c) xs;
+    float_of_int !c /. float_of_int n
+  in
+  (* truth ~ 0.1; the 1-d independence estimate would be ~0.01 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "correlated est %.4f vs truth %.4f" est truth)
+    true (Float.abs (est -. truth) < 0.05 && est > 0.03)
+
+let test_hist2d_bounds () =
+  let h2 = Stats.Histogram2d.build ~buckets:5 [| 1.; 2.; 3. |] [| 4.; 5.; 6. |] in
+  Alcotest.(check (float 1e-6)) "full range" 1.
+    (Stats.Histogram2d.est_range h2 ());
+  Alcotest.(check (float 1e-6)) "empty range" 0.
+    (Stats.Histogram2d.est_range h2 ~xhi:0. ());
+  let e = Stats.Histogram2d.build ~buckets:5 [||] [||] in
+  Alcotest.(check (float 1e-6)) "empty data" 0. (Stats.Histogram2d.est_range e ())
+
+let () =
+  Alcotest.run "stats"
+    [ ("histogram",
+       [ Alcotest.test_case "equi-depth uniform" `Quick test_equi_depth_uniform;
+         Alcotest.test_case "selectivity bounds" `Quick test_selectivity_bounds;
+         Alcotest.test_case "compressed heavy hitters" `Quick test_compressed_exact_heavy_hitters;
+         Alcotest.test_case "depth beats width on skew" `Quick test_equi_depth_beats_width_on_skew;
+         Alcotest.test_case "histogram join" `Quick test_histogram_join_rows ]);
+      ("histogram2d",
+       [ Alcotest.test_case "independent ~ product" `Quick test_hist2d_independent_matches_1d;
+         Alcotest.test_case "captures correlation" `Quick test_hist2d_captures_correlation;
+         Alcotest.test_case "bounds" `Quick test_hist2d_bounds ]);
+      ("sampling",
+       [ Alcotest.test_case "full fraction" `Quick test_sample_full_fraction;
+         Alcotest.test_case "error decreases" `Quick test_sample_error_decreases ]);
+      ("distinct",
+       [ Alcotest.test_case "exact on full data" `Quick test_distinct_exact_on_full;
+         Alcotest.test_case "estimators reasonable" `Quick test_distinct_estimators_reasonable;
+         Alcotest.test_case "hard case" `Quick test_distinct_hard_case ]);
+      ("derive",
+       [ Alcotest.test_case "analyze" `Quick test_analyze;
+         Alcotest.test_case "selection" `Quick test_derive_select;
+         Alcotest.test_case "conjunction modes" `Quick test_derive_conjunction_modes;
+         Alcotest.test_case "join and group" `Quick test_derive_join_and_group;
+         QCheck_alcotest.to_alcotest prop_selectivity_in_unit ]) ]

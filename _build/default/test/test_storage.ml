@@ -1,0 +1,215 @@
+(* Tests for the storage engine: tables, page model, B-tree indexes,
+   buffer pool, catalog. *)
+
+open Relalg
+
+let mk_table ?(rows = 100) name =
+  let t =
+    Storage.Table.create ~name
+      ~columns:[ ("k", Value.Tint); ("v", Value.Tstring) ]
+  in
+  for i = 0 to rows - 1 do
+    Storage.Table.insert t
+      (Tuple.of_list [ Value.Int (i mod (rows / 2)); Value.Str (string_of_int i) ])
+  done;
+  t
+
+let test_table_basics () =
+  let t = mk_table "T" in
+  Alcotest.(check int) "rows" 100 (Storage.Table.row_count t);
+  Alcotest.(check bool) "pages >= 1" true (Storage.Table.page_count t >= 1);
+  Alcotest.check_raises "arity check"
+    (Invalid_argument "Table.insert T: arity 1 <> 2") (fun () ->
+        Storage.Table.insert t (Tuple.of_list [ Value.Int 1 ]))
+
+let test_page_model () =
+  let schema = [ Schema.column ~rel:"T" ~name:"k" ~ty:Value.Tint ] in
+  let tpp = Storage.Page.tuples_per_page schema in
+  Alcotest.(check bool) "plausible tuples/page" true (tpp > 100 && tpp < 1000);
+  Alcotest.(check int) "empty table 1 page" 1 (Storage.Page.pages_for ~rows:0 schema);
+  Alcotest.(check int) "exact boundary" 1 (Storage.Page.pages_for ~rows:tpp schema);
+  Alcotest.(check int) "boundary + 1" 2 (Storage.Page.pages_for ~rows:(tpp + 1) schema)
+
+(* ---------- B-tree ---------- *)
+
+let test_btree_probe () =
+  let t = mk_table "T2" in
+  let idx = Storage.Btree.build ~name:"i" ~clustered:false t ~columns:[ "k" ] in
+  let hits = Storage.Btree.probe idx [ Value.Int 7 ] in
+  Alcotest.(check int) "two rows per key" 2 (Array.length hits);
+  Array.iter
+    (fun (k, _) ->
+       Alcotest.(check bool) "key matches" true (k = [ Value.Int 7 ]))
+    hits;
+  Alcotest.(check int) "missing key" 0 (Array.length (Storage.Btree.probe idx [ Value.Int 999 ]))
+
+let test_btree_range_matches_filter () =
+  let t = mk_table ~rows:200 "T3" in
+  let idx = Storage.Btree.build ~name:"i" ~clustered:false t ~columns:[ "k" ] in
+  let lo = Value.Int 10 and hi = Value.Int 30 in
+  let via_index =
+    Storage.Btree.range idx ~lo:(Storage.Btree.Incl lo) ~hi:(Storage.Btree.Excl hi)
+    |> Array.to_list |> List.map snd |> List.sort compare
+  in
+  let via_scan = ref [] in
+  Storage.Table.iteri
+    (fun rid tu ->
+       let k = Tuple.get tu 0 in
+       if Value.compare k lo >= 0 && Value.compare k hi < 0 then
+         via_scan := rid :: !via_scan)
+    t;
+  Alcotest.(check (list int)) "range = filter" (List.sort compare !via_scan) via_index
+
+let test_btree_null_handling () =
+  let t = Storage.Table.create ~name:"N" ~columns:[ ("k", Value.Tint) ] in
+  Storage.Table.insert t (Tuple.of_list [ Value.Null ]);
+  Storage.Table.insert t (Tuple.of_list [ Value.Int 1 ]);
+  let idx = Storage.Btree.build ~name:"i" ~clustered:false t ~columns:[ "k" ] in
+  (* unbounded range scan skips NULL keys, like a SQL predicate would *)
+  Alcotest.(check int) "nulls filtered" 1
+    (Array.length (Storage.Btree.range idx ~lo:Storage.Btree.Unbounded ~hi:Storage.Btree.Unbounded));
+  Alcotest.(check int) "probe non-null" 1
+    (Array.length (Storage.Btree.probe idx [ Value.Int 1 ]))
+
+let prop_btree_range =
+  QCheck.Test.make ~name:"btree range scan = filtered scan" ~count:100
+    QCheck.(pair (list_of_size Gen.(int_range 0 60) (int_range (-20) 20))
+              (pair (int_range (-25) 25) (int_range (-25) 25)))
+    (fun (keys, (a, b)) ->
+       let lo = min a b and hi = max a b in
+       let t = Storage.Table.create ~name:"P" ~columns:[ ("k", Value.Tint) ] in
+       List.iter (fun k -> Storage.Table.insert t (Tuple.of_list [ Value.Int k ])) keys;
+       let idx = Storage.Btree.build ~name:"i" ~clustered:false t ~columns:[ "k" ] in
+       let via_index =
+         Storage.Btree.range idx ~lo:(Storage.Btree.Incl (Value.Int lo))
+           ~hi:(Storage.Btree.Incl (Value.Int hi))
+         |> Array.to_list
+         |> List.map (fun (_, rid) -> rid)
+         |> List.sort compare
+       in
+       let expected =
+         List.filteri (fun _ k -> k >= lo && k <= hi) keys
+         |> List.length
+       in
+       List.length via_index = expected)
+
+let test_btree_composite () =
+  let t =
+    Storage.Table.create ~name:"C2"
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+  in
+  for i = 0 to 99 do
+    Storage.Table.insert t
+      (Tuple.of_list [ Value.Int (i mod 5); Value.Int (i mod 10) ])
+  done;
+  let idx = Storage.Btree.build ~name:"i" ~clustered:false t ~columns:[ "a"; "b" ] in
+  (* a = i mod 5, b = i mod 10: pairs repeat with period 10 *)
+  Alcotest.(check int) "distinct keys" 10 idx.Storage.Btree.distinct_keys;
+  Alcotest.(check int) "full probe" 10
+    (Array.length (Storage.Btree.probe idx [ Value.Int 2; Value.Int 7 ]));
+  Alcotest.(check int) "prefix probe" 20
+    (Array.length (Storage.Btree.probe idx [ Value.Int 2 ]));
+  Alcotest.(check int) "miss" 0
+    (Array.length (Storage.Btree.probe idx [ Value.Int 2; Value.Int 8 ]));
+  Alcotest.(check int) "null probe" 0
+    (Array.length (Storage.Btree.probe idx [ Value.Int 2; Value.Null ]))
+
+let prop_btree_composite_probe =
+  QCheck.Test.make ~name:"composite probe = filtered scan" ~count:100
+    QCheck.(pair
+              (list_of_size Gen.(int_range 0 50)
+                 (pair (int_range 0 4) (int_range 0 4)))
+              (pair (int_range 0 4) (int_range 0 4)))
+    (fun (rows, (pa, pb)) ->
+       let t =
+         Storage.Table.create ~name:"P2"
+           ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+       in
+       List.iter
+         (fun (a, b) ->
+            Storage.Table.insert t (Tuple.of_list [ Value.Int a; Value.Int b ]))
+         rows;
+       let idx = Storage.Btree.build ~name:"i" ~clustered:false t ~columns:[ "a"; "b" ] in
+       let via_index =
+         Array.length (Storage.Btree.probe idx [ Value.Int pa; Value.Int pb ])
+       in
+       let expected =
+         List.length (List.filter (fun (a, b) -> a = pa && b = pb) rows)
+       in
+       via_index = expected)
+
+(* ---------- buffer pool ---------- *)
+
+let test_pool_hit_miss () =
+  let p = Storage.Buffer.Pool.create ~capacity:2 in
+  Alcotest.(check bool) "first is miss" true (Storage.Buffer.Pool.access p ("t", 0) = `Miss);
+  Alcotest.(check bool) "repeat is hit" true (Storage.Buffer.Pool.access p ("t", 0) = `Hit);
+  ignore (Storage.Buffer.Pool.access p ("t", 1));
+  ignore (Storage.Buffer.Pool.access p ("t", 2)); (* evicts page 0 (LRU) *)
+  Alcotest.(check bool) "evicted is miss" true (Storage.Buffer.Pool.access p ("t", 0) = `Miss)
+
+let test_pool_lru_order () =
+  let p = Storage.Buffer.Pool.create ~capacity:2 in
+  ignore (Storage.Buffer.Pool.access p ("t", 0));
+  ignore (Storage.Buffer.Pool.access p ("t", 1));
+  ignore (Storage.Buffer.Pool.access p ("t", 0)); (* refresh 0; 1 is now LRU *)
+  ignore (Storage.Buffer.Pool.access p ("t", 2)); (* evicts 1, not 0 *)
+  Alcotest.(check bool) "0 retained" true (Storage.Buffer.Pool.access p ("t", 0) = `Hit);
+  Alcotest.(check bool) "1 evicted" true (Storage.Buffer.Pool.access p ("t", 1) = `Miss)
+
+let test_cardenas () =
+  let d = Storage.Buffer.cardenas ~pages:100 ~accesses:1 in
+  Alcotest.(check (float 1e-9)) "one access one page" 1.0 d;
+  let d2 = Storage.Buffer.cardenas ~pages:10 ~accesses:10000 in
+  Alcotest.(check bool) "saturates" true (d2 > 9.99 && d2 <= 10.0);
+  Alcotest.(check bool) "monotone" true
+    (Storage.Buffer.cardenas ~pages:100 ~accesses:50
+     < Storage.Buffer.cardenas ~pages:100 ~accesses:100)
+
+let test_expected_fetches () =
+  (* working set fits: one fault per distinct page *)
+  let f = Storage.Buffer.expected_fetches ~buffer:1000 ~pages:10 ~accesses:500 in
+  Alcotest.(check bool) "fits in buffer" true (f <= 10.0 +. 1e-9);
+  (* tiny buffer: most accesses fault *)
+  let g = Storage.Buffer.expected_fetches ~buffer:2 ~pages:100 ~accesses:500 in
+  Alcotest.(check bool) "thrashes" true (g > 400.)
+
+(* ---------- catalog ---------- *)
+
+let test_catalog () =
+  let cat = Storage.Catalog.create () in
+  let t = Storage.Catalog.create_table cat ~name:"T" ~columns:[ ("k", Value.Tint) ] in
+  Storage.Table.insert t (Tuple.of_list [ Value.Int 1 ]);
+  Alcotest.(check bool) "mem" true (Storage.Catalog.mem cat "T");
+  Alcotest.(check bool) "not mem" false (Storage.Catalog.mem cat "U");
+  ignore (Storage.Catalog.create_index cat ~table:"T" ~column:"k" ());
+  Alcotest.(check bool) "index found" true
+    (Storage.Catalog.index_on cat ~table:"T" ~column:"k" <> None);
+  Alcotest.(check bool) "index missing" true
+    (Storage.Catalog.index_on cat ~table:"T" ~column:"v" = None);
+  Alcotest.check_raises "duplicate table"
+    (Invalid_argument "Catalog.add_table: duplicate T") (fun () ->
+        ignore (Storage.Catalog.create_table cat ~name:"T" ~columns:[]));
+  match Storage.Catalog.scan cat ~alias:"X" "T" with
+  | Algebra.Scan { alias = "X"; schema; _ } ->
+    Alcotest.(check int) "requalified scan" 0 (Schema.index_of schema ~rel:"X" ~name:"k")
+  | _ -> Alcotest.fail "expected scan"
+
+let () =
+  Alcotest.run "storage"
+    [ ("table",
+       [ Alcotest.test_case "basics" `Quick test_table_basics;
+         Alcotest.test_case "page model" `Quick test_page_model ]);
+      ("btree",
+       [ Alcotest.test_case "probe" `Quick test_btree_probe;
+         Alcotest.test_case "range = filter" `Quick test_btree_range_matches_filter;
+         Alcotest.test_case "null handling" `Quick test_btree_null_handling;
+         Alcotest.test_case "composite keys" `Quick test_btree_composite;
+         QCheck_alcotest.to_alcotest prop_btree_range;
+         QCheck_alcotest.to_alcotest prop_btree_composite_probe ]);
+      ("buffer",
+       [ Alcotest.test_case "hit/miss" `Quick test_pool_hit_miss;
+         Alcotest.test_case "lru order" `Quick test_pool_lru_order;
+         Alcotest.test_case "cardenas" `Quick test_cardenas;
+         Alcotest.test_case "expected fetches" `Quick test_expected_fetches ]);
+      ("catalog", [ Alcotest.test_case "catalog ops" `Quick test_catalog ]) ]

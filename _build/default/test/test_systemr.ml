@@ -1,0 +1,266 @@
+(* System-R optimizer tests: plan correctness by execution, DP = exhaustive
+   best cost, interesting orders, bushy vs linear, Cartesian products. *)
+
+open Relalg
+
+let spj_of_pieces ?(projections = None) ?(order_by = [])
+    (p : Workload.Schemas.join_pieces) : Systemr.Spj.t =
+  Systemr.Spj.make ~projections ~order_by
+    ~relations:
+      (List.map
+         (fun (alias, table) ->
+            { Systemr.Spj.alias; table;
+              schema =
+                Schema.requalify
+                  (Storage.Catalog.table p.Workload.Schemas.jcat table).Storage.Table.schema
+                  ~rel:alias })
+         p.Workload.Schemas.relations)
+    ~predicates:p.Workload.Schemas.predicates ()
+
+(* Hand-rolled reference plan: left-deep nested loops in declaration order,
+   each predicate applied at the earliest point it becomes evaluable.
+   Independent of the optimizer machinery. *)
+let reference_plan (q : Systemr.Spj.t) : Exec.Plan.t =
+  match q.Systemr.Spj.relations with
+  | [] -> invalid_arg "reference_plan"
+  | first :: rest ->
+    let scan (r : Systemr.Spj.relation) =
+      Exec.Plan.Seq_scan { table = r.Systemr.Spj.table; alias = r.Systemr.Spj.alias; filter = None }
+    in
+    let applicable aliases used =
+      List.filter
+        (fun p ->
+           (not (List.memq p used))
+           && Expr.relations p <> []
+           && List.for_all (fun a -> List.mem a aliases) (Expr.relations p))
+        q.Systemr.Spj.predicates
+    in
+    let start_preds = applicable [ first.Systemr.Spj.alias ] [] in
+    let plan0 =
+      match start_preds with
+      | [] -> scan first
+      | ps -> Exec.Plan.Filter (Pred.of_conjuncts ps, scan first)
+    in
+    let plan, _, used =
+      List.fold_left
+        (fun (plan, aliases, used) r ->
+           let aliases' = aliases @ [ r.Systemr.Spj.alias ] in
+           let ps = applicable aliases' used in
+           ( Exec.Plan.Nested_loop
+               { kind = Algebra.Inner; pred = Pred.of_conjuncts ps;
+                 outer = plan; inner = scan r },
+             aliases',
+             used @ ps ))
+        (plan0, [ first.Systemr.Spj.alias ], start_preds)
+        rest
+    in
+    ignore used;
+    match q.Systemr.Spj.projections with
+    | None -> plan
+    | Some items -> Exec.Plan.Project (items, plan)
+
+let execute cat p = Exec.Executor.run cat p
+
+let check_plan_correct name (pieces : Workload.Schemas.join_pieces) config =
+  let q = spj_of_pieces pieces in
+  let res = Systemr.Join_order.optimize ~config pieces.Workload.Schemas.jcat
+      pieces.Workload.Schemas.jdb q in
+  let optimized = execute pieces.Workload.Schemas.jcat res.Systemr.Join_order.best.Systemr.Candidate.plan in
+  let reference = execute pieces.Workload.Schemas.jcat (reference_plan q) in
+  Alcotest.(check bool) (name ^ ": plan produces correct result") true
+    (Exec.Executor.same_multiset_modulo_columns optimized reference);
+  res
+
+let small_chain () = Workload.Schemas.join_shape ~rows:60 ~shape:Workload.Schemas.Chain_q ~n:4 ()
+let small_star () = Workload.Schemas.join_shape ~rows:60 ~shape:Workload.Schemas.Star_q ~n:4 ()
+
+let test_dp_correct_chain () =
+  ignore (check_plan_correct "chain" (small_chain ()) Systemr.Join_order.default_config)
+
+let test_dp_correct_star () =
+  ignore (check_plan_correct "star" (small_star ()) Systemr.Join_order.default_config)
+
+let test_dp_correct_bushy () =
+  ignore
+    (check_plan_correct "bushy chain" (small_chain ())
+       { Systemr.Join_order.default_config with bushy = true })
+
+let test_dp_correct_no_io () =
+  ignore
+    (check_plan_correct "no interesting orders" (small_chain ())
+       { Systemr.Join_order.default_config with interesting_orders = false })
+
+let test_dp_correct_with_indexes () =
+  (* add indexes on join columns so index-NL and ordered scans participate *)
+  let p = small_chain () in
+  List.iter
+    (fun (_, table) ->
+       ignore
+         (Storage.Catalog.create_index p.Workload.Schemas.jcat ~table ~column:"a" ()))
+    p.Workload.Schemas.relations;
+  ignore (check_plan_correct "with indexes" p Systemr.Join_order.default_config)
+
+let test_dp_equals_naive () =
+  (* same search space (left-deep, same methods): the DP must find the same
+     best cost as exhaustive permutation enumeration *)
+  List.iter
+    (fun pieces ->
+       let q = spj_of_pieces pieces in
+       let config =
+         { Systemr.Join_order.default_config with interesting_orders = true }
+       in
+       let dp = Systemr.Join_order.optimize ~config pieces.Workload.Schemas.jcat
+           pieces.Workload.Schemas.jdb q in
+       let naive = Systemr.Naive.optimize ~config pieces.Workload.Schemas.jcat
+           pieces.Workload.Schemas.jdb q in
+       Alcotest.(check (float 1e-6)) "same best cost"
+         naive.Systemr.Naive.best.Systemr.Candidate.cost
+         dp.Systemr.Join_order.best.Systemr.Candidate.cost)
+    [ small_chain (); small_star () ]
+
+let test_dp_cheaper_enumeration () =
+  let pieces = Workload.Schemas.join_shape ~rows:30 ~shape:Workload.Schemas.Clique_q ~n:6 () in
+  let q = spj_of_pieces pieces in
+  let dp = Systemr.Join_order.optimize pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q in
+  let naive = Systemr.Naive.optimize pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q in
+  Alcotest.(check bool)
+    (Printf.sprintf "dp costed %d < naive %d plans" dp.Systemr.Join_order.plans_costed
+       naive.Systemr.Naive.plans_costed)
+    true
+    (dp.Systemr.Join_order.plans_costed < naive.Systemr.Naive.plans_costed)
+
+let test_bushy_no_worse () =
+  List.iter
+    (fun pieces ->
+       let q = spj_of_pieces pieces in
+       let linear = Systemr.Join_order.optimize pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q in
+       let bushy =
+         Systemr.Join_order.optimize
+           ~config:{ Systemr.Join_order.default_config with bushy = true }
+           pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q
+       in
+       Alcotest.(check bool) "bushy best <= linear best" true
+         (bushy.Systemr.Join_order.best.Systemr.Candidate.cost
+          <= linear.Systemr.Join_order.best.Systemr.Candidate.cost +. 1e-6))
+    [ small_chain (); small_star () ]
+
+let test_interesting_orders_no_worse () =
+  List.iter
+    (fun pieces ->
+       List.iter
+         (fun (_, table) ->
+            ignore
+              (Storage.Catalog.create_index pieces.Workload.Schemas.jcat ~table
+                 ~column:"a" ()))
+         pieces.Workload.Schemas.relations;
+       let q = spj_of_pieces pieces in
+       let with_io = Systemr.Join_order.optimize pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q in
+       let without =
+         Systemr.Join_order.optimize
+           ~config:{ Systemr.Join_order.default_config with interesting_orders = false }
+           pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q
+       in
+       Alcotest.(check bool) "interesting orders never hurt" true
+         (with_io.Systemr.Join_order.best.Systemr.Candidate.cost
+          <= without.Systemr.Join_order.best.Systemr.Candidate.cost +. 1e-6))
+    [ small_chain (); small_star () ]
+
+let test_cross_products_no_worse () =
+  let pieces = small_star () in
+  let q = spj_of_pieces pieces in
+  let no_cross = Systemr.Join_order.optimize pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q in
+  let cross =
+    Systemr.Join_order.optimize
+      ~config:{ Systemr.Join_order.default_config with allow_cross = true; bushy = true }
+      pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q
+  in
+  Alcotest.(check bool) "larger space never worse" true
+    (cross.Systemr.Join_order.best.Systemr.Candidate.cost
+     <= no_cross.Systemr.Join_order.best.Systemr.Candidate.cost +. 1e-6)
+
+let test_disconnected_graph_still_plans () =
+  (* two relations, no join predicate: needs the Cartesian rescue *)
+  let pieces = Workload.Schemas.join_shape ~rows:20 ~shape:Workload.Schemas.Chain_q ~n:2 () in
+  let pieces = { pieces with Workload.Schemas.predicates = [] } in
+  let q = spj_of_pieces pieces in
+  let res = Systemr.Join_order.optimize pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q in
+  let out = execute pieces.Workload.Schemas.jcat res.Systemr.Join_order.best.Systemr.Candidate.plan in
+  Alcotest.(check int) "cross product size" 400 (Array.length out.Exec.Executor.rows)
+
+let test_order_by_enforced () =
+  let pieces = small_chain () in
+  let order_by = [ ({ Expr.rel = "R1"; col = "a" }, Algebra.Asc) ] in
+  let q = spj_of_pieces ~order_by pieces in
+  let res = Systemr.Join_order.optimize pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q in
+  let out = execute pieces.Workload.Schemas.jcat res.Systemr.Join_order.best.Systemr.Candidate.plan in
+  let schema = out.Exec.Executor.schema in
+  let i = Schema.index_of schema ~rel:"R1" ~name:"a" in
+  let keys = Array.to_list out.Exec.Executor.rows |> List.map (fun t -> Tuple.get t i) in
+  Alcotest.(check bool) "output sorted" true
+    (List.for_all2 Value.equal keys (List.sort Value.compare keys))
+
+let test_projection_applied () =
+  let pieces = small_chain () in
+  let projections = Some [ (Expr.col ~rel:"R1" ~col:"a", "a1") ] in
+  let q = spj_of_pieces ~projections pieces in
+  let res = Systemr.Join_order.optimize pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q in
+  let out = execute pieces.Workload.Schemas.jcat res.Systemr.Join_order.best.Systemr.Candidate.plan in
+  Alcotest.(check int) "one column" 1 (Schema.arity out.Exec.Executor.schema)
+
+(* property: for random small queries, DP (any config) produces plans with
+   identical results to the reference *)
+let prop_dp_always_correct =
+  QCheck.Test.make ~name:"optimized plans always correct" ~count:15
+    (QCheck.make
+       QCheck.Gen.(
+         pair (oneofl [ Workload.Schemas.Chain_q; Workload.Schemas.Star_q;
+                        Workload.Schemas.Clique_q ])
+           (pair (int_range 2 4) (int_range 1 1000))))
+    (fun (shape, (n, seed)) ->
+       let pieces = Workload.Schemas.join_shape ~seed ~rows:25 ~shape ~n () in
+       let q = spj_of_pieces pieces in
+       let res = Systemr.Join_order.optimize pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q in
+       let optimized = execute pieces.Workload.Schemas.jcat res.Systemr.Join_order.best.Systemr.Candidate.plan in
+       let reference = execute pieces.Workload.Schemas.jcat (reference_plan q) in
+       Exec.Executor.same_multiset_modulo_columns optimized reference)
+
+let test_spj_roundtrip () =
+  let pieces = small_chain () in
+  let q = spj_of_pieces pieces in
+  match Systemr.Spj.of_algebra (Systemr.Spj.to_algebra q) with
+  | Some q' ->
+    Alcotest.(check int) "relations" (List.length q.Systemr.Spj.relations)
+      (List.length q'.Systemr.Spj.relations);
+    Alcotest.(check int) "predicates" (List.length q.Systemr.Spj.predicates)
+      (List.length q'.Systemr.Spj.predicates)
+  | None -> Alcotest.fail "roundtrip failed"
+
+let test_counting_formulas () =
+  Alcotest.(check int) "3! = 6" 6 (Systemr.Naive.linear_sequences 3);
+  Alcotest.(check int) "6! = 720" 720 (Systemr.Naive.linear_sequences 6);
+  (* DP extension count for n=3: C(3,1)*2 + C(3,2)*1 = 6+3 = 9 *)
+  Alcotest.(check int) "dp n=3" 9 (Systemr.Naive.dp_extensions 3);
+  Alcotest.(check bool) "dp grows much slower" true
+    (Systemr.Naive.dp_extensions 8 < Systemr.Naive.linear_sequences 8)
+
+let () =
+  Alcotest.run "systemr"
+    [ ("correctness",
+       [ Alcotest.test_case "chain" `Quick test_dp_correct_chain;
+         Alcotest.test_case "star" `Quick test_dp_correct_star;
+         Alcotest.test_case "bushy" `Quick test_dp_correct_bushy;
+         Alcotest.test_case "no interesting orders" `Quick test_dp_correct_no_io;
+         Alcotest.test_case "with indexes" `Quick test_dp_correct_with_indexes;
+         Alcotest.test_case "order by enforced" `Quick test_order_by_enforced;
+         Alcotest.test_case "projection" `Quick test_projection_applied;
+         Alcotest.test_case "disconnected graph" `Quick test_disconnected_graph_still_plans;
+         QCheck_alcotest.to_alcotest prop_dp_always_correct ]);
+      ("optimality",
+       [ Alcotest.test_case "dp = naive best cost" `Quick test_dp_equals_naive;
+         Alcotest.test_case "dp enumerates fewer plans" `Quick test_dp_cheaper_enumeration;
+         Alcotest.test_case "bushy no worse" `Quick test_bushy_no_worse;
+         Alcotest.test_case "interesting orders no worse" `Quick test_interesting_orders_no_worse;
+         Alcotest.test_case "cross products no worse" `Quick test_cross_products_no_worse ]);
+      ("spj",
+       [ Alcotest.test_case "roundtrip" `Quick test_spj_roundtrip;
+         Alcotest.test_case "counting formulas" `Quick test_counting_formulas ]) ]
