@@ -140,11 +140,13 @@ let f4 () =
        (* the 1979 method repertoire (sort-merge, no hash join) makes the
           join's input size matter, as in the paper's discussion *)
        let join_config = Systemr.Join_order.system_r_1979 in
-       let lazy_cost, _ = run { Core.Pipeline.rewrites = []; join_config } in
+       let lazy_cost, _ =
+         run { Core.Pipeline.rewrites = []; join_config; lint = false }
+       in
        let eager_cost, report =
          run
            { Core.Pipeline.rewrites = [ [ Rewrite.Groupby.rule ] ];
-             join_config }
+             join_config; lint = false }
        in
        let fired =
          List.mem_assoc "eager_groupby" report.Core.Pipeline.trace

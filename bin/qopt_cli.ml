@@ -42,9 +42,16 @@ let with_query db_name sql f =
     Printf.eprintf "lexical error: %s\n" m;
     exit 1
 
-let run_cmd db_name opt limit sql =
+(* Print lint diagnostics collected in the per-block reports; exits 2 on
+   errors so --lint works as a CI gate. *)
+let print_diags reports =
+  let diags = List.concat_map (fun r -> r.Core.Pipeline.diags) reports in
+  Fmt.pr "-- lint: %a@." Verify.Diag.pp_list diags;
+  if Verify.Diag.has_errors diags then exit 2
+
+let run_cmd db_name opt lint limit sql =
   with_query db_name sql (fun cat db block ->
-      let config = optimizer_config opt in
+      let config = { (optimizer_config opt) with Core.Pipeline.lint } in
       let ctx = Exec.Context.create () in
       let result, reports = Core.Pipeline.run_query ~ctx ~config cat db block in
       let n = Array.length result.Exec.Executor.rows in
@@ -60,11 +67,12 @@ let run_cmd db_name opt limit sql =
                  match r.Core.Pipeline.path with
                  | Core.Pipeline.Planned -> "planned"
                  | Core.Pipeline.Interpreted -> "interpreted")
-              reports)))
+              reports));
+      if lint then print_diags reports)
 
-let explain_cmd db_name opt sql =
+let explain_cmd db_name opt lint sql =
   with_query db_name sql (fun cat db block ->
-      let config = optimizer_config opt in
+      let config = { (optimizer_config opt) with Core.Pipeline.lint } in
       print_endline (Core.Pipeline.explain_query ~config cat db block))
 
 let tables_cmd db_name =
@@ -99,16 +107,22 @@ let limit_arg =
   Arg.(value & opt int 20
        & info [ "n"; "limit" ] ~docv:"N" ~doc:"Rows to print.")
 
+let lint_arg =
+  Arg.(value & flag
+       & info [ "lint" ]
+           ~doc:"Statically verify every rewrite step and physical plan; \
+                 print diagnostics (exit 2 on lint errors under run).")
+
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
 
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a SQL query")
-    Term.(const run_cmd $ db_arg $ opt_arg $ limit_arg $ sql_arg)
+    Term.(const run_cmd $ db_arg $ opt_arg $ lint_arg $ limit_arg $ sql_arg)
 
 let explain_t =
   Cmd.v (Cmd.info "explain" ~doc:"Show rewrites and the chosen physical plan")
-    Term.(const explain_cmd $ db_arg $ opt_arg $ sql_arg)
+    Term.(const explain_cmd $ db_arg $ opt_arg $ lint_arg $ sql_arg)
 
 let tables_t =
   Cmd.v (Cmd.info "tables" ~doc:"List tables, indexes and statistics")

@@ -30,6 +30,7 @@ type result = {
   exprs : int;
   rule_firings : int;
   plans_costed : int;
+  diags : Verify.Diag.t list; (* lint findings; [] unless ~lint:true *)
 }
 
 type ctx = {
@@ -172,7 +173,8 @@ let rec optimize_group (ctx : ctx) (g : Memo.group) : unit =
 (* ------------------------------------------------------------------ *)
 (* Entry point *)
 
-let optimize ?(config = default_config) cat db (q : Systemr.Spj.t) : result =
+let optimize ?(config = default_config) ?(lint = false) cat db
+    (q : Systemr.Spj.t) : result =
   let jctx = Systemr.Join_order.make_ctx config.join_config cat db q in
   let memo = Memo.create () in
   let ctx = { memo; jctx; cfg = config } in
@@ -223,9 +225,13 @@ let optimize ?(config = default_config) cat db (q : Systemr.Spj.t) : result =
           +. Cost.Cost_model.project
                config.join_config.Systemr.Join_order.params ~rows }
   in
+  let diags =
+    if lint then Verify.physical cat best.Systemr.Candidate.plan else []
+  in
   { best;
     card = stats.Stats.Derive.card;
     groups = Memo.group_count memo;
     exprs = memo.Memo.expr_count;
     rule_firings = memo.Memo.rule_firings;
-    plans_costed = jctx.Systemr.Join_order.plans_costed }
+    plans_costed = jctx.Systemr.Join_order.plans_costed;
+    diags }

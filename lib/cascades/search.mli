@@ -18,9 +18,11 @@ type result = {
   exprs : int;
   rule_firings : int;
   plans_costed : int;
+  diags : Verify.Diag.t list;  (** lint findings; [[]] unless [~lint:true] *)
 }
 
-(** Optimize an SPJ query.  @raise Invalid_argument on empty queries. *)
+(** Optimize an SPJ query.  [lint] runs {!Verify.physical} over the winning
+    plan.  @raise Invalid_argument on empty queries. *)
 val optimize :
-  ?config:config -> Storage.Catalog.t -> Stats.Table_stats.db ->
+  ?config:config -> ?lint:bool -> Storage.Catalog.t -> Stats.Table_stats.db ->
   Systemr.Spj.t -> result

@@ -18,6 +18,7 @@ open Relalg
 type config = {
   rewrites : Rewrite.Rules.t list list; (* rule classes, run in order *)
   join_config : Systemr.Join_order.config;
+  lint : bool; (* run the static verifier at every stage *)
 }
 
 let default_rewrites : Rewrite.Rules.t list list =
@@ -29,7 +30,8 @@ let default_rewrites : Rewrite.Rules.t list list =
 
 let default_config =
   { rewrites = default_rewrites;
-    join_config = Systemr.Join_order.default_config }
+    join_config = Systemr.Join_order.default_config;
+    lint = false }
 
 (* No rewriting at all: the naive baseline. *)
 let naive_config = { default_config with rewrites = [] }
@@ -43,6 +45,7 @@ type report = {
   plan : Exec.Plan.t option;
   est_cost : float;
   plans_costed : int;
+  diags : Verify.Diag.t list; (* lint findings; [] when lint is off *)
 }
 
 (* Can this block (and everything it contains) be planned, i.e. no subquery
@@ -72,12 +75,12 @@ let tmp_counter = ref 0
 (* Materialize a derived source into a temporary table registered in the
    catalog and statistics registry; returns the replacement Base source, the
    temp name, and the estimated cost spent. *)
-let rec materialize_source ctx config cat db (s : Rewrite.Qgm.source) :
+let rec materialize_source ~on_plan ctx config cat db (s : Rewrite.Qgm.source) :
   Rewrite.Qgm.source * string list * float * int =
   match s with
   | Rewrite.Qgm.Base _ -> (s, [], 0., 0)
   | Rewrite.Qgm.Derived { block; alias } ->
-    let plan, cost, costed, temps = plan_block ctx config cat db block in
+    let plan, cost, costed, temps = plan_block ~on_plan ctx config cat db block in
     let result = Exec.Executor.run ~ctx cat plan in
     incr tmp_counter;
     let tmp_name = Printf.sprintf "__mat%d_%s" !tmp_counter alias in
@@ -122,14 +125,16 @@ and attach_join cat kind (plan : Exec.Plan.t) (plan_aliases : string list)
       { kind; pred; outer = plan; inner = Exec.Plan.Materialize scan }
 
 (* Plan a single plannable block.  Returns (plan, estimated cost, plans
-   costed, temp tables created). *)
-and plan_block ctx config cat db (b : Rewrite.Qgm.block) :
-  Exec.Plan.t * float * int * string list =
+   costed, temp tables created).  [on_plan] sees every finished plan —
+   including the sub-plans of materialized views, while their temporary
+   tables are still in the catalog — which is where the linter hooks in. *)
+and plan_block ?(on_plan = fun (_ : Exec.Plan.t) -> ()) ctx config cat db
+    (b : Rewrite.Qgm.block) : Exec.Plan.t * float * int * string list =
   (* 1. materialize derived sources *)
   let mat sources =
     List.fold_left
       (fun (acc, temps, cost, costed) s ->
-         let s', t, c, n = materialize_source ctx config cat db s in
+         let s', t, c, n = materialize_source ~on_plan ctx config cat db s in
          (acc @ [ s' ], temps @ t, cost +. c, costed + n))
       ([], [], 0., 0) sources
   in
@@ -209,6 +214,7 @@ and plan_block ctx config cat db (b : Rewrite.Qgm.block) :
             !plan));
   plan := Exec.Plan.Project (b.Rewrite.Qgm.select, !plan);
   if b.Rewrite.Qgm.distinct then plan := Exec.Plan.Hash_distinct !plan;
+  on_plan !plan;
   ( !plan,
     !cost +. cost1 +. cost2 +. cost3,
     res.Systemr.Join_order.plans_costed + costed1 + costed2 + costed3,
@@ -217,13 +223,29 @@ and plan_block ctx config cat db (b : Rewrite.Qgm.block) :
 (* ------------------------------------------------------------------ *)
 (* Entry point *)
 
+(* Lint plumbing shared by [run] and [explain]: a diagnostics accumulator,
+   the rewrite-oracle callback for [Rewrite.Rules.run], and the plan
+   callback for [plan_block]. *)
+let lint_hooks (config : config) cat =
+  let diags = ref [] in
+  let check =
+    if config.lint then
+      Some
+        (fun ~rule ~before ~after ->
+           diags := !diags @ Verify.check_rewrite ~rule ~before ~after)
+    else None
+  in
+  let on_plan p = if config.lint then diags := !diags @ Verify.physical cat p in
+  (diags, check, on_plan)
+
 let run ?(ctx = Exec.Context.create ()) ?(config = default_config)
     (cat : Storage.Catalog.t) (db : Stats.Table_stats.db)
     (block : Rewrite.Qgm.block) : Exec.Executor.result * report =
-  let rewritten, trace = Rewrite.Rules.run config.rewrites block in
+  let diags, check, on_plan = lint_hooks config cat in
+  let rewritten, trace = Rewrite.Rules.run ?check config.rewrites block in
   if plannable rewritten then begin
     let plan, est_cost, plans_costed, temps =
-      plan_block ctx config cat db rewritten
+      plan_block ~on_plan ctx config cat db rewritten
     in
     let result = Exec.Executor.run ~ctx cat plan in
     List.iter
@@ -233,21 +255,27 @@ let run ?(ctx = Exec.Context.create ()) ?(config = default_config)
       temps;
     ( result,
       { rewritten; trace; path = Planned; plan = Some plan; est_cost;
-        plans_costed } )
+        plans_costed; diags = !diags } )
   end
   else begin
+    (* interpreted fallback: no physical plan to lint, but the block's
+       scoping can still be checked statically *)
+    if config.lint then diags := !diags @ Verify.block rewritten;
     let result = Rewrite.Qgm_eval.run ~ctx cat rewritten in
     ( result,
       { rewritten; trace; path = Interpreted; plan = None; est_cost = 0.;
-        plans_costed = 0 } )
+        plans_costed = 0; diags = !diags } )
   end
 
 let explain ?(config = default_config) cat db block : string =
   let ctx = Exec.Context.create () in
-  let rewritten, trace = Rewrite.Rules.run config.rewrites block in
+  let diags, check, on_plan = lint_hooks config cat in
+  let rewritten, trace = Rewrite.Rules.run ?check config.rewrites block in
   let body =
     if plannable rewritten then begin
-      let plan, est_cost, _, temps = plan_block ctx config cat db rewritten in
+      let plan, est_cost, _, temps =
+        plan_block ~on_plan ctx config cat db rewritten
+      in
       List.iter
         (fun t ->
            Storage.Catalog.remove_table cat t;
@@ -255,10 +283,12 @@ let explain ?(config = default_config) cat db block : string =
         temps;
       Fmt.str "@[<v>%a@,estimated cost: %.1f@]" Exec.Plan.pp plan est_cost
     end
-    else
+    else begin
+      if config.lint then diags := !diags @ Verify.block rewritten;
       Fmt.str
         "@[<v>(correlated query: tuple-iteration interpreter)@,%a@]"
         Rewrite.Qgm.pp_block rewritten
+    end
   in
   let trace_s =
     match trace with
@@ -267,7 +297,12 @@ let explain ?(config = default_config) cat db block : string =
       String.concat ", "
         (List.map (fun (n, k) -> Printf.sprintf "%s x%d" n k) t)
   in
-  Fmt.str "@[<v>rewrites: %s@,%s@]" trace_s body
+  let lint_s =
+    if config.lint then
+      Fmt.str "@,lint: %a" Verify.Diag.pp_list !diags
+    else ""
+  in
+  Fmt.str "@[<v>rewrites: %s@,%s%s@]" trace_s body lint_s
 
 (* ------------------------------------------------------------------ *)
 (* Full queries: UNION [ALL] above the block layer.  Each arm runs through

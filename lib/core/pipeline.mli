@@ -11,6 +11,9 @@
 type config = {
   rewrites : Rewrite.Rules.t list list;  (** rule classes, run in order *)
   join_config : Systemr.Join_order.config;
+  lint : bool;
+  (** run the [verify] static checker after every rewrite-rule
+      application and on every finished physical plan *)
 }
 
 (** view merging; unnesting; view merging again; constant propagation;
@@ -31,6 +34,7 @@ type report = {
   plan : Exec.Plan.t option;  (** [None] when interpreted *)
   est_cost : float;
   plans_costed : int;
+  diags : Verify.Diag.t list;  (** lint findings; [[]] when lint is off *)
 }
 
 (** Can this block (including nested ones) be planned — no residual
@@ -39,8 +43,11 @@ val plannable : Rewrite.Qgm.block -> bool
 
 (** Plan a single plannable block, materializing derived sources into
     temporary tables; returns (plan, estimated cost, plans costed, temp
-    tables created). *)
+    tables created).  [on_plan] is called with every finished plan —
+    including view sub-plans, while their temporaries are still
+    cataloged — which is where the linter hooks in. *)
 val plan_block :
+  ?on_plan:(Exec.Plan.t -> unit) ->
   Exec.Context.t -> config -> Storage.Catalog.t -> Stats.Table_stats.db ->
   Rewrite.Qgm.block -> Exec.Plan.t * float * int * string list
 

@@ -86,9 +86,12 @@ let rec apply_once (rule : t) (b : Qgm.block) : Qgm.block option =
 type trace = (string * int) list
 
 (* Run each rule class to fixpoint, in order.  [budget] bounds total
-   applications (the paper's point about tuning rule engines). *)
-let run ?(budget = 200) (classes : t list list) (b : Qgm.block) :
-  Qgm.block * trace =
+   applications (the paper's point about tuning rule engines).  [check] is
+   an oracle invoked after every successful application with the rule name
+   and the block before/after — the lint hook (see the [verify] library). *)
+let run ?(budget = 200)
+    ?(check : (rule:string -> before:Qgm.block -> after:Qgm.block -> unit) option)
+    (classes : t list list) (b : Qgm.block) : Qgm.block * trace =
   let applications = Hashtbl.create 8 in
   let budget_left = ref budget in
   let rec fix_class rules b =
@@ -102,6 +105,9 @@ let run ?(budget = 200) (classes : t list list) (b : Qgm.block) :
             decr budget_left;
             Hashtbl.replace applications r.name
               (1 + Option.value (Hashtbl.find_opt applications r.name) ~default:0);
+            (match check with
+             | Some f -> f ~rule:r.name ~before:b ~after:b'
+             | None -> ());
             Some b'
           | None -> try_rules rest)
       in

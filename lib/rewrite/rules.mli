@@ -12,5 +12,10 @@ val apply_once : t -> Qgm.block -> Qgm.block option
 type trace = (string * int) list
 
 (** Run each class to fixpoint in order; [budget] bounds total
-    applications. *)
-val run : ?budget:int -> t list list -> Qgm.block -> Qgm.block * trace
+    applications.  [check] is called after every successful application
+    with the rule name and the block before/after — the hook the [verify]
+    library's rewrite oracle plugs into. *)
+val run :
+  ?budget:int ->
+  ?check:(rule:string -> before:Qgm.block -> after:Qgm.block -> unit) ->
+  t list list -> Qgm.block -> Qgm.block * trace

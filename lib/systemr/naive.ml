@@ -41,7 +41,8 @@ type result = {
 
 let optimize ?(config = Join_order.default_config) cat db (q : Spj.t) : result
   =
-  let open Join_order in
+  let best, plans_costed, sequences =
+    let open Join_order in
   let ctx = make_ctx config cat db q in
   let n = Array.length ctx.rels in
   if n > 10 then invalid_arg "Naive.optimize: too many relations (n > 10)";
@@ -112,7 +113,8 @@ let optimize ?(config = Join_order.default_config) cat db (q : Spj.t) : result
                best := Some res.Join_order.best
          end)
     perms;
-  match !best with
-  | None -> invalid_arg "Naive.optimize: no plan (all permutations pruned)"
-  | Some b ->
-    { best = b; plans_costed = ctx.plans_costed; sequences = !seqs }
+    match !best with
+    | None -> invalid_arg "Naive.optimize: no plan (all permutations pruned)"
+    | Some b -> (b, ctx.Join_order.plans_costed, !seqs)
+  in
+  { best; plans_costed; sequences }

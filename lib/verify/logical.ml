@@ -1,0 +1,119 @@
+(* Static well-formedness checking of logical trees.  The walk recomputes
+   output schemas bottom-up with non-raising fallbacks ([Tint] for
+   undeterminable projection types) so one bad node does not mask checks
+   elsewhere in the tree. *)
+
+open Relalg
+
+let dup_aliases (aliases : string list) ~code ~what : Diag.t list =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun a ->
+       if Hashtbl.mem seen a then
+         Some (Diag.error ~code (Fmt.str "duplicate %s %S" what a))
+       else begin
+         Hashtbl.replace seen a ();
+         None
+       end)
+    aliases
+
+(* Output columns of projections and aggregations, with a harmless [Tint]
+   fallback when the item's type cannot be determined. *)
+let out_column alias ty =
+  Schema.column ~rel:"" ~name:alias ~ty:(Option.value ty ~default:Value.Tint)
+
+(* Returns (output schema, base aliases contributing output tuples,
+   diagnostics). *)
+let rec walk (t : Algebra.t) : Schema.t * string list * Diag.t list =
+  match t with
+  | Algebra.Scan { table; alias; schema } ->
+    let diags =
+      List.filter_map
+        (fun (c : Schema.column) ->
+           if c.Schema.rel = alias then None
+           else
+             Some
+               (Diag.warning ~code:"scan-schema-qualifier"
+                  (Fmt.str "scan of %s as %s carries column %s.%s" table alias
+                     c.Schema.rel c.Schema.name)))
+        schema
+    in
+    (schema, [ alias ], Diag.within ("Scan " ^ alias) diags)
+  | Algebra.Select (p, input) ->
+    let s, aliases, d = walk input in
+    (s, aliases, d @ Diag.within "Select" (Typecheck.check_predicate s p))
+  | Algebra.Project (items, input) ->
+    let s, aliases, d = walk input in
+    let item_diags, out =
+      List.fold_left
+        (fun (acc, out) (e, a) ->
+           let ty, de = Typecheck.infer s e in
+           (acc @ de, out @ [ out_column a ty ]))
+        ([], []) items
+    in
+    let own =
+      (if items = [] then
+         [ Diag.warning ~code:"empty-select" "projection with no items" ]
+       else [])
+      @ item_diags
+      @ dup_aliases (List.map snd items) ~code:"duplicate-alias"
+          ~what:"projection alias"
+    in
+    (out, aliases, d @ Diag.within "Project" own)
+  | Algebra.Join (kind, pred, l, r) ->
+    let ls, la, ld = walk l in
+    let rs, ra, rd = walk r in
+    let label = Algebra.join_kind_name kind ^ " join" in
+    let clash =
+      List.filter (fun a -> List.mem a la) ra
+      |> List.map (fun a ->
+          Diag.error ~code:"duplicate-relation-alias"
+            (Fmt.str "alias %S bound on both sides of the join" a))
+    in
+    (* Join predicates see both sides, whatever the kind — semi/anti joins
+       drop right columns from the *output*, not from the predicate. *)
+    let env = Schema.concat ls rs in
+    let own = clash @ Typecheck.check_predicate env pred in
+    let out, aliases =
+      match kind with
+      | Algebra.Semi | Algebra.Anti -> (ls, la)
+      | Algebra.Inner | Algebra.Left_outer ->
+        (Schema.concat ls rs, la @ ra)
+    in
+    (out, aliases, ld @ rd @ Diag.within label own)
+  | Algebra.Group_by { keys; aggs; input } ->
+    let s, aliases, d = walk input in
+    let key_diags, key_cols =
+      List.fold_left
+        (fun (acc, out) (e, a) ->
+           let ty, de = Typecheck.infer s e in
+           (acc @ de, out @ [ out_column a ty ]))
+        ([], []) keys
+    in
+    let agg_diags, agg_cols =
+      List.fold_left
+        (fun (acc, out) (g, a) ->
+           let ty, dg = Typecheck.infer_agg s g in
+           (acc @ dg, out @ [ out_column a ty ]))
+        ([], []) aggs
+    in
+    let own =
+      key_diags @ agg_diags
+      @ dup_aliases
+          (List.map snd keys @ List.map snd aggs)
+          ~code:"duplicate-alias" ~what:"group-by output alias"
+    in
+    (key_cols @ agg_cols, aliases, d @ Diag.within "Group_by" own)
+  | Algebra.Distinct input ->
+    let s, aliases, d = walk input in
+    (s, aliases, d)
+  | Algebra.Order_by (sort_keys, input) ->
+    let s, aliases, d = walk input in
+    let own =
+      List.concat_map (fun (e, _) -> snd (Typecheck.infer s e)) sort_keys
+    in
+    (s, aliases, d @ Diag.within "Order_by" own)
+
+let check t =
+  let _, _, diags = walk t in
+  diags

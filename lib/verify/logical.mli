@@ -1,0 +1,13 @@
+(** Static well-formedness checking of logical operator trees.
+
+    Verifies, without executing anything, that every column reference
+    resolves, predicates are boolean-typed, projection and group-by output
+    aliases are unique, join predicates reference only in-scope aliases,
+    and no two base relations in a join tree share an alias.  Diagnostics
+    carry the operator path from the root. *)
+
+open Relalg
+
+(** Codes produced: everything from {!Typecheck} plus [duplicate-alias],
+    [duplicate-relation-alias], [scan-schema-qualifier], [empty-select]. *)
+val check : Algebra.t -> Diag.t list

@@ -1,0 +1,29 @@
+(** A deep, non-raising expression checker.
+
+    Unlike {!Relalg.Typing.infer} — which assigns [Tbool] to every
+    comparison and connective without looking at the operands — this
+    checker recurses through the whole tree, verifies every column
+    reference resolves against the schema, and checks operand types of
+    arithmetic, comparisons, and boolean connectives.  It never raises:
+    unresolvable subexpressions yield [None] and a diagnostic, and unknown
+    types propagate silently so one bad column produces one error, not a
+    cascade. *)
+
+open Relalg
+
+(** [infer schema e] returns the type of [e] (or [None] when it cannot be
+    determined) together with diagnostics.  Codes produced:
+    [unknown-column], [ambiguous-column], [out-of-scope],
+    [type-mismatch]. *)
+val infer : Schema.t -> Expr.t -> Value.ty option * Diag.t list
+
+(** Check an expression used as a predicate: everything {!infer} checks,
+    plus the result type must be boolean ([non-boolean-predicate]). *)
+val check_predicate : Schema.t -> Expr.t -> Diag.t list
+
+(** Aggregate argument check + result type via {!Expr.agg_ty}. *)
+val infer_agg : Schema.t -> Expr.agg -> Value.ty option * Diag.t list
+
+(** Are two known types comparable under {!Value.compare} semantics —
+    equal, or a numeric int/float mix? *)
+val comparable : Value.ty -> Value.ty -> bool

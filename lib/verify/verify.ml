@@ -1,0 +1,231 @@
+(* Plan Lint facade: logical/physical tree linting re-exported, plus the
+   QGM-level checks used as the rewrite oracle. *)
+
+open Relalg
+module Qgm = Rewrite.Qgm
+
+module Diag = Diag
+module Typecheck = Typecheck
+module Logical = Logical
+module Physical = Physical
+
+let logical = Logical.check
+let physical = Physical.check
+
+(* ------------------------------------------------------------------ *)
+(* Non-raising QGM schemas *)
+
+let out_column alias ty =
+  Schema.column ~rel:"" ~name:alias ~ty:(Option.value ty ~default:Value.Tint)
+
+let rec safe_block_schema (b : Qgm.block) : Schema.t =
+  let inner = safe_inner_schema b in
+  if b.Qgm.aggs = [] && b.Qgm.group_by = [] then
+    List.map
+      (fun (e, a) -> out_column a (fst (Typecheck.infer inner e)))
+      b.Qgm.select
+  else
+    let gs = grouped_schema inner b in
+    List.map
+      (fun (e, a) -> out_column a (fst (Typecheck.infer gs e)))
+      b.Qgm.select
+
+and grouped_schema inner (b : Qgm.block) : Schema.t =
+  List.map
+    (fun (e, a) -> out_column a (fst (Typecheck.infer inner e)))
+    b.Qgm.group_by
+  @ List.map
+      (fun (g, a) -> out_column a (fst (Typecheck.infer_agg inner g)))
+      b.Qgm.aggs
+
+and safe_inner_schema (b : Qgm.block) : Schema.t =
+  List.concat_map safe_source_schema b.Qgm.from
+  @ List.concat_map
+      (fun (oj : Qgm.outerjoin) -> safe_source_schema oj.Qgm.o_source)
+      b.Qgm.outerjoins
+
+and safe_source_schema = function
+  | Qgm.Base { schema; _ } -> schema
+  | Qgm.Derived { block; alias } ->
+    Schema.requalify (safe_block_schema block) ~rel:alias
+
+(* ------------------------------------------------------------------ *)
+(* QGM block well-formedness *)
+
+let dup ~code ~what names =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun a ->
+       if Hashtbl.mem seen a then
+         Some (Diag.error ~code (Fmt.str "duplicate %s %S" what a))
+       else begin
+         Hashtbl.replace seen a ();
+         None
+       end)
+    names
+
+let rec block ?(outer = []) (b : Qgm.block) : Diag.t list =
+  let from_schema = List.concat_map safe_source_schema b.Qgm.from in
+  let inner = safe_inner_schema b in
+  let grouped = b.Qgm.group_by <> [] || b.Qgm.aggs <> [] in
+  (* WHERE runs before semijoins/outerjoins attach (see Lower), so its
+     conjuncts see only the FROM sources plus correlation columns. *)
+  let where_env = Schema.concat from_schema outer in
+  let check_pred env label (p : Qgm.predicate) =
+    match p with
+    | Qgm.P e -> Diag.within label (Typecheck.check_predicate env e)
+    | Qgm.In_sub (e, blk) ->
+      Diag.within label
+        (snd (Typecheck.infer env e)
+         @ subquery_arity 1 blk
+         @ block ~outer:env blk)
+    | Qgm.Exists_sub (_, blk) -> Diag.within label (block ~outer:env blk)
+    | Qgm.Cmp_sub (_, e, blk) ->
+      Diag.within label
+        (snd (Typecheck.infer env e)
+         @ subquery_arity 1 blk
+         @ block ~outer:env blk)
+  in
+  let source_diags =
+    List.concat_map (source_check ~outer) b.Qgm.from
+    @ List.concat_map
+        (fun (sj : Qgm.semijoin) -> source_check ~outer sj.Qgm.s_source)
+        b.Qgm.semijoins
+    @ List.concat_map
+        (fun (oj : Qgm.outerjoin) -> source_check ~outer oj.Qgm.o_source)
+        b.Qgm.outerjoins
+  in
+  let alias_diags =
+    dup ~code:"duplicate-relation-alias" ~what:"relation alias"
+      (Qgm.bound_aliases b)
+  in
+  let where_diags = List.concat_map (check_pred where_env "where") b.Qgm.where in
+  (* each semijoin predicate sees the FROM sources plus its own source *)
+  let semi_diags =
+    List.concat_map
+      (fun (sj : Qgm.semijoin) ->
+         let env =
+           Schema.concat
+             (Schema.concat from_schema (safe_source_schema sj.Qgm.s_source))
+             outer
+         in
+         Diag.within "semijoin" (Typecheck.check_predicate env sj.Qgm.s_pred))
+      b.Qgm.semijoins
+  in
+  (* outerjoins attach left to right: the nth predicate sees the FROM
+     sources and outerjoin sources 0..n *)
+  let _, outer_diags =
+    List.fold_left
+      (fun (env, acc) (oj : Qgm.outerjoin) ->
+         let env = Schema.concat env (safe_source_schema oj.Qgm.o_source) in
+         ( env,
+           acc
+           @ Diag.within "outerjoin"
+               (Typecheck.check_predicate (Schema.concat env outer)
+                  oj.Qgm.o_pred) ))
+      (from_schema, []) b.Qgm.outerjoins
+  in
+  let group_env = Schema.concat inner outer in
+  let group_diags =
+    Diag.within "group-by"
+      (List.concat_map
+         (fun (e, _) -> snd (Typecheck.infer group_env e))
+         b.Qgm.group_by
+       @ List.concat_map
+           (fun (g, _) -> snd (Typecheck.infer_agg group_env g))
+           b.Qgm.aggs
+       @ dup ~code:"duplicate-alias" ~what:"group-by output alias"
+           (List.map snd b.Qgm.group_by @ List.map snd b.Qgm.aggs))
+  in
+  (* select / having / order-by see the grouped schema when grouping *)
+  let top_env =
+    Schema.concat (if grouped then grouped_schema inner b else inner) outer
+  in
+  let select_diags =
+    Diag.within "select"
+      (List.concat_map
+         (fun (e, _) -> snd (Typecheck.infer top_env e))
+         b.Qgm.select
+       @ dup ~code:"duplicate-alias" ~what:"select alias"
+           (List.map snd b.Qgm.select))
+  in
+  let having_diags =
+    List.concat_map (check_pred top_env "having") b.Qgm.having
+  in
+  let order_diags =
+    Diag.within "order-by"
+      (List.concat_map
+         (fun (e, _) -> snd (Typecheck.infer top_env e))
+         b.Qgm.order_by)
+  in
+  source_diags @ alias_diags @ where_diags @ semi_diags @ outer_diags
+  @ group_diags @ select_diags @ having_diags @ order_diags
+
+and source_check ~outer = function
+  | Qgm.Base _ -> []
+  | Qgm.Derived { block = blk; alias } ->
+    Diag.within ("view " ^ alias) (block ~outer blk)
+
+and subquery_arity n blk =
+  let arity = Schema.arity (safe_block_schema blk) in
+  if arity = n then []
+  else
+    [ Diag.error ~code:"subquery-arity"
+        (Fmt.str "subquery produces %d columns, expected %d" arity n) ]
+
+(* ------------------------------------------------------------------ *)
+(* Semantics preservation *)
+
+let preserves_schema ~(before : Qgm.block) ~(after : Qgm.block) : Diag.t list =
+  let sb = safe_block_schema before in
+  let sa = safe_block_schema after in
+  if Schema.arity sb <> Schema.arity sa then
+    [ Diag.error ~code:"schema-change"
+        (Fmt.str "output arity changed from %d %a to %d %a" (Schema.arity sb)
+           Schema.pp sb (Schema.arity sa) Schema.pp sa) ]
+  else
+    List.concat
+      (List.map2
+         (fun (cb : Schema.column) (ca : Schema.column) ->
+            if cb.Schema.ty = ca.Schema.ty then []
+            else
+              [ Diag.error ~code:"schema-change"
+                  (Fmt.str "output column %s changed type from %s to %s"
+                     ca.Schema.name (Value.ty_name cb.Schema.ty)
+                     (Value.ty_name ca.Schema.ty)) ])
+         sb sa)
+
+(* The count-bug shape (Section 4.2.2): a rewrite that unnests an
+   aggregate subquery introduces a top-level aggregate over a view it
+   joined into FROM.  With a plain inner join, outer tuples with no match
+   disappear instead of aggregating to 0/NULL — the view must be attached
+   with an outerjoin.  We flag any rewrite that (a) introduces top-level
+   aggregation and (b) aggregates over a source it newly inner-joined. *)
+let count_bug ~(before : Qgm.block) ~(after : Qgm.block) : Diag.t list =
+  if before.Qgm.aggs <> [] || after.Qgm.aggs = [] then []
+  else
+    let aliases_of b = List.map Qgm.alias_of_source b.Qgm.from in
+    let old_aliases = aliases_of before in
+    let new_aliases =
+      List.filter (fun a -> not (List.mem a old_aliases)) (aliases_of after)
+    in
+    List.concat_map
+      (fun (g, out) ->
+         match Expr.agg_arg g with
+         | None -> []
+         | Some arg ->
+           let refs = Expr.relations arg in
+           let offending = List.filter (fun r -> List.mem r new_aliases) refs in
+           (match offending with
+            | [] -> []
+            | r :: _ ->
+              [ Diag.error ~code:"count-bug"
+                  (Fmt.str
+                     "aggregate %S ranges over inner-joined view %S: \
+                      zero-match outer tuples are lost (use an outerjoin)"
+                     out r) ]))
+      after.Qgm.aggs
+
+let check_rewrite ~rule ~before ~after : Diag.t list =
+  Diag.within ("rule " ^ rule)
+    (preserves_schema ~before ~after @ count_bug ~before ~after @ block after)

@@ -1,0 +1,54 @@
+(** Plan Lint: static well-formedness and semantics-preservation checking
+    for every optimizer stage.
+
+    The paper's contract is that rewrites and enumerated plans are
+    semantics-preserving — its cautionary tale being the "count bug" of
+    naive aggregate-subquery unnesting (Section 4.2.2), and its physical
+    property machinery (Section 3) only working when sort requirements are
+    actually met.  This library checks those invariants statically:
+
+    - {!logical} / {!Logical.check} lint a logical tree;
+    - {!physical} / {!Physical.check} lint a physical plan against a
+      catalog, including order-propagation analysis;
+    - {!block} lints a QGM block (scoping of every clause, including
+      subquery predicates and correlation);
+    - {!check_rewrite} is the oracle for {!Rewrite.Rules.run}'s [~check]
+      mode: schema preservation plus a count-bug shape detector, tagged
+      with the offending rule's name. *)
+
+open Relalg
+
+module Diag = Diag
+module Typecheck = Typecheck
+module Logical = Logical
+module Physical = Physical
+
+val logical : Algebra.t -> Diag.t list
+val physical : Storage.Catalog.t -> Exec.Plan.t -> Diag.t list
+
+(** Non-raising variant of {!Rewrite.Qgm.block_schema}: columns whose type
+    cannot be determined fall back to [Tint]. *)
+val safe_block_schema : Rewrite.Qgm.block -> Schema.t
+
+(** Lint a QGM block: every clause is checked in its proper scope (WHERE
+    sees the FROM sources; outerjoin predicates see the sources joined so
+    far; select/having/order-by see the grouped schema when grouping).
+    [outer] supplies correlation columns visible from enclosing blocks.
+    Codes as in {!Typecheck} plus [duplicate-alias],
+    [duplicate-relation-alias], [subquery-arity]. *)
+val block : ?outer:Schema.t -> Rewrite.Qgm.block -> Diag.t list
+
+(** Does the rewrite keep the block's output schema up to renaming —
+    same arity, same column types position by position?  Violations are
+    reported with code [schema-change]. *)
+val preserves_schema :
+  before:Rewrite.Qgm.block -> after:Rewrite.Qgm.block -> Diag.t list
+
+(** The rewrite oracle: {!preserves_schema}, a count-bug shape check
+    (code [count-bug]: the rewrite introduced a top-level aggregate over a
+    source it inner-joined into FROM instead of outerjoining, so
+    zero-match groups are lost), and a {!block} well-formedness pass over
+    the result — all tagged with ["rule <name>"]. *)
+val check_rewrite :
+  rule:string -> before:Rewrite.Qgm.block -> after:Rewrite.Qgm.block ->
+  Diag.t list
