@@ -141,12 +141,12 @@ let f4 () =
           join's input size matter, as in the paper's discussion *)
        let join_config = Systemr.Join_order.system_r_1979 in
        let lazy_cost, _ =
-         run { Core.Pipeline.rewrites = []; join_config; lint = false }
+         run { Core.Pipeline.default_config with rewrites = []; join_config }
        in
        let eager_cost, report =
          run
-           { Core.Pipeline.rewrites = [ [ Rewrite.Groupby.rule ] ];
-             join_config; lint = false }
+           { Core.Pipeline.default_config with
+             rewrites = [ [ Rewrite.Groupby.rule ] ]; join_config }
        in
        let fired =
          List.mem_assoc "eager_groupby" report.Core.Pipeline.trace

@@ -49,9 +49,17 @@ let print_diags reports =
   Fmt.pr "-- lint: %a@." Verify.Diag.pp_list diags;
   if Verify.Diag.has_errors diags then exit 2
 
-let run_cmd db_name opt lint limit sql =
+let engine_of_string = function
+  | "batch" -> `Batch
+  | "interpreted" -> `Interpreted
+  | s -> failwith ("unknown engine: " ^ s ^ " (use batch or interpreted)")
+
+let run_cmd db_name opt engine lint limit sql =
   with_query db_name sql (fun cat db block ->
-      let config = { (optimizer_config opt) with Core.Pipeline.lint } in
+      let config =
+        { (optimizer_config opt) with
+          Core.Pipeline.lint; engine = engine_of_string engine }
+      in
       let ctx = Exec.Context.create () in
       let result, reports = Core.Pipeline.run_query ~ctx ~config cat db block in
       let n = Array.length result.Exec.Executor.rows in
@@ -107,6 +115,13 @@ let limit_arg =
   Arg.(value & opt int 20
        & info [ "n"; "limit" ] ~docv:"N" ~doc:"Rows to print.")
 
+let engine_arg =
+  Arg.(value & opt string "batch"
+       & info [ "e"; "engine" ] ~docv:"ENGINE"
+           ~doc:"Plan execution engine: batch (vectorized) or interpreted \
+                 (tuple-at-a-time oracle). Both produce identical rows and \
+                 cost accounting.")
+
 let lint_arg =
   Arg.(value & flag
        & info [ "lint" ]
@@ -118,7 +133,9 @@ let sql_arg =
 
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a SQL query")
-    Term.(const run_cmd $ db_arg $ opt_arg $ lint_arg $ limit_arg $ sql_arg)
+    Term.(
+      const run_cmd $ db_arg $ opt_arg $ engine_arg $ lint_arg $ limit_arg
+      $ sql_arg)
 
 let explain_t =
   Cmd.v (Cmd.info "explain" ~doc:"Show rewrites and the chosen physical plan")

@@ -19,6 +19,7 @@ type config = {
   rewrites : Rewrite.Rules.t list list; (* rule classes, run in order *)
   join_config : Systemr.Join_order.config;
   lint : bool; (* run the static verifier at every stage *)
+  engine : [ `Interpreted | `Batch ]; (* plan execution engine *)
 }
 
 let default_rewrites : Rewrite.Rules.t list list =
@@ -31,7 +32,15 @@ let default_rewrites : Rewrite.Rules.t list list =
 let default_config =
   { rewrites = default_rewrites;
     join_config = Systemr.Join_order.default_config;
-    lint = false }
+    lint = false;
+    engine = `Batch }
+
+(* Both engines produce bit-identical rows and Context accounting; the
+   interpreter remains the differential-testing oracle. *)
+let exec_plan config ~ctx cat plan =
+  match config.engine with
+  | `Interpreted -> Exec.Executor.run ~ctx cat plan
+  | `Batch -> Exec.Batch.run ~ctx cat plan
 
 (* No rewriting at all: the naive baseline. *)
 let naive_config = { default_config with rewrites = [] }
@@ -81,7 +90,7 @@ let rec materialize_source ~on_plan ctx config cat db (s : Rewrite.Qgm.source) :
   | Rewrite.Qgm.Base _ -> (s, [], 0., 0)
   | Rewrite.Qgm.Derived { block; alias } ->
     let plan, cost, costed, temps = plan_block ~on_plan ctx config cat db block in
-    let result = Exec.Executor.run ~ctx cat plan in
+    let result = exec_plan config ~ctx cat plan in
     incr tmp_counter;
     let tmp_name = Printf.sprintf "__mat%d_%s" !tmp_counter alias in
     let columns =
@@ -247,7 +256,7 @@ let run ?(ctx = Exec.Context.create ()) ?(config = default_config)
     let plan, est_cost, plans_costed, temps =
       plan_block ~on_plan ctx config cat db rewritten
     in
-    let result = Exec.Executor.run ~ctx cat plan in
+    let result = exec_plan config ~ctx cat plan in
     List.iter
       (fun t ->
          Storage.Catalog.remove_table cat t;

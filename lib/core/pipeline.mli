@@ -14,6 +14,9 @@ type config = {
   lint : bool;
   (** run the [verify] static checker after every rewrite-rule
       application and on every finished physical plan *)
+  engine : [ `Interpreted | `Batch ];
+  (** which engine executes physical plans (default [`Batch]); both
+      produce bit-identical rows and cost accounting *)
 }
 
 (** view merging; unnesting; view merging again; constant propagation;

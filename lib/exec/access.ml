@@ -1,0 +1,66 @@
+(* Index-access cost charging and data fetching, shared by the interpreter
+   (Executor) and the batch engine (Batch).
+
+   The two halves are deliberately separate: [charge_index_fetch] drives
+   the buffer-pool simulator exactly as one execution of an index fetch
+   would (internal levels random, touched leaf pages, then base-table
+   pages — contiguous for a clustered index, one possibly-buffered random
+   page per match otherwise), while [fetch_rows] moves the data.  The
+   batch engine charges rescans by replaying the former without repeating
+   the latter. *)
+
+open Relalg
+
+let log2_ceil n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  if n <= 1 then 0 else go 0 1
+
+(* Sort spill: number of temp pages written+read for an external sort of
+   [pages] pages with [work_mem] pages of memory (multiway merge). *)
+let sort_spill_pages ~work_mem ~pages =
+  if pages <= work_mem then 0
+  else
+    let fan = max 2 (work_mem - 1) in
+    let rec passes runs acc =
+      if runs <= 1 then acc else passes ((runs + fan - 1) / fan) (acc + 1)
+    in
+    let initial_runs = (pages + work_mem - 1) / work_mem in
+    2 * pages * passes initial_runs 1
+
+let charge_index_fetch ctx (idx : Storage.Btree.t) (t : Storage.Table.t)
+    ~(entries : (Value.t list * int) array) ~lo_pos =
+  for _ = 1 to Storage.Btree.height idx do
+    Context.read_page ctx ~random:true (idx.Storage.Btree.name, -1)
+  done;
+  let n = Array.length entries in
+  if n > 0 then begin
+    let first_leaf = Storage.Btree.leaf_page_of idx lo_pos in
+    let last_leaf = Storage.Btree.leaf_page_of idx (lo_pos + n - 1) in
+    for lp = first_leaf to last_leaf do
+      Context.read_page ctx ~random:(lp = first_leaf) (idx.Storage.Btree.name, lp)
+    done
+  end;
+  Context.charge_cpu ctx n;
+  if idx.Storage.Btree.clustered then begin
+    (* row ids of a clustered index range are contiguous pages *)
+    let pages =
+      Array.fold_left
+        (fun acc (_, rid) ->
+           let pg = Storage.Table.page_of_row t rid in
+           if List.mem pg acc then acc else pg :: acc)
+        [] entries
+    in
+    List.iter
+      (fun pg -> Context.read_page ctx ~random:false (t.Storage.Table.name, pg))
+      (List.rev pages)
+  end
+  else
+    Array.iter
+      (fun (_, rid) ->
+         Context.read_page ctx ~random:true
+           (t.Storage.Table.name, Storage.Table.page_of_row t rid))
+      entries
+
+let fetch_rows (t : Storage.Table.t) (entries : (Value.t list * int) array) :
+  Tuple.t array =
+  Array.map (fun (_, rid) -> Storage.Table.get t rid) entries

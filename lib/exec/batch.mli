@@ -1,0 +1,15 @@
+(** Batch execution engine: executes the same physical {!Plan.t} trees as
+    {!Executor}, operator-at-a-time over row batches with column offsets
+    resolved once per operator, specialized key hash tables, and
+    cost charging decoupled from data movement — a [Nested_loop] rescan
+    charges the buffer pool (by replaying the inner subtree's page-access
+    pattern) without recomputing the inner rows, which are cached by
+    physical node identity.
+
+    Contract: for every plan, [run] returns bit-identical rows in the same
+    order, and drives the {!Context} (buffer pool, CPU, spill counters)
+    identically to {!Executor.run}.  The interpreter remains the
+    differential-testing oracle. *)
+
+val run :
+  ?ctx:Context.t -> Storage.Catalog.t -> Plan.t -> Executor.result

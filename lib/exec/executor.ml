@@ -12,21 +12,9 @@ open Relalg
 
 type result = { schema : Schema.t; rows : Tuple.t array }
 
-let log2_ceil n =
-  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
-  if n <= 1 then 0 else go 0 1
+let log2_ceil = Access.log2_ceil
 
-(* Sort spill: number of temp pages written+read for an external sort of
-   [pages] pages with [work_mem] pages of memory (multiway merge). *)
-let sort_spill_pages ~work_mem ~pages =
-  if pages <= work_mem then 0
-  else
-    let fan = max 2 (work_mem - 1) in
-    let rec passes runs acc =
-      if runs <= 1 then acc else passes ((runs + fan - 1) / fan) (acc + 1)
-    in
-    let initial_runs = (pages + work_mem - 1) / work_mem in
-    2 * pages * passes initial_runs 1
+let sort_spill_pages = Access.sort_spill_pages
 
 let key_of_pairs schema (refs : Expr.col_ref list) =
   let idxs =
@@ -39,15 +27,17 @@ let key_of_pairs schema (refs : Expr.col_ref list) =
 
 let keys_nullfree ks = List.for_all (fun v -> not (Value.is_null v)) ks
 
-module Key_tbl = Hashtbl.Make (struct
-    type t = Value.t list
-    let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
-    let hash ks = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 ks
-  end)
+(* Keys from [key_of_pairs] have a fixed arity per operator, so equality
+   compares positions without re-measuring lengths (Keys is shared with
+   the batch engine). *)
+module Key_tbl = Keys.List_tbl
 
 let run ?(ctx = Context.create ()) (cat : Storage.Catalog.t) (plan : Plan.t) :
   result =
-  let memo : (Plan.t, Tuple.t array) Hashtbl.t = Hashtbl.create 8 in
+  (* Materialize memo, keyed by *physical* node identity: an association
+     by [==] never hashes or compares plan subtrees, and plans hold at most
+     a handful of Materialize nodes. *)
+  let memo : (Plan.t * Tuple.t array) list ref = ref [] in
   let rec exec (p : Plan.t) : Tuple.t array =
     match p with
     | Plan.Seq_scan { table; alias = _; filter } ->
@@ -85,7 +75,9 @@ let run ?(ctx = Context.create ()) (cat : Storage.Catalog.t) (plan : Plan.t) :
       let s = Plan.schema cat i in
       let keep = Expr.holds s f in
       Context.charge_cpu ctx (Array.length rows);
-      Array.of_list (List.filter keep (Array.to_list rows))
+      let out = Storage.Vec.create () in
+      Array.iter (fun t -> if keep t then Storage.Vec.push out t) rows;
+      Storage.Vec.to_array out
     | Plan.Project (items, i) ->
       let rows = exec i in
       let s = Plan.schema cat i in
@@ -119,11 +111,11 @@ let run ?(ctx = Context.create ()) (cat : Storage.Catalog.t) (plan : Plan.t) :
       Array.stable_sort cmp copy;
       copy
     | Plan.Materialize i -> (
-      match Hashtbl.find_opt memo p with
-      | Some rows -> rows
+      match List.find_opt (fun (q, _) -> q == p) !memo with
+      | Some (_, rows) -> rows
       | None ->
         let rows = exec i in
-        Hashtbl.replace memo p rows;
+        memo := (p, rows) :: !memo;
         rows)
     | Plan.Nested_loop { kind; pred; outer; inner } ->
       let outer_rows = exec outer in
@@ -193,44 +185,12 @@ let run ?(ctx = Context.create ()) (cat : Storage.Catalog.t) (plan : Plan.t) :
     | Plan.Seq_scan { alias; _ } | Plan.Index_scan { alias; _ } -> alias
     | _ -> assert false
 
-  (* Index fetch shared by Index_scan and Index_nl probes: charge internal
-     levels (random), touched leaf pages, then base-table pages — contiguous
-     for a clustered index, one (possibly buffered) random page per match
-     otherwise. *)
+  (* Index fetch shared by Index_scan and Index_nl probes; the charging
+     pattern lives in [Access] (shared with the batch engine). *)
   and fetch_entries (idx : Storage.Btree.t) (t : Storage.Table.t)
       (entries : (Value.t list * int) array) lo_pos : Tuple.t array =
-    for _ = 1 to Storage.Btree.height idx do
-      Context.read_page ctx ~random:true (idx.Storage.Btree.name, -1)
-    done;
-    let n = Array.length entries in
-    if n > 0 then begin
-      let first_leaf = Storage.Btree.leaf_page_of idx lo_pos in
-      let last_leaf = Storage.Btree.leaf_page_of idx (lo_pos + n - 1) in
-      for lp = first_leaf to last_leaf do
-        Context.read_page ctx ~random:(lp = first_leaf) (idx.Storage.Btree.name, lp)
-      done
-    end;
-    Context.charge_cpu ctx n;
-    if idx.Storage.Btree.clustered then begin
-      (* row ids of a clustered index range are contiguous pages *)
-      let pages =
-        Array.fold_left
-          (fun acc (_, rid) ->
-             let pg = Storage.Table.page_of_row t rid in
-             if List.mem pg acc then acc else pg :: acc)
-          [] entries
-      in
-      List.iter
-        (fun pg -> Context.read_page ctx ~random:false (t.Storage.Table.name, pg))
-        (List.rev pages)
-    end
-    else
-      Array.iter
-        (fun (_, rid) ->
-           Context.read_page ctx ~random:true
-             (t.Storage.Table.name, Storage.Table.page_of_row t rid))
-        entries;
-    Array.map (fun (_, rid) -> Storage.Table.get t rid) entries
+    Access.charge_index_fetch ctx idx t ~entries ~lo_pos;
+    Access.fetch_rows t entries
 
   and fetch_via_index idx t ~alias ~lo ~hi ~filter =
     let entries = Storage.Btree.range idx ~lo ~hi in
@@ -246,7 +206,9 @@ let run ?(ctx = Context.create ()) (cat : Storage.Catalog.t) (plan : Plan.t) :
     | Some f ->
       let s = Schema.requalify t.Storage.Table.schema ~rel:alias in
       let keep = Expr.holds s f in
-      Array.of_list (List.filter keep (Array.to_list rows))
+      let out = Storage.Vec.create () in
+      Array.iter (fun tu -> if keep tu then Storage.Vec.push out tu) rows;
+      Storage.Vec.to_array out
 
   and fetch_probe idx t ks =
     let entries = Storage.Btree.probe idx ks in
@@ -276,7 +238,10 @@ let run ?(ctx = Context.create ()) (cat : Storage.Catalog.t) (plan : Plan.t) :
       if not (Array.exists matches inner_rows) then Storage.Vec.push out ot
 
   and merge_join kind pairs residual left right =
-    let lrows = exec left and rrows = exec right in
+    (* pinned left-then-right evaluation: the buffer pool is stateful, and
+       the batch engine must replay the same page-access order *)
+    let lrows = exec left in
+    let rrows = exec right in
     let sl = Plan.schema cat left and sr = Plan.schema cat right in
     let lkey = key_of_pairs sl (List.map fst pairs) in
     let rkey = key_of_pairs sr (List.map snd pairs) in

@@ -1,0 +1,111 @@
+(* Join/aggregation key hashing shared by the interpreter (Executor) and
+   the batch engine (Batch).
+
+   Every hash table here is used with keys of a fixed arity — the key of a
+   hash join, grouping or distinct operator always has the same number of
+   columns for the lifetime of one table — so the equality functions do not
+   re-measure lengths before comparing (the [List.length a = List.length b]
+   guard the interpreter used to pay on every probe). *)
+
+open Relalg
+
+let hash_list ks = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 ks
+
+(* Arity is fixed per table: no length guard. *)
+let equal_list a b = List.for_all2 Value.equal a b
+
+module List_tbl = Hashtbl.Make (struct
+    type t = Value.t list
+    let equal = equal_list
+    let hash = hash_list
+  end)
+
+let hash_array ks =
+  let acc = ref 7 in
+  for i = 0 to Array.length ks - 1 do
+    acc := (!acc * 31) + Value.hash ks.(i)
+  done;
+  !acc
+
+(* Arity is fixed per table: positions compare pairwise without a length
+   guard.  [Value.equal] makes Int 2 and Float 2.0 equal keys, matching the
+   interpreter's key semantics. *)
+let equal_array (a : Value.t array) (b : Value.t array) =
+  let n = Array.length a in
+  let rec go i = i = n || (Value.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+module Array_tbl = Hashtbl.Make (struct
+    type t = Value.t array
+    let equal = equal_array
+    let hash = hash_array
+  end)
+
+(* Fast path for single-column integer keys.  Only sound when every key
+   value on both sides of the table is Int or Null (NULLs are handled by
+   the caller): Value.equal would also match Float 2.0 = Int 2, so callers
+   must verify eligibility before choosing this table.
+
+   Open addressing with linear probing: flat int/value arrays, an inline
+   multiplicative hash, and no allocation per entry (Hashtbl conses a
+   bucket cell per binding).  Insert-only — the execution engines never
+   delete keys.  Lookup misses return the caller-supplied [dummy]; callers
+   that must distinguish absence use a physically unique dummy and compare
+   with [==]. *)
+module Int_map = struct
+  type 'a t = {
+    mutable keys : int array;
+    mutable vals : 'a array;
+    mutable used : Bytes.t;
+    mutable mask : int; (* capacity - 1; capacity is a power of two *)
+    mutable count : int;
+    dummy : 'a;
+  }
+
+  let create ~dummy cap =
+    let rec pow2 n = if n >= cap * 2 then n else pow2 (n * 2) in
+    let c = pow2 16 in
+    { keys = Array.make c 0; vals = Array.make c dummy;
+      used = Bytes.make c '\000'; mask = c - 1; count = 0; dummy }
+
+  (* Fibonacci-style multiplicative mixing; [land mask] keeps it in range
+     (and non-negative) even when the product overflows. *)
+  let slot t k =
+    let rec probe i =
+      if Bytes.unsafe_get t.used i = '\000' || Array.unsafe_get t.keys i = k
+      then i
+      else probe ((i + 1) land t.mask)
+    in
+    probe (k * 0x9E3779B1 land t.mask)
+
+  let grow t =
+    let okeys = t.keys and ovals = t.vals and oused = t.used in
+    let c = 2 * (t.mask + 1) in
+    t.keys <- Array.make c 0;
+    t.vals <- Array.make c t.dummy;
+    t.used <- Bytes.make c '\000';
+    t.mask <- c - 1;
+    for i = 0 to Array.length okeys - 1 do
+      if Bytes.get oused i = '\001' then begin
+        let j = slot t okeys.(i) in
+        Bytes.set t.used j '\001';
+        t.keys.(j) <- okeys.(i);
+        t.vals.(j) <- ovals.(i)
+      end
+    done
+
+  (* [t.dummy] when absent. *)
+  let find t k =
+    let i = slot t k in
+    if Bytes.unsafe_get t.used i = '\000' then t.dummy
+    else Array.unsafe_get t.vals i
+
+  (* The key must be absent (callers [find] first). *)
+  let add t k v =
+    if 2 * (t.count + 1) > t.mask + 1 then grow t;
+    let i = slot t k in
+    Bytes.set t.used i '\001';
+    t.keys.(i) <- k;
+    t.vals.(i) <- v;
+    t.count <- t.count + 1
+end

@@ -1,0 +1,40 @@
+(** Join/aggregation key hashing shared by {!Executor} and {!Batch}.
+
+    All tables assume fixed-arity keys (the arity of a join/grouping key
+    never changes within one hash table), so equality compares positions
+    pairwise without re-measuring lengths. *)
+
+open Relalg
+
+val hash_list : Value.t list -> int
+
+(** Pairwise {!Value.equal}; assumes equal lengths (fixed arity). *)
+val equal_list : Value.t list -> Value.t list -> bool
+
+(** Hash table over list keys — the interpreter's key table. *)
+module List_tbl : Hashtbl.S with type key = Value.t list
+
+val hash_array : Value.t array -> int
+
+(** Pairwise {!Value.equal} on the first [length a] positions; assumes
+    equal lengths (fixed arity). *)
+val equal_array : Value.t array -> Value.t array -> bool
+
+(** Hash table over array keys — the batch engine's key table. *)
+module Array_tbl : Hashtbl.S with type key = Value.t array
+
+(** Fast path for single-column integer keys: open-addressing, no
+    allocation per entry, insert-only.  Only sound when every key value on
+    both sides is Int or Null ({!Value.equal} would also match Float 2.0 =
+    Int 2); callers verify eligibility first.  Lookup misses return the
+    [dummy] given at creation; callers that must distinguish absence use a
+    physically unique dummy and compare with [==]. *)
+module Int_map : sig
+  type 'a t
+
+  val create : dummy:'a -> int -> 'a t
+  val find : 'a t -> int -> 'a
+
+  (** The key must be absent (call {!find} first). *)
+  val add : 'a t -> int -> 'a -> unit
+end

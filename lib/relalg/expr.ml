@@ -175,6 +175,61 @@ let holds schema e =
   let f = compile schema e in
   fun t -> match f t with Value.Bool b -> b | _ -> false
 
+(* Two-input compilation for join operators: columns resolve against
+   [left @ right] exactly as [compile (Schema.concat left right)] would —
+   same lookup, same ambiguity failures — but each reference is pinned to
+   (side, offset) so evaluation reads the two input tuples directly,
+   without materializing their concatenation. *)
+let compile2 (left : Schema.t) (right : Schema.t) (e : t) :
+  Tuple.t -> Tuple.t -> Value.t =
+  let nl = Schema.arity left in
+  let combined = Schema.concat left right in
+  let rec go e =
+    match e with
+    | Const v -> fun _ _ -> v
+    | Col { rel; col } ->
+      let i =
+        try Schema.index_of combined ~rel ~name:col
+        with Not_found ->
+          raise (Type_error
+                   (Fmt.str "unknown column %s.%s in schema %a" rel col
+                      Schema.pp combined))
+      in
+      if i < nl then fun a _ -> Tuple.get a i
+      else
+        let j = i - nl in
+        fun _ b -> Tuple.get b j
+    | Binop (op, a, b) ->
+      let fa = go a and fb = go b in
+      fun x y -> arith op (fa x y) (fb x y)
+    | Cmp (op, a, b) ->
+      let fa = go a and fb = go b in
+      fun x y ->
+        (match Value.sql_cmp (fa x y) (fb x y) with
+         | None -> Value.Null
+         | Some c -> Value.Bool (compare_op op c))
+    | And (a, b) ->
+      let fa = go a and fb = go b in
+      fun x y -> v3_and (fa x y) (fb x y)
+    | Or (a, b) ->
+      let fa = go a and fb = go b in
+      fun x y -> v3_or (fa x y) (fb x y)
+    | Not a ->
+      let fa = go a in
+      fun x y -> v3_not (fa x y)
+    | Is_null a ->
+      let fa = go a in
+      fun x y -> Value.Bool (Value.is_null (fa x y))
+    | Udf (u, args) ->
+      let fs = List.map go args in
+      fun x y -> u.udf_fn (List.map (fun f -> f x y) fs)
+  in
+  go e
+
+let holds2 left right e =
+  let f = compile2 left right e in
+  fun a b -> match f a b with Value.Bool b -> b | _ -> false
+
 (* ------------------------------------------------------------------ *)
 (* Aggregates *)
 

@@ -65,6 +65,17 @@ val eval : Schema.t -> Tuple.t -> t -> Value.t
 (** Predicate evaluation with WHERE semantics: UNKNOWN rejects. *)
 val holds : Schema.t -> t -> Tuple.t -> bool
 
+(** [compile2 left right e] resolves columns against
+    [Schema.concat left right] (same lookup and ambiguity behaviour as
+    {!compile} on the concatenation) but pins each reference to a (side,
+    offset) pair, so join predicates evaluate over the two input tuples
+    without materializing their concatenation.
+    @raise Type_error on unresolvable columns. *)
+val compile2 : Schema.t -> Schema.t -> t -> Tuple.t -> Tuple.t -> Value.t
+
+(** {!holds} over two input tuples, via {!compile2}. *)
+val holds2 : Schema.t -> Schema.t -> t -> Tuple.t -> Tuple.t -> bool
+
 (** [compare_op op c] applies comparison operator [op] to the sign [c] of a
     three-way comparison. *)
 val compare_op : cmpop -> int -> bool

@@ -1,0 +1,427 @@
+(* Differential tests for the batch execution engine: for every plan the
+   batch engine must produce bit-identical rows, in the same order, AND
+   drive the Context — buffer pool page faults, CPU, spill — identically
+   to the tuple-at-a-time interpreter, which remains the oracle. *)
+
+open Relalg
+
+let mk_catalog rs ss =
+  let cat = Storage.Catalog.create () in
+  let r = Storage.Catalog.create_table cat ~name:"R"
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ] in
+  let s = Storage.Catalog.create_table cat ~name:"S"
+      ~columns:[ ("a", Value.Tint); ("c", Value.Tint) ] in
+  List.iter (fun (a, b) -> Storage.Table.insert r (Tuple.of_list [ a; b ])) rs;
+  List.iter (fun (a, c) -> Storage.Table.insert s (Tuple.of_list [ a; c ])) ss;
+  cat
+
+let default_r =
+  [ (Value.Int 1, Value.Int 10); (Value.Int 2, Value.Int 20);
+    (Value.Int 2, Value.Int 21); (Value.Int 3, Value.Int 30);
+    (Value.Null, Value.Int 99) ]
+
+let default_s =
+  [ (Value.Int 2, Value.Int 200); (Value.Int 2, Value.Int 201);
+    (Value.Int 3, Value.Int 300); (Value.Int 4, Value.Int 400);
+    (Value.Null, Value.Int 999) ]
+
+let scan t = Exec.Plan.Seq_scan { table = t; alias = t; filter = None }
+
+let join_pred =
+  Expr.Cmp (Expr.Eq, Expr.col ~rel:"R" ~col:"a", Expr.col ~rel:"S" ~col:"a")
+
+let pair = ({ Expr.rel = "R"; col = "a" }, { Expr.rel = "S"; col = "a" })
+
+let sort_on rel col input =
+  Exec.Plan.Sort
+    ([ { Exec.Plan.key = Expr.col ~rel ~col; descending = false } ], input)
+
+let counters (ctx : Exec.Context.t) =
+  ( ctx.Exec.Context.seq_io, ctx.Exec.Context.rand_io,
+    ctx.Exec.Context.spill_io, ctx.Exec.Context.cpu_ops )
+
+let pp_counters (s, r, sp, c) =
+  Printf.sprintf "seq=%d rand=%d spill=%d cpu=%d" s r sp c
+
+(* The differential harness: run [plan] under both engines with
+   identically-configured fresh contexts; rows must match bit-for-bit and
+   in order, counters must match exactly. *)
+let differ ?buffer_pages ?work_mem_pages name cat plan =
+  let ctx_i = Exec.Context.create ?buffer_pages ?work_mem_pages () in
+  let oracle = Exec.Executor.run ~ctx:ctx_i cat plan in
+  let ctx_b = Exec.Context.create ?buffer_pages ?work_mem_pages () in
+  let batch = Exec.Batch.run ~ctx:ctx_b cat plan in
+  Alcotest.(check int)
+    (name ^ ": row count")
+    (Array.length oracle.Exec.Executor.rows)
+    (Array.length batch.Exec.Executor.rows);
+  Array.iteri
+    (fun i t ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: row %d identical" name i)
+         true
+         (Tuple.equal t batch.Exec.Executor.rows.(i)))
+    oracle.Exec.Executor.rows;
+  Alcotest.(check string)
+    (name ^ ": counters")
+    (pp_counters (counters ctx_i))
+    (pp_counters (counters ctx_b))
+
+(* ------------------------------------------------------------------ *)
+(* Operator coverage *)
+
+let kinds =
+  [ ("inner", Algebra.Inner); ("left_outer", Algebra.Left_outer);
+    ("semi", Algebra.Semi); ("anti", Algebra.Anti) ]
+
+let test_scans () =
+  let cat = mk_catalog default_r default_s in
+  ignore (Storage.Catalog.create_index cat ~table:"S" ~column:"a" ());
+  differ "seq scan" cat (scan "R");
+  differ "seq scan + pushed filter" cat
+    (Exec.Plan.Seq_scan
+       { table = "R"; alias = "R";
+         filter =
+           Some (Expr.Cmp (Expr.Ge, Expr.col ~rel:"R" ~col:"a", Expr.int 2)) });
+  differ "index scan" cat
+    (Exec.Plan.Index_scan
+       { table = "S"; alias = "S"; column = "a";
+         lo = Exec.Plan.Incl (Value.Int 2); hi = Exec.Plan.Excl (Value.Int 4);
+         filter = None });
+  differ "index scan + residual" cat
+    (Exec.Plan.Index_scan
+       { table = "S"; alias = "S"; column = "a"; lo = Exec.Plan.Unbounded;
+         hi = Exec.Plan.Unbounded;
+         filter =
+           Some (Expr.Cmp (Expr.Gt, Expr.col ~rel:"S" ~col:"c", Expr.int 200))
+       })
+
+let test_scalar_ops () =
+  let cat = mk_catalog default_r default_s in
+  differ "filter" cat
+    (Exec.Plan.Filter
+       (Expr.Cmp (Expr.Ge, Expr.col ~rel:"R" ~col:"a", Expr.int 2), scan "R"));
+  differ "filter empty result" cat
+    (Exec.Plan.Filter
+       (Expr.Cmp (Expr.Gt, Expr.col ~rel:"R" ~col:"a", Expr.int 99), scan "R"));
+  differ "project" cat
+    (Exec.Plan.Project
+       ([ (Expr.Binop (Expr.Add, Expr.col ~rel:"R" ~col:"b", Expr.int 1), "b1");
+          (Expr.col ~rel:"R" ~col:"a", "a") ],
+        scan "R"));
+  differ "sort asc" cat (sort_on "R" "a" (scan "R"));
+  differ "sort desc multi-key" cat
+    (Exec.Plan.Sort
+       ([ { Exec.Plan.key = Expr.col ~rel:"R" ~col:"a"; descending = true };
+          { Exec.Plan.key = Expr.col ~rel:"R" ~col:"b"; descending = false } ],
+        scan "R"))
+
+let test_joins () =
+  let cat = mk_catalog default_r default_s in
+  ignore (Storage.Catalog.create_index cat ~table:"S" ~column:"a" ());
+  List.iter
+    (fun (kn, kind) ->
+       differ ("nested loop " ^ kn) cat
+         (Exec.Plan.Nested_loop
+            { kind; pred = join_pred; outer = scan "R"; inner = scan "S" });
+       differ ("hash join " ^ kn) cat
+         (Exec.Plan.Hash_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue; left = scan "R";
+              right = scan "S" });
+       differ ("merge join " ^ kn) cat
+         (Exec.Plan.Merge_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue;
+              left = sort_on "R" "a" (scan "R");
+              right = sort_on "S" "a" (scan "S") });
+       differ ("index-nl " ^ kn) cat
+         (Exec.Plan.Index_nl
+            { kind; outer = scan "R"; table = "S"; alias = "S";
+              index = "idx_S_a"; columns = [ "a" ];
+              outer_keys = [ Expr.col ~rel:"R" ~col:"a" ];
+              residual = Expr.ftrue }))
+    kinds
+
+let test_join_residual () =
+  let cat = mk_catalog default_r default_s in
+  let residual =
+    Expr.Cmp (Expr.Lt, Expr.col ~rel:"R" ~col:"b", Expr.col ~rel:"S" ~col:"c")
+  in
+  differ "hash join with residual" cat
+    (Exec.Plan.Hash_join
+       { kind = Algebra.Inner; pairs = [ pair ]; residual; left = scan "R";
+         right = scan "S" });
+  differ "merge join with residual" cat
+    (Exec.Plan.Merge_join
+       { kind = Algebra.Left_outer; pairs = [ pair ]; residual;
+         left = sort_on "R" "a" (scan "R"); right = sort_on "S" "a" (scan "S") })
+
+(* Non-integer keys force the generic (Value array) hash path. *)
+let test_hash_join_generic_keys () =
+  let cat = Storage.Catalog.create () in
+  let r = Storage.Catalog.create_table cat ~name:"R"
+      ~columns:[ ("a", Value.Tstring); ("b", Value.Tint) ] in
+  let s = Storage.Catalog.create_table cat ~name:"S"
+      ~columns:[ ("a", Value.Tstring); ("c", Value.Tint) ] in
+  List.iter (fun t -> Storage.Table.insert r (Tuple.of_list t))
+    [ [ Value.Str "x"; Value.Int 1 ]; [ Value.Str "y"; Value.Int 2 ];
+      [ Value.Null; Value.Int 3 ]; [ Value.Str "x"; Value.Int 4 ] ];
+  List.iter (fun t -> Storage.Table.insert s (Tuple.of_list t))
+    [ [ Value.Str "x"; Value.Int 10 ]; [ Value.Str "z"; Value.Int 20 ];
+      [ Value.Null; Value.Int 30 ] ];
+  List.iter
+    (fun (kn, kind) ->
+       differ ("hash join string keys " ^ kn) cat
+         (Exec.Plan.Hash_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue; left = scan "R";
+              right = scan "S" }))
+    kinds
+
+let test_empty_inputs () =
+  List.iter
+    (fun (nm, rs, ss) ->
+       let cat = mk_catalog rs ss in
+       List.iter
+         (fun (kn, kind) ->
+            differ (nm ^ " NL " ^ kn) cat
+              (Exec.Plan.Nested_loop
+                 { kind; pred = join_pred; outer = scan "R"; inner = scan "S" });
+            differ (nm ^ " HJ " ^ kn) cat
+              (Exec.Plan.Hash_join
+                 { kind; pairs = [ pair ]; residual = Expr.ftrue;
+                   left = scan "R"; right = scan "S" });
+            differ (nm ^ " MJ " ^ kn) cat
+              (Exec.Plan.Merge_join
+                 { kind; pairs = [ pair ]; residual = Expr.ftrue;
+                   left = sort_on "R" "a" (scan "R");
+                   right = sort_on "S" "a" (scan "S") }))
+         kinds)
+    [ ("empty outer", [], default_s); ("empty inner", default_r, []);
+      ("both empty", [], []) ]
+
+let test_aggregates () =
+  let cat = mk_catalog default_r default_s in
+  let aggs =
+    [ (Expr.Count_star, "n"); (Expr.Sum (Expr.col ~rel:"S" ~col:"c"), "total");
+      (Expr.Min (Expr.col ~rel:"S" ~col:"c"), "lo");
+      (Expr.Avg (Expr.col ~rel:"S" ~col:"c"), "avg") ]
+  in
+  differ "hash agg single int key" cat
+    (Exec.Plan.Hash_agg
+       { keys = [ (Expr.col ~rel:"S" ~col:"a", "a") ]; aggs; input = scan "S" });
+  differ "stream agg" cat
+    (Exec.Plan.Stream_agg
+       { keys = [ (Expr.col ~rel:"S" ~col:"a", "a") ]; aggs;
+         input = sort_on "S" "a" (scan "S") });
+  differ "hash agg multi key" cat
+    (Exec.Plan.Hash_agg
+       { keys =
+           [ (Expr.col ~rel:"S" ~col:"a", "a");
+             (Expr.col ~rel:"S" ~col:"c", "c") ];
+         aggs = [ (Expr.Count_star, "n") ]; input = scan "S" });
+  differ "scalar agg" cat
+    (Exec.Plan.Hash_agg { keys = []; aggs; input = scan "S" });
+  let empty = mk_catalog [] [] in
+  differ "scalar agg on empty" empty
+    (Exec.Plan.Hash_agg { keys = []; aggs; input = scan "S" });
+  differ "grouped agg on empty" empty
+    (Exec.Plan.Hash_agg
+       { keys = [ (Expr.col ~rel:"S" ~col:"a", "a") ];
+         aggs = [ (Expr.Count_star, "n") ]; input = scan "S" });
+  differ "distinct" cat
+    (Exec.Plan.Hash_distinct
+       (Exec.Plan.Project ([ (Expr.col ~rel:"S" ~col:"a", "a") ], scan "S")))
+
+(* ------------------------------------------------------------------ *)
+(* Cost-accounting-specific scenarios *)
+
+(* The batch engine computes a nested loop's inner ONCE and replays its
+   page-access pattern for the remaining outer tuples.  With a buffer pool
+   smaller than the inner table, every rescan must fault identically to
+   the interpreter's genuine re-execution — even without Materialize. *)
+let test_rescan_faults_identically () =
+  let rs = List.init 40 (fun i -> (Value.Int (i mod 5), Value.Int i)) in
+  let ss = List.init 200 (fun i -> (Value.Int (i mod 5), Value.Int i)) in
+  let cat = mk_catalog rs ss in
+  differ ~buffer_pages:2 "NL rescan, tiny buffer" cat
+    (Exec.Plan.Nested_loop
+       { kind = Algebra.Inner; pred = join_pred; outer = scan "R";
+         inner = scan "S" });
+  (* inner with work above the scan: filter cpu + sort spill recharge too *)
+  differ ~buffer_pages:2 ~work_mem_pages:1 "NL rescan over sort+filter" cat
+    (Exec.Plan.Nested_loop
+       { kind = Algebra.Inner; pred = join_pred; outer = scan "R";
+         inner =
+           Exec.Plan.Sort
+             ([ { Exec.Plan.key = Expr.col ~rel:"S" ~col:"c";
+                  descending = false } ],
+              Exec.Plan.Filter
+                (Expr.Cmp (Expr.Ge, Expr.col ~rel:"S" ~col:"c", Expr.int 3),
+                 scan "S")) })
+
+let test_materialize_counters () =
+  let cat = mk_catalog default_r default_s in
+  differ ~buffer_pages:2 "materialized NL inner" cat
+    (Exec.Plan.Nested_loop
+       { kind = Algebra.Inner; pred = join_pred; outer = scan "R";
+         inner = Exec.Plan.Materialize (scan "S") });
+  (* the batch engine must still scan S exactly once *)
+  let ctx = Exec.Context.create ~buffer_pages:2 () in
+  ignore
+    (Exec.Batch.run ~ctx cat
+       (Exec.Plan.Nested_loop
+          { kind = Algebra.Inner; pred = join_pred; outer = scan "R";
+            inner = Exec.Plan.Materialize (scan "S") }));
+  Alcotest.(check int) "materialized inner scanned once" 2
+    ctx.Exec.Context.seq_io
+
+let test_sort_spill_accounting () =
+  let rs = List.init 2000 (fun i -> (Value.Int (i * 7 mod 1000), Value.Int i)) in
+  let cat = mk_catalog rs [] in
+  differ ~work_mem_pages:2 "external sort spills identically" cat
+    (sort_on "R" "a" (scan "R"));
+  (* hash build side over work_mem: Grace partitioning spill *)
+  let ss = List.init 1500 (fun i -> (Value.Int (i mod 50), Value.Int i)) in
+  let cat2 = mk_catalog (List.init 100 (fun i -> (Value.Int (i mod 50), Value.Int i))) ss in
+  differ ~work_mem_pages:2 "hash join spills identically" cat2
+    (Exec.Plan.Hash_join
+       { kind = Algebra.Inner; pairs = [ pair ]; residual = Expr.ftrue;
+         left = scan "R"; right = scan "S" })
+
+(* ------------------------------------------------------------------ *)
+(* Composed plans: lint-clean under the static verifier, and still
+   differentially identical. *)
+
+let composed_plan () =
+  Exec.Plan.Project
+    ( [ (Expr.col ~rel:"R" ~col:"a", "a");
+        (Expr.col ~rel:"S" ~col:"c", "c") ],
+      Exec.Plan.Sort
+        ( [ { Exec.Plan.key = Expr.col ~rel:"S" ~col:"c"; descending = true } ],
+          Exec.Plan.Filter
+            ( Expr.Cmp (Expr.Ge, Expr.col ~rel:"S" ~col:"c", Expr.int 200),
+              Exec.Plan.Hash_join
+                { kind = Algebra.Inner; pairs = [ pair ];
+                  residual = Expr.ftrue; left = scan "R"; right = scan "S" } )
+        ) )
+
+let test_composed_lint_clean () =
+  let cat = mk_catalog default_r default_s in
+  let plan = composed_plan () in
+  Alcotest.(check int) "lint-clean" 0 (List.length (Verify.physical cat plan));
+  differ "composed plan" cat plan
+
+(* ------------------------------------------------------------------ *)
+(* Property: on random inputs, every plan shape is differentially
+   identical — rows, order, and counters. *)
+
+let arb_rows =
+  QCheck.(list_of_size Gen.(int_range 0 30)
+            (pair (int_range 0 6) (int_range 0 60)))
+
+let counters_equal cat plan =
+  let ctx_i = Exec.Context.create ~buffer_pages:4 ~work_mem_pages:2 () in
+  let oracle = Exec.Executor.run ~ctx:ctx_i cat plan in
+  let ctx_b = Exec.Context.create ~buffer_pages:4 ~work_mem_pages:2 () in
+  let batch = Exec.Batch.run ~ctx:ctx_b cat plan in
+  Array.length oracle.Exec.Executor.rows = Array.length batch.Exec.Executor.rows
+  && Array.for_all2 Tuple.equal oracle.Exec.Executor.rows
+       batch.Exec.Executor.rows
+  && counters ctx_i = counters ctx_b
+
+let prop_batch_differential =
+  QCheck.Test.make ~name:"batch engine matches interpreter" ~count:50
+    (QCheck.pair arb_rows arb_rows)
+    (fun (rs, ss) ->
+       let mk (a, b) = (Value.Int a, Value.Int b) in
+       let cat = mk_catalog (List.map mk rs) (List.map mk ss) in
+       let plans =
+         List.map
+           (fun (_, kind) ->
+              Exec.Plan.Nested_loop
+                { kind; pred = join_pred; outer = scan "R"; inner = scan "S" })
+           kinds
+         @ List.map
+             (fun (_, kind) ->
+                Exec.Plan.Hash_join
+                  { kind; pairs = [ pair ]; residual = Expr.ftrue;
+                    left = scan "R"; right = scan "S" })
+             kinds
+         @ List.map
+             (fun (_, kind) ->
+                Exec.Plan.Merge_join
+                  { kind; pairs = [ pair ]; residual = Expr.ftrue;
+                    left = sort_on "R" "a" (scan "R");
+                    right = sort_on "S" "a" (scan "S") })
+             kinds
+         @ [ Exec.Plan.Hash_agg
+               { keys = [ (Expr.col ~rel:"R" ~col:"a", "a") ];
+                 aggs = [ (Expr.Count_star, "n");
+                          (Expr.Sum (Expr.col ~rel:"R" ~col:"b"), "t") ];
+                 input = scan "R" };
+             Exec.Plan.Hash_distinct
+               (Exec.Plan.Project
+                  ([ (Expr.col ~rel:"R" ~col:"a", "a") ], scan "R"));
+             composed_plan () ]
+       in
+       List.for_all (counters_equal cat) plans)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: the pipeline under both engine configs agrees on rows and
+   counters for optimized multi-join queries. *)
+
+let test_pipeline_engines_agree () =
+  let w = Workload.Schemas.emp_dept ~emps:800 ~depts:40 () in
+  let cat = w.Workload.Schemas.cat and db = w.Workload.Schemas.db in
+  let sqls =
+    [ "SELECT Emp.name, Dept.name FROM Emp, Dept \
+       WHERE Emp.did = Dept.did AND Emp.sal > 50000";
+      "SELECT Dept.name, COUNT(*), SUM(Emp.sal) FROM Emp, Dept \
+       WHERE Emp.did = Dept.did GROUP BY Dept.name";
+      "SELECT DISTINCT Dept.loc FROM Dept ORDER BY Dept.loc" ]
+  in
+  List.iter
+    (fun sql ->
+       let q = Sql.Binder.query_of_string cat sql in
+       let run engine =
+         let ctx = Exec.Context.create () in
+         let config = { Core.Pipeline.default_config with engine } in
+         let result, _ = Core.Pipeline.run_query ~ctx ~config cat db q in
+         (result, counters ctx)
+       in
+       let ri, ci = run `Interpreted in
+       let rb, cb = run `Batch in
+       Alcotest.(check int)
+         (sql ^ ": rows") (Array.length ri.Exec.Executor.rows)
+         (Array.length rb.Exec.Executor.rows);
+       Alcotest.(check bool)
+         (sql ^ ": identical rows") true
+         (Array.for_all2 Tuple.equal ri.Exec.Executor.rows
+            rb.Exec.Executor.rows);
+       Alcotest.(check string)
+         (sql ^ ": counters") (pp_counters ci) (pp_counters cb))
+    sqls
+
+let () =
+  Alcotest.run "batch"
+    [ ("operators",
+       [ Alcotest.test_case "scans" `Quick test_scans;
+         Alcotest.test_case "filter/project/sort" `Quick test_scalar_ops;
+         Alcotest.test_case "joins, all algorithms and kinds" `Quick test_joins;
+         Alcotest.test_case "join residuals" `Quick test_join_residual;
+         Alcotest.test_case "generic hash keys" `Quick
+           test_hash_join_generic_keys;
+         Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
+         Alcotest.test_case "aggregates + distinct" `Quick test_aggregates ]);
+      ("cost accounting",
+       [ Alcotest.test_case "rescan faults identically" `Quick
+           test_rescan_faults_identically;
+         Alcotest.test_case "materialize" `Quick test_materialize_counters;
+         Alcotest.test_case "sort/hash spill" `Quick
+           test_sort_spill_accounting ]);
+      ("composed",
+       [ Alcotest.test_case "lint-clean composed plan" `Quick
+           test_composed_lint_clean;
+         QCheck_alcotest.to_alcotest prop_batch_differential ]);
+      ("pipeline",
+       [ Alcotest.test_case "engines agree end-to-end" `Quick
+           test_pipeline_engines_agree ]) ]
