@@ -35,7 +35,7 @@ let e13 () =
                 Util.f1 dp_lin.Systemr.Join_order.best.Systemr.Candidate.cost;
                 Util.f1 dp_bushy.Systemr.Join_order.best.Systemr.Candidate.cost;
                 Util.f1 casc.Cascades.Search.best.Systemr.Candidate.cost;
-                Util.istr dp_bushy.Systemr.Join_order.plans_costed;
+                Util.istr dp_bushy.Systemr.Join_order.counters.Systemr.Join_order.costed;
                 Util.istr casc.Cascades.Search.plans_costed;
                 Util.istr casc.Cascades.Search.groups;
                 Util.istr casc.Cascades.Search.exprs;

@@ -30,9 +30,9 @@ let e1 () =
         Util.istr (Systemr.Naive.linear_sequences n);
         Util.istr nv.Systemr.Naive.plans_costed;
         Util.istr (Systemr.Naive.dp_extensions n);
-        Util.istr dp.Systemr.Join_order.plans_costed;
+        Util.istr dp.Systemr.Join_order.counters.Systemr.Join_order.costed;
         Printf.sprintf "%.1f" (float_of_int nv.Systemr.Naive.plans_costed
-                               /. float_of_int (max 1 dp.Systemr.Join_order.plans_costed));
+                               /. float_of_int (max 1 dp.Systemr.Join_order.counters.Systemr.Join_order.costed));
         Printf.sprintf "%.3f" t_naive;
         Printf.sprintf "%.3f" t_dp;
         string_of_bool agree ]

@@ -1,0 +1,270 @@
+(* Join-enumeration benchmark: graph-aware csg–cmp enumeration with
+   cost-bound pruning vs the pre-change all-masks/all-splits enumerator
+   ([Join_order.exhaustive] preserves it verbatim).
+
+   Before any timing, the harness proves the fast enumerator equivalent on
+   every benchmarked shape: at the pre-check size both enumerators must
+   agree on the final plan cost (across bushy/left-deep, interesting
+   orders on/off, with and without a required output order), and every
+   plan the fast enumerator emits must pass the [Verify.physical] lint.
+   Any violation exits 1, so a speedup can never come from a search-space
+   hole.
+
+   Results go to BENCH_opt.json: per shape (chain, cycle, star, clique) ×
+   mode (left-deep, bushy) × n, wall-clock for both enumerators plus the
+   fast enumerator's effort counters (DP subsets, splits considered,
+   plans costed, plans pruned).  The old enumerator is skipped beyond a
+   cutoff (bushy splits grow as 3^n) and reported as null.
+
+   Usage: enum_bench [--smoke] [--out FILE]
+     --smoke   n ≤ 6, single repetition — a CI liveness check (the
+               equivalence pre-check still runs in full at the smoke
+               sizes), no timing claims
+     --out     output path (default BENCH_opt.json) *)
+
+open Relalg
+
+type scale = {
+  reps : int;
+  precheck_n : int;
+  ns : int list;  (** timed sizes (chain / cycle / star) *)
+  clique_ns : int list;
+}
+
+let full = { reps = 3; precheck_n = 8; ns = [ 4; 8; 12; 16 ];
+             clique_ns = [ 4; 6; 8; 10 ] }
+let smoke = { reps = 1; precheck_n = 6; ns = [ 4; 6 ]; clique_ns = [ 4; 6 ] }
+
+let shapes =
+  [ ("chain", Workload.Schemas.Chain_q); ("cycle", Workload.Schemas.Cycle_q);
+    ("star", Workload.Schemas.Star_q); ("clique", Workload.Schemas.Clique_q) ]
+
+(* The old enumerator's bushy split loop walks all 3^n (mask, submask)
+   pairs and its left-deep loop all 2^n masks; cap it where that stays
+   under a few seconds.  The new enumerator runs at every size. *)
+let old_cutoff ~shape ~bushy =
+  match shape with
+  | "clique" -> 10
+  | _ -> if bushy then 12 else 16
+
+let spj_of_pieces ?(order_by = []) (p : Workload.Schemas.join_pieces) :
+  Systemr.Spj.t =
+  Systemr.Spj.make ~order_by
+    ~relations:
+      (List.map
+         (fun (alias, table) ->
+            { Systemr.Spj.alias; table;
+              schema =
+                Schema.requalify
+                  (Storage.Catalog.table p.Workload.Schemas.jcat table)
+                    .Storage.Table.schema ~rel:alias })
+         p.Workload.Schemas.relations)
+    ~predicates:p.Workload.Schemas.predicates ()
+
+let optimize config (p : Workload.Schemas.join_pieces) q =
+  Systemr.Join_order.optimize ~config p.Workload.Schemas.jcat
+    p.Workload.Schemas.jdb q
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence pre-check (runs before any timing) *)
+
+let check_equivalence ~n shape_name shape =
+  let p = Workload.Schemas.join_shape ~rows:300 ~shape ~n () in
+  let order_bys =
+    [ ("none", []);
+      ("R1.a", [ ({ Expr.rel = "R1"; col = "a" }, Algebra.Asc) ]) ]
+  in
+  List.iter
+    (fun bushy ->
+       List.iter
+         (fun interesting_orders ->
+            List.iter
+              (fun (ob_name, order_by) ->
+                 let q = spj_of_pieces ~order_by p in
+                 let fast_cfg =
+                   { Systemr.Join_order.default_config with
+                     bushy; interesting_orders }
+                 in
+                 let fast = optimize fast_cfg p q in
+                 let slow =
+                   optimize (Systemr.Join_order.exhaustive fast_cfg) p q
+                 in
+                 let cf = fast.Systemr.Join_order.best.Systemr.Candidate.cost
+                 and cs = slow.Systemr.Join_order.best.Systemr.Candidate.cost in
+                 let tol = 1e-6 *. Float.max 1. (Float.max cf cs) in
+                 let label =
+                   Printf.sprintf "%s n=%d %s io=%b order=%s" shape_name n
+                     (if bushy then "bushy" else "left-deep")
+                     interesting_orders ob_name
+                 in
+                 if Float.abs (cf -. cs) > tol then begin
+                   Printf.eprintf
+                     "FAIL %s: fast cost %.6f <> exhaustive cost %.6f\n"
+                     label cf cs;
+                   exit 1
+                 end;
+                 let diags =
+                   Verify.physical p.Workload.Schemas.jcat
+                     fast.Systemr.Join_order.best.Systemr.Candidate.plan
+                 in
+                 if Verify.Diag.has_errors diags then begin
+                   Fmt.epr "FAIL %s: plan lint errors: %a@." label
+                     Verify.Diag.pp_list diags;
+                   exit 1
+                 end)
+              order_bys)
+         [ true; false ])
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
+(* Timing *)
+
+(* best-of-[reps] wall clock; returns (seconds, last result) *)
+let time_runs reps f =
+  let best = ref infinity and last = ref None in
+  for _ = 1 to reps do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    last := Some r
+  done;
+  match !last with None -> assert false | Some r -> (!best, r)
+
+type row = {
+  shape : string;
+  mode : string;  (* "left-deep" | "bushy" *)
+  n : int;
+  new_s : float;
+  old_s : float option;  (* None beyond the old enumerator's cutoff *)
+  counters : Systemr.Join_order.counters;
+}
+
+let speedup r =
+  match r.old_s with
+  | Some o when r.new_s > 0. -> Some (o /. r.new_s)
+  | _ -> None
+
+let bench_point ~reps ~shape_name ~shape ~bushy ~n : row =
+  let p = Workload.Schemas.join_shape ~rows:300 ~shape ~n () in
+  let q = spj_of_pieces p in
+  let fast_cfg =
+    { Systemr.Join_order.default_config with bushy }
+  in
+  let new_s, res = time_runs reps (fun () -> optimize fast_cfg p q) in
+  let old_s =
+    if n <= old_cutoff ~shape:shape_name ~bushy then
+      let slow_cfg = Systemr.Join_order.exhaustive fast_cfg in
+      let s, _ = time_runs reps (fun () -> optimize slow_cfg p q) in
+      Some s
+    else None
+  in
+  { shape = shape_name; mode = (if bushy then "bushy" else "left-deep"); n;
+    new_s; old_s; counters = res.Systemr.Join_order.counters }
+
+let bench_all (sc : scale) : row list =
+  List.concat_map
+    (fun (shape_name, shape) ->
+       let ns = if shape_name = "clique" then sc.clique_ns else sc.ns in
+       List.concat_map
+         (fun bushy ->
+            List.map
+              (fun n ->
+                 bench_point ~reps:sc.reps ~shape_name ~shape ~bushy ~n)
+              ns)
+         [ false; true ])
+    shapes
+
+(* ------------------------------------------------------------------ *)
+(* Output *)
+
+let json_of_rows ~smoke ~precheck_n (rows : row list) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"smoke\": %b,\n  \"reps\": \"best-of\",\n\
+       \  \"equivalence_precheck\": {\"n\": %d, \"shapes\": [%s], \
+        \"modes\": [\"left-deep\", \"bushy\"], \
+        \"interesting_orders\": [true, false], \
+        \"order_by\": [\"none\", \"R1.a\"], \
+        \"cost_equal_to_exhaustive\": true, \"plans_lint_clean\": true},\n"
+       smoke precheck_n
+       (String.concat ", "
+          (List.map (fun (s, _) -> Printf.sprintf "%S" s) shapes)));
+  (match
+     List.find_opt
+       (fun r -> r.shape = "chain" && r.mode = "bushy" && r.n = 12)
+       rows
+   with
+   | Some r ->
+     (match speedup r with
+      | Some s ->
+        Buffer.add_string b
+          (Printf.sprintf "  \"chain12_bushy_speedup\": %.2f,\n" s)
+      | None -> ())
+   | None -> ());
+  Buffer.add_string b "  \"points\": [\n";
+  List.iteri
+    (fun i r ->
+       let c = r.counters in
+       Buffer.add_string b
+         (Printf.sprintf
+            "    {\"shape\": %S, \"mode\": %S, \"n\": %d, \
+             \"new_s\": %.6f, \"old_s\": %s, \"speedup\": %s, \
+             \"subsets\": %d, \"splits\": %d, \"costed\": %d, \
+             \"pruned\": %d}%s\n"
+            r.shape r.mode r.n r.new_s
+            (match r.old_s with
+             | Some s -> Printf.sprintf "%.6f" s
+             | None -> "null")
+            (match speedup r with
+             | Some s -> Printf.sprintf "%.2f" s
+             | None -> "null")
+            c.Systemr.Join_order.subsets c.Systemr.Join_order.splits
+            c.Systemr.Join_order.costed c.Systemr.Join_order.pruned
+            (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let () =
+  let smoke_flag = ref false and out = ref "BENCH_opt.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest -> smoke_flag := true; parse rest
+    | "--out" :: f :: rest -> out := f; parse rest
+    | a :: _ -> Printf.eprintf "unknown argument: %s\n" a; exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let sc = if !smoke_flag then smoke else full in
+  List.iter
+    (fun (shape_name, shape) ->
+       check_equivalence ~n:sc.precheck_n shape_name shape;
+       Printf.printf "precheck %-6s n=%d: fast = exhaustive, plans lint \
+                      clean\n%!" shape_name sc.precheck_n)
+    shapes;
+  let rows = bench_all sc in
+  Printf.printf "%-6s %-9s %3s %10s %10s %8s %8s %8s %8s %8s\n" "shape"
+    "mode" "n" "new_s" "old_s" "speedup" "subsets" "splits" "costed"
+    "pruned";
+  List.iter
+    (fun r ->
+       let c = r.counters in
+       Printf.printf "%-6s %-9s %3d %10.4f %10s %8s %8d %8d %8d %8d\n"
+         r.shape r.mode r.n r.new_s
+         (match r.old_s with
+          | Some s -> Printf.sprintf "%.4f" s
+          | None -> "-")
+         (match speedup r with
+          | Some s -> Printf.sprintf "%.1fx" s
+          | None -> "-")
+         c.Systemr.Join_order.subsets c.Systemr.Join_order.splits
+         c.Systemr.Join_order.costed c.Systemr.Join_order.pruned)
+    rows;
+  let oc = open_out !out in
+  output_string oc (json_of_rows ~smoke:!smoke_flag ~precheck_n:sc.precheck_n rows);
+  close_out oc;
+  Printf.printf
+    "wrote %s (equivalence pre-check passed for every shape)\n" !out

@@ -80,8 +80,8 @@ let f2 () =
                 Util.f2
                   (lin.Systemr.Join_order.best.Systemr.Candidate.cost
                    /. bus.Systemr.Join_order.best.Systemr.Candidate.cost);
-                Util.istr lin.Systemr.Join_order.plans_costed;
-                Util.istr bus.Systemr.Join_order.plans_costed ]
+                Util.istr lin.Systemr.Join_order.counters.Systemr.Join_order.costed;
+                Util.istr bus.Systemr.Join_order.counters.Systemr.Join_order.costed ]
               :: !rows_out)
          [ 4; 6; 8 ])
     [ ("chain", Workload.Schemas.Chain_q); ("star", Workload.Schemas.Star_q) ];

@@ -54,14 +54,46 @@ let engine_of_string = function
   | "interpreted" -> `Interpreted
   | s -> failwith ("unknown engine: " ^ s ^ " (use batch or interpreted)")
 
-let run_cmd db_name opt engine lint limit sql =
+(* --bushy / --left-deep override the optimizer preset's tree shape, so the
+   CLI drives exactly the code paths the enumeration bench measures. *)
+let apply_tree tree (config : Core.Pipeline.config) =
+  match tree with
+  | `Default -> config
+  | `Bushy ->
+    { config with
+      Core.Pipeline.join_config =
+        { config.Core.Pipeline.join_config with
+          Systemr.Join_order.bushy = true } }
+  | `Left_deep ->
+    { config with
+      Core.Pipeline.join_config =
+        { config.Core.Pipeline.join_config with
+          Systemr.Join_order.bushy = false } }
+
+let print_opt_stats reports wall_s =
+  let c =
+    List.fold_left
+      (fun acc r ->
+         Systemr.Join_order.counters_add acc r.Core.Pipeline.enum)
+      Systemr.Join_order.counters_zero reports
+  in
+  Fmt.pr
+    "-- opt: subsets=%d splits=%d costed=%d pruned=%d wall_ms=%.2f@."
+    c.Systemr.Join_order.subsets c.Systemr.Join_order.splits
+    c.Systemr.Join_order.costed c.Systemr.Join_order.pruned
+    (wall_s *. 1000.)
+
+let run_cmd db_name opt engine lint limit tree opt_stats sql =
   with_query db_name sql (fun cat db block ->
       let config =
-        { (optimizer_config opt) with
-          Core.Pipeline.lint; engine = engine_of_string engine }
+        apply_tree tree
+          { (optimizer_config opt) with
+            Core.Pipeline.lint; engine = engine_of_string engine }
       in
       let ctx = Exec.Context.create () in
+      let t0 = Unix.gettimeofday () in
       let result, reports = Core.Pipeline.run_query ~ctx ~config cat db block in
+      let wall = Unix.gettimeofday () -. t0 in
       let n = Array.length result.Exec.Executor.rows in
       Fmt.pr "%a@." Schema.pp result.Exec.Executor.schema;
       Array.iteri
@@ -76,11 +108,14 @@ let run_cmd db_name opt engine lint limit sql =
                  | Core.Pipeline.Planned -> "planned"
                  | Core.Pipeline.Interpreted -> "interpreted")
               reports));
+      if opt_stats then print_opt_stats reports wall;
       if lint then print_diags reports)
 
-let explain_cmd db_name opt lint sql =
+let explain_cmd db_name opt lint tree sql =
   with_query db_name sql (fun cat db block ->
-      let config = { (optimizer_config opt) with Core.Pipeline.lint } in
+      let config =
+        apply_tree tree { (optimizer_config opt) with Core.Pipeline.lint }
+      in
       print_endline (Core.Pipeline.explain_query ~config cat db block))
 
 let tables_cmd db_name =
@@ -128,6 +163,24 @@ let lint_arg =
            ~doc:"Statically verify every rewrite step and physical plan; \
                  print diagnostics (exit 2 on lint errors under run).")
 
+let tree_arg =
+  Arg.(value
+       & vflag `Default
+           [ (`Bushy,
+              info [ "bushy" ]
+                ~doc:"Enumerate bushy join trees (overrides the optimizer \
+                      preset's shape).");
+             (`Left_deep,
+              info [ "left-deep" ]
+                ~doc:"Enumerate left-deep join trees only (overrides the \
+                      optimizer preset's shape).") ])
+
+let opt_stats_arg =
+  Arg.(value & flag
+       & info [ "opt-stats" ]
+           ~doc:"Print enumeration counters (DP subsets, splits considered, \
+                 plans costed, plans pruned) and end-to-end wall time.")
+
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
 
@@ -135,11 +188,11 @@ let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a SQL query")
     Term.(
       const run_cmd $ db_arg $ opt_arg $ engine_arg $ lint_arg $ limit_arg
-      $ sql_arg)
+      $ tree_arg $ opt_stats_arg $ sql_arg)
 
 let explain_t =
   Cmd.v (Cmd.info "explain" ~doc:"Show rewrites and the chosen physical plan")
-    Term.(const explain_cmd $ db_arg $ opt_arg $ lint_arg $ sql_arg)
+    Term.(const explain_cmd $ db_arg $ opt_arg $ lint_arg $ tree_arg $ sql_arg)
 
 let tables_t =
   Cmd.v (Cmd.info "tables" ~doc:"List tables, indexes and statistics")

@@ -40,7 +40,7 @@ let () =
     let res = Systemr.Join_order.optimize ~config cat db q in
     Printf.printf "--- %s: estimated cost %.1f (%d plans costed) ---\n%s\n\n"
       name res.Systemr.Join_order.best.Systemr.Candidate.cost
-      res.Systemr.Join_order.plans_costed
+      res.Systemr.Join_order.counters.Systemr.Join_order.costed
       (Exec.Plan.to_string res.Systemr.Join_order.best.Systemr.Candidate.plan);
     let ctx = Exec.Context.create () in
     let out =

@@ -7,7 +7,14 @@
    property is the subset's statistical summary, and its multi-expressions
    are the splits (or the base scan).  Winners per required physical
    property are kept as a Pareto set over (cost, delivered order), exactly
-   the interesting-orders structure generalized to properties. *)
+   the interesting-orders structure generalized to properties.
+
+   Logical expressions are hash-consed: every [lexpr] is interned into a
+   global table mapping it to a small id on first sight.  Because an
+   expression's group is determined by its relation mask (Leaf i -> bit i,
+   Split (l, r) -> l lor r), membership in the intern table alone answers
+   "has this group seen this expression" — duplicate detection is one
+   hashtable probe instead of a scan of the group's expression list. *)
 
 type group_id = int
 
@@ -27,13 +34,18 @@ type group = {
 
 type t = {
   groups : (int, group) Hashtbl.t; (* mask -> group *)
+  interned : (lexpr, int) Hashtbl.t; (* hash-consed exprs -> intern id *)
   mutable next_id : int;
   mutable expr_count : int;
   mutable rule_firings : int;
 }
 
 let create () =
-  { groups = Hashtbl.create 64; next_id = 0; expr_count = 0; rule_firings = 0 }
+  { groups = Hashtbl.create 64;
+    interned = Hashtbl.create 256;
+    next_id = 0;
+    expr_count = 0;
+    rule_firings = 0 }
 
 let find_or_create (m : t) ~mask ~stats : group =
   match Hashtbl.find_opt m.groups mask with
@@ -47,10 +59,22 @@ let find_or_create (m : t) ~mask ~stats : group =
     Hashtbl.replace m.groups mask g;
     g
 
+(* Intern [e], returning its id; a fresh id means it was never seen. *)
+let intern (m : t) (e : lexpr) : int =
+  match Hashtbl.find_opt m.interned e with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length m.interned in
+    Hashtbl.replace m.interned e id;
+    id
+
 let add_expr (m : t) (g : group) (e : lexpr) : bool =
-  if List.mem e g.exprs then false
+  (* an lexpr belongs to exactly one group (its mask), so global
+     membership implies membership in [g] *)
+  if Hashtbl.mem m.interned e then false
   else begin
-    g.exprs <- g.exprs @ [ e ];
+    ignore (intern m e);
+    g.exprs <- e :: g.exprs;
     m.expr_count <- m.expr_count + 1;
     true
   end

@@ -5,7 +5,11 @@
     by subset bitmasks; a group's logical property is the subset's
     statistical summary, its multi-expressions are the splits, and its
     winners are a Pareto set over (cost, delivered order) — per-physical-
-    property bests. *)
+    property bests.
+
+    Logical expressions are hash-consed into a global intern table, making
+    duplicate detection one hashtable probe instead of a scan of the
+    group's expression list. *)
 
 type group_id = int
 
@@ -25,6 +29,7 @@ type group = {
 
 type t = {
   groups : (int, group) Hashtbl.t;  (** mask -> group *)
+  interned : (lexpr, int) Hashtbl.t;  (** hash-consed exprs -> intern id *)
   mutable next_id : int;
   mutable expr_count : int;
   mutable rule_firings : int;
@@ -35,7 +40,11 @@ val create : unit -> t
 (** Find the group for a mask, creating it with the given logical stats. *)
 val find_or_create : t -> mask:int -> stats:Stats.Derive.rel_stats -> group
 
-(** Add a multi-expression, deduplicated; true when new. *)
+(** Intern an expression, returning its id (stable across calls). *)
+val intern : t -> lexpr -> int
+
+(** Add a multi-expression, deduplicated in O(1) via the intern table;
+    true when new. *)
 val add_expr : t -> group -> lexpr -> bool
 
 val group_count : t -> int

@@ -49,10 +49,7 @@ let mask_of_group (g : Memo.group) = g.Memo.mask
 (* Exploration: apply transformation rules to fixpoint *)
 
 let connected ctx m1 m2 =
-  Systemr.Join_order.crossing_preds ctx.jctx
-    ~left_aliases:(Systemr.Join_order.aliases_of ctx.jctx m1)
-    ~right_aliases:(Systemr.Join_order.aliases_of ctx.jctx m2)
-  <> []
+  Systemr.Join_order.connected_masks ctx.jctx m1 m2
 
 let rec explore (ctx : ctx) (g : Memo.group) : unit =
   if not g.Memo.explored then begin
@@ -161,10 +158,8 @@ let rec optimize_group (ctx : ctx) (g : Memo.group) : unit =
             in
             let cands =
               Systemr.Join_order.join_cands ctx.jctx ~left:left_entry
-                ~left_aliases:(Systemr.Join_order.aliases_of ctx.jctx lm)
-                ~right:right_entry
-                ~right_aliases:(Systemr.Join_order.aliases_of ctx.jctx rm)
-                ~right_base ~out_stats:g.Memo.stats
+                ~left_mask:lm ~right:right_entry ~right_mask:rm ~right_base
+                ~out_stats:g.Memo.stats
             in
             List.iter insert cands))
       splits

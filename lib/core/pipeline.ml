@@ -53,7 +53,8 @@ type report = {
   path : path;
   plan : Exec.Plan.t option;
   est_cost : float;
-  plans_costed : int;
+  enum : Systemr.Join_order.counters;
+      (* enumeration effort, summed over this block and its views *)
   diags : Verify.Diag.t list; (* lint findings; [] when lint is off *)
 }
 
@@ -85,11 +86,11 @@ let tmp_counter = ref 0
    catalog and statistics registry; returns the replacement Base source, the
    temp name, and the estimated cost spent. *)
 let rec materialize_source ~on_plan ctx config cat db (s : Rewrite.Qgm.source) :
-  Rewrite.Qgm.source * string list * float * int =
+  Rewrite.Qgm.source * string list * float * Systemr.Join_order.counters =
   match s with
-  | Rewrite.Qgm.Base _ -> (s, [], 0., 0)
+  | Rewrite.Qgm.Base _ -> (s, [], 0., Systemr.Join_order.counters_zero)
   | Rewrite.Qgm.Derived { block; alias } ->
-    let plan, cost, costed, temps = plan_block ~on_plan ctx config cat db block in
+    let plan, cost, enum, temps = plan_block ~on_plan ctx config cat db block in
     let result = exec_plan config ~ctx cat plan in
     incr tmp_counter;
     let tmp_name = Printf.sprintf "__mat%d_%s" !tmp_counter alias in
@@ -108,7 +109,7 @@ let rec materialize_source ~on_plan ctx config cat db (s : Rewrite.Qgm.source) :
           schema = Schema.requalify table.Storage.Table.schema ~rel:alias },
       tmp_name :: temps,
       cost,
-      costed )
+      enum )
 
 (* Attach a semi/anti/outer join of [source] (Base) to [plan], choosing a
    hash join when an equi predicate is available. *)
@@ -138,20 +139,22 @@ and attach_join cat kind (plan : Exec.Plan.t) (plan_aliases : string list)
    including the sub-plans of materialized views, while their temporary
    tables are still in the catalog — which is where the linter hooks in. *)
 and plan_block ?(on_plan = fun (_ : Exec.Plan.t) -> ()) ctx config cat db
-    (b : Rewrite.Qgm.block) : Exec.Plan.t * float * int * string list =
+    (b : Rewrite.Qgm.block) :
+  Exec.Plan.t * float * Systemr.Join_order.counters * string list =
   (* 1. materialize derived sources *)
   let mat sources =
     List.fold_left
-      (fun (acc, temps, cost, costed) s ->
-         let s', t, c, n = materialize_source ~on_plan ctx config cat db s in
-         (acc @ [ s' ], temps @ t, cost +. c, costed + n))
-      ([], [], 0., 0) sources
+      (fun (acc, temps, cost, enum) s ->
+         let s', t, c, e = materialize_source ~on_plan ctx config cat db s in
+         (acc @ [ s' ], temps @ t, cost +. c,
+          Systemr.Join_order.counters_add enum e))
+      ([], [], 0., Systemr.Join_order.counters_zero) sources
   in
-  let from, temps1, cost1, costed1 = mat b.Rewrite.Qgm.from in
-  let sj_sources, temps2, cost2, costed2 =
+  let from, temps1, cost1, enum1 = mat b.Rewrite.Qgm.from in
+  let sj_sources, temps2, cost2, enum2 =
     mat (List.map (fun s -> s.Rewrite.Qgm.s_source) b.Rewrite.Qgm.semijoins)
   in
-  let oj_sources, temps3, cost3, costed3 =
+  let oj_sources, temps3, cost3, enum3 =
     mat (List.map (fun o -> o.Rewrite.Qgm.o_source) b.Rewrite.Qgm.outerjoins)
   in
   (* 2. optimize the inner-join core with the System-R enumerator *)
@@ -226,7 +229,8 @@ and plan_block ?(on_plan = fun (_ : Exec.Plan.t) -> ()) ctx config cat db
   on_plan !plan;
   ( !plan,
     !cost +. cost1 +. cost2 +. cost3,
-    res.Systemr.Join_order.plans_costed + costed1 + costed2 + costed3,
+    List.fold_left Systemr.Join_order.counters_add
+      res.Systemr.Join_order.counters [ enum1; enum2; enum3 ],
     temps1 @ temps2 @ temps3 )
 
 (* ------------------------------------------------------------------ *)
@@ -253,7 +257,7 @@ let run ?(ctx = Exec.Context.create ()) ?(config = default_config)
   let diags, check, on_plan = lint_hooks config cat in
   let rewritten, trace = Rewrite.Rules.run ?check config.rewrites block in
   if plannable rewritten then begin
-    let plan, est_cost, plans_costed, temps =
+    let plan, est_cost, enum, temps =
       plan_block ~on_plan ctx config cat db rewritten
     in
     let result = exec_plan config ~ctx cat plan in
@@ -264,7 +268,7 @@ let run ?(ctx = Exec.Context.create ()) ?(config = default_config)
       temps;
     ( result,
       { rewritten; trace; path = Planned; plan = Some plan; est_cost;
-        plans_costed; diags = !diags } )
+        enum; diags = !diags } )
   end
   else begin
     (* interpreted fallback: no physical plan to lint, but the block's
@@ -273,7 +277,7 @@ let run ?(ctx = Exec.Context.create ()) ?(config = default_config)
     let result = Rewrite.Qgm_eval.run ~ctx cat rewritten in
     ( result,
       { rewritten; trace; path = Interpreted; plan = None; est_cost = 0.;
-        plans_costed = 0; diags = !diags } )
+        enum = Systemr.Join_order.counters_zero; diags = !diags } )
   end
 
 let explain ?(config = default_config) cat db block : string =

@@ -36,7 +36,9 @@ type report = {
   path : path;
   plan : Exec.Plan.t option;  (** [None] when interpreted *)
   est_cost : float;
-  plans_costed : int;
+  enum : Systemr.Join_order.counters;
+  (** enumeration effort (subsets, splits, costed, pruned), summed over
+      this block and its materialized views *)
   diags : Verify.Diag.t list;  (** lint findings; [[]] when lint is off *)
 }
 
@@ -45,14 +47,15 @@ type report = {
 val plannable : Rewrite.Qgm.block -> bool
 
 (** Plan a single plannable block, materializing derived sources into
-    temporary tables; returns (plan, estimated cost, plans costed, temp
-    tables created).  [on_plan] is called with every finished plan —
-    including view sub-plans, while their temporaries are still
-    cataloged — which is where the linter hooks in. *)
+    temporary tables; returns (plan, estimated cost, enumeration
+    counters, temp tables created).  [on_plan] is called with every
+    finished plan — including view sub-plans, while their temporaries are
+    still cataloged — which is where the linter hooks in. *)
 val plan_block :
   ?on_plan:(Exec.Plan.t -> unit) ->
   Exec.Context.t -> config -> Storage.Catalog.t -> Stats.Table_stats.db ->
-  Rewrite.Qgm.block -> Exec.Plan.t * float * int * string list
+  Rewrite.Qgm.block ->
+  Exec.Plan.t * float * Systemr.Join_order.counters * string list
 
 (** Rewrite, plan (or fall back to interpretation), execute. *)
 val run :

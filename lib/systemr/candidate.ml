@@ -1,7 +1,11 @@
 (* A candidate physical plan for some subexpression, with its estimated
    cost and delivered order.  Candidate sets are pruned to the Pareto
    frontier over (cost, order): keeping per-order bests is exactly
-   System-R's interesting-orders mechanism (Section 3). *)
+   System-R's interesting-orders mechanism (Section 3).
+
+   Invariant: every candidate list built through [insert] is sorted by
+   ascending cost.  [cheapest] is therefore the head, and [insert] can
+   stop its dominance scan at the first dearer candidate. *)
 
 type t = {
   plan : Exec.Plan.t;
@@ -15,35 +19,54 @@ let dominates a b =
   a.cost <= b.cost
   && Cost.Physical_props.satisfies ~have:a.order ~want:b.order
 
-(* Insert with pruning.  When [interesting_orders] is false the order is
-   ignored and a single cheapest plan survives — the broken pruning that
-   experiment E2 shows to be globally suboptimal. *)
+(* Insert with pruning, maintaining the ascending-cost invariant.  When
+   [interesting_orders] is false the order is ignored and a single cheapest
+   plan survives — the broken pruning that experiment E2 shows to be
+   globally suboptimal. *)
 let insert ~interesting_orders (cands : t list) (c : t) : t list =
   if not interesting_orders then
     match cands with
     | [] -> [ c ]
     | best :: _ -> if c.cost < best.cost then [ c ] else cands
-  else if List.exists (fun c' -> dominates c' c) cands then cands
-  else c :: List.filter (fun c' -> not (dominates c c')) cands
+  else
+    (* One pass: in the no-dearer prefix, anything delivering [c]'s order
+       dominates [c]; an equal-cost candidate with a weaker order is
+       dominated by [c] and dropped; past the insertion point everything
+       is dearer, so dominance over the tail reduces to the order check
+       alone. *)
+    let rec go acc = function
+      | c' :: rest when c'.cost <= c.cost ->
+        if Cost.Physical_props.satisfies ~have:c'.order ~want:c.order then
+          cands (* dominated: frontier unchanged *)
+        else if
+          c'.cost = c.cost
+          && Cost.Physical_props.satisfies ~have:c.order ~want:c'.order
+        then go acc rest
+        else go (c' :: acc) rest
+      | rest ->
+        let rest' =
+          List.filter
+            (fun c' ->
+               not (Cost.Physical_props.satisfies ~have:c.order ~want:c'.order))
+            rest
+        in
+        List.rev_append acc (c :: rest')
+    in
+    go [] cands
 
+(* Head of the cost-sorted frontier. *)
 let cheapest (cands : t list) : t option =
-  List.fold_left
-    (fun acc c ->
-       match acc with
-       | None -> Some c
-       | Some b -> if c.cost < b.cost then Some c else acc)
-    None cands
+  match cands with [] -> None | c :: _ -> Some c
 
 (* Cheapest way to deliver [want]: either a candidate already ordered
    suitably, or the cheapest candidate plus a sort enforcer. *)
 let cheapest_with_order ~params ~rows ~pages ~want (cands : t list) :
   t option =
-  let sorted_cands =
-    List.filter
+  let direct =
+    List.find_opt
       (fun c -> Cost.Physical_props.satisfies ~have:c.order ~want)
       cands
   in
-  let direct = cheapest sorted_cands in
   let enforced =
     match cheapest cands with
     | None -> None

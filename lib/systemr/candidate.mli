@@ -1,6 +1,10 @@
 (** Candidate plans with cost and delivered order, pruned to the Pareto
     frontier over (cost, order) — exactly System-R's interesting-orders
-    mechanism (Section 3). *)
+    mechanism (Section 3).
+
+    Frontier lists built through [insert] are sorted by ascending cost;
+    [cheapest] is the head and dominance scans stop at the first dearer
+    candidate. *)
 
 type t = {
   plan : Exec.Plan.t;
@@ -12,11 +16,13 @@ type t = {
     an order. *)
 val dominates : t -> t -> bool
 
-(** Insert with pruning.  With [interesting_orders:false] the order is
-    ignored and a single cheapest plan survives — the broken pruning that
-    experiment E2 shows to be globally suboptimal. *)
+(** Insert with pruning, maintaining the ascending-cost invariant.  With
+    [interesting_orders:false] the order is ignored and a single cheapest
+    plan survives — the broken pruning that experiment E2 shows to be
+    globally suboptimal. *)
 val insert : interesting_orders:bool -> t list -> t -> t list
 
+(** Head of the cost-sorted frontier. *)
 val cheapest : t list -> t option
 
 (** Cheapest way to deliver [want]: an already-ordered candidate or the

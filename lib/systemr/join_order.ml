@@ -5,7 +5,22 @@
    - interesting orders: per-subset candidate sets pruned to the Pareto
      frontier over (cost, delivered order);
    - pluggable join methods (nested loop, index nested loop, sort-merge,
-     hash). *)
+     hash).
+
+   The enumeration itself is graph-aware.  A bitset query graph is built
+   once per query (per-predicate relation masks, per-relation neighbor
+   masks), so connectivity checks are a couple of [land]s instead of alias
+   lists and predicate scans.  In bushy mode, connected subsets are paired
+   with connected complements (csg–cmp generation) instead of enumerating
+   all ~3^n splits; chains and stars then cost only a polynomial number of
+   pairs.  A greedy left-deep plan seeds a branch-and-bound upper bound:
+   plan costs only grow as subplans compose, so a partial candidate dearer
+   than a complete plan can be discarded — except that candidates carrying
+   an interesting order are kept, exactly as Section 3.1 requires.
+
+   [exhaustive] turns both refinements off: it is the pre-change
+   enumerator, preserved as the equivalence oracle and benchmark baseline,
+   and doubles as the cartesian rescue path for disconnected graphs. *)
 
 open Relalg
 
@@ -18,6 +33,8 @@ type config = {
   interesting_orders : bool;
   bushy : bool;
   methods : meth list;
+  graph_dp : bool;
+  prune : bool;
 }
 
 let default_config =
@@ -26,12 +43,34 @@ let default_config =
     allow_cross = false;
     interesting_orders = true;
     bushy = false;
-    methods = [ Nl; Inl; Smj; Hj ] }
+    methods = [ Nl; Inl; Smj; Hj ];
+    graph_dp = true;
+    prune = true }
 
 (* The 1979 System-R repertoire: nested loop and sort-merge only, linear
    trees, no Cartesian products. *)
 let system_r_1979 =
   { default_config with methods = [ Nl; Inl; Smj ] }
+
+(* The pre-change search: every mask, every split, alias-list connectivity,
+   no cost bound.  Same plan costs as the graph-aware search (a property
+   test and the bench pre-check), just slower to find them. *)
+let exhaustive c = { c with graph_dp = false; prune = false }
+
+type counters = {
+  subsets : int; (* DP table entries created *)
+  splits : int; (* (left, right) combinations considered *)
+  costed : int; (* physical join candidates built and costed *)
+  pruned : int; (* combinations / candidates dropped by the cost bound *)
+}
+
+let counters_zero = { subsets = 0; splits = 0; costed = 0; pruned = 0 }
+
+let counters_add a b =
+  { subsets = a.subsets + b.subsets;
+    splits = a.splits + b.splits;
+    costed = a.costed + b.costed;
+    pruned = a.pruned + b.pruned }
 
 type ctx = {
   cfg : config;
@@ -40,9 +79,20 @@ type ctx = {
   rels : Spj.relation array;
   locals : Expr.t list array;
   join_preds : Expr.t list;
+  pred_masks : (Expr.t * int) array;
+      (* every join conjunct with the mask of relations it mentions *)
+  neighbors : int array;
+      (* per-relation adjacency mask over two-relation conjuncts *)
+  hyper : int array;
+      (* masks of conjuncts spanning >= 3 relations; these connect a
+         partition only when fully contained in its union *)
+  has_index : bool array;
   base : (Candidate.t list * Stats.Derive.rel_stats) array;
   stats_memo : (int, Stats.Derive.rel_stats) Hashtbl.t;
   mutable plans_costed : int;
+  mutable splits_considered : int;
+  mutable plans_pruned : int;
+  mutable subsets_created : int;
 }
 
 type entry = { stats : Stats.Derive.rel_stats; mutable cands : Candidate.t list }
@@ -50,16 +100,43 @@ type entry = { stats : Stats.Derive.rel_stats; mutable cands : Candidate.t list 
 type result = {
   best : Candidate.t;
   card : float;
-  plans_costed : int;
-  subsets : int;
+  counters : counters;
 }
 
 let popcount m =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
   go m 0
 
+let lowest_bit_index mask =
+  if mask = 0 then invalid_arg "lowest_bit_index: empty mask";
+  let rec go i m = if m land 1 = 1 then i else go (i + 1) (m lsr 1) in
+  go 0 mask
+
+let highest_bit_index mask =
+  if mask = 0 then invalid_arg "highest_bit_index: empty mask";
+  let rec go i m = if m = 1 then i else go (i + 1) (m lsr 1) in
+  go 0 mask
+
+let fold_bits f acc mask =
+  let acc = ref acc and m = ref mask and i = ref 0 in
+  while !m <> 0 do
+    if !m land 1 = 1 then acc := f !acc !i;
+    m := !m lsr 1;
+    incr i
+  done;
+  !acc
+
+(* Aliases referenced by a predicate but absent from this query block
+   (correlated references) map to a bit above any relation's, so the
+   containment test below can never pass — matching the alias-list
+   behavior this replaces. *)
+let foreign_bit = 1 lsl 60
+
 let make_ctx cfg cat db (q : Spj.t) : ctx =
   let rels = Array.of_list q.Spj.relations in
+  let n = Array.length rels in
+  if n > 60 then
+    invalid_arg "Join_order: more than 60 relations in one block";
   let locals =
     Array.map (fun (r : Spj.relation) -> Spj.local_predicates q r.Spj.alias) rels
   in
@@ -68,28 +145,143 @@ let make_ctx cfg cat db (q : Spj.t) : ctx =
       (fun i r -> Access_path.candidates cfg.params cfg.asm cat db r locals.(i))
       rels
   in
+  let bit_of = Hashtbl.create (max 8 n) in
+  Array.iteri (fun i (r : Spj.relation) -> Hashtbl.replace bit_of r.Spj.alias i) rels;
+  let join_preds = Spj.join_predicates q in
+  let mask_of_pred p =
+    List.fold_left
+      (fun acc a ->
+         match Hashtbl.find_opt bit_of a with
+         | Some i -> acc lor (1 lsl i)
+         | None -> acc lor foreign_bit)
+      0 (Expr.relations p)
+  in
+  let pred_masks =
+    Array.of_list (List.map (fun p -> (p, mask_of_pred p)) join_preds)
+  in
+  let neighbors = Array.make (max 1 n) 0 in
+  let hyper = ref [] in
+  Array.iter
+    (fun (_, m) ->
+       if m land foreign_bit = 0 then
+         match popcount m with
+         | 0 | 1 -> ()
+         | 2 ->
+           for i = 0 to n - 1 do
+             if m land (1 lsl i) <> 0 then
+               neighbors.(i) <- neighbors.(i) lor (m land lnot (1 lsl i))
+           done
+         | _ -> hyper := m :: !hyper)
+    pred_masks;
+  let has_index =
+    Array.map
+      (fun (r : Spj.relation) -> Storage.Catalog.indexes cat r.Spj.table <> [])
+      rels
+  in
   { cfg;
     cat;
     db;
     rels;
     locals;
-    join_preds = Spj.join_predicates q;
+    join_preds;
+    pred_masks;
+    neighbors;
+    hyper = Array.of_list (List.rev !hyper);
+    has_index;
     base;
     stats_memo = Hashtbl.create 64;
-    plans_costed = 0 }
+    plans_costed = 0;
+    splits_considered = 0;
+    plans_pruned = 0;
+    subsets_created = 0 }
 
 let aliases_of ctx mask =
-  let acc = ref [] in
-  Array.iteri
-    (fun i (r : Spj.relation) ->
-       if mask land (1 lsl i) <> 0 then acc := r.Spj.alias :: !acc)
-    ctx.rels;
-  List.rev !acc
+  List.rev (fold_bits (fun acc i -> ctx.rels.(i).Spj.alias :: acc) [] mask)
 
-(* Join conjuncts crossing the (left, right) alias partition and fully
-   contained in their union. *)
-let crossing_preds ctx ~left_aliases ~right_aliases =
-  List.filter
+(* Join conjuncts crossing the (left, right) partition and fully contained
+   in their union — two [land]s per conjunct against precomputed masks. *)
+let crossing_preds ctx ~left ~right =
+  let union = left lor right in
+  List.rev
+    (Array.fold_left
+       (fun acc (p, m) ->
+          if m land left <> 0 && m land right <> 0 && m land lnot union = 0
+          then p :: acc
+          else acc)
+       [] ctx.pred_masks)
+
+(* Union of the neighbor masks of [mask]'s relations, minus [mask]. *)
+let neighbor_mask ctx mask =
+  fold_bits (fun acc i -> acc lor ctx.neighbors.(i)) 0 mask land lnot mask
+
+(* Does any conjunct cross (m1, m2) while staying contained in the union?
+   Binary conjuncts reduce to one adjacency [land]; hyperedges still need
+   the containment check. *)
+let connected_masks ctx m1 m2 =
+  neighbor_mask ctx m1 land m2 <> 0
+  || (ctx.hyper <> [||]
+      &&
+      let union = m1 lor m2 in
+      Array.exists
+        (fun hm ->
+           hm land m1 <> 0 && hm land m2 <> 0 && hm land lnot union = 0)
+        ctx.hyper)
+
+(* Is [mask] connected under the conjuncts contained in it?  A necessary
+   condition for the subset to have any join candidate at all (an
+   unconnected subset can only be formed by a cross product, which the
+   non-[allow_cross] search never builds). *)
+let mask_connected ctx mask =
+  mask <> 0
+  &&
+  let seen = ref (mask land -mask) in
+  let frontier = ref !seen in
+  while !frontier <> 0 do
+    let hyper_nb =
+      Array.fold_left
+        (fun acc hm ->
+           if hm land !seen <> 0 && hm land lnot mask = 0 then acc lor hm
+           else acc)
+        0 ctx.hyper
+    in
+    let nb =
+      (neighbor_mask ctx !seen lor hyper_nb) land mask land lnot !seen
+    in
+    seen := !seen lor nb;
+    frontier := nb
+  done;
+  !seen = mask
+
+(* Is the whole query graph connected, in the sense the enumeration cares
+   about: can the full set be grown one relation at a time without a cross
+   product?  (Stricter than [mask_connected] for hyperedges: a conjunct
+   over {A,B,C} cannot join {A} to {B}, so a graph held together only by
+   it still needs the cartesian rescue.) *)
+let graph_connected ctx =
+  let n = Array.length ctx.rels in
+  n <= 1
+  ||
+  let full = (1 lsl n) - 1 in
+  let seen = ref 1 and changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if !seen land (1 lsl i) = 0 && connected_masks ctx !seen (1 lsl i)
+      then begin
+        seen := !seen lor (1 lsl i);
+        changed := true
+      end
+    done
+  done;
+  !seen = full
+
+(* The pre-change connectivity test — alias lists rebuilt and every
+   conjunct scanned per check — kept verbatim as the measured baseline for
+   [graph_dp = false]. *)
+let legacy_connected ctx m1 m2 =
+  let left_aliases = aliases_of ctx m1
+  and right_aliases = aliases_of ctx m2 in
+  List.exists
     (fun p ->
        let rels = Expr.relations p in
        List.exists (fun r -> List.mem r left_aliases) rels
@@ -107,26 +299,18 @@ let rec stats_of ctx mask : Stats.Derive.rel_stats =
   | Some s -> s
   | None ->
     let s =
-      let bits =
-        List.filter
-          (fun i -> mask land (1 lsl i) <> 0)
-          (List.init (Array.length ctx.rels) Fun.id)
-      in
-      match bits with
-      | [] -> invalid_arg "stats_of: empty subset"
-      | [ i ] -> snd ctx.base.(i)
-      | _ ->
-        let top = List.fold_left max 0 bits in
+      if mask = 0 then invalid_arg "stats_of: empty subset"
+      else if mask land (mask - 1) = 0 then
+        snd ctx.base.(lowest_bit_index mask)
+      else begin
+        let top = highest_bit_index mask in
         let rest = mask land lnot (1 lsl top) in
         let ls = stats_of ctx rest in
         let rs = snd ctx.base.(top) in
-        let preds =
-          crossing_preds ctx
-            ~left_aliases:(aliases_of ctx rest)
-            ~right_aliases:[ ctx.rels.(top).Spj.alias ]
-        in
+        let preds = crossing_preds ctx ~left:rest ~right:(1 lsl top) in
         Stats.Derive.join ~asm:ctx.cfg.asm Algebra.Inner ls rs
           (Pred.of_conjuncts preds)
+      end
     in
     Hashtbl.replace ctx.stats_memo mask s;
     s
@@ -139,13 +323,12 @@ let col_order pairs side =
 
 (* Build all join candidates combining [left] (composite) with [right]
    (composite when bushy; [right_base] set when it is one base relation). *)
-let join_cands ctx ~(left : entry) ~left_aliases ~(right : entry)
-    ~right_aliases ~right_base ~(out_stats : Stats.Derive.rel_stats) :
-  Candidate.t list =
+let join_cands ctx ~(left : entry) ~left_mask ~(right : entry) ~right_mask
+    ~right_base ~(out_stats : Stats.Derive.rel_stats) : Candidate.t list =
   let p = ctx.cfg.params in
-  let preds =
-    crossing_preds ctx ~left_aliases ~right_aliases
-  in
+  let preds = crossing_preds ctx ~left:left_mask ~right:right_mask in
+  let left_aliases = aliases_of ctx left_mask
+  and right_aliases = aliases_of ctx right_mask in
   let pred_expr = Pred.of_conjuncts preds in
   let pairs, residual_list = Pred.equi_pairs ~left:left_aliases ~right:right_aliases preds in
   let residual = Pred.of_conjuncts residual_list in
@@ -321,13 +504,98 @@ let join_cands ctx ~(left : entry) ~left_aliases ~(right : entry)
 (* ------------------------------------------------------------------ *)
 (* Enumeration *)
 
-let insert_all ctx entry cands =
+(* Insert candidates, dropping any whose accumulated cost already exceeds
+   [bound] — unless it carries an interesting order, which must survive
+   pruning: a dearer ordered subplan can still win globally once a sort
+   enforcer is priced in above it (Section 3.1). *)
+let insert_all ?(bound = infinity) ctx entry cands =
   List.iter
-    (fun c ->
-       entry.cands <-
-         Candidate.insert ~interesting_orders:ctx.cfg.interesting_orders
-           entry.cands c)
+    (fun (c : Candidate.t) ->
+       if
+         c.Candidate.cost > bound
+         && not (ctx.cfg.interesting_orders && c.Candidate.order <> [])
+       then ctx.plans_pruned <- ctx.plans_pruned + 1
+       else
+         entry.cands <-
+           Candidate.insert ~interesting_orders:ctx.cfg.interesting_orders
+             entry.cands c)
     cands
+
+(* Cost of [e]'s best candidate with the required output order and the
+   final projection applied — the cost [finish] would report. *)
+let finished_cost ctx (q : Spj.t) (e : entry) : float =
+  let rows = e.stats.Stats.Derive.card
+  and pages = Stats.Derive.pages e.stats in
+  match
+    Candidate.cheapest_with_order ~params:ctx.cfg.params ~rows ~pages
+      ~want:q.Spj.order_by e.cands
+  with
+  | None -> infinity
+  | Some c ->
+    c.Candidate.cost
+    +.
+    (match q.Spj.projections with
+     | None -> 0.
+     | Some _ -> Cost.Cost_model.project ctx.cfg.params ~rows)
+
+(* A complete greedy left-deep plan: start from the cheapest access path,
+   repeatedly join the connected extension (all extensions under
+   [allow_cross] or as the cartesian rescue) yielding the cheapest
+   intermediate.  Its *finished* cost — output order and projection
+   included — is a sound branch-and-bound upper bound, since costs only
+   grow as subplans compose. *)
+let greedy_upper_bound ctx (q : Spj.t) : float =
+  let n = Array.length ctx.rels in
+  let entry_of i =
+    let cands, stats = ctx.base.(i) in
+    { stats; cands }
+  in
+  let start = ref 0 and start_cost = ref infinity in
+  for i = 0 to n - 1 do
+    match Candidate.cheapest (fst ctx.base.(i)) with
+    | Some c when c.Candidate.cost < !start_cost ->
+      start := i;
+      start_cost := c.Candidate.cost
+    | _ -> ()
+  done;
+  let mask = ref (1 lsl !start) and current = ref (entry_of !start) in
+  (try
+     for _ = 2 to n do
+       let exts =
+         List.filter
+           (fun i -> !mask land (1 lsl i) = 0)
+           (List.init n Fun.id)
+       in
+       let conn =
+         List.filter (fun i -> connected_masks ctx !mask (1 lsl i)) exts
+       in
+       let chosen = if ctx.cfg.allow_cross || conn = [] then exts else conn in
+       let step =
+         List.fold_left
+           (fun acc i ->
+              let rmask = 1 lsl i in
+              let union = !mask lor rmask in
+              let out = { stats = stats_of ctx union; cands = [] } in
+              let cands =
+                join_cands ctx ~left:!current ~left_mask:!mask
+                  ~right:(entry_of i) ~right_mask:rmask ~right_base:(Some i)
+                  ~out_stats:out.stats
+              in
+              insert_all ctx out cands;
+              match Candidate.cheapest out.cands, acc with
+              | None, _ -> acc
+              | Some c, Some (_, _, bc) when c.Candidate.cost >= bc -> acc
+              | Some c, _ -> Some (union, out, c.Candidate.cost))
+           None chosen
+       in
+       match step with
+       | None -> raise Exit
+       | Some (union, out, _) ->
+         mask := union;
+         current := out
+     done
+   with Exit -> ());
+  if !mask = (1 lsl n) - 1 then finished_cost ctx q !current else infinity
 
 let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
   ctx * entry =
@@ -337,7 +605,8 @@ let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
   let entries : (int, entry) Hashtbl.t = Hashtbl.create 64 in
   for i = 0 to n - 1 do
     let cands, stats = ctx.base.(i) in
-    Hashtbl.replace entries (1 lsl i) { stats; cands }
+    Hashtbl.replace entries (1 lsl i) { stats; cands };
+    ctx.subsets_created <- ctx.subsets_created + 1
   done;
   let full = (1 lsl n) - 1 in
   let get mask = Hashtbl.find_opt entries mask in
@@ -347,10 +616,49 @@ let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
     | None ->
       let e = { stats = stats_of ctx mask; cands = [] } in
       Hashtbl.replace entries mask e;
+      ctx.subsets_created <- ctx.subsets_created + 1;
       e
   in
-  let connected l_aliases r_aliases =
-    crossing_preds ctx ~left_aliases:l_aliases ~right_aliases:r_aliases <> []
+  let gconn = graph_connected ctx in
+  (* Branch-and-bound bound, with a little relative slack so a plan
+     costing exactly the bound can never be pruned by a float tie.  The
+     bound is a complete greedy *left-deep* plan; on a disconnected graph
+     the bushy enumerator's per-subset cartesian rescue excludes some
+     join-then-cross shapes left-deep extension allows, so the greedy plan
+     can fall outside the bushy search space and under-cut its optimum —
+     skip pruning there. *)
+  let ub =
+    if (not config.prune) || n <= 1 || (config.bushy && not gconn) then
+      infinity
+    else
+      let u = greedy_upper_bound ctx q in
+      if u = infinity then infinity else u +. Float.max 1e-6 (1e-9 *. u)
+  in
+  (* One (left, right) combination: count it, apply the pair-level lower
+     bound — the cheapest cost any plan of this combination can have —
+     then cost and insert.  Index nested loop charges probes rather than a
+     scan of the inner side, so the inner's cost only counts when no index
+     path exists. *)
+  let consider ~(left : entry) ~left_mask ~(right : entry) ~right_mask
+      ~right_base out =
+    match Candidate.cheapest left.cands, Candidate.cheapest right.cands with
+    | None, _ | _, None -> ()
+    | Some lc, Some rc ->
+      ctx.splits_considered <- ctx.splits_considered + 1;
+      let right_may_be_free =
+        match right_base with
+        | Some i -> ctx.has_index.(i) && List.mem Inl ctx.cfg.methods
+        | None -> false
+      in
+      let lb =
+        if right_may_be_free then lc.Candidate.cost
+        else lc.Candidate.cost +. rc.Candidate.cost
+      in
+      if lb > ub then ctx.plans_pruned <- ctx.plans_pruned + 1
+      else
+        insert_all ~bound:ub ctx out
+          (join_cands ctx ~left ~left_mask ~right ~right_mask ~right_base
+             ~out_stats:out.stats)
   in
   if not config.bushy then begin
     (* left-deep, by subset size *)
@@ -364,11 +672,14 @@ let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
       List.iter
         (fun mask ->
            let left = Hashtbl.find entries mask in
-           let l_aliases = aliases_of ctx mask in
-           let exts = List.filter (fun i -> mask land (1 lsl i) = 0) (List.init n Fun.id) in
+           let exts =
+             List.filter (fun i -> mask land (1 lsl i) = 0) (List.init n Fun.id)
+           in
            let connected_exts =
              List.filter
-               (fun i -> connected l_aliases [ ctx.rels.(i).Spj.alias ])
+               (fun i ->
+                  if config.graph_dp then connected_masks ctx mask (1 lsl i)
+                  else legacy_connected ctx mask (1 lsl i))
                exts
            in
            let chosen =
@@ -380,82 +691,127 @@ let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
              (fun i ->
                 let rmask = 1 lsl i in
                 let right = Hashtbl.find entries rmask in
-                let union = mask lor rmask in
-                let out = ensure union in
-                let cands =
-                  join_cands ctx ~left ~left_aliases:l_aliases ~right
-                    ~right_aliases:[ ctx.rels.(i).Spj.alias ]
-                    ~right_base:(Some i) ~out_stats:out.stats
-                in
-                insert_all ctx out cands)
+                let out = ensure (mask lor rmask) in
+                consider ~left ~left_mask:mask ~right ~right_mask:rmask
+                  ~right_base:(Some i) out)
              chosen)
         masks
     done
   end
   else begin
-    (* bushy: every subset, every split.  Cartesian rescue applies only when
-       the whole query graph is disconnected — a merely-disconnected
-       intermediate subset is simply skipped, as in standard connected-
-       subgraph enumeration. *)
-    let graph_connected =
-      let rec grow seen =
-        let next =
-          List.filter
-            (fun i ->
-               (not (List.mem i seen))
-               && connected
-                    (List.map (fun j -> ctx.rels.(j).Spj.alias) seen)
-                    [ ctx.rels.(i).Spj.alias ])
-            (List.init n Fun.id)
-        in
-        if next = [] then seen else grow (seen @ next)
-      in
-      List.length (grow [ 0 ]) = n
-    in
-    for mask = 1 to full do
-      if popcount mask >= 2 then begin
-        let out = ensure mask in
-        let splits = ref [] in
-        let s = ref ((mask - 1) land mask) in
-        while !s > 0 do
-          let s1 = !s and s2 = mask land lnot !s in
-          if s2 <> 0 then splits := (s1, s2) :: !splits;
-          s := (!s - 1) land mask
-        done;
-        let with_conn =
-          List.filter
+    if config.graph_dp && (not config.allow_cross) && gconn && n >= 2 then begin
+      (* csg–cmp generation: union masks in increasing numeric order (every
+         proper submask is smaller, hence already final), and within each
+         connected union, connected subgraphs containing its lowest
+         relation paired with connected complements.  Each unordered pair
+         surfaces once — the side holding the lowest bit is the csg — and
+         is costed in both orders. *)
+      for mask = 3 to full do
+        if mask land (mask - 1) <> 0 && mask_connected ctx mask then begin
+          let out = ensure mask in
+          let consider_pair s1 =
+            let s2 = mask land lnot s1 in
+            if s2 <> 0 && mask_connected ctx s2 && connected_masks ctx s1 s2
+            then
+              match get s1, get s2 with
+              | Some left, Some right ->
+                let base_of s =
+                  if s land (s - 1) = 0 then Some (lowest_bit_index s)
+                  else None
+                in
+                consider ~left ~left_mask:s1 ~right ~right_mask:s2
+                  ~right_base:(base_of s2) out;
+                consider ~left:right ~left_mask:s2 ~right:left ~right_mask:s1
+                  ~right_base:(base_of s1) out
+              | _ -> ()
+          in
+          (* neighborhood for growing a connected subgraph: adjacency plus
+             relations reachable through a hyperedge contained in [mask] *)
+          let nbhood s x =
+            let hyper_nb =
+              Array.fold_left
+                (fun acc hm ->
+                   if hm land s <> 0 && hm land lnot mask = 0 then acc lor hm
+                   else acc)
+                0 ctx.hyper
+            in
+            (neighbor_mask ctx s lor hyper_nb)
+            land mask land lnot s land lnot x
+          in
+          let rec csg_rec s x =
+            let nb = nbhood s x in
+            if nb <> 0 then begin
+              let sub = ref nb in
+              while !sub <> 0 do
+                consider_pair (s lor !sub);
+                sub := (!sub - 1) land nb
+              done;
+              let x' = x lor nb in
+              let sub = ref nb in
+              while !sub <> 0 do
+                csg_rec (s lor !sub) x';
+                sub := (!sub - 1) land nb
+              done
+            end
+          in
+          let low = mask land -mask in
+          consider_pair low;
+          csg_rec low low
+        end
+      done
+    end
+    else begin
+      (* every subset, every split — the pre-change enumerator, reached
+         when [graph_dp] is off (the measured baseline), under
+         [allow_cross], and as the cartesian rescue when the whole graph
+         is disconnected.  A merely-disconnected intermediate subset is
+         simply skipped, as in standard connected-subgraph enumeration. *)
+      for mask = 1 to full do
+        if mask land (mask - 1) <> 0 then begin
+          let out = ensure mask in
+          let splits = ref [] in
+          let s = ref ((mask - 1) land mask) in
+          while !s > 0 do
+            let s1 = !s and s2 = mask land lnot !s in
+            if s2 <> 0 then splits := (s1, s2) :: !splits;
+            s := (!s - 1) land mask
+          done;
+          let with_conn =
+            List.filter
+              (fun (s1, s2) ->
+                 if config.graph_dp then connected_masks ctx s1 s2
+                 else legacy_connected ctx s1 s2)
+              !splits
+          in
+          let chosen =
+            if config.allow_cross then !splits
+            else if with_conn <> [] then with_conn
+            else if not gconn then !splits
+            else []
+          in
+          List.iter
             (fun (s1, s2) ->
-               connected (aliases_of ctx s1) (aliases_of ctx s2))
-            !splits
-        in
-        let chosen =
-          if config.allow_cross then !splits
-          else if with_conn <> [] then with_conn
-          else if not graph_connected then !splits
-          else []
-        in
-        List.iter
-          (fun (s1, s2) ->
-             match get s1, get s2 with
-             | Some left, Some right ->
-               let right_base =
-                 if popcount s2 = 1 then
-                   let rec bit i = if s2 land (1 lsl i) <> 0 then i else bit (i + 1) in
-                   Some (bit 0)
-                 else None
-               in
-               let cands =
-                 join_cands ctx ~left ~left_aliases:(aliases_of ctx s1) ~right
-                   ~right_aliases:(aliases_of ctx s2) ~right_base
-                   ~out_stats:out.stats
-               in
-               insert_all ctx out cands
-             | _ -> ())
-          chosen
-      end
-    done
+               match get s1, get s2 with
+               | Some left, Some right ->
+                 let right_base =
+                   if s2 land (s2 - 1) = 0 then Some (lowest_bit_index s2)
+                   else None
+                 in
+                 consider ~left ~left_mask:s1 ~right ~right_mask:s2
+                   ~right_base out
+               | _ -> ())
+            chosen
+        end
+      done
+    end
   end;
   (ctx, Hashtbl.find entries full)
+
+let counters_of ctx =
+  { subsets = ctx.subsets_created;
+    splits = ctx.splits_considered;
+    costed = ctx.plans_costed;
+    pruned = ctx.plans_pruned }
 
 let finish ctx (q : Spj.t) (final : entry) : result =
   let stats = final.stats in
@@ -478,8 +834,7 @@ let finish ctx (q : Spj.t) (final : entry) : result =
   in
   { best;
     card = stats.Stats.Derive.card;
-    plans_costed = ctx.plans_costed;
-    subsets = Hashtbl.length ctx.stats_memo }
+    counters = counters_of ctx }
 
 let optimize ?config cat db (q : Spj.t) : result =
   let ctx, final = optimize_entry ?config cat db q in

@@ -2,6 +2,14 @@
     or bushy trees, Cartesian-product deferral, interesting orders
     (per-subset Pareto candidate sets), pluggable join methods.
 
+    The enumeration is graph-aware: a bitset query graph (per-predicate
+    relation masks, per-relation neighbor masks) is precomputed once per
+    query, bushy mode pairs connected subgraphs with connected complements
+    (csg–cmp generation) instead of walking all splits, and a greedy
+    left-deep plan seeds a branch-and-bound upper bound.  [exhaustive]
+    restores the pre-change all-masks/all-splits search — the equivalence
+    oracle, benchmark baseline, and cartesian rescue path.
+
     The lower-level pieces ([ctx], [entry], [join_cands], ...) are exposed
     for the naive enumerator and the Cascades optimizer, which share this
     module's statistics and costing machinery. *)
@@ -17,6 +25,12 @@ type config = {
   interesting_orders : bool;  (** keep per-order bests, not one cheapest *)
   bushy : bool;  (** all splits instead of left-deep extensions *)
   methods : meth list;
+  graph_dp : bool;
+  (** bitset-graph connectivity and csg–cmp bushy enumeration (on by
+      default); off = the pre-change alias-scanning enumerator *)
+  prune : bool;
+  (** branch-and-bound against a greedy upper bound (on by default);
+      interesting-order candidates are exempt *)
 }
 
 val default_config : config
@@ -25,8 +39,24 @@ val default_config : config
     linear trees; Cartesian products deferred. *)
 val system_r_1979 : config
 
-(** Shared optimization state: base access paths, subset statistics memo,
-    plans-costed counter. *)
+(** The same search without graph awareness or pruning — the pre-change
+    enumerator, kept as the equivalence oracle and benchmark baseline. *)
+val exhaustive : config -> config
+
+(** Enumeration-effort counters, reported per optimization and summed per
+    query by the pipeline. *)
+type counters = {
+  subsets : int;  (** DP table entries created *)
+  splits : int;  (** (left, right) combinations considered *)
+  costed : int;  (** physical join candidates built and costed *)
+  pruned : int;  (** combinations / candidates dropped by the cost bound *)
+}
+
+val counters_zero : counters
+val counters_add : counters -> counters -> counters
+
+(** Shared optimization state: base access paths, the bitset query graph,
+    subset statistics memo, effort counters. *)
 type ctx = {
   cfg : config;
   cat : Storage.Catalog.t;
@@ -34,9 +64,19 @@ type ctx = {
   rels : Spj.relation array;
   locals : Expr.t list array;
   join_preds : Expr.t list;
+  pred_masks : (Expr.t * int) array;
+      (** every join conjunct with the mask of relations it mentions *)
+  neighbors : int array;
+      (** per-relation adjacency mask over two-relation conjuncts *)
+  hyper : int array;
+      (** masks of conjuncts spanning three or more relations *)
+  has_index : bool array;
   base : (Candidate.t list * Stats.Derive.rel_stats) array;
   stats_memo : (int, Stats.Derive.rel_stats) Hashtbl.t;
   mutable plans_costed : int;
+  mutable splits_considered : int;
+  mutable plans_pruned : int;
+  mutable subsets_created : int;
 }
 
 (** Per-subset entry: logical statistics plus the Pareto candidate set. *)
@@ -48,18 +88,32 @@ type entry = {
 type result = {
   best : Candidate.t;
   card : float;
-  plans_costed : int;
-  subsets : int;
+  counters : counters;
 }
 
 val popcount : int -> int
+val lowest_bit_index : int -> int
+
+(** @raise Invalid_argument beyond 60 relations (bitset width). *)
 val make_ctx : config -> Storage.Catalog.t -> Stats.Table_stats.db -> Spj.t -> ctx
+
 val aliases_of : ctx -> int -> string list
 
-(** Join conjuncts crossing the alias partition and contained in its
-    union. *)
-val crossing_preds :
-  ctx -> left_aliases:string list -> right_aliases:string list -> Expr.t list
+(** Join conjuncts crossing the (left, right) partition and contained in
+    its union — two [land]s per conjunct. *)
+val crossing_preds : ctx -> left:int -> right:int -> Expr.t list
+
+(** Does any conjunct cross (m1, m2) while staying contained in the
+    union? *)
+val connected_masks : ctx -> int -> int -> bool
+
+(** Is [mask] connected under the conjuncts contained in it?  Necessary
+    for the subset to acquire any join candidate without cross products. *)
+val mask_connected : ctx -> int -> bool
+
+(** Can the full relation set be grown one relation at a time without a
+    cross product?  False triggers the cartesian rescue. *)
+val graph_connected : ctx -> bool
 
 (** Canonical subset statistics (independent of how the subset's plans are
     built — a logical property). *)
@@ -69,11 +123,14 @@ val stats_of : ctx -> int -> Stats.Derive.rel_stats
     when the right side is one base relation, enabling index nested
     loops). *)
 val join_cands :
-  ctx -> left:entry -> left_aliases:string list -> right:entry ->
-  right_aliases:string list -> right_base:int option ->
-  out_stats:Stats.Derive.rel_stats -> Candidate.t list
+  ctx -> left:entry -> left_mask:int -> right:entry -> right_mask:int ->
+  right_base:int option -> out_stats:Stats.Derive.rel_stats ->
+  Candidate.t list
 
-val insert_all : ctx -> entry -> Candidate.t list -> unit
+(** Insert candidates into the entry's Pareto set; candidates dearer than
+    [bound] are dropped (counted as pruned) unless they carry an
+    interesting order. *)
+val insert_all : ?bound:float -> ctx -> entry -> Candidate.t list -> unit
 
 (** Run the enumeration, returning the context and the full-set entry. *)
 val optimize_entry :

@@ -59,28 +59,20 @@ let optimize ?(config = Join_order.default_config) cat db (q : Spj.t) : result
          (* skip permutations introducing avoidable Cartesian products *)
          let introduces_cross =
            (not config.allow_cross)
-           && (let rec check seen = function
+           && (let rec check mask = function
                  | [] -> false
                  | r :: more ->
-                   let l_aliases =
-                     List.map (fun i -> ctx.rels.(i).Spj.alias) seen
-                   in
-                   let r_alias = ctx.rels.(r).Spj.alias in
                    if
-                     Join_order.crossing_preds ctx ~left_aliases:l_aliases
-                       ~right_aliases:[ r_alias ]
-                     = []
+                     (not (Join_order.connected_masks ctx mask (1 lsl r)))
                      && List.exists
                           (fun i ->
-                             Join_order.crossing_preds ctx
-                               ~left_aliases:l_aliases
-                               ~right_aliases:[ ctx.rels.(i).Spj.alias ]
-                             <> [])
-                          (List.filter (fun i -> not (List.mem i seen)) idxs)
+                             mask land (1 lsl i) = 0
+                             && Join_order.connected_masks ctx mask (1 lsl i))
+                          idxs
                    then true
-                   else check (seen @ [ r ]) more
+                   else check (mask lor (1 lsl r)) more
                in
-               check [ first ] rest)
+               check (1 lsl first) rest)
          in
          if not introduces_cross then begin
            let cands0, stats0 = ctx.base.(first) in
@@ -95,10 +87,8 @@ let optimize ?(config = Join_order.default_config) cat db (q : Spj.t) : result
                   let out_stats = Join_order.stats_of ctx union in
                   let out = { stats = out_stats; cands = [] } in
                   let cands =
-                    Join_order.join_cands ctx ~left
-                      ~left_aliases:(Join_order.aliases_of ctx mask) ~right
-                      ~right_aliases:[ ctx.rels.(r).Spj.alias ]
-                      ~right_base:(Some r) ~out_stats
+                    Join_order.join_cands ctx ~left ~left_mask:mask ~right
+                      ~right_mask:rmask ~right_base:(Some r) ~out_stats
                   in
                   Join_order.insert_all ctx out cands;
                   (union, out))

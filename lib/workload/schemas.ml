@@ -1,7 +1,7 @@
 (* Synthetic databases used by the examples, tests and experiments:
    - the paper's running Emp/Dept schema (Sections 4.2, 4.3);
    - an OLAP star schema (Section 4.1.1's Cartesian-product discussion);
-   - chain/star/clique join workloads over uniform relations. *)
+   - chain/cycle/star/clique join workloads over uniform relations. *)
 
 open Relalg
 
@@ -135,9 +135,9 @@ let star ?(seed = 7) ?(fact_rows = 5000) ?(dim_rows = 20) ?(dims = 3) () :
   { cat; db; fact = "Sales"; dims = dim_names }
 
 (* ------------------------------------------------------------------ *)
-(* Chain / star / clique join workloads over n relations *)
+(* Chain / cycle / star / clique join workloads over n relations *)
 
-type shape = Chain_q | Star_q | Clique_q
+type shape = Chain_q | Cycle_q | Star_q | Clique_q
 
 (* The SPJ type lives in the systemr library; to keep workload free of that
    dependency we expose the raw pieces instead. *)
@@ -175,6 +175,13 @@ let join_shape ?(seed = 11) ?(rows = 500) ~shape ~n () : join_pieces =
     | Chain_q ->
       List.init (n - 1) (fun i ->
           eq (col (List.nth names i) "b") (col (List.nth names (i + 1)) "a"))
+    | Cycle_q ->
+      (* the chain plus the closing Rn-R1 edge *)
+      if n < 2 then []
+      else
+        List.init n (fun i ->
+            eq (col (List.nth names i) "b")
+              (col (List.nth names ((i + 1) mod n)) "a"))
     | Star_q ->
       List.init (n - 1) (fun i ->
           eq (col (List.nth names 0) "a") (col (List.nth names (i + 1)) "a"))

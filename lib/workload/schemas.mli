@@ -1,5 +1,5 @@
 (** Synthetic databases for examples, tests and experiments: the paper's
-    Emp/Dept schema, an OLAP star schema, and chain/star/clique join
+    Emp/Dept schema, an OLAP star schema, and chain/cycle/star/clique join
     workloads. *)
 
 (** {2 Emp/Dept (Sections 4.2 and 4.3)} *)
@@ -34,9 +34,9 @@ type star = {
 val star :
   ?seed:int -> ?fact_rows:int -> ?dim_rows:int -> ?dims:int -> unit -> star
 
-(** {2 Chain / star / clique join workloads} *)
+(** {2 Chain / cycle / star / clique join workloads} *)
 
-type shape = Chain_q | Star_q | Clique_q
+type shape = Chain_q | Cycle_q | Star_q | Clique_q
 
 type join_pieces = {
   jcat : Storage.Catalog.t;

@@ -1,0 +1,274 @@
+(* Graph-aware enumeration tests: the bitset-graph + csg–cmp + cost-bound
+   enumerator must find exactly the same best cost as the preserved
+   pre-change enumerator ([Join_order.exhaustive]) on random acyclic and
+   cyclic query graphs, across tree shapes and pruning-sensitive configs;
+   plus fixed regressions (disconnected rescue, single relation, counter
+   sanity) and the sorted Pareto-frontier invariant of [Candidate.insert]. *)
+
+open Relalg
+
+(* ------------------------------------------------------------------ *)
+(* Random query graphs: T1..Tn (20 rows, columns a b), a random spanning
+   tree of Tparent.b = Tchild.a edges; cyclic graphs add extra
+   Ti.a = Tj.a edges.  Even-numbered tables get an index on a so index
+   nested loops (whose candidates omit the inner scan cost) participate. *)
+
+type graph_query = {
+  cat : Storage.Catalog.t;
+  db : Stats.Table_stats.db;
+  query : Systemr.Spj.t;
+}
+
+let name_of i = Printf.sprintf "T%d" (i + 1)
+
+let random_graph ?(rows = 20) ~seed ~cyclic ~n () : graph_query =
+  let st = Workload.Gen.rng seed in
+  let cat = Storage.Catalog.create () in
+  for i = 0 to n - 1 do
+    let t =
+      Storage.Catalog.create_table cat ~name:(name_of i)
+        ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+    in
+    for _ = 1 to rows do
+      Storage.Table.insert t
+        (Tuple.of_list
+           [ Value.Int (Workload.Gen.uniform_int st ~lo:0 ~hi:5);
+             Value.Int (Workload.Gen.uniform_int st ~lo:0 ~hi:5) ])
+    done;
+    if i mod 2 = 0 then
+      ignore (Storage.Catalog.create_index cat ~table:(name_of i) ~column:"a" ())
+  done;
+  let col rel c = Expr.Col { Expr.rel; col = c } in
+  let eq a b = Expr.Cmp (Expr.Eq, a, b) in
+  let tree =
+    List.init (n - 1) (fun i ->
+        let child = i + 1 in
+        let parent = Workload.Gen.uniform_int st ~lo:0 ~hi:i in
+        eq (col (name_of parent) "b") (col (name_of child) "a"))
+  in
+  let extra =
+    if not cyclic || n < 3 then []
+    else
+      List.init (1 + (n / 3)) (fun _ ->
+          let i = Workload.Gen.uniform_int st ~lo:0 ~hi:(n - 2) in
+          let j = Workload.Gen.uniform_int st ~lo:(i + 1) ~hi:(n - 1) in
+          eq (col (name_of i) "a") (col (name_of j) "a"))
+  in
+  let query =
+    Systemr.Spj.make
+      ~relations:
+        (List.init n (fun i ->
+             { Systemr.Spj.alias = name_of i; table = name_of i;
+               schema =
+                 Schema.requalify
+                   (Storage.Catalog.table cat (name_of i)).Storage.Table.schema
+                   ~rel:(name_of i) }))
+      ~predicates:(tree @ extra) ()
+  in
+  { cat; db = Stats.Table_stats.analyze_catalog cat; query }
+
+(* ------------------------------------------------------------------ *)
+(* Fast = exhaustive across the pruning-sensitive config grid *)
+
+let configs =
+  List.concat_map
+    (fun bushy ->
+       List.map
+         (fun interesting_orders ->
+            ( Printf.sprintf "%s io=%b"
+                (if bushy then "bushy" else "left-deep")
+                interesting_orders,
+              { Systemr.Join_order.default_config with
+                bushy; interesting_orders } ))
+         [ true; false ])
+    [ false; true ]
+
+let costs_match cf cs = Float.abs (cf -. cs) <= 1e-6 *. Float.max 1. cs
+
+let equiv_ok (g : graph_query) =
+  List.for_all
+    (fun (_, config) ->
+       let fast = Systemr.Join_order.optimize ~config g.cat g.db g.query in
+       let slow =
+         Systemr.Join_order.optimize
+           ~config:(Systemr.Join_order.exhaustive config) g.cat g.db g.query
+       in
+       costs_match fast.Systemr.Join_order.best.Systemr.Candidate.cost
+         slow.Systemr.Join_order.best.Systemr.Candidate.cost)
+    configs
+
+let check_equiv name (g : graph_query) =
+  List.iter
+    (fun (cfg_name, config) ->
+       let fast = Systemr.Join_order.optimize ~config g.cat g.db g.query in
+       let slow =
+         Systemr.Join_order.optimize
+           ~config:(Systemr.Join_order.exhaustive config) g.cat g.db g.query
+       in
+       let cf = fast.Systemr.Join_order.best.Systemr.Candidate.cost
+       and cs = slow.Systemr.Join_order.best.Systemr.Candidate.cost in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s %s: fast %.4f = exhaustive %.4f" name cfg_name
+            cf cs)
+         true (costs_match cf cs))
+    configs
+
+let prop_fast_equals_exhaustive =
+  QCheck.Test.make ~name:"graph-aware + pruned = exhaustive best cost"
+    ~count:10
+    (QCheck.make
+       QCheck.Gen.(pair bool (pair (int_range 2 7) (int_range 1 1000))))
+    (fun (cyclic, (n, seed)) ->
+       equiv_ok (random_graph ~seed ~cyclic ~n ()))
+
+let test_acyclic_8 () =
+  check_equiv "acyclic n=8" (random_graph ~seed:5 ~cyclic:false ~n:8 ())
+
+let test_cyclic_8 () =
+  check_equiv "cyclic n=8" (random_graph ~seed:9 ~cyclic:true ~n:8 ())
+
+(* ------------------------------------------------------------------ *)
+(* Fixed regressions *)
+
+(* Three relations, one edge: the query graph is disconnected, so the
+   enumeration must fall back to the Cartesian rescue — and still agree
+   with the exhaustive enumerator on cost and produce the same rows. *)
+let test_disconnected_rescue () =
+  let g = random_graph ~seed:3 ~cyclic:false ~n:3 () in
+  let query =
+    { g.query with
+      Systemr.Spj.predicates = [ List.hd g.query.Systemr.Spj.predicates ] }
+  in
+  let g = { g with query } in
+  check_equiv "disconnected" g;
+  let rows config =
+    let res = Systemr.Join_order.optimize ~config g.cat g.db g.query in
+    let out =
+      Exec.Executor.run g.cat res.Systemr.Join_order.best.Systemr.Candidate.plan
+    in
+    Array.length out.Exec.Executor.rows
+  in
+  let config = { Systemr.Join_order.default_config with bushy = true } in
+  Alcotest.(check int) "same result cardinality"
+    (rows (Systemr.Join_order.exhaustive config))
+    (rows config)
+
+let test_single_relation () =
+  let g = random_graph ~seed:1 ~cyclic:false ~n:1 () in
+  let res = Systemr.Join_order.optimize g.cat g.db g.query in
+  let out =
+    Exec.Executor.run g.cat res.Systemr.Join_order.best.Systemr.Candidate.plan
+  in
+  Alcotest.(check int) "all rows" 20 (Array.length out.Exec.Executor.rows);
+  Alcotest.(check bool) "finite cost" true
+    (Float.is_finite res.Systemr.Join_order.best.Systemr.Candidate.cost)
+
+(* Chain of 8, bushy: the graph-aware enumerator must create exactly the
+   n(n+1)/2 = 36 connected-interval DP entries, never consider more
+   splits than the exhaustive walk, and actually exercise the cost
+   bound. *)
+let test_counters_sane () =
+  let p =
+    Workload.Schemas.join_shape ~rows:60 ~shape:Workload.Schemas.Chain_q ~n:8 ()
+  in
+  let q =
+    Systemr.Spj.make
+      ~relations:
+        (List.map
+           (fun (alias, table) ->
+              { Systemr.Spj.alias; table;
+                schema =
+                  Schema.requalify
+                    (Storage.Catalog.table p.Workload.Schemas.jcat table)
+                      .Storage.Table.schema ~rel:alias })
+           p.Workload.Schemas.relations)
+      ~predicates:p.Workload.Schemas.predicates ()
+  in
+  let config = { Systemr.Join_order.default_config with bushy = true } in
+  let opt config =
+    (Systemr.Join_order.optimize ~config p.Workload.Schemas.jcat
+       p.Workload.Schemas.jdb q)
+      .Systemr.Join_order.counters
+  in
+  let fast = opt config
+  and slow = opt (Systemr.Join_order.exhaustive config) in
+  Alcotest.(check int) "36 connected intervals" 36
+    fast.Systemr.Join_order.subsets;
+  (* note: [costed] is not compared — the greedy upper-bound seed costs a
+     few plans of its own, which can outweigh the pruning savings at this
+     size *)
+  Alcotest.(check bool) "no more splits than exhaustive" true
+    (fast.Systemr.Join_order.splits <= slow.Systemr.Join_order.splits);
+  Alcotest.(check bool) "cost bound exercised" true
+    (fast.Systemr.Join_order.pruned > 0);
+  Alcotest.(check int) "exhaustive never prunes" 0
+    slow.Systemr.Join_order.pruned
+
+(* ------------------------------------------------------------------ *)
+(* Candidate frontier invariant: sorted by ascending cost, an antichain
+   under dominance, and the overall minimum cost always survives. *)
+
+let dummy_plan = Exec.Plan.Seq_scan { table = "T"; alias = "T"; filter = None }
+
+let orders_pool : Cost.Physical_props.order list =
+  let a = { Expr.rel = "R"; col = "a" } and b = { Expr.rel = "R"; col = "b" } in
+  [ []; [ (a, Algebra.Asc) ]; [ (a, Algebra.Asc); (b, Algebra.Asc) ];
+    [ (b, Algebra.Desc) ] ]
+
+let prop_frontier_invariant =
+  QCheck.Test.make ~name:"Candidate.insert keeps a sorted Pareto frontier"
+    ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 12)
+           (pair (int_range 0 50) (int_range 0 (List.length orders_pool - 1)))))
+    (fun specs ->
+       let cands =
+         List.map
+           (fun (c, oi) ->
+              { Systemr.Candidate.plan = dummy_plan;
+                cost = float_of_int c;
+                order = List.nth orders_pool oi })
+           specs
+       in
+       let frontier =
+         List.fold_left
+           (Systemr.Candidate.insert ~interesting_orders:true) [] cands
+       in
+       let rec sorted = function
+         | a :: (b :: _ as rest) ->
+           a.Systemr.Candidate.cost <= b.Systemr.Candidate.cost && sorted rest
+         | _ -> true
+       in
+       let antichain =
+         List.for_all
+           (fun c ->
+              List.for_all
+                (fun c' -> c == c' || not (Systemr.Candidate.dominates c' c))
+                frontier)
+           frontier
+       in
+       let min_cost =
+         List.fold_left
+           (fun m c -> Float.min m c.Systemr.Candidate.cost) infinity cands
+       in
+       let head_is_min =
+         match Systemr.Candidate.cheapest frontier with
+         | Some c -> c.Systemr.Candidate.cost = min_cost
+         | None -> false
+       in
+       sorted frontier && antichain && head_is_min)
+
+let () =
+  Alcotest.run "enum"
+    [ ("equivalence",
+       [ QCheck_alcotest.to_alcotest prop_fast_equals_exhaustive;
+         Alcotest.test_case "acyclic n=8" `Quick test_acyclic_8;
+         Alcotest.test_case "cyclic n=8" `Quick test_cyclic_8 ]);
+      ("regressions",
+       [ Alcotest.test_case "disconnected rescue" `Quick
+           test_disconnected_rescue;
+         Alcotest.test_case "single relation" `Quick test_single_relation;
+         Alcotest.test_case "counters sane" `Quick test_counters_sane ]);
+      ("frontier",
+       [ QCheck_alcotest.to_alcotest prop_frontier_invariant ]) ]

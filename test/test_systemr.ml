@@ -124,10 +124,10 @@ let test_dp_cheaper_enumeration () =
   let dp = Systemr.Join_order.optimize pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q in
   let naive = Systemr.Naive.optimize pieces.Workload.Schemas.jcat pieces.Workload.Schemas.jdb q in
   Alcotest.(check bool)
-    (Printf.sprintf "dp costed %d < naive %d plans" dp.Systemr.Join_order.plans_costed
+    (Printf.sprintf "dp costed %d < naive %d plans" dp.Systemr.Join_order.counters.Systemr.Join_order.costed
        naive.Systemr.Naive.plans_costed)
     true
-    (dp.Systemr.Join_order.plans_costed < naive.Systemr.Naive.plans_costed)
+    (dp.Systemr.Join_order.counters.Systemr.Join_order.costed < naive.Systemr.Naive.plans_costed)
 
 let test_bushy_no_worse () =
   List.iter
