@@ -1,0 +1,132 @@
+(* Differential query fuzzer CLI.
+
+   `qopt_fuzz run` sweeps a seed range: for each seed it generates a
+   random database + query, executes it under the full config grid and
+   cross-checks results, cost counters, lint findings and the SQL
+   printer/parser round-trip; divergences are shrunk and written as
+   replayable repro files.  `qopt_fuzz replay` re-checks saved repros
+   (the checked-in corpus under fuzz/corpus/). *)
+
+open Cmdliner
+module F = Fuzz
+
+let default_seed = 1
+
+let grid_of = function
+  | "fast" -> F.Oracle.fast_grid
+  | _ -> F.Oracle.full_grid
+
+let run_cmd seed count grid_name out inject_fault verbose =
+  if inject_fault then Exec.Batch.fault_null_key_as_zero := true;
+  let grid = grid_of grid_name in
+  let checked = ref 0 in
+  let on_case ~seed:s f =
+    incr checked;
+    (match f with
+     | Some f ->
+       Fmt.epr "seed %d: FAIL %a@." s F.Oracle.pp_failure f
+     | None -> if verbose then Fmt.epr "seed %d: ok@." s);
+    if (not verbose) && !checked mod 100 = 0 then
+      Fmt.epr "[%d/%d]@." !checked count
+  in
+  let failures =
+    F.Driver.run_range ~grid ~max_failures:10 ~on_case ~seed count
+  in
+  let paths = F.Driver.save_failures ~dir:out failures in
+  if failures = [] then begin
+    Fmt.pr "fuzz: %d seeds from %d, grid=%s (%d configs): no divergence@."
+      count seed grid_name (List.length grid);
+    0
+  end
+  else begin
+    Fmt.pr "fuzz: %d failure(s) in %d checked seed(s); shrunken repros:@."
+      (List.length failures) !checked;
+    List.iter (fun p -> Fmt.pr "  %s@." p) paths;
+    List.iter
+      (fun (fc : F.Driver.failure_case) ->
+         Fmt.pr "seed %d (%d relations after shrinking): %a@.  %s@." fc.seed
+           (F.Gen.relation_count fc.query)
+           F.Oracle.pp_failure fc.failure fc.repro.F.Repro.sql)
+      failures;
+    1
+  end
+
+let replay_cmd grid_name paths inject_fault =
+  if inject_fault then Exec.Batch.fault_null_key_as_zero := true;
+  let grid = grid_of grid_name in
+  let files =
+    List.concat_map
+      (fun p ->
+         if Sys.is_directory p then
+           Sys.readdir p |> Array.to_list
+           |> List.filter (fun f -> Filename.check_suffix f ".repro")
+           |> List.sort compare
+           |> List.map (Filename.concat p)
+         else [ p ])
+      paths
+  in
+  let bad = ref 0 in
+  List.iter
+    (fun f ->
+       let r = F.Repro.load f in
+       match F.Repro.replay ~grid r with
+       | None -> Fmt.pr "%s: ok@." f
+       | Some fl ->
+         incr bad;
+         Fmt.pr "%s: FAIL %a@." f F.Oracle.pp_failure fl)
+    files;
+  if !bad = 0 then 0 else 1
+
+let seed_arg =
+  Arg.(value & opt int default_seed
+       & info [ "seed" ] ~docv:"N"
+           ~doc:"First seed of the sweep (deterministic; never wall-clock).")
+
+let count_arg =
+  Arg.(value & opt int 1000
+       & info [ "count" ] ~docv:"N" ~doc:"Number of seeds to check.")
+
+let grid_arg =
+  Arg.(value & opt (enum [ ("full", "full"); ("fast", "fast") ]) "full"
+       & info [ "grid" ] ~docv:"GRID"
+           ~doc:"Config grid: $(b,full) (all engines/shapes/enumerators) or \
+                 $(b,fast) (reference + default pair).")
+
+let out_arg =
+  Arg.(value & opt string "fuzz/found"
+       & info [ "out" ] ~docv:"DIR" ~doc:"Directory for shrunken repro files.")
+
+let fault_arg =
+  Arg.(value & flag
+       & info [ "inject-null-key-fault" ]
+           ~doc:"Enable the test-only engine fault (NULL join keys treated \
+                 as 0 in the batch hash join) to demonstrate detection and \
+                 shrinking.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log every seed.")
+
+let paths_arg =
+  Arg.(non_empty & pos_all string []
+       & info [] ~docv:"PATH" ~doc:"Repro files or directories of .repro files.")
+
+let run_c =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Fuzz a seed range across the config grid, shrinking failures")
+    Term.(
+      const run_cmd $ seed_arg $ count_arg $ grid_arg $ out_arg $ fault_arg
+      $ verbose_arg)
+
+let replay_c =
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay saved repro files through the oracles")
+    Term.(const replay_cmd $ grid_arg $ paths_arg $ fault_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "qopt_fuzz" ~version:"1.0"
+       ~doc:"Differential fuzzer for the query optimizer and engines")
+    [ run_c; replay_c ]
+
+let () = exit (Cmd.eval' main)

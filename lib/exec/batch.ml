@@ -35,6 +35,14 @@ open Relalg
 
 let chunk_rows = 1024
 
+(* Test-only fault injection: when set, the single-column integer hash
+   join treats NULL keys as [Int 0] on both the build and probe sides —
+   simulating the loss of the NULL-key guard on the [Keys.Int_map] fast
+   path.  The differential fuzzer's self-test flips this to prove an
+   injected engine bug is caught, shrunk and replayed; nothing else may
+   set it. *)
+let fault_null_key_as_zero = ref false
+
 type node = {
   rows : Tuple.t array;
   replay : unit -> unit; (* charge ctx as one warm re-execution *)
@@ -600,10 +608,18 @@ let run ?(ctx = Context.create ()) (cat : Storage.Catalog.t) (plan : Plan.t) :
          the empty bucket on probe *)
       let absent = { blen = 0; items = [] } in
       let tbl = Keys.Int_map.create ~dummy:absent (max 16 nr) in
+      (* NULL keys never join; under the test-only fault they collapse to
+         key 0, which the differential fuzzer must detect *)
+      let key_of v =
+        match v with
+        | Value.Int k -> Some k
+        | Value.Null when !fault_null_key_as_zero -> Some 0
+        | _ -> None
+      in
       Array.iter
         (fun rt ->
-           match Tuple.get rt roffs.(0) with
-           | Value.Int k ->
+           match key_of (Tuple.get rt roffs.(0)) with
+           | Some k ->
              let b = Keys.Int_map.find tbl k in
              if b == absent then
                Keys.Int_map.add tbl k { blen = 1; items = [ rt ] }
@@ -611,15 +627,15 @@ let run ?(ctx = Context.create ()) (cat : Storage.Catalog.t) (plan : Plan.t) :
                b.blen <- b.blen + 1;
                b.items <- rt :: b.items
              end
-           | _ -> ())
+           | None -> ())
         rrows;
       Array.iter
         (fun lt ->
-           match Tuple.get lt loffs.(0) with
-           | Value.Int k ->
+           match key_of (Tuple.get lt loffs.(0)) with
+           | Some k ->
              let b = Keys.Int_map.find tbl k in
              emit_bucket lt b.items b.blen
-           | _ -> emit_bucket lt [] 0)
+           | None -> emit_bucket lt [] 0)
         lrows
     end
     else begin

@@ -13,3 +13,10 @@
 
 val run :
   ?ctx:Context.t -> Storage.Catalog.t -> Plan.t -> Executor.result
+
+(** Test-only fault injection: treat NULL single-column integer join keys
+    as [Int 0] (simulating loss of the NULL-key guard on the
+    {!Keys.Int_map} fast path).  Exists so the differential fuzzer's
+    self-test can prove an injected engine bug is caught, shrunk to a
+    minimal repro, and replayed; never set outside tests. *)
+val fault_null_key_as_zero : bool ref

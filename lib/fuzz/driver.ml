@@ -1,0 +1,58 @@
+(* Fuzzing campaign driver. *)
+
+type failure_case = {
+  seed : int;
+  failure : Oracle.failure;
+  spec : Dbspec.t;
+  query : Sql.Ast.query;
+  repro : Repro.t;
+}
+
+let run_seed ?grid ?shrink_budget seed =
+  let spec, q = Gen.case ~seed in
+  match Oracle.check ?grid spec q with
+  | None -> None
+  | Some original ->
+    let spec', q' = Shrink.shrink ?grid ?budget:shrink_budget spec q in
+    (* the shrunk case may fail a different (earlier-firing) oracle;
+       label the repro with what it fails NOW *)
+    let failure =
+      match Oracle.check ?grid spec' q' with
+      | Some f -> f
+      | None -> original (* shouldn't happen: shrink accepts failing cases only *)
+    in
+    let notes =
+      [ Printf.sprintf "seed %d, %s" seed
+          (Fmt.str "%a" Oracle.pp_failure failure);
+        Printf.sprintf "originally: %s" (Fmt.str "%a" Oracle.pp_failure original) ]
+    in
+    Some
+      { seed; failure; spec = spec'; query = q';
+        repro = Repro.of_case ~seed ~oracle:failure.Oracle.oracle ~notes spec' q' }
+
+let run_range ?grid ?shrink_budget ?(max_failures = 10)
+    ?(on_case = fun ~seed:_ _ -> ()) ~seed count =
+  let failures = ref [] in
+  (try
+     for s = seed to seed + count - 1 do
+       (match run_seed ?grid ?shrink_budget s with
+        | None -> on_case ~seed:s None
+        | Some fc ->
+          failures := fc :: !failures;
+          on_case ~seed:s (Some fc.failure));
+       if List.length !failures >= max_failures then raise Exit
+     done
+   with Exit -> ());
+  List.rev !failures
+
+let save_failures ~dir cases =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun fc ->
+       let path =
+         Filename.concat dir
+           (Printf.sprintf "seed%d_%s.repro" fc.seed fc.failure.Oracle.oracle)
+       in
+       Repro.save path fc.repro;
+       path)
+    cases

@@ -1,0 +1,28 @@
+(** Fuzzing campaign driver: generate → check → shrink → repro.
+
+    [run_seed] evaluates one seed end-to-end; [run_range] sweeps a seed
+    range, stopping early after [max_failures] divergences.  Every
+    failure is shrunk before being reported, and carries a ready-to-save
+    {!Repro.t}. *)
+
+type failure_case = {
+  seed : int;
+  failure : Oracle.failure;  (** failure of the {e shrunk} case *)
+  spec : Dbspec.t;  (** shrunk database *)
+  query : Sql.Ast.query;  (** shrunk query *)
+  repro : Repro.t;
+}
+
+val run_seed :
+  ?grid:Oracle.cfg list -> ?shrink_budget:int -> int -> failure_case option
+
+(** [run_range ~seed count] fuzzes seeds [seed .. seed+count-1];
+    [on_case] is called after every seed (for progress reporting). *)
+val run_range :
+  ?grid:Oracle.cfg list -> ?shrink_budget:int -> ?max_failures:int ->
+  ?on_case:(seed:int -> Oracle.failure option -> unit) ->
+  seed:int -> int -> failure_case list
+
+(** Write each failure to [dir] (created if missing) as
+    [seed<N>_<oracle>.repro]; returns the paths. *)
+val save_failures : dir:string -> failure_case list -> string list

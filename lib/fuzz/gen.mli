@@ -1,0 +1,26 @@
+(** Seeded random workload generation: schemas, data and queries.
+
+    Everything is a pure function of one integer seed — each table and the
+    query draw from independent streams derived with {!Workload.Gen.derive},
+    so a case replays from a single CLI-supplied integer (never from
+    wall-clock).  Schemas are random (column presence, domains, skew, NULL
+    fractions, row counts including empty tables, index sets); queries
+    cover select/project/join (acyclic, cyclic and deliberately
+    disconnected join graphs, self-joins), derived tables, LEFT OUTER
+    JOIN, IN / EXISTS / NOT EXISTS / scalar-aggregate subqueries (correlated
+    and not), GROUP BY / HAVING, DISTINCT, ORDER BY and UNION [ALL] —
+    emitted as SQL ASTs so the printer, lexer, parser and binder all sit
+    inside the differential loop. *)
+
+(** Random database spec for [seed]. *)
+val db : seed:int -> Dbspec.t
+
+(** Random query over [spec] for [seed]. *)
+val query : seed:int -> Dbspec.t -> Sql.Ast.query
+
+(** Database and query for one seed ([db] + [query] on derived streams). *)
+val case : seed:int -> Dbspec.t * Sql.Ast.query
+
+(** Relation aliases referenced by the query's FROM clauses (all blocks,
+    subqueries included) — the "repro size" the shrinker minimizes. *)
+val relation_count : Sql.Ast.query -> int

@@ -1,0 +1,275 @@
+(* Differential oracle stack: run one case through a grid of pipeline
+   configurations and cross-check everything the system promises to keep
+   invariant across them. *)
+
+open Relalg
+module P = Core.Pipeline
+
+type cfg = { cname : string; config : P.config; counter_class : int }
+
+let lint c = { c with P.lint = true }
+
+let full_grid =
+  let d = P.default_config in
+  [ (* the ground truth: no rewriting, tuple-iteration interpretation *)
+    { cname = "interp-norw";
+      config = lint { P.naive_config with engine = `Interpreted };
+      counter_class = 0 };
+    { cname = "batch-norw";
+      config = lint { P.naive_config with engine = `Batch };
+      counter_class = 0 };
+    { cname = "batch"; config = lint d; counter_class = 1 };
+    { cname = "interp";
+      config = lint { d with engine = `Interpreted };
+      counter_class = 1 };
+    { cname = "batch-bushy";
+      config =
+        lint { d with join_config = { d.join_config with bushy = true } };
+      counter_class = -1 };
+    { cname = "batch-exh";
+      config =
+        lint { d with join_config = Systemr.Join_order.exhaustive d.join_config };
+      counter_class = -1 } ]
+
+let fast_grid =
+  List.filter
+    (fun c -> List.mem c.cname [ "interp-norw"; "batch"; "interp" ])
+    full_grid
+
+type failure = { oracle : string; cfg : string; detail : string }
+
+let pp_failure ppf f =
+  Fmt.pf ppf "[%s%s] %s" f.oracle
+    (if f.cfg = "" then "" else "/" ^ f.cfg)
+    f.detail
+
+let binds spec ast =
+  let cat, _ = Dbspec.build spec in
+  match Sql.Binder.bind_query cat ast with
+  | _ -> true
+  | exception _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 1: printer → lexer → parser → binder round-trip. *)
+
+let roundtrip spec ast =
+  let cat, _ = Dbspec.build spec in
+  match Sql.Binder.bind_query cat ast with
+  | exception e ->
+    Some
+      { oracle = "bind"; cfg = "";
+        detail = "original AST does not bind: " ^ Printexc.to_string e }
+  | b0 -> (
+    let txt = Sql.Printer.query_to_string ast in
+    match Sql.Parser.parse txt with
+    | [ Sql.Ast.Select_stmt ast' ] -> (
+      match Sql.Binder.bind_query cat ast' with
+      | b1 ->
+        if b0 = b1 then None
+        else
+          Some
+            { oracle = "sql-roundtrip"; cfg = "";
+              detail = "re-parsed query binds differently: " ^ txt }
+      | exception e ->
+        Some
+          { oracle = "sql-roundtrip"; cfg = "";
+            detail =
+              Printf.sprintf "re-parsed query does not bind (%s): %s"
+                (Printexc.to_string e) txt })
+    | _ ->
+      Some
+        { oracle = "sql-roundtrip"; cfg = "";
+          detail = "did not parse back to a single SELECT: " ^ txt }
+    | exception e ->
+      Some
+        { oracle = "sql-roundtrip"; cfg = "";
+          detail =
+            Printf.sprintf "printed SQL does not parse (%s): %s"
+              (Printexc.to_string e) txt })
+
+(* ------------------------------------------------------------------ *)
+(* Grid execution *)
+
+type run = {
+  res : Exec.Executor.result;
+  counters : int * int * int * int;
+  diags : Verify.Diag.t list;
+}
+
+let run_one spec ast c =
+  let cat, db = Dbspec.build spec in
+  let q = Sql.Binder.bind_query cat ast in
+  let ctx = Exec.Context.create () in
+  let res, reports = P.run_query ~ctx ~config:c.config cat db q in
+  { res;
+    counters =
+      Exec.Context.(ctx.seq_io, ctx.rand_io, ctx.spill_io, ctx.cpu_ops);
+    diags = List.concat_map (fun r -> r.P.diags) reports }
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: ORDER BY output really is ordered.
+
+   Applicable to single-block, non-DISTINCT queries whose every sort key
+   is also a projected item (so the key survives into the output).  The
+   engines sort with [Value.compare]; we re-check with the same total
+   order. *)
+
+let sort_key_indexes (ast : Sql.Ast.query) =
+  match ast with
+  | Sql.Ast.Union _ -> None
+  | Sql.Ast.Single s ->
+    if s.Sql.Ast.distinct || s.Sql.Ast.order_by = [] then None
+    else
+      let items =
+        List.filter_map
+          (function Sql.Ast.Item (e, _) -> Some e | Sql.Ast.Star -> None)
+          s.Sql.Ast.items
+      in
+      if List.length items <> List.length s.Sql.Ast.items then None
+      else
+        let find e =
+          let rec go i = function
+            | [] -> None
+            | it :: _ when it = e -> Some i
+            | _ :: rest -> go (i + 1) rest
+          in
+          go 0 items
+        in
+        let rec map = function
+          | [] -> Some []
+          | (e, dir) :: rest -> (
+            match (find e, map rest) with
+            | Some i, Some tl -> Some ((i, dir = Algebra.Desc) :: tl)
+            | _ -> None)
+        in
+        map s.Sql.Ast.order_by
+
+let is_sorted keys (res : Exec.Executor.result) =
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | (i, desc) :: rest -> (
+        match Value.compare (Tuple.get a i) (Tuple.get b i) with
+        | 0 -> go rest
+        | c -> if desc then -c else c)
+    in
+    go keys
+  in
+  let ok = ref true in
+  Array.iteri
+    (fun i r -> if i > 0 && cmp res.Exec.Executor.rows.(i - 1) r > 0 then ok := false)
+    res.Exec.Executor.rows;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+
+let first_some fs = List.find_map (fun f -> f ()) fs
+
+let check ?(grid = full_grid) spec ast =
+  match roundtrip spec ast with
+  | Some f -> Some f
+  | None ->
+    let runs =
+      List.map
+        (fun c ->
+           ( c,
+             match run_one spec ast c with
+             | r -> Ok r
+             | exception e -> Error (Printexc.to_string e) ))
+        grid
+    in
+    let exception_check () =
+      List.find_map
+        (fun (c, r) ->
+           match r with
+           | Error d -> Some { oracle = "exception"; cfg = c.cname; detail = d }
+           | Ok _ -> None)
+        runs
+    in
+    let multiset_check () =
+      match runs with
+      | (_, Ok ref_) :: rest ->
+        List.find_map
+          (fun (c, r) ->
+             match r with
+             | Ok r
+               when not (Exec.Executor.same_multiset ref_.res r.res) ->
+               Some
+                 { oracle = "multiset"; cfg = c.cname;
+                   detail =
+                     Printf.sprintf
+                       "%d rows vs %d in the reference (or equal counts, \
+                        different rows)"
+                       (Array.length r.res.Exec.Executor.rows)
+                       (Array.length ref_.res.Exec.Executor.rows) }
+             | _ -> None)
+          rest
+      | _ -> None
+    in
+    let counters_check () =
+      let classes =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (c, _) ->
+                if c.counter_class >= 0 then Some c.counter_class else None)
+             runs)
+      in
+      List.find_map
+        (fun cl ->
+           let members =
+             List.filter_map
+               (fun (c, r) ->
+                  match r with
+                  | Ok r when c.counter_class = cl -> Some (c, r)
+                  | _ -> None)
+               runs
+           in
+           match members with
+           | (c0, r0) :: rest ->
+             List.find_map
+               (fun (c, r) ->
+                  if r.counters = r0.counters then None
+                  else
+                    let s (a, b, cc, d) =
+                      Printf.sprintf "seq=%d rand=%d spill=%d cpu=%d" a b cc d
+                    in
+                    Some
+                      { oracle = "counters"; cfg = c.cname;
+                        detail =
+                          Printf.sprintf "%s, but %s has %s" (s r.counters)
+                            c0.cname (s r0.counters) })
+               rest
+           | [] -> None)
+        classes
+    in
+    let lint_check () =
+      List.find_map
+        (fun (c, r) ->
+           match r with
+           | Ok r when r.diags <> [] ->
+             Some
+               { oracle = "lint"; cfg = c.cname;
+                 detail =
+                   Printf.sprintf "%d diagnostic(s), first: %s"
+                     (List.length r.diags)
+                     (Verify.Diag.to_string (List.hd r.diags)) }
+           | _ -> None)
+        runs
+    in
+    let sorted_check () =
+      match sort_key_indexes ast with
+      | None -> None
+      | Some keys ->
+        List.find_map
+          (fun (c, r) ->
+             match r with
+             | Ok r when not (is_sorted keys r.res) ->
+               Some
+                 { oracle = "sortedness"; cfg = c.cname;
+                   detail = "ORDER BY output is not ordered" }
+             | _ -> None)
+          runs
+    in
+    first_some
+      [ exception_check; multiset_check; counters_check; lint_check;
+        sorted_check ]

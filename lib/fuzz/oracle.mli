@@ -1,0 +1,44 @@
+(** The differential oracle stack.
+
+    One case = a database spec plus a query AST.  [check] runs the query
+    through a grid of pipeline configurations (engines, tree shapes,
+    enumerators, rewrites on/off — lint always on) and reports the first
+    divergence found by any oracle:
+
+    - [sql-roundtrip]: pretty-print, re-lex/re-parse/re-bind, compare the
+      bound tree against binding the original AST;
+    - [exception]: any layer raising on a query the generator deems valid;
+    - [multiset]: result rows differ from the naive-reference config's;
+    - [counters]: cost accounting (seq/rand/spill I/O, CPU ops) differs
+      between configs that are identical except for the engine — the PR-2
+      bit-identical-accounting guarantee;
+    - [lint]: any {!Verify} diagnostic from any stage of any config;
+    - [sortedness]: ORDER BY output not actually ordered (checked when the
+      sort keys are projected and no DISTINCT/UNION re-hashes the rows).
+
+    [None] means every config agreed on everything. *)
+
+type cfg = {
+  cname : string;
+  config : Core.Pipeline.config;
+  counter_class : int;
+      (** configs sharing a class must produce identical cost accounting;
+          [-1] = not compared *)
+}
+
+(** Reference (naive interpreter, no rewrites) first, then batch/interp
+    pairs, bushy, exhaustive enumeration, rewrites-off. *)
+val full_grid : cfg list
+
+(** Reference plus the default batch/interp pair — for smoke runs. *)
+val fast_grid : cfg list
+
+type failure = { oracle : string; cfg : string; detail : string }
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** Does the query bind against (a fresh build of) the spec?  The
+    shrinker's validity gate. *)
+val binds : Dbspec.t -> Sql.Ast.query -> bool
+
+val check : ?grid:cfg list -> Dbspec.t -> Sql.Ast.query -> failure option

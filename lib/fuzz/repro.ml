@@ -1,0 +1,240 @@
+(* Replayable repro files: serialize a (spec, query) case to a line-based
+   text format and back.  See the .mli for the grammar. *)
+
+open Relalg
+
+type t = {
+  notes : string list;
+  seed : int option;
+  oracle : string option;
+  spec : Dbspec.t;
+  sql : string;
+}
+
+let of_case ?seed ?oracle ?(notes = []) spec ast =
+  { notes; seed; oracle; spec; sql = Sql.Printer.query_to_string ast }
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+let ty_token = function
+  | Value.Tint -> "int"
+  | Value.Tfloat -> "float"
+  | Value.Tstring -> "string"
+  | Value.Tbool -> "bool"
+
+let value_token = function
+  | Value.Null -> "NULL"
+  | Value.Int i -> string_of_int i
+  | Value.Float f ->
+    let s = Printf.sprintf "%.17g" f in
+    if String.contains s '.' || String.contains s 'e'
+       || String.contains s 'n' (* nan, inf *)
+    then s
+    else s ^ ".0"
+  | Value.Bool b -> if b then "TRUE" else "FALSE"
+  | Value.Str s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c ->
+         if c = '\'' then Buffer.add_string buf "''"
+         else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+
+let to_string r =
+  let buf = Buffer.create 1024 in
+  List.iter (fun n -> Buffer.add_string buf ("# " ^ n ^ "\n")) r.notes;
+  Option.iter (fun s -> Buffer.add_string buf (Printf.sprintf "seed %d\n" s)) r.seed;
+  Option.iter (fun o -> Buffer.add_string buf ("oracle " ^ o ^ "\n")) r.oracle;
+  List.iter
+    (fun tb ->
+       Buffer.add_string buf ("table " ^ tb.Dbspec.tname ^ "\n");
+       List.iter
+         (fun (n, ty) ->
+            Buffer.add_string buf (Printf.sprintf "col %s %s\n" n (ty_token ty)))
+         tb.Dbspec.cols;
+       List.iter
+         (fun ix ->
+            Buffer.add_string buf
+              (Printf.sprintf "index %s %s\n"
+                 (if ix.Dbspec.iclustered then "clustered" else "secondary")
+                 (String.concat " " ix.Dbspec.icols)))
+         tb.Dbspec.indexes;
+       Array.iter
+         (fun row ->
+            Buffer.add_string buf
+              ("row "
+               ^ String.concat " "
+                   (List.map value_token (Array.to_list row))
+               ^ "\n"))
+         tb.Dbspec.rows;
+       Buffer.add_string buf "end\n")
+    r.spec.Dbspec.tables;
+  Buffer.add_string buf ("query " ^ r.sql ^ "\n");
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* Split a row payload into tokens; single-quoted strings may contain
+   spaces and doubled quotes. *)
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if line.[!i] = ' ' then incr i
+    else if line.[!i] = '\'' then begin
+      let buf = Buffer.create 8 in
+      incr i;
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then fail "unterminated string in row: %s" line
+        else if line.[!i] = '\'' then
+          if !i + 1 < n && line.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            incr i;
+            fin := true
+          end
+        else begin
+          Buffer.add_char buf line.[!i];
+          incr i
+        end
+      done;
+      toks := `Str (Buffer.contents buf) :: !toks
+    end
+    else begin
+      let j = try String.index_from line !i ' ' with Not_found -> n in
+      toks := `Tok (String.sub line !i (j - !i)) :: !toks;
+      i := j
+    end
+  done;
+  List.rev !toks
+
+let parse_value ty tok =
+  match (tok, ty) with
+  | `Tok "NULL", _ -> Value.Null
+  | `Str s, Value.Tstring -> Value.Str s
+  | `Tok "TRUE", Value.Tbool -> Value.Bool true
+  | `Tok "FALSE", Value.Tbool -> Value.Bool false
+  | `Tok t, Value.Tint -> (
+    match int_of_string_opt t with
+    | Some i -> Value.Int i
+    | None -> fail "bad int value %S" t)
+  | `Tok t, Value.Tfloat -> (
+    match float_of_string_opt t with
+    | Some f -> Value.Float f
+    | None -> fail "bad float value %S" t)
+  | `Tok t, _ -> fail "value %S does not match the declared column type" t
+  | `Str s, _ -> fail "string %S in a non-string column" s
+
+let parse_ty = function
+  | "int" -> Value.Tint
+  | "float" -> Value.Tfloat
+  | "string" -> Value.Tstring
+  | "bool" -> Value.Tbool
+  | t -> fail "unknown column type %S" t
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let notes = ref [] in
+  let seed = ref None in
+  let oracle = ref None in
+  let tables = ref [] in
+  let sql = ref None in
+  (* current table under construction *)
+  let cur = ref None in
+  let flush () =
+    match !cur with
+    | None -> fail "'end' without a 'table'"
+    | Some (name, cols, ixs, rows) ->
+      tables :=
+        { Dbspec.tname = name; cols = List.rev cols;
+          indexes = List.rev ixs;
+          rows = Array.of_list (List.rev rows) }
+        :: !tables;
+      cur := None
+  in
+  List.iter
+    (fun line ->
+       let word, rest =
+         match String.index_opt line ' ' with
+         | Some i ->
+           ( String.sub line 0 i,
+             String.trim
+               (String.sub line (i + 1) (String.length line - i - 1)) )
+         | None -> (line, "")
+       in
+       match (word, !cur) with
+       | "#", _ -> notes := rest :: !notes
+       | "seed", _ -> seed := int_of_string_opt rest
+       | "oracle", _ -> oracle := Some rest
+       | "table", None -> cur := Some (rest, [], [], [])
+       | "table", Some _ -> fail "'table' before previous table's 'end'"
+       | "end", _ -> flush ()
+       | "col", Some (n, cols, ixs, rows) -> (
+         match String.split_on_char ' ' rest with
+         | [ cn; ty ] -> cur := Some (n, (cn, parse_ty ty) :: cols, ixs, rows)
+         | _ -> fail "bad col line: %s" line)
+       | "index", Some (n, cols, ixs, rows) -> (
+         match String.split_on_char ' ' rest with
+         | kind :: (_ :: _ as icols) ->
+           let iclustered =
+             match kind with
+             | "clustered" -> true
+             | "secondary" -> false
+             | k -> fail "unknown index kind %S" k
+           in
+           cur := Some (n, cols, { Dbspec.icols; iclustered } :: ixs, rows)
+         | _ -> fail "bad index line: %s" line)
+       | "row", Some (n, cols, ixs, rows) ->
+         let tys = List.rev_map snd cols in
+         let toks = tokenize rest in
+         if List.length toks <> List.length tys then
+           fail "row arity %d does not match %d declared columns"
+             (List.length toks) (List.length tys);
+         let row = Array.of_list (List.map2 parse_value tys toks) in
+         cur := Some (n, cols, ixs, row :: rows)
+       | "query", None -> sql := Some rest
+       | "query", Some _ -> fail "'query' inside a table block"
+       | w, _ -> fail "unknown directive %S" w)
+    lines;
+  if !cur <> None then fail "missing final 'end'";
+  match !sql with
+  | None -> fail "repro has no 'query' line"
+  | Some q ->
+    { notes = List.rev !notes; seed = !seed; oracle = !oracle;
+      spec = { Dbspec.tables = List.rev !tables }; sql = q }
+
+let save path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string r))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let replay ?grid r =
+  match Sql.Parser.parse r.sql with
+  | [ Sql.Ast.Select_stmt q ] -> Oracle.check ?grid r.spec q
+  | _ -> Some { Oracle.oracle = "repro"; cfg = ""; detail = "repro SQL is not a single SELECT statement" }
+  | exception e ->
+    Some
+      { Oracle.oracle = "repro"; cfg = "";
+        detail = "repro SQL does not parse: " ^ Printexc.to_string e }

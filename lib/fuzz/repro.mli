@@ -1,0 +1,52 @@
+(** Replayable repro files.
+
+    A repro is a self-contained, human-editable text file holding one
+    failing (or regression) case: the database spec and the query as SQL
+    text, plus provenance (seed, failing oracle, free-form notes).  The
+    corpus under [fuzz/corpus/] is made of these; [dune runtest] replays
+    every one through the full oracle grid forever.
+
+    Format (line-based):
+    {v
+    # free-form note lines
+    seed 42
+    oracle multiset
+    table t1
+    col id int
+    col k int
+    index clustered id
+    index secondary k g
+    row 0 1
+    row 1 NULL
+    end
+    query SELECT r1.id FROM t1 AS r1 WHERE r1.k = 0
+    v}
+
+    Row values: [NULL], integers, floats, ['str'] (quote doubled to
+    escape, no newlines), [TRUE]/[FALSE]; parsed against the declared
+    column type. *)
+
+type t = {
+  notes : string list;
+  seed : int option;
+  oracle : string option;
+  spec : Dbspec.t;
+  sql : string;
+}
+
+val of_case :
+  ?seed:int -> ?oracle:string -> ?notes:string list -> Dbspec.t ->
+  Sql.Ast.query -> t
+
+val to_string : t -> string
+
+(** @raise Failure on malformed input. *)
+val of_string : string -> t
+
+val save : string -> t -> unit
+
+(** @raise Failure / [Sys_error] on malformed or unreadable files. *)
+val load : string -> t
+
+(** Re-run the case through the oracle stack ([None] = passes). *)
+val replay : ?grid:Oracle.cfg list -> t -> Oracle.failure option

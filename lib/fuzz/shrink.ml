@@ -1,0 +1,479 @@
+(* Greedy shrinking of failing fuzz cases.
+
+   A move proposes candidate simplifications of the current case; a
+   candidate is accepted when it still binds (validity gate — the oracle
+   reports bind failures as findings, which would otherwise let the
+   shrinker "minimize" into garbage) and some oracle still fails.  Moves
+   are ordered big-wins-first and retried to a fixpoint. *)
+
+module A = Sql.Ast
+
+type case = Dbspec.t * A.query
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers *)
+
+let conjuncts e =
+  let rec go acc = function
+    | A.And (a, b) -> go (go acc a) b
+    | e -> e :: acc
+  in
+  List.rev (go [] e)
+
+let and_all = function
+  | [] -> None
+  | cs ->
+    let rec nest = function
+      | [ c ] -> c
+      | c :: rest -> A.And (c, nest rest)
+      | [] -> assert false
+    in
+    Some (nest cs)
+
+let rec expr_mentions alias = function
+  | A.Column (Some a, _) -> a = alias
+  | A.Column (None, _) | A.Lit_int _ | A.Lit_float _ | A.Lit_string _
+  | A.Lit_bool _ | A.Lit_null -> false
+  | A.Binop (_, a, b) | A.Cmp (_, a, b) | A.And (a, b) | A.Or (a, b) ->
+    expr_mentions alias a || expr_mentions alias b
+  | A.Not a | A.Is_null (a, _) -> expr_mentions alias a
+  | A.Agg (_, arg) -> (
+    match arg with Some a -> expr_mentions alias a | None -> false)
+  | A.In_query (e, s) -> expr_mentions alias e || select_mentions alias s
+  | A.Cmp_query (_, e, s) -> expr_mentions alias e || select_mentions alias s
+  | A.Exists (_, s) -> select_mentions alias s
+
+and select_mentions alias (s : A.select) =
+  (* only free mentions matter; the generator's aliases are unique
+     query-wide, so no inner FROM re-introduces [alias] *)
+  List.exists
+    (function
+      | A.Star -> false
+      | A.Item (e, _) -> expr_mentions alias e)
+    s.A.items
+  || (match s.A.where with Some e -> expr_mentions alias e | None -> false)
+  || List.exists (expr_mentions alias) s.A.group_by
+  || (match s.A.having with Some e -> expr_mentions alias e | None -> false)
+  || List.exists (fun (e, _) -> expr_mentions alias e) s.A.order_by
+  || List.exists
+       (function
+         | A.Plain (A.Subquery (inner, _)) -> select_mentions alias inner
+         | A.Plain (A.Table _) -> false
+         | A.Left_outer_join (_, A.Subquery (inner, _), on) ->
+           select_mentions alias inner || expr_mentions alias on
+         | A.Left_outer_join (_, _, on) -> expr_mentions alias on)
+       s.A.from
+
+let item_alias = function
+  | A.Table (_, Some a) -> a
+  | A.Table (n, None) -> n
+  | A.Subquery (_, a) -> a
+
+let rec joined_aliases = function
+  | A.Plain it -> [ item_alias it ]
+  | A.Left_outer_join (l, it, _) -> joined_aliases l @ [ item_alias it ]
+
+let from_aliases from = List.concat_map joined_aliases from
+
+(* Remove relation [alias] from a FROM list.  Returns None when the
+   relation is not removable in place (e.g. the left anchor of an outer
+   join with no other shape we handle). *)
+let remove_alias_from (from : A.joined list) alias : A.joined list option =
+  let rec drop_in_joined j =
+    match j with
+    | A.Plain it -> if item_alias it = alias then Some `Gone else None
+    | A.Left_outer_join (l, it, _) ->
+      if item_alias it = alias then Some (`Replace l)
+      else (
+        match drop_in_joined l with
+        | Some `Gone -> Some (`Replace (A.Plain it))
+        | Some (`Replace l') -> Some (`Replace (A.Left_outer_join (l', it, (match j with A.Left_outer_join (_, _, on) -> on | _ -> assert false))))
+        | None -> None)
+  in
+  let rec go = function
+    | [] -> None
+    | j :: rest -> (
+      match drop_in_joined j with
+      | Some `Gone -> Some rest
+      | Some (`Replace j') -> Some (j' :: rest)
+      | None -> Option.map (fun r -> j :: r) (go rest))
+  in
+  go from
+
+(* Scrub all traces of [alias] from the clauses of a select. *)
+let scrub_select alias (s : A.select) from' : A.select option =
+  if from' = [] then None
+  else begin
+    let keep e = not (expr_mentions alias e) in
+    let items =
+      List.filter
+        (function A.Star -> true | A.Item (e, _) -> keep e)
+        s.A.items
+    in
+    let group_by = List.filter keep s.A.group_by in
+    let items =
+      if items <> [] then items
+      else if group_by <> [] then [ A.Item (A.Agg (A.Fn_count, None), Some "x_shrink") ]
+      else [ A.Item (A.Lit_int 1, Some "x_shrink") ]
+    in
+    let where =
+      match s.A.where with
+      | None -> None
+      | Some w -> and_all (List.filter keep (conjuncts w))
+    in
+    let having =
+      match s.A.having with
+      | None -> None
+      | Some h -> and_all (List.filter keep (conjuncts h))
+    in
+    let order_by = List.filter (fun (e, _) -> keep e) s.A.order_by in
+    Some { s with A.items; from = from'; where; group_by; having; order_by }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Query-level moves.  Each yields a candidate list, best-first. *)
+
+let map_single f = function
+  | A.Single s -> List.map (fun s' -> A.Single s') (f s)
+  | A.Union _ -> []
+
+let union_arms = function
+  | A.Union (l, _, r) -> [ l; r ]
+  | A.Single _ -> []
+
+let drop_relation (s : A.select) =
+  List.filter_map
+    (fun alias ->
+       match remove_alias_from s.A.from alias with
+       | None -> None
+       | Some from' -> scrub_select alias s from')
+    (from_aliases s.A.from)
+
+let drop_where_conjunct (s : A.select) =
+  match s.A.where with
+  | None -> []
+  | Some w ->
+    let cs = conjuncts w in
+    List.mapi
+      (fun i _ ->
+         { s with A.where = and_all (List.filteri (fun j _ -> j <> i) cs) })
+      cs
+
+(* Structural simplification of one WHERE conjunct: unwrap NOT, pick an OR
+   arm, shrink a subquery's own WHERE. *)
+let simplify_conjunct (s : A.select) =
+  match s.A.where with
+  | None -> []
+  | Some w ->
+    let cs = conjuncts w in
+    let subst i e' =
+      { s with
+        A.where = and_all (List.mapi (fun j c -> if j = i then e' else c) cs) }
+    in
+    List.concat
+      (List.mapi
+         (fun i c ->
+            let sub_shrunk mk inner =
+              match inner.A.where with
+              | None -> []
+              | Some iw ->
+                let ics = conjuncts iw in
+                List.mapi
+                  (fun j _ ->
+                     subst i
+                       (mk
+                          { inner with
+                            A.where =
+                              and_all (List.filteri (fun k _ -> k <> j) ics) }))
+                  ics
+            in
+            match c with
+            | A.Not e -> [ subst i e ]
+            | A.Or (a, b) -> [ subst i a; subst i b ]
+            | A.Exists (flag, inner) ->
+              sub_shrunk (fun inner' -> A.Exists (flag, inner')) inner
+            | A.In_query (e, inner) ->
+              sub_shrunk (fun inner' -> A.In_query (e, inner')) inner
+            | A.Cmp_query (op, e, inner) ->
+              sub_shrunk (fun inner' -> A.Cmp_query (op, e, inner')) inner
+            | _ -> [])
+         cs)
+
+let drop_select_item (s : A.select) =
+  if List.length s.A.items < 2 then []
+  else
+    List.mapi
+      (fun i _ ->
+         { s with A.items = List.filteri (fun j _ -> j <> i) s.A.items })
+      s.A.items
+
+let drop_group_key (s : A.select) =
+  if List.length s.A.group_by < 1 then []
+  else
+    List.mapi
+      (fun i k ->
+         { s with
+           A.group_by = List.filteri (fun j _ -> j <> i) s.A.group_by;
+           items =
+             List.filter
+               (function A.Item (e, _) when e = k -> false | _ -> true)
+               s.A.items })
+      s.A.group_by
+
+let drop_clauses (s : A.select) =
+  (if s.A.having <> None then [ { s with A.having = None } ] else [])
+  @ (if s.A.order_by <> [] then [ { s with A.order_by = [] } ] else [])
+  @ if s.A.distinct then [ { s with A.distinct = false } ] else []
+
+(* Derived table → its base table, keeping the outer alias. *)
+let derived_to_base (s : A.select) =
+  let rec subst_joined j =
+    match j with
+    | A.Plain (A.Subquery (inner, a)) -> (
+      match inner.A.from with
+      | [ A.Plain (A.Table (n, _)) ] -> [ A.Plain (A.Table (n, Some a)) ]
+      | _ -> [])
+    | A.Plain (A.Table _) -> []
+    | A.Left_outer_join (l, it, on) ->
+      (match it with
+       | A.Subquery (inner, a) -> (
+         match inner.A.from with
+         | [ A.Plain (A.Table (n, _)) ] ->
+           [ A.Left_outer_join (l, A.Table (n, Some a), on) ]
+         | _ -> [])
+       | A.Table _ -> [])
+      @ List.map (fun l' -> A.Left_outer_join (l', it, on)) (subst_joined l)
+  in
+  List.concat
+    (List.mapi
+       (fun i j ->
+          List.map
+            (fun j' ->
+               { s with
+                 A.from = List.mapi (fun k x -> if k = i then j' else x) s.A.from })
+            (subst_joined j))
+       s.A.from)
+
+(* ------------------------------------------------------------------ *)
+(* Database moves *)
+
+let rec query_mentions_table (q : A.query) n =
+  match q with
+  | A.Single s -> select_mentions_table s n
+  | A.Union (l, _, r) -> query_mentions_table l n || query_mentions_table r n
+
+and select_mentions_table (s : A.select) n =
+  List.exists
+    (fun j ->
+       List.exists
+         (fun it ->
+            match it with
+            | A.Table (tn, _) -> tn = n
+            | A.Subquery (inner, _) -> select_mentions_table inner n)
+         (let rec items = function
+            | A.Plain it -> [ it ]
+            | A.Left_outer_join (l, it, _) -> items l @ [ it ]
+          in
+          items j))
+    s.A.from
+  || select_mentions_sub s n
+
+and select_mentions_sub (s : A.select) n =
+  let rec in_expr = function
+    | A.In_query (_, inner) | A.Cmp_query (_, _, inner) | A.Exists (_, inner)
+      -> select_mentions_table inner n
+    | A.Binop (_, a, b) | A.Cmp (_, a, b) | A.And (a, b) | A.Or (a, b) ->
+      in_expr a || in_expr b
+    | A.Not a | A.Is_null (a, _) -> in_expr a
+    | A.Agg (_, Some a) -> in_expr a
+    | _ -> false
+  in
+  List.exists
+    (function A.Star -> false | A.Item (e, _) -> in_expr e)
+    s.A.items
+  || (match s.A.where with Some e -> in_expr e | None -> false)
+  || (match s.A.having with Some e -> in_expr e | None -> false)
+
+let rec query_has_star = function
+  | A.Single s ->
+    List.exists (function A.Star -> true | A.Item _ -> false) s.A.items
+    || List.exists
+         (fun j ->
+            let rec items = function
+              | A.Plain it -> [ it ]
+              | A.Left_outer_join (l, it, _) -> items l @ [ it ]
+            in
+            List.exists
+              (function
+                | A.Subquery (inner, _) -> query_has_star (A.Single inner)
+                | A.Table _ -> false)
+              (items j))
+         s.A.from
+    || (let rec in_expr = function
+          | A.In_query (_, inner) | A.Cmp_query (_, _, inner)
+          | A.Exists (_, inner) -> query_has_star (A.Single inner)
+          | A.Binop (_, a, b) | A.Cmp (_, a, b) | A.And (a, b) | A.Or (a, b)
+            -> in_expr a || in_expr b
+          | A.Not a | A.Is_null (a, _) -> in_expr a
+          | A.Agg (_, Some a) -> in_expr a
+          | _ -> false
+        in
+        (match s.A.where with Some e -> in_expr e | None -> false)
+        || (match s.A.having with Some e -> in_expr e | None -> false))
+  | A.Union (l, _, r) -> query_has_star l || query_has_star r
+
+let rec query_column_names = function
+  | A.Single s ->
+    let rec of_expr = function
+      | A.Column (_, n) -> [ n ]
+      | A.Binop (_, a, b) | A.Cmp (_, a, b) | A.And (a, b) | A.Or (a, b) ->
+        of_expr a @ of_expr b
+      | A.Not a | A.Is_null (a, _) -> of_expr a
+      | A.Agg (_, Some a) -> of_expr a
+      | A.In_query (e, inner) | A.Cmp_query (_, e, inner) ->
+        of_expr e @ query_column_names (A.Single inner)
+      | A.Exists (_, inner) -> query_column_names (A.Single inner)
+      | _ -> []
+    in
+    List.concat_map
+      (function A.Star -> [] | A.Item (e, _) -> of_expr e)
+      s.A.items
+    @ (match s.A.where with Some e -> of_expr e | None -> [])
+    @ List.concat_map of_expr s.A.group_by
+    @ (match s.A.having with Some e -> of_expr e | None -> [])
+    @ List.concat_map (fun (e, _) -> of_expr e) s.A.order_by
+    @ List.concat_map
+        (fun j ->
+           let rec go = function
+             | A.Plain it -> item_cols it
+             | A.Left_outer_join (l, it, on) -> go l @ item_cols it @ of_expr on
+           and item_cols = function
+             | A.Subquery (inner, _) -> query_column_names (A.Single inner)
+             | A.Table _ -> []
+           in
+           go j)
+        s.A.from
+  | A.Union (l, _, r) -> query_column_names l @ query_column_names r
+
+let table_moves (spec : Dbspec.t) (q : A.query) : Dbspec.t list =
+  let replace_tb tb' =
+    { Dbspec.tables =
+        List.map
+          (fun t -> if t.Dbspec.tname = tb'.Dbspec.tname then tb' else t)
+          spec.Dbspec.tables }
+  in
+  (* drop unreferenced tables *)
+  (match
+     List.filter
+       (fun t -> not (query_mentions_table q t.Dbspec.tname))
+       spec.Dbspec.tables
+   with
+   | [] -> []
+   | unref ->
+     [ { Dbspec.tables =
+           List.filter
+             (fun t ->
+                not
+                  (List.exists
+                     (fun u -> u.Dbspec.tname = t.Dbspec.tname)
+                     unref))
+             spec.Dbspec.tables } ])
+  (* halve rows (keep the prefix) *)
+  @ List.filter_map
+      (fun tb ->
+         let n = Array.length tb.Dbspec.rows in
+         if n > 8 then
+           Some (replace_tb { tb with Dbspec.rows = Array.sub tb.Dbspec.rows 0 (n / 2) })
+         else None)
+      spec.Dbspec.tables
+  (* one row at a time when small *)
+  @ List.concat_map
+      (fun tb ->
+         let n = Array.length tb.Dbspec.rows in
+         if n >= 1 && n <= 8 then
+           List.init n (fun i ->
+               replace_tb
+                 { tb with
+                   Dbspec.rows =
+                     Array.of_list
+                       (List.filteri (fun j _ -> j <> i)
+                          (Array.to_list tb.Dbspec.rows)) })
+         else [])
+      spec.Dbspec.tables
+  (* drop unreferenced columns (never under a Star) *)
+  @ (if query_has_star q then []
+     else
+       let used = query_column_names q in
+       List.filter_map
+         (fun tb ->
+            let dead =
+              List.filteri
+                (fun _ (n, _) -> not (List.mem n used))
+                tb.Dbspec.cols
+            in
+            if dead = [] || List.length dead = List.length tb.Dbspec.cols
+            then None
+            else begin
+              let keep = List.map (fun (n, _) -> not (List.mem_assoc n dead)) tb.Dbspec.cols in
+              let filter_row r =
+                Array.of_list
+                  (List.filteri (fun i _ -> List.nth keep i)
+                     (Array.to_list r))
+              in
+              Some
+                (replace_tb
+                   { tb with
+                     Dbspec.cols =
+                       List.filteri (fun i _ -> List.nth keep i) tb.Dbspec.cols;
+                     rows = Array.map filter_row tb.Dbspec.rows;
+                     indexes =
+                       List.filter
+                         (fun ix ->
+                            List.for_all
+                              (fun c -> List.mem c used)
+                              ix.Dbspec.icols)
+                         tb.Dbspec.indexes })
+            end)
+         spec.Dbspec.tables)
+  (* drop all indexes of a table *)
+  @ List.filter_map
+      (fun tb ->
+         if tb.Dbspec.indexes <> [] then
+           Some (replace_tb { tb with Dbspec.indexes = [] })
+         else None)
+      spec.Dbspec.tables
+
+(* ------------------------------------------------------------------ *)
+(* The greedy loop *)
+
+let shrink ?grid ?(budget = 400) spec ast : case =
+  let tries = ref 0 in
+  let still_fails (s, a) =
+    !tries < budget
+    && begin
+      incr tries;
+      Oracle.binds s a && Oracle.check ?grid s a <> None
+    end
+  in
+  let query_moves (q : A.query) : A.query list =
+    union_arms q
+    @ map_single drop_relation q
+    @ map_single drop_where_conjunct q
+    @ map_single simplify_conjunct q
+    @ map_single drop_select_item q
+    @ map_single drop_group_key q
+    @ map_single drop_clauses q
+    @ map_single derived_to_base q
+  in
+  let candidates (s, q) =
+    List.map (fun q' -> (s, q')) (query_moves q)
+    @ List.map (fun s' -> (s', q)) (table_moves s q)
+  in
+  let rec loop case =
+    if !tries >= budget then case
+    else
+      match List.find_opt still_fails (candidates case) with
+      | Some case' -> loop case'
+      | None -> case
+  in
+  loop (spec, ast)

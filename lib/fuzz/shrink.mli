@@ -1,0 +1,18 @@
+(** Greedy automatic minimization of failing cases.
+
+    Starting from a (database spec, query AST) pair on which
+    {!Oracle.check} reports a failure, repeatedly tries
+    simplification moves — collapse UNION to one arm, drop a FROM
+    relation together with everything that mentions its alias, drop
+    WHERE/HAVING conjuncts, unwrap NOT/OR, shrink subqueries, drop select
+    items / group keys / ORDER BY / DISTINCT, turn derived tables back
+    into base tables, halve table data, drop unreferenced tables and
+    columns, drop indexes — accepting a move when the shrunk case still
+    binds and still fails some oracle.  Greedy to a fixpoint or until the
+    oracle-call budget runs out. *)
+
+(** [shrink ?grid ?budget spec ast] returns the minimized case.  [budget]
+    bounds the number of oracle evaluations (default 400). *)
+val shrink :
+  ?grid:Oracle.cfg list -> ?budget:int -> Dbspec.t -> Sql.Ast.query ->
+  Dbspec.t * Sql.Ast.query

@@ -176,6 +176,51 @@ let subst_agg map (g : Expr.agg) : Expr.agg =
   | Expr.Max e -> Expr.Max (subst_expr map e)
   | Expr.Avg e -> Expr.Avg (subst_expr map e)
 
+(* Deep, capture-aware substitution: free column references are replaced
+   throughout the block, including inside nested subquery-predicate blocks
+   and derived sources; a nested block that rebinds one of the mapped
+   aliases shadows it, so only genuinely free occurrences change. *)
+let rec subst_block (map : (Expr.col_ref * Expr.t) list) (b : block) : block =
+  let bound = bound_aliases b in
+  let map =
+    List.filter
+      (fun ((c : Expr.col_ref), _) -> not (List.mem c.Expr.rel bound))
+      map
+  in
+  if map = [] then b
+  else begin
+    let se = subst_expr map in
+    let sub_source = function
+      | Base _ as s -> s
+      | Derived { block; alias } -> Derived { block = subst_block map block; alias }
+    in
+    let sp = function
+      | P e -> P (se e)
+      | In_sub (e, blk) -> In_sub (se e, subst_block map blk)
+      | Exists_sub (pos, blk) -> Exists_sub (pos, subst_block map blk)
+      | Cmp_sub (op, e, blk) -> Cmp_sub (op, se e, subst_block map blk)
+    in
+    { b with
+      from = List.map sub_source b.from;
+      select = List.map (fun (e, a) -> (se e, a)) b.select;
+      where = List.map sp b.where;
+      group_by = List.map (fun (e, a) -> (se e, a)) b.group_by;
+      aggs = List.map (fun (g, a) -> (subst_agg map g, a)) b.aggs;
+      having = List.map sp b.having;
+      semijoins =
+        List.map
+          (fun sj ->
+             { sj with
+               s_source = sub_source sj.s_source; s_pred = se sj.s_pred })
+          b.semijoins;
+      outerjoins =
+        List.map
+          (fun oj ->
+             { o_source = sub_source oj.o_source; o_pred = se oj.o_pred })
+          b.outerjoins;
+      order_by = List.map (fun (e, d) -> (se e, d)) b.order_by }
+  end
+
 (* Fresh alias generation for rewrite-introduced views. *)
 let fresh_counter = ref 0
 

@@ -68,6 +68,13 @@ val select_star : source list -> (Expr.t * string) list
 val subst_expr : (Expr.col_ref * Expr.t) list -> Expr.t -> Expr.t
 val subst_agg : (Expr.col_ref * Expr.t) list -> Expr.agg -> Expr.agg
 
+(** Deep substitution of free column references across a whole block,
+    including nested subquery-predicate blocks and derived sources.
+    Capture-aware: entries whose alias a (sub-)block rebinds are shadowed
+    there.  (Entries rebound by [b] itself are dropped outright — use the
+    per-clause substitutions when replacing a block's own source.) *)
+val subst_block : (Expr.col_ref * Expr.t) list -> block -> block
+
 (** Fresh alias generation for rewrite-introduced views. *)
 val fresh_alias : string -> string
 

@@ -215,7 +215,9 @@ let unnest_scalar_correlated ~(use_outerjoin : bool) (b : Qgm.block) :
                 in
                 (d.view, Expr.Count marker)
             in
-            (* group by all outer source columns *)
+            (* group by all outer source columns — existing outerjoin
+               sources included: their columns are part of the block's
+               pre-group rows and may be referenced by SELECT/ORDER BY *)
             let keys =
               List.concat_map
                 (fun src ->
@@ -225,7 +227,9 @@ let unnest_scalar_correlated ~(use_outerjoin : bool) (b : Qgm.block) :
                         ( Expr.col ~rel:a ~col:c.Schema.name,
                           Printf.sprintf "%s__%s" a c.Schema.name ))
                      (Qgm.source_schema src))
-                b.Qgm.from
+                (b.Qgm.from
+                 @ List.map (fun (oj : Qgm.outerjoin) -> oj.Qgm.o_source)
+                     b.Qgm.outerjoins)
             in
             let key_map =
               List.map

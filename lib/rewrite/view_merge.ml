@@ -11,11 +11,14 @@ let subst_map alias (view : Qgm.block) : (Expr.col_ref * Expr.t) list =
     (fun (e, out_name) -> ({ Expr.rel = alias; col = out_name }, e))
     view.Qgm.select
 
+(* Nested subquery blocks may reference the merged alias too (correlated
+   subqueries over the view's columns), so substitute into them deeply. *)
 let subst_pred map = function
   | Qgm.P e -> Qgm.P (Qgm.subst_expr map e)
-  | Qgm.In_sub (e, b) -> Qgm.In_sub (Qgm.subst_expr map e, b)
-  | Qgm.Exists_sub (pos, b) -> Qgm.Exists_sub (pos, b)
-  | Qgm.Cmp_sub (op, e, b) -> Qgm.Cmp_sub (op, Qgm.subst_expr map e, b)
+  | Qgm.In_sub (e, b) -> Qgm.In_sub (Qgm.subst_expr map e, Qgm.subst_block map b)
+  | Qgm.Exists_sub (pos, b) -> Qgm.Exists_sub (pos, Qgm.subst_block map b)
+  | Qgm.Cmp_sub (op, e, b) ->
+    Qgm.Cmp_sub (op, Qgm.subst_expr map e, Qgm.subst_block map b)
 
 (* Merge the first mergeable derived FROM source. *)
 let apply (b : Qgm.block) : Qgm.block option =

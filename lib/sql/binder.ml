@@ -181,11 +181,26 @@ and bind_select env (outer : scope list) (s : Ast.select) : Q.block =
          { Q.o_source = src; o_pred = bind_expr env scopes pred })
       !outerjoin_specs
   in
-  (* 2. WHERE *)
+  (* 2. WHERE.  Outer-joined relations are NOT in scope here: the whole
+     pipeline (QGM evaluation, lowering, the verifier) applies WHERE
+     before outerjoins attach, so a reference to one would either crash
+     or silently change meaning.  Such columns are visible after the
+     join — in SELECT, GROUP BY, HAVING and ORDER BY. *)
+  let where_scopes = (List.map scope_of !sources : scope) :: outer in
   let where =
     match s.Ast.where with
     | None -> []
-    | Some e -> bind_predicates env scopes e
+    | Some e -> (
+      try bind_predicates env where_scopes e
+      with Error _ as exn ->
+        (* resolves once outerjoin aliases are added? then say so *)
+        (match bind_predicates env scopes e with
+         | _ ->
+           err
+             "WHERE references a column of a LEFT OUTER JOIN relation; it \
+              is only visible after the join (in SELECT, GROUP BY, HAVING \
+              or ORDER BY)"
+         | exception Error _ -> raise exn))
   in
   (* 3. aggregation *)
   let is_agg_query =

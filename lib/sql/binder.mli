@@ -7,7 +7,9 @@ exception Error of string
 
 (** Bind one SELECT against a catalog; [views] supplies CREATE VIEW
     definitions by name.  @raise Error on unknown/ambiguous names, NOT IN,
-    or non-grouped columns in grouped queries. *)
+    non-grouped columns in grouped queries, or WHERE references to
+    outer-joined relations (WHERE is applied before outerjoins attach;
+    those columns are visible in SELECT / GROUP BY / HAVING / ORDER BY). *)
 val bind :
   ?views:(string * Ast.select) list -> Storage.Catalog.t -> Ast.select ->
   Rewrite.Qgm.block

@@ -3,7 +3,20 @@
 
 let rng seed = Random.State.make [| seed; 0x5eed |]
 
+(* Mix a parent seed with a stream index into an independent child seed
+   (splitmix-style finalizer over the native int width).  Every generated
+   artifact — each table, each query — draws from [rng (derive seed i)], so
+   one CLI-supplied integer reproduces the whole workload and no component
+   ever falls back to wall-clock seeding. *)
+let derive seed i =
+  let h = ref ((seed * 0x9E3779B9) + (i * 0x85EBCA6B) + 0x7F4A7C15) in
+  h := (!h lxor (!h lsr 30)) * 0xBF58476D;
+  h := (!h lxor (!h lsr 27)) * 0x94D049BB;
+  (!h lxor (!h lsr 31)) land max_int
+
 let uniform_int st ~lo ~hi = lo + Random.State.int st (hi - lo + 1)
+
+let chance st p = Random.State.float st 1.0 < p
 
 (* Zipfian over ranks 1..n with exponent [skew] (0 = uniform), via inverse
    CDF on precomputed cumulative weights. *)

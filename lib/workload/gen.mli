@@ -3,8 +3,17 @@
 
 val rng : int -> Random.State.t
 
+(** Derive an independent child seed from a parent [seed] and a stream
+    index — the fuzzer gives every table and every query its own stream so
+    the whole workload replays from one explicit integer (never seeded from
+    wall-clock). *)
+val derive : int -> int -> int
+
 (** Uniform integer in [lo, hi]. *)
 val uniform_int : Random.State.t -> lo:int -> hi:int -> int
+
+(** True with probability [p]. *)
+val chance : Random.State.t -> float -> bool
 
 type zipf
 

@@ -401,6 +401,91 @@ let test_pipeline_engines_agree () =
          (sql ^ ": counters") (pp_counters ci) (pp_counters cb))
     sqls
 
+(* ------------------------------------------------------------------ *)
+(* Three-valued logic at the engine seams.  The batch engine compiles
+   specialized predicate/key paths (single-int hash keys, generic keys,
+   vectorized filters); each must reproduce the interpreter's NULL
+   semantics exactly: NULL join keys match nothing, comparisons against
+   NULL are UNKNOWN even under NOT, and NULL group keys form one group. *)
+
+let test_three_valued_logic () =
+  (* key 0 on both sides: a NULL-as-0 encoding bug would invent matches *)
+  let rs =
+    [ (Value.Int 0, Value.Int 1); (Value.Null, Value.Int 2);
+      (Value.Null, Value.Int 3); (Value.Int 2, Value.Int 4);
+      (Value.Int 2, Value.Null) ]
+  and ss =
+    [ (Value.Int 0, Value.Int 10); (Value.Null, Value.Int 20);
+      (Value.Int 2, Value.Int 30); (Value.Null, Value.Int 40) ]
+  in
+  let cat = mk_catalog rs ss in
+  List.iter
+    (fun (kn, kind) ->
+       (* single-int fast path *)
+       differ ("tvl null keys hash " ^ kn) cat
+         (Exec.Plan.Hash_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue;
+              left = scan "R"; right = scan "S" });
+       differ ("tvl null keys merge " ^ kn) cat
+         (Exec.Plan.Merge_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue;
+              left = sort_on "R" "a" (scan "R");
+              right = sort_on "S" "a" (scan "S") });
+       (* two-column keys force the generic hash path *)
+       differ ("tvl null generic keys " ^ kn) cat
+         (Exec.Plan.Hash_join
+            { kind;
+              pairs =
+                [ pair; ({ Expr.rel = "R"; col = "b" }, { Expr.rel = "S"; col = "c" }) ];
+              residual = Expr.ftrue; left = scan "R"; right = scan "S" });
+       differ ("tvl null keys NL " ^ kn) cat
+         (Exec.Plan.Nested_loop
+            { kind; pred = join_pred; outer = scan "R"; inner = scan "S" }))
+    kinds;
+  (* WHERE NOT (x = NULL): Eq yields UNKNOWN, NOT UNKNOWN stays UNKNOWN,
+     so the filter must reject every row — including rows where x is
+     itself NULL *)
+  let x = Expr.col ~rel:"R" ~col:"a" in
+  let not_eq_null =
+    Expr.Not (Expr.Cmp (Expr.Eq, x, Expr.Const Value.Null))
+  in
+  differ "tvl NOT (x = NULL)" cat (Exec.Plan.Filter (not_eq_null, scan "R"));
+  differ "tvl x = NULL" cat
+    (Exec.Plan.Filter (Expr.Cmp (Expr.Eq, x, Expr.Const Value.Null), scan "R"));
+  differ "tvl x <> NULL" cat
+    (Exec.Plan.Filter (Expr.Cmp (Expr.Neq, x, Expr.Const Value.Null), scan "R"));
+  let batch_rows plan =
+    (Exec.Batch.run ~ctx:(Exec.Context.create ()) cat plan).Exec.Executor.rows
+  in
+  Alcotest.(check int) "NOT (x = NULL) rejects all rows" 0
+    (Array.length (batch_rows (Exec.Plan.Filter (not_eq_null, scan "R"))));
+  (* IS NULL is the only NULL test that selects *)
+  differ "tvl x IS NULL" cat
+    (Exec.Plan.Filter (Expr.Is_null x, scan "R"));
+  Alcotest.(check int) "x IS NULL selects the two NULL-key rows" 2
+    (Array.length (batch_rows (Exec.Plan.Filter (Expr.Is_null x, scan "R"))));
+  (* NULL group keys: both NULL-key rows land in one group; COUNT(x)
+     skips NULLs while COUNT star does not; SUM over all-NULL input is
+     NULL not 0 *)
+  let agg input =
+    { Exec.Plan.keys = [ (x, "k") ];
+      aggs =
+        [ (Expr.Count_star, "n"); (Expr.Count x, "ca");
+          (Expr.Count (Expr.col ~rel:"R" ~col:"b"), "cb");
+          (Expr.Sum (Expr.col ~rel:"R" ~col:"b"), "sb");
+          (Expr.Avg (Expr.col ~rel:"R" ~col:"b"), "av");
+          (Expr.Min x, "mn") ];
+      input }
+  in
+  differ "tvl null group keys hash" cat (Exec.Plan.Hash_agg (agg (scan "R")));
+  differ "tvl null group keys stream" cat
+    (Exec.Plan.Stream_agg (agg (sort_on "R" "a" (scan "R"))));
+  Alcotest.(check int) "NULL keys collapse to one group (3 total)" 3
+    (Array.length (batch_rows (Exec.Plan.Hash_agg (agg (scan "R")))));
+  (* distinct treats NULL = NULL for grouping purposes *)
+  differ "tvl distinct over nullable key" cat
+    (Exec.Plan.Hash_distinct (Exec.Plan.Project ([ (x, "a") ], scan "R")))
+
 let () =
   Alcotest.run "batch"
     [ ("operators",
@@ -411,7 +496,9 @@ let () =
          Alcotest.test_case "generic hash keys" `Quick
            test_hash_join_generic_keys;
          Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
-         Alcotest.test_case "aggregates + distinct" `Quick test_aggregates ]);
+         Alcotest.test_case "aggregates + distinct" `Quick test_aggregates;
+         Alcotest.test_case "three-valued logic" `Quick
+           test_three_valued_logic ]);
       ("cost accounting",
        [ Alcotest.test_case "rescan faults identically" `Quick
            test_rescan_faults_identically;
