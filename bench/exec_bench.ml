@@ -7,10 +7,12 @@
    Results go to BENCH_exec.json (rows/sec and wall-clock per operator
    class, plus an optimized end-to-end query through the pipeline).
 
-   Usage: exec_bench [--smoke] [--out FILE]
-     --smoke   tiny inputs, single repetition — a CI liveness check, no
-               timing claims
-     --out     output path (default BENCH_exec.json) *)
+   Usage: exec_bench [--smoke] [--out FILE] [--trace-json FILE]
+     --smoke       tiny inputs, single repetition — a CI liveness check, no
+                   timing claims
+     --out         output path (default BENCH_exec.json)
+     --trace-json  also run the end-to-end query once with instrumentation
+                   on and write its optimizer trace as line-delimited JSON *)
 
 open Relalg
 
@@ -63,10 +65,6 @@ let sort_on rel c input =
 (* ------------------------------------------------------------------ *)
 (* Harness *)
 
-let counters (ctx : Exec.Context.t) =
-  ( ctx.Exec.Context.seq_io, ctx.Exec.Context.rand_io,
-    ctx.Exec.Context.spill_io, ctx.Exec.Context.cpu_ops )
-
 (* best-of-[reps] wall clock; returns (seconds, result, counters) *)
 let time_runs reps f =
   let best = ref infinity and last = ref None in
@@ -105,11 +103,9 @@ let verify name (oracle : Exec.Executor.result) co
     exit 1
   end;
   if co <> cb then begin
-    let s, r, sp, c = co and s', r', sp', c' = cb in
-    Printf.eprintf
-      "FAIL %s: counters diverge (interp seq=%d rand=%d spill=%d cpu=%d, \
-       batch seq=%d rand=%d spill=%d cpu=%d)\n"
-      name s r sp c s' r' sp' c';
+    Printf.eprintf "FAIL %s: counters diverge (interp %s, batch %s)\n" name
+      (Fmt.str "%a" Exec.Context.pp_snapshot co)
+      (Fmt.str "%a" Exec.Context.pp_snapshot cb);
     exit 1
   end
 
@@ -122,7 +118,7 @@ let bench_plan ~reps ~input_rows name cat plan : row =
       | `Interpreted -> Exec.Executor.run ~ctx cat plan
       | `Batch -> Exec.Batch.run ~ctx cat plan
     in
-    (r, counters ctx)
+    (r, Exec.Context.snapshot ctx)
   in
   let interp_s, (ro, co) = time_runs reps (run_with `Interpreted) in
   let batch_s, (rb, cb) = time_runs reps (run_with `Batch) in
@@ -209,13 +205,38 @@ let end_to_end (sc : scale) : row =
     let ctx = Exec.Context.create () in
     let config = { Core.Pipeline.default_config with engine } in
     let r, _ = Core.Pipeline.run_query ~ctx ~config cat db q in
-    (r, counters ctx)
+    (r, Exec.Context.snapshot ctx)
   in
   let interp_s, (ro, co) = time_runs sc.reps (run_with `Interpreted) in
   let batch_s, (rb, cb) = time_runs sc.reps (run_with `Batch) in
   verify "end_to_end" ro co rb cb;
   { name = "end_to_end"; input_rows = emps + depts;
     out_rows = Array.length rb.Exec.Executor.rows; interp_s; batch_s }
+
+(* One instrumented pass over the end-to-end query; its optimizer trace
+   goes to [file] as line-delimited JSON (a CI artifact). *)
+let write_trace sc file =
+  let emps = max 200 sc.n and depts = max 10 (sc.n / 100) in
+  let w = Workload.Schemas.emp_dept ~emps ~depts () in
+  let cat = w.Workload.Schemas.cat and db = w.Workload.Schemas.db in
+  let sql =
+    "SELECT Dept.name, COUNT(*), SUM(Emp.sal) FROM Emp, Dept \
+     WHERE Emp.did = Dept.did AND Emp.age > 30 GROUP BY Dept.name"
+  in
+  let q = Sql.Binder.query_of_string cat sql in
+  let config = { Core.Pipeline.default_config with instrument = true } in
+  let _, reports = Core.Pipeline.run_query ~config cat db q in
+  let oc = open_out file in
+  List.iter
+    (fun r ->
+       List.iter
+         (fun e ->
+            output_string oc (Obs.Trace.to_json e);
+            output_char oc '\n')
+         r.Core.Pipeline.trace_events)
+    reports;
+  close_out oc;
+  Printf.printf "wrote %s (optimizer trace, line-delimited JSON)\n" file
 
 (* ------------------------------------------------------------------ *)
 (* Output *)
@@ -244,10 +265,12 @@ let json_of_rows ~smoke (rows : row list) =
 
 let () =
   let smoke_flag = ref false and out = ref "BENCH_exec.json" in
+  let trace_out = ref None in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest -> smoke_flag := true; parse rest
     | "--out" :: f :: rest -> out := f; parse rest
+    | "--trace-json" :: f :: rest -> trace_out := Some f; parse rest
     | a :: _ -> Printf.eprintf "unknown argument: %s\n" a; exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -264,4 +287,5 @@ let () =
   output_string oc (json_of_rows ~smoke:!smoke_flag rows);
   close_out oc;
   Printf.printf "wrote %s (all workloads verified: identical rows and \
-                 counters)\n" !out
+                 counters)\n" !out;
+  match !trace_out with Some f -> write_trace sc f | None -> ()

@@ -83,16 +83,43 @@ let print_opt_stats reports wall_s =
     c.Systemr.Join_order.costed c.Systemr.Join_order.pruned
     (wall_s *. 1000.)
 
-let run_cmd db_name opt engine lint limit tree opt_stats sql =
+(* Write every block's optimizer trace as line-delimited JSON. *)
+let write_trace_json file reports =
+  let oc = open_out file in
+  List.iter
+    (fun r ->
+       List.iter
+         (fun e ->
+            output_string oc (Obs.Trace.to_json e);
+            output_char oc '\n')
+         r.Core.Pipeline.trace_events)
+    reports;
+  close_out oc
+
+let run_cmd db_name opt engine lint limit tree opt_stats analyze trace_json
+    metrics sql =
   with_query db_name sql (fun cat db block ->
       let config =
         apply_tree tree
           { (optimizer_config opt) with
-            Core.Pipeline.lint; engine = engine_of_string engine }
+            Core.Pipeline.lint;
+            engine = engine_of_string engine;
+            instrument = analyze || trace_json <> None }
       in
       let ctx = Exec.Context.create () in
       let t0 = Unix.gettimeofday () in
-      let result, reports = Core.Pipeline.run_query ~ctx ~config cat db block in
+      let result, reports, analysis =
+        if analyze then
+          let result, reports, text =
+            Core.Pipeline.analyze_query ~ctx ~config cat db block
+          in
+          (result, reports, Some text)
+        else
+          let result, reports =
+            Core.Pipeline.run_query ~ctx ~config cat db block
+          in
+          (result, reports, None)
+      in
       let wall = Unix.gettimeofday () -. t0 in
       let n = Array.length result.Exec.Executor.rows in
       Fmt.pr "%a@." Schema.pp result.Exec.Executor.schema;
@@ -108,7 +135,14 @@ let run_cmd db_name opt engine lint limit tree opt_stats sql =
                  | Core.Pipeline.Planned -> "planned"
                  | Core.Pipeline.Interpreted -> "interpreted")
               reports));
+      (match analysis with
+       | Some text -> Fmt.pr "-- analyze:@.%s" text
+       | None -> ());
+      (match trace_json with
+       | Some file -> write_trace_json file reports
+       | None -> ());
       if opt_stats then print_opt_stats reports wall;
+      if metrics then print_endline (Obs.Metrics.render ());
       if lint then print_diags reports)
 
 let explain_cmd db_name opt lint tree sql =
@@ -181,6 +215,27 @@ let opt_stats_arg =
            ~doc:"Print enumeration counters (DP subsets, splits considered, \
                  plans costed, plans pruned) and end-to-end wall time.")
 
+let analyze_arg =
+  Arg.(value & flag
+       & info [ "analyze" ]
+           ~doc:"EXPLAIN ANALYZE: execute with per-operator instrumentation \
+                 and print estimated vs. actual rows, q-error, rescans, \
+                 counter deltas and wall time for every operator.")
+
+let trace_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-json" ] ~docv:"FILE"
+           ~doc:"Write the structured optimizer trace (rewrites fired and \
+                 rejected, per-level enumeration counters, prunes, \
+                 interesting-order retentions, memo statistics) to FILE as \
+                 line-delimited JSON.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the process-wide metrics registry (queries run, \
+                 blocks planned, max q-error, ...) after the query.")
+
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
 
@@ -188,7 +243,8 @@ let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a SQL query")
     Term.(
       const run_cmd $ db_arg $ opt_arg $ engine_arg $ lint_arg $ limit_arg
-      $ tree_arg $ opt_stats_arg $ sql_arg)
+      $ tree_arg $ opt_stats_arg $ analyze_arg $ trace_json_arg $ metrics_arg
+      $ sql_arg)
 
 let explain_t =
   Cmd.v (Cmd.info "explain" ~doc:"Show rewrites and the chosen physical plan")

@@ -38,6 +38,7 @@ type t = {
   mutable next_id : int;
   mutable expr_count : int;
   mutable rule_firings : int;
+  mutable intern_hits : int; (* duplicate lexprs caught by the intern table *)
 }
 
 let create () =
@@ -45,7 +46,8 @@ let create () =
     interned = Hashtbl.create 256;
     next_id = 0;
     expr_count = 0;
-    rule_firings = 0 }
+    rule_firings = 0;
+    intern_hits = 0 }
 
 let find_or_create (m : t) ~mask ~stats : group =
   match Hashtbl.find_opt m.groups mask with
@@ -71,7 +73,10 @@ let intern (m : t) (e : lexpr) : int =
 let add_expr (m : t) (g : group) (e : lexpr) : bool =
   (* an lexpr belongs to exactly one group (its mask), so global
      membership implies membership in [g] *)
-  if Hashtbl.mem m.interned e then false
+  if Hashtbl.mem m.interned e then begin
+    m.intern_hits <- m.intern_hits + 1;
+    false
+  end
   else begin
     ignore (intern m e);
     g.exprs <- e :: g.exprs;
@@ -82,5 +87,5 @@ let add_expr (m : t) (g : group) (e : lexpr) : bool =
 let group_count (m : t) = Hashtbl.length m.groups
 
 let stats_line (m : t) =
-  Printf.sprintf "groups=%d exprs=%d rule-firings=%d" (group_count m)
-    m.expr_count m.rule_firings
+  Printf.sprintf "groups=%d exprs=%d rule-firings=%d intern-hits=%d"
+    (group_count m) m.expr_count m.rule_firings m.intern_hits

@@ -33,6 +33,8 @@ type t = {
   mutable next_id : int;
   mutable expr_count : int;
   mutable rule_firings : int;
+  mutable intern_hits : int;
+      (** duplicate lexprs caught by the intern table *)
 }
 
 val create : unit -> t

@@ -20,6 +20,9 @@ type config = {
   join_config : Systemr.Join_order.config;
   lint : bool; (* run the static verifier at every stage *)
   engine : [ `Interpreted | `Batch ]; (* plan execution engine *)
+  instrument : bool;
+      (* per-operator runtime stats + optimizer trace (EXPLAIN ANALYZE);
+         off = zero-cost *)
 }
 
 let default_rewrites : Rewrite.Rules.t list list =
@@ -33,14 +36,15 @@ let default_config =
   { rewrites = default_rewrites;
     join_config = Systemr.Join_order.default_config;
     lint = false;
-    engine = `Batch }
+    engine = `Batch;
+    instrument = false }
 
 (* Both engines produce bit-identical rows and Context accounting; the
    interpreter remains the differential-testing oracle. *)
-let exec_plan config ~ctx cat plan =
+let exec_plan config ~ctx ?obs cat plan =
   match config.engine with
-  | `Interpreted -> Exec.Executor.run ~ctx cat plan
-  | `Batch -> Exec.Batch.run ~ctx cat plan
+  | `Interpreted -> Exec.Executor.run ~ctx ?obs cat plan
+  | `Batch -> Exec.Batch.run ~ctx ?obs cat plan
 
 (* No rewriting at all: the naive baseline. *)
 let naive_config = { default_config with rewrites = [] }
@@ -56,6 +60,11 @@ type report = {
   enum : Systemr.Join_order.counters;
       (* enumeration effort, summed over this block and its views *)
   diags : Verify.Diag.t list; (* lint findings; [] when lint is off *)
+  op_stats : Exec.Instrument.op list;
+      (* per-operator actuals (est/act rows, rescans, counter deltas);
+         [] unless [config.instrument] and the block was planned *)
+  trace_events : Obs.Trace.event list;
+      (* optimizer trace in emission order; [] unless [config.instrument] *)
 }
 
 (* Can this block (and everything it contains) be planned, i.e. no subquery
@@ -84,26 +93,47 @@ let tmp_counter = ref 0
 
 (* Materialize a derived source into a temporary table registered in the
    catalog and statistics registry; returns the replacement Base source, the
-   temp name, and the estimated cost spent. *)
-let rec materialize_source ~on_plan ctx config cat db (s : Rewrite.Qgm.source) :
+   temp name, and the estimated cost spent.  With [exec_views:false] (plain
+   EXPLAIN) the view is planned but never executed: the temporary stays
+   empty and its statistics are fabricated from the sub-plan's estimated
+   cardinality, so the outer block still costs against realistic row
+   counts.  [on_view] sees each view's (alias, plan) for display. *)
+let rec materialize_source ~on_plan ~trace ~exec_views ~on_view ctx config cat
+    db (s : Rewrite.Qgm.source) :
   Rewrite.Qgm.source * string list * float * Systemr.Join_order.counters =
   match s with
   | Rewrite.Qgm.Base _ -> (s, [], 0., Systemr.Join_order.counters_zero)
   | Rewrite.Qgm.Derived { block; alias } ->
-    let plan, cost, enum, temps = plan_block ~on_plan ctx config cat db block in
-    let result = exec_plan config ~ctx cat plan in
+    let plan, cost, enum, temps =
+      plan_block ~on_plan ?trace ~exec_views ~on_view ctx config cat db block
+    in
     incr tmp_counter;
     let tmp_name = Printf.sprintf "__mat%d_%s" !tmp_counter alias in
+    let schema = Exec.Plan.schema cat plan in
     let columns =
-      List.map
-        (fun (c : Schema.column) -> (c.Schema.name, c.Schema.ty))
-        result.Exec.Executor.schema
+      List.map (fun (c : Schema.column) -> (c.Schema.name, c.Schema.ty)) schema
     in
     let table = Storage.Catalog.create_table cat ~name:tmp_name ~columns in
-    Array.iter (Storage.Table.insert table) result.Exec.Executor.rows;
-    (* writing the temporary costs its pages *)
-    Exec.Context.charge_spill ctx (Storage.Table.page_count table);
-    Hashtbl.replace db tmp_name (Stats.Table_stats.analyze table);
+    if exec_views then begin
+      let result = exec_plan config ~ctx cat plan in
+      Array.iter (Storage.Table.insert table) result.Exec.Executor.rows;
+      (* writing the temporary costs its pages *)
+      Exec.Context.charge_spill ctx (Storage.Table.page_count table);
+      Hashtbl.replace db tmp_name (Stats.Table_stats.analyze table)
+    end
+    else begin
+      let est =
+        Obs.Est.annotate ~asm:config.join_config.Systemr.Join_order.asm cat db
+          plan
+      in
+      let rows = Option.value (Obs.Est.card est plan) ~default:0. in
+      let pages =
+        Storage.Page.pages_for ~rows:(int_of_float (Float.ceil rows)) schema
+      in
+      Hashtbl.replace db tmp_name
+        { Stats.Table_stats.table = tmp_name; rows; pages; cols = [] };
+      on_view alias plan
+    end;
     ( Rewrite.Qgm.Base
         { table = tmp_name; alias;
           schema = Schema.requalify table.Storage.Table.schema ~rel:alias },
@@ -138,14 +168,18 @@ and attach_join cat kind (plan : Exec.Plan.t) (plan_aliases : string list)
    costed, temp tables created).  [on_plan] sees every finished plan —
    including the sub-plans of materialized views, while their temporary
    tables are still in the catalog — which is where the linter hooks in. *)
-and plan_block ?(on_plan = fun (_ : Exec.Plan.t) -> ()) ctx config cat db
-    (b : Rewrite.Qgm.block) :
+and plan_block ?(on_plan = fun (_ : Exec.Plan.t) -> ()) ?trace
+    ?(exec_views = true) ?(on_view = fun _ (_ : Exec.Plan.t) -> ()) ctx config
+    cat db (b : Rewrite.Qgm.block) :
   Exec.Plan.t * float * Systemr.Join_order.counters * string list =
   (* 1. materialize derived sources *)
   let mat sources =
     List.fold_left
       (fun (acc, temps, cost, enum) s ->
-         let s', t, c, e = materialize_source ~on_plan ctx config cat db s in
+         let s', t, c, e =
+           materialize_source ~on_plan ~trace ~exec_views ~on_view ctx config
+             cat db s
+         in
          (acc @ [ s' ], temps @ t, cost +. c,
           Systemr.Join_order.counters_add enum e))
       ([], [], 0., Systemr.Join_order.counters_zero) sources
@@ -188,7 +222,7 @@ and plan_block ?(on_plan = fun (_ : Exec.Plan.t) -> ()) ctx config cat db
     Systemr.Spj.make ~relations ~predicates ~order_by:spj_order ()
   in
   let res =
-    Systemr.Join_order.optimize ~config:config.join_config cat db q
+    Systemr.Join_order.optimize ?trace ~config:config.join_config cat db q
   in
   let plan = ref res.Systemr.Join_order.best.Systemr.Candidate.plan in
   let cost = ref res.Systemr.Join_order.best.Systemr.Candidate.cost in
@@ -236,68 +270,166 @@ and plan_block ?(on_plan = fun (_ : Exec.Plan.t) -> ()) ctx config cat db
 (* ------------------------------------------------------------------ *)
 (* Entry point *)
 
-(* Lint plumbing shared by [run] and [explain]: a diagnostics accumulator,
-   the rewrite-oracle callback for [Rewrite.Rules.run], and the plan
-   callback for [plan_block]. *)
-let lint_hooks (config : config) cat =
+(* Hook plumbing shared by [run], [explain] and [analyze]: a diagnostics
+   accumulator plus (when instrumenting) a trace-event accumulator, the
+   rewrite-oracle / rewrite-trace callback for [Rewrite.Rules.run], and the
+   plan callback for [plan_block].  [events] accumulates reversed. *)
+type hooks = {
+  diags : Verify.Diag.t list ref;
+  events : Obs.Trace.event list ref;
+  check :
+    (rule:string -> before:Rewrite.Qgm.block -> after:Rewrite.Qgm.block ->
+     unit)
+      option;
+  on_reject : (rule:string -> unit) option;
+  trace : (Obs.Trace.event -> unit) option;
+  on_plan : Exec.Plan.t -> unit;
+}
+
+let make_hooks (config : config) cat : hooks =
   let diags = ref [] in
-  let check =
+  let events = ref [] in
+  let lint_check =
     if config.lint then
       Some
         (fun ~rule ~before ~after ->
            diags := !diags @ Verify.check_rewrite ~rule ~before ~after)
     else None
   in
+  let trace_check =
+    if config.instrument then
+      Some
+        (fun ~rule ~before ~after ->
+           let dg b = Obs.Trace.digest (Fmt.str "%a" Rewrite.Qgm.pp_block b) in
+           events :=
+             Obs.Trace.Rewrite_fired
+               { rule; before = dg before; after = dg after }
+             :: !events)
+    else None
+  in
+  let check =
+    match (lint_check, trace_check) with
+    | None, None -> None
+    | lc, tc ->
+      Some
+        (fun ~rule ~before ~after ->
+           (match lc with Some f -> f ~rule ~before ~after | None -> ());
+           match tc with Some f -> f ~rule ~before ~after | None -> ())
+  in
+  let on_reject =
+    if config.instrument then
+      Some
+        (fun ~rule -> events := Obs.Trace.Rewrite_rejected { rule } :: !events)
+    else None
+  in
+  let trace =
+    if config.instrument then Some (fun e -> events := e :: !events) else None
+  in
   let on_plan p = if config.lint then diags := !diags @ Verify.physical cat p in
-  (diags, check, on_plan)
+  { diags; events; check; on_reject; trace; on_plan }
 
-let run ?(ctx = Exec.Context.create ()) ?(config = default_config)
-    (cat : Storage.Catalog.t) (db : Stats.Table_stats.db)
-    (block : Rewrite.Qgm.block) : Exec.Executor.result * report =
-  let diags, check, on_plan = lint_hooks config cat in
-  let rewritten, trace = Rewrite.Rules.run ?check config.rewrites block in
+(* One block end-to-end, also returning the instrumentation recorder (when
+   [config.instrument]) so [analyze] can render the annotated plan. *)
+let run_block ~ctx ~config (cat : Storage.Catalog.t)
+    (db : Stats.Table_stats.db) (block : Rewrite.Qgm.block) :
+  Exec.Executor.result * report * Exec.Instrument.t option =
+  let h = make_hooks config cat in
+  let rewritten, trace =
+    Rewrite.Rules.run ?check:h.check ?on_reject:h.on_reject config.rewrites
+      block
+  in
   if plannable rewritten then begin
     let plan, est_cost, enum, temps =
-      plan_block ~on_plan ctx config cat db rewritten
+      plan_block ~on_plan:h.on_plan ?trace:h.trace ctx config cat db rewritten
     in
-    let result = exec_plan config ~ctx cat plan in
+    let recorder =
+      if config.instrument then begin
+        let r = Exec.Instrument.create plan in
+        (* estimates must be derived while view temporaries are still in
+           the catalog and statistics registry *)
+        Obs.Est.attach
+          (Obs.Est.annotate ~asm:config.join_config.Systemr.Join_order.asm cat
+             db plan)
+          r;
+        Some r
+      end
+      else None
+    in
+    let result = exec_plan config ~ctx ?obs:recorder cat plan in
     List.iter
       (fun t ->
          Storage.Catalog.remove_table cat t;
          Hashtbl.remove db t)
       temps;
+    Obs.Metrics.incr Obs.Metrics.blocks_planned;
+    (match recorder with
+     | Some r -> (
+       match Obs.Analyze.max_q_error r with
+       | Some (q, _) when Float.is_finite q ->
+         Obs.Metrics.observe_max Obs.Metrics.qerror_max q
+       | _ -> ())
+     | None -> ());
     ( result,
       { rewritten; trace; path = Planned; plan = Some plan; est_cost;
-        enum; diags = !diags } )
+        enum; diags = !(h.diags);
+        op_stats =
+          (match recorder with Some r -> Exec.Instrument.ops r | None -> []);
+        trace_events = List.rev !(h.events) },
+      recorder )
   end
   else begin
     (* interpreted fallback: no physical plan to lint, but the block's
        scoping can still be checked statically *)
-    if config.lint then diags := !diags @ Verify.block rewritten;
+    if config.lint then h.diags := !(h.diags) @ Verify.block rewritten;
     let result = Rewrite.Qgm_eval.run ~ctx cat rewritten in
     ( result,
       { rewritten; trace; path = Interpreted; plan = None; est_cost = 0.;
-        enum = Systemr.Join_order.counters_zero; diags = !diags } )
+        enum = Systemr.Join_order.counters_zero; diags = !(h.diags);
+        op_stats = []; trace_events = List.rev !(h.events) },
+      None )
   end
+
+let run ?(ctx = Exec.Context.create ()) ?(config = default_config)
+    (cat : Storage.Catalog.t) (db : Stats.Table_stats.db)
+    (block : Rewrite.Qgm.block) : Exec.Executor.result * report =
+  Obs.Metrics.incr Obs.Metrics.queries_run;
+  let result, report, _ = run_block ~ctx ~config cat db block in
+  (result, report)
 
 let explain ?(config = default_config) cat db block : string =
   let ctx = Exec.Context.create () in
-  let diags, check, on_plan = lint_hooks config cat in
-  let rewritten, trace = Rewrite.Rules.run ?check config.rewrites block in
+  let h = make_hooks config cat in
+  let rewritten, trace =
+    Rewrite.Rules.run ?check:h.check ?on_reject:h.on_reject config.rewrites
+      block
+  in
   let body =
     if plannable rewritten then begin
+      (* plan views without executing them: their temporaries stay empty
+         and carry estimate-derived statistics *)
+      let views = ref [] in
       let plan, est_cost, _, temps =
-        plan_block ~on_plan ctx config cat db rewritten
+        plan_block ~on_plan:h.on_plan ?trace:h.trace ~exec_views:false
+          ~on_view:(fun alias p -> views := (alias, p) :: !views)
+          ctx config cat db rewritten
       in
       List.iter
         (fun t ->
            Storage.Catalog.remove_table cat t;
            Hashtbl.remove db t)
         temps;
-      Fmt.str "@[<v>%a@,estimated cost: %.1f@]" Exec.Plan.pp plan est_cost
+      let views_s =
+        List.rev_map
+          (fun (alias, p) ->
+             Fmt.str "@[<v>view %s:@,%a@,@]" alias Exec.Plan.pp p)
+          !views
+        |> String.concat ""
+      in
+      Fmt.str "@[<v>%s%a@,estimated cost: %.1f@]" views_s Exec.Plan.pp plan
+        est_cost
     end
     else begin
-      if config.lint then diags := !diags @ Verify.block rewritten;
+      if config.lint then h.diags := !(h.diags) @ Verify.block rewritten;
       Fmt.str
         "@[<v>(correlated query: tuple-iteration interpreter)@,%a@]"
         Rewrite.Qgm.pp_block rewritten
@@ -312,7 +444,7 @@ let explain ?(config = default_config) cat db block : string =
   in
   let lint_s =
     if config.lint then
-      Fmt.str "@,lint: %a" Verify.Diag.pp_list !diags
+      Fmt.str "@,lint: %a" Verify.Diag.pp_list !(h.diags)
     else ""
   in
   Fmt.str "@[<v>rewrites: %s@,%s%s@]" trace_s body lint_s
@@ -321,15 +453,15 @@ let explain ?(config = default_config) cat db block : string =
 (* Full queries: UNION [ALL] above the block layer.  Each arm runs through
    the normal block pipeline; UNION deduplicates the combined rows. *)
 
-let rec run_query ?(ctx = Exec.Context.create ()) ?(config = default_config)
-    cat db (q : Rewrite.Qgm.query) : Exec.Executor.result * report list =
+let rec run_query_blocks ~ctx ~config cat db (q : Rewrite.Qgm.query) :
+  Exec.Executor.result * (report * Exec.Instrument.t option) list =
   match q with
   | Rewrite.Qgm.Q_block b ->
-    let result, report = run ~ctx ~config cat db b in
-    (result, [ report ])
+    let result, report, recorder = run_block ~ctx ~config cat db b in
+    (result, [ (report, recorder) ])
   | Rewrite.Qgm.Q_union { all; left; right } ->
-    let l, lr = run_query ~ctx ~config cat db left in
-    let r, rr = run_query ~ctx ~config cat db right in
+    let l, lr = run_query_blocks ~ctx ~config cat db left in
+    let r, rr = run_query_blocks ~ctx ~config cat db right in
     if
       Relalg.Schema.arity l.Exec.Executor.schema
       <> Relalg.Schema.arity r.Exec.Executor.schema
@@ -353,6 +485,49 @@ let rec run_query ?(ctx = Exec.Context.create ()) ?(config = default_config)
       end
     in
     ({ Exec.Executor.schema = l.Exec.Executor.schema; rows }, lr @ rr)
+
+let run_query ?(ctx = Exec.Context.create ()) ?(config = default_config) cat
+    db (q : Rewrite.Qgm.query) : Exec.Executor.result * report list =
+  Obs.Metrics.incr Obs.Metrics.queries_run;
+  let result, pairs = run_query_blocks ~ctx ~config cat db q in
+  (result, List.map fst pairs)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE: execute with instrumentation on, render the plan
+   annotated with per-operator estimated vs. actual rows, q-error,
+   rescans, counter deltas and (optionally) wall-clock. *)
+
+let render_analysis ?show_wall (recorder : Exec.Instrument.t option) : string =
+  match recorder with
+  | Some r -> Obs.Analyze.render ?show_wall r
+  | None ->
+    "(correlated query: tuple-iteration interpreter — no per-operator \
+     statistics)\n"
+
+let analyze ?(ctx = Exec.Context.create ()) ?(config = default_config)
+    ?show_wall cat db (block : Rewrite.Qgm.block) :
+  Exec.Executor.result * report * string =
+  let config = { config with instrument = true } in
+  Obs.Metrics.incr Obs.Metrics.queries_run;
+  let result, report, recorder = run_block ~ctx ~config cat db block in
+  (result, report, render_analysis ?show_wall recorder)
+
+let analyze_query ?(ctx = Exec.Context.create ())
+    ?(config = default_config) ?show_wall cat db (q : Rewrite.Qgm.query) :
+  Exec.Executor.result * report list * string =
+  let config = { config with instrument = true } in
+  Obs.Metrics.incr Obs.Metrics.queries_run;
+  let result, pairs = run_query_blocks ~ctx ~config cat db q in
+  let many = List.length pairs > 1 in
+  let text =
+    String.concat ""
+      (List.mapi
+         (fun i (_, recorder) ->
+            (if many then Printf.sprintf "-- union arm %d\n" (i + 1) else "")
+            ^ render_analysis ?show_wall recorder)
+         pairs)
+  in
+  (result, List.map fst pairs, text)
 
 let rec explain_query ?(config = default_config) cat db
     (q : Rewrite.Qgm.query) : string =

@@ -17,6 +17,10 @@ type config = {
   engine : [ `Interpreted | `Batch ];
   (** which engine executes physical plans (default [`Batch]); both
       produce bit-identical rows and cost accounting *)
+  instrument : bool;
+  (** record per-operator runtime statistics and a structured optimizer
+      trace (EXPLAIN ANALYZE); off (the default) costs nothing on the
+      execution path *)
 }
 
 (** view merging; unnesting; view merging again; constant propagation;
@@ -40,6 +44,14 @@ type report = {
   (** enumeration effort (subsets, splits, costed, pruned), summed over
       this block and its materialized views *)
   diags : Verify.Diag.t list;  (** lint findings; [[]] when lint is off *)
+  op_stats : Exec.Instrument.op list;
+  (** per-operator actuals in pre-order (estimated vs. actual rows,
+      rescans, counter deltas, wall-clock); [[]] unless
+      [config.instrument] and the block was planned *)
+  trace_events : Obs.Trace.event list;
+  (** optimizer trace (rewrites fired/rejected, per-level enumeration
+      counters, prunes, interesting-order retentions, memo statistics) in
+      emission order; [[]] unless [config.instrument] *)
 }
 
 (** Can this block (including nested ones) be planned — no residual
@@ -50,9 +62,16 @@ val plannable : Rewrite.Qgm.block -> bool
     temporary tables; returns (plan, estimated cost, enumeration
     counters, temp tables created).  [on_plan] is called with every
     finished plan — including view sub-plans, while their temporaries are
-    still cataloged — which is where the linter hooks in. *)
+    still cataloged — which is where the linter hooks in.  [trace] is the
+    optimizer-trace sink threaded into the join enumerator.  With
+    [exec_views:false] derived sources are planned but not executed: their
+    temporaries stay empty, carry estimate-derived statistics, and
+    [on_view] sees each view's (alias, plan). *)
 val plan_block :
   ?on_plan:(Exec.Plan.t -> unit) ->
+  ?trace:(Obs.Trace.event -> unit) ->
+  ?exec_views:bool ->
+  ?on_view:(string -> Exec.Plan.t -> unit) ->
   Exec.Context.t -> config -> Storage.Catalog.t -> Stats.Table_stats.db ->
   Rewrite.Qgm.block ->
   Exec.Plan.t * float * Systemr.Join_order.counters * string list
@@ -63,9 +82,11 @@ val run :
   Stats.Table_stats.db -> Rewrite.Qgm.block ->
   Exec.Executor.result * report
 
-(** Human-readable rewrite trace + physical plan + estimated cost.  (Note:
-    derived sources are materialized to be planned, so EXPLAIN executes
-    subplans, like EXPLAIN ANALYZE for views.) *)
+(** Human-readable rewrite trace + physical plan(s) + estimated cost.
+    Derived sources are planned but never executed: view temporaries stay
+    empty and carry statistics fabricated from the sub-plan's estimated
+    cardinality, so outer-block costs remain realistic.  Use [analyze] to
+    execute. *)
 val explain :
   ?config:config -> Storage.Catalog.t -> Stats.Table_stats.db ->
   Rewrite.Qgm.block -> string
@@ -80,3 +101,20 @@ val run_query :
 val explain_query :
   ?config:config -> Storage.Catalog.t -> Stats.Table_stats.db ->
   Rewrite.Qgm.query -> string
+
+(** EXPLAIN ANALYZE: run the block with instrumentation forced on and
+    return (result, report, rendered analysis).  The text shows, per
+    operator, estimated vs. actual rows, the q-error
+    [max(est/act, act/est)], rescans, execution-counter deltas and — unless
+    [show_wall:false] (deterministic output for tests) — wall-clock time,
+    plus a per-query worst-q-error summary line. *)
+val analyze :
+  ?ctx:Exec.Context.t -> ?config:config -> ?show_wall:bool ->
+  Storage.Catalog.t -> Stats.Table_stats.db -> Rewrite.Qgm.block ->
+  Exec.Executor.result * report * string
+
+(** [analyze] over a full query; UNION arms are rendered in sequence. *)
+val analyze_query :
+  ?ctx:Exec.Context.t -> ?config:config -> ?show_wall:bool ->
+  Storage.Catalog.t -> Stats.Table_stats.db -> Rewrite.Qgm.query ->
+  Exec.Executor.result * report list * string

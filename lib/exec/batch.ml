@@ -122,10 +122,26 @@ let rec pred2 (l : Schema.t) (r : Schema.t) (e : Expr.t) :
     fun x y -> pa x y || pb x y
   | _ -> Expr.holds2 l r e
 
-let run ?(ctx = Context.create ()) (cat : Storage.Catalog.t) (plan : Plan.t) :
-  Executor.result =
+let run ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
+    (plan : Plan.t) : Executor.result =
   let memo : (Plan.t * node) list ref = ref [] in
+  (* Instrumentation is a single match per operator execution when off.
+     The measured copy of the node wraps [replay] so each replay invocation
+     counts as a rescan — mirroring the interpreter, where a rescan is a
+     re-execution of the node through [measure].  The memo keeps the
+     unwrapped node, so a memo hit re-wraps exactly once. *)
   let rec exec (p : Plan.t) : node =
+    match obs with
+    | None -> exec_op p
+    | Some r ->
+      let n =
+        Instrument.measure r ctx p
+          ~rows:(fun (n : node) -> Array.length n.rows)
+          (fun () -> exec_op p)
+      in
+      { n with replay = Instrument.measured_replay r ctx p n.replay }
+
+  and exec_op (p : Plan.t) : node =
     match p with
     | Plan.Seq_scan { table; alias; filter } -> seq_scan table alias filter
     | Plan.Index_scan { table; alias; column; lo; hi; filter } ->

@@ -11,8 +11,12 @@
     identically to {!Executor.run}.  The interpreter remains the
     differential-testing oracle. *)
 
+(** When [obs] is given, node executions and replay invocations are
+    recorded against the {!Instrument} recorder; per-operator [act_rows]
+    and [rescans] match {!Executor.run} on the same plan. *)
 val run :
-  ?ctx:Context.t -> Storage.Catalog.t -> Plan.t -> Executor.result
+  ?ctx:Context.t -> ?obs:Instrument.t -> Storage.Catalog.t -> Plan.t ->
+  Executor.result
 
 (** Test-only fault injection: treat NULL single-column integer join keys
     as [Int 0] (simulating loss of the NULL-key guard on the

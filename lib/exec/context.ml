@@ -27,6 +27,31 @@ let read_page ctx ~random pid =
 
 let charge_cpu ctx n = ctx.cpu_ops <- ctx.cpu_ops + n
 
+(* Pure snapshot of the four counters; [diff later earlier] is the work
+   charged between the two snapshots.  Call sites that compare or
+   attribute counter activity go through these instead of ad-hoc field
+   reads. *)
+type snapshot = { seq : int; rand : int; spill : int; cpu : int }
+
+let snapshot_zero = { seq = 0; rand = 0; spill = 0; cpu = 0 }
+
+let snapshot ctx =
+  { seq = ctx.seq_io; rand = ctx.rand_io; spill = ctx.spill_io;
+    cpu = ctx.cpu_ops }
+
+let diff (later : snapshot) (earlier : snapshot) =
+  { seq = later.seq - earlier.seq;
+    rand = later.rand - earlier.rand;
+    spill = later.spill - earlier.spill;
+    cpu = later.cpu - earlier.cpu }
+
+let snapshot_add a b =
+  { seq = a.seq + b.seq; rand = a.rand + b.rand; spill = a.spill + b.spill;
+    cpu = a.cpu + b.cpu }
+
+let pp_snapshot ppf s =
+  Fmt.pf ppf "seq=%d rand=%d spill=%d cpu=%d" s.seq s.rand s.spill s.cpu
+
 let charge_spill ctx pages = ctx.spill_io <- ctx.spill_io + pages
 
 let total_io ctx = ctx.seq_io + ctx.rand_io + ctx.spill_io

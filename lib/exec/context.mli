@@ -18,6 +18,18 @@ val read_page : t -> random:bool -> Storage.Buffer.page_id -> unit
 val charge_cpu : t -> int -> unit
 val charge_spill : t -> int -> unit
 
+(** Pure record of the four counters at one instant. *)
+type snapshot = { seq : int; rand : int; spill : int; cpu : int }
+
+val snapshot_zero : snapshot
+val snapshot : t -> snapshot
+
+(** [diff later earlier] — the work charged between two snapshots. *)
+val diff : snapshot -> snapshot -> snapshot
+
+val snapshot_add : snapshot -> snapshot -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
 (** Total physical pages moved (seq + random + spill). *)
 val total_io : t -> int
 

@@ -32,13 +32,20 @@ let keys_nullfree ks = List.for_all (fun v -> not (Value.is_null v)) ks
    the batch engine). *)
 module Key_tbl = Keys.List_tbl
 
-let run ?(ctx = Context.create ()) (cat : Storage.Catalog.t) (plan : Plan.t) :
-  result =
+let run ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
+    (plan : Plan.t) : result =
   (* Materialize memo, keyed by *physical* node identity: an association
      by [==] never hashes or compares plan subtrees, and plans hold at most
      a handful of Materialize nodes. *)
   let memo : (Plan.t * Tuple.t array) list ref = ref [] in
+  (* Instrumentation is a single match per operator execution when off. *)
   let rec exec (p : Plan.t) : Tuple.t array =
+    match obs with
+    | None -> exec_op p
+    | Some r ->
+      Instrument.measure r ctx p ~rows:Array.length (fun () -> exec_op p)
+
+  and exec_op (p : Plan.t) : Tuple.t array =
     match p with
     | Plan.Seq_scan { table; alias = _; filter } ->
       let t = Storage.Catalog.table cat table in

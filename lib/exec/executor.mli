@@ -15,8 +15,12 @@ val sort_spill_pages : work_mem:int -> pages:int -> int
 
 (** Execute a plan against a catalog.  A fresh context is used unless one
     is supplied (sharing a context shares its buffer pool across runs).
+    When [obs] is given, every node execution is recorded against the
+    {!Instrument} recorder (which must have been created on this plan);
+    without it instrumentation costs one [match] per operator execution.
     @raise Invalid_argument when a referenced table or index is missing. *)
-val run : ?ctx:Context.t -> Storage.Catalog.t -> Plan.t -> result
+val run :
+  ?ctx:Context.t -> ?obs:Instrument.t -> Storage.Catalog.t -> Plan.t -> result
 
 (** Multiset equality of results — the equivalence notion of the
     rewrite-correctness tests. *)

@@ -1,0 +1,138 @@
+(* Per-operator runtime instrumentation, shared by both engines.
+
+   A recorder assigns every node of a physical plan a stable operator id
+   (its pre-order index) before execution.  The engines then report each
+   node execution through [measure] / [measured_replay], and the recorder
+   accumulates per-operator actuals:
+
+   - [act_rows]: rows produced by the first (cold) execution only, so the
+     number is comparable between the tuple-at-a-time interpreter (which
+     re-executes nested-loop inners) and the batch engine (which executes
+     once and replays).
+   - [rescans]: re-executions (interpreter) or replay invocations (batch)
+     after the cold run.  Both engines drive rescans from the same outer
+     cardinalities, so these match too.
+   - [self]: counter activity attributed exclusively to this operator — a
+     frame stack subtracts whatever nested child executions charged.
+   - [wall_s]: exclusive wall-clock seconds, same attribution rule.
+
+   The recorder is engine-agnostic: it never inspects operator semantics,
+   only the dynamic nesting of executions. *)
+
+type op = {
+  id : int;
+  node : Plan.t;
+  mutable est_rows : float option; (* filled in post-hoc by Obs.Est *)
+  mutable act_rows : int;
+  mutable rescans : int;
+  mutable wall_s : float;
+  mutable self : Context.snapshot;
+  mutable executed : bool;
+}
+
+type frame = {
+  op : op;
+  start_snap : Context.snapshot;
+  start_time : float;
+  (* Work charged by nested child executions, to subtract out. *)
+  mutable child_snap : Context.snapshot;
+  mutable child_time : float;
+}
+
+type t = {
+  ops : op array;
+  index : (Plan.t * op) list; (* physical-identity lookup *)
+  mutable stack : frame list;
+}
+
+let create (plan : Plan.t) : t =
+  let nodes = Plan.preorder plan in
+  let ops =
+    Array.of_list
+      (List.mapi
+         (fun id node ->
+            { id; node; est_rows = None; act_rows = 0; rescans = 0;
+              wall_s = 0.; self = Context.snapshot_zero; executed = false })
+         nodes)
+  in
+  let index = Array.to_list (Array.map (fun o -> (o.node, o)) ops) in
+  { ops; index; stack = [] }
+
+(* Physical identity: the engines execute the exact nodes [create] walked,
+   and plans are small trees, so a linear [==] scan is both correct and
+   cheap.  (Structural hashing would conflate repeated sub-plans.) *)
+let lookup (r : t) (p : Plan.t) : op option =
+  let rec go = function
+    | [] -> None
+    | (q, o) :: rest -> if q == p then Some o else go rest
+  in
+  go r.index
+
+let ops (r : t) : op list = Array.to_list r.ops
+
+let push_frame (r : t) (o : op) (ctx : Context.t) : frame =
+  let f =
+    { op = o;
+      start_snap = Context.snapshot ctx;
+      start_time = Unix.gettimeofday ();
+      child_snap = Context.snapshot_zero;
+      child_time = 0. }
+  in
+  r.stack <- f :: r.stack;
+  f
+
+(* Pop [f], attribute its exclusive share (total minus what nested child
+   executions claimed), and roll the totals up into the enclosing frame's
+   child accumulators. *)
+let finish_frame (r : t) (f : frame) (ctx : Context.t) =
+  r.stack <- List.tl r.stack;
+  let total_time = Unix.gettimeofday () -. f.start_time in
+  let total_snap = Context.diff (Context.snapshot ctx) f.start_snap in
+  let o = f.op in
+  o.wall_s <- o.wall_s +. (total_time -. f.child_time);
+  o.self <- Context.snapshot_add o.self (Context.diff total_snap f.child_snap);
+  match r.stack with
+  | parent :: _ ->
+    parent.child_snap <- Context.snapshot_add parent.child_snap total_snap;
+    parent.child_time <- parent.child_time +. total_time
+  | [] -> ()
+
+(* [measure r ctx p ~rows f] runs one execution of node [p].  The first
+   execution records [rows result] as the cold row count; later ones count
+   as rescans.  Unknown nodes (e.g. sub-plans fabricated mid-run) fall
+   through unmeasured. *)
+let measure (r : t) (ctx : Context.t) (p : Plan.t) ~(rows : 'a -> int)
+    (f : unit -> 'a) : 'a =
+  match lookup r p with
+  | None -> f ()
+  | Some o ->
+    let frame = push_frame r o ctx in
+    (match f () with
+     | result ->
+       if o.executed then o.rescans <- o.rescans + 1
+       else begin
+         o.executed <- true;
+         o.act_rows <- rows result
+       end;
+       finish_frame r frame ctx;
+       result
+     | exception e ->
+       finish_frame r frame ctx;
+       raise e)
+
+(* Wrap a batch-engine replay closure so each invocation counts as a
+   rescan of [p] and its work is attributed like a nested execution. *)
+let measured_replay (r : t) (ctx : Context.t) (p : Plan.t)
+    (replay : unit -> unit) : unit -> unit =
+  match lookup r p with
+  | None -> replay
+  | Some o ->
+    fun () ->
+      let frame = push_frame r o ctx in
+      (match replay () with
+       | () ->
+         o.rescans <- o.rescans + 1;
+         finish_frame r frame ctx
+       | exception e ->
+         finish_frame r frame ctx;
+         raise e)

@@ -1,0 +1,43 @@
+(** Per-operator runtime instrumentation, shared by both engines.
+
+    A recorder assigns each node of a physical plan a stable operator id —
+    its pre-order index — before execution.  Because interpreter and batch
+    runs execute the same tree, ids (and the actuals keyed by them) are
+    directly comparable across engines. *)
+
+type op = {
+  id : int;  (** pre-order index in the plan tree *)
+  node : Plan.t;
+  mutable est_rows : float option;
+      (** optimizer cardinality estimate, attached post-hoc *)
+  mutable act_rows : int;  (** rows produced by the first (cold) execution *)
+  mutable rescans : int;
+      (** re-executions (interpreter) / replay invocations (batch) *)
+  mutable wall_s : float;  (** exclusive wall-clock seconds *)
+  mutable self : Context.snapshot;  (** exclusive counter deltas *)
+  mutable executed : bool;
+}
+
+type t
+
+(** Walk [plan] and assign operator ids. *)
+val create : Plan.t -> t
+
+(** All operators in id order. *)
+val ops : t -> op list
+
+(** Find the operator for a physical node ([==] identity). *)
+val lookup : t -> Plan.t -> op option
+
+(** [measure r ctx p ~rows f] runs one execution of node [p] under the
+    recorder: the first execution records [rows result] as the cold row
+    count, later executions count as rescans; counter and wall-clock
+    activity is attributed exclusively (child executions subtracted).
+    Nodes unknown to the recorder run unmeasured. *)
+val measure :
+  t -> Context.t -> Plan.t -> rows:('a -> int) -> (unit -> 'a) -> 'a
+
+(** Wrap a batch-engine replay closure so each invocation counts as a
+    rescan of [p], with the same attribution rules as [measure]. *)
+val measured_replay :
+  t -> Context.t -> Plan.t -> (unit -> unit) -> unit -> unit

@@ -197,6 +197,90 @@ let rec pp ppf (p : t) =
 
 let to_string p = Fmt.str "%a" pp p
 
+(* One-line operator description — the head of [pp] without children.
+   EXPLAIN ANALYZE renders the tree itself so it can annotate each line
+   with runtime metrics. *)
+let describe (p : t) : string =
+  let opt_filter ppf = function
+    | None -> ()
+    | Some f -> Fmt.pf ppf " [%a]" Expr.pp f
+  in
+  match p with
+  | Seq_scan { table; alias; filter } ->
+    Fmt.str "Table Scan %s%s%a" table
+      (if alias = table then "" else " AS " ^ alias)
+      opt_filter filter
+  | Index_scan { table; alias; column; lo; hi; filter } ->
+    let pp_bound side ppf = function
+      | Unbounded -> ()
+      | Incl v -> Fmt.pf ppf " %s%s %a" column side Value.pp v
+      | Excl v ->
+        Fmt.pf ppf " %s%s %a" column
+          (match side with ">=" -> ">" | "<=" -> "<" | s -> s)
+          Value.pp v
+    in
+    Fmt.str "Index Scan %s(%s)%s%a%a%a" table column
+      (if alias = table then "" else " AS " ^ alias)
+      (pp_bound ">=") lo (pp_bound "<=") hi opt_filter filter
+  | Filter (e, _) -> Fmt.str "Filter %a" Expr.pp e
+  | Project (items, _) ->
+    Fmt.str "Project %a"
+      Fmt.(list ~sep:(any ", ")
+             (fun ppf (e, a) ->
+                if Expr.to_string e = a then Expr.pp ppf e
+                else Fmt.pf ppf "%a AS %s" Expr.pp e a))
+      items
+  | Sort (keys, _) ->
+    Fmt.str "Sort [%a]" Fmt.(list ~sep:(any ", ") pp_sort_key) keys
+  | Materialize _ -> "Materialize"
+  | Nested_loop { kind; pred; _ } ->
+    Fmt.str "%sNested Loop (%a)" (kind_prefix kind) Expr.pp pred
+  | Index_nl { kind; table; alias; index; columns; outer_keys; residual; _ } ->
+    Fmt.str "%sIndex Nested Loop %s%s via %s (%a)%s" (kind_prefix kind) table
+      (if alias = table then "" else " AS " ^ alias)
+      index
+      Fmt.(list ~sep:(any " AND ")
+             (fun ppf (k, c) -> Fmt.pf ppf "%a = %s.%s" Expr.pp k alias c))
+      (List.combine outer_keys columns)
+      (match residual with
+       | Expr.Const (Value.Bool true) -> ""
+       | r -> Fmt.str " [%a]" Expr.pp r)
+  | Merge_join { kind; pairs; _ } ->
+    Fmt.str "%sMerge Join (%a)" (kind_prefix kind) pp_pairs pairs
+  | Hash_join { kind; pairs; _ } ->
+    Fmt.str "%sHash Join (%a)" (kind_prefix kind) pp_pairs pairs
+  | Hash_agg { keys; aggs; _ } ->
+    Fmt.str "Hash Aggregate [%a | %a]"
+      Fmt.(list ~sep:(any ", ") (fun ppf (e, _) -> Expr.pp ppf e)) keys
+      Fmt.(list ~sep:(any ", ")
+             (fun ppf (g, a) -> Fmt.pf ppf "%a AS %s" Expr.pp_agg g a))
+      aggs
+  | Stream_agg { keys; aggs; _ } ->
+    Fmt.str "Stream Aggregate [%a | %a]"
+      Fmt.(list ~sep:(any ", ") (fun ppf (e, _) -> Expr.pp ppf e)) keys
+      Fmt.(list ~sep:(any ", ")
+             (fun ppf (g, a) -> Fmt.pf ppf "%a AS %s" Expr.pp_agg g a))
+      aggs
+  | Hash_distinct _ -> "Hash Distinct"
+
+(* Direct children in execution-tree order (outer/left first). *)
+let children = function
+  | Seq_scan _ | Index_scan _ -> []
+  | Filter (_, i) | Project (_, i) | Sort (_, i) | Materialize i
+  | Hash_distinct i -> [ i ]
+  | Nested_loop { outer; inner; _ } -> [ outer; inner ]
+  | Index_nl { outer; _ } -> [ outer ]
+  | Merge_join { left; right; _ } | Hash_join { left; right; _ } ->
+    [ left; right ]
+  | Hash_agg { input; _ } | Stream_agg { input; _ } -> [ input ]
+
+(* Pre-order node list; the index of a node is its stable operator id.
+   Both engines execute the same physical tree, so ids line up across
+   interpreter and batch runs. *)
+let preorder (p : t) : t list =
+  let rec go acc p = List.fold_left go (p :: acc) (children p) in
+  List.rev (go [] p)
+
 let rec size = function
   | Seq_scan _ | Index_scan _ -> 1
   | Filter (_, i) | Project (_, i) | Sort (_, i) | Materialize i

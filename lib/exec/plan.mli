@@ -75,3 +75,15 @@ val size : t -> int
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** One-line operator description (no children) — the head of the [pp]
+    rendering, used by EXPLAIN ANALYZE to annotate each node. *)
+val describe : t -> string
+
+(** Direct children in execution-tree order (outer/left first). *)
+val children : t -> t list
+
+(** Pre-order node list.  The index of a node in this list is its stable
+    operator id: both engines execute the same physical tree, so ids are
+    comparable across interpreter and batch runs. *)
+val preorder : t -> t list

@@ -92,7 +92,7 @@ let roundtrip spec ast =
 
 type run = {
   res : Exec.Executor.result;
-  counters : int * int * int * int;
+  counters : Exec.Context.snapshot;
   diags : Verify.Diag.t list;
 }
 
@@ -102,8 +102,7 @@ let run_one spec ast c =
   let ctx = Exec.Context.create () in
   let res, reports = P.run_query ~ctx ~config:c.config cat db q in
   { res;
-    counters =
-      Exec.Context.(ctx.seq_io, ctx.rand_io, ctx.spill_io, ctx.cpu_ops);
+    counters = Exec.Context.snapshot ctx;
     diags = List.concat_map (fun r -> r.P.diags) reports }
 
 (* ------------------------------------------------------------------ *)
@@ -165,7 +164,7 @@ let is_sorted keys (res : Exec.Executor.result) =
 
 let first_some fs = List.find_map (fun f -> f ()) fs
 
-let check ?(grid = full_grid) spec ast =
+let check_case ?(grid = full_grid) spec ast =
   match roundtrip spec ast with
   | Some f -> Some f
   | None ->
@@ -230,9 +229,7 @@ let check ?(grid = full_grid) spec ast =
                (fun (c, r) ->
                   if r.counters = r0.counters then None
                   else
-                    let s (a, b, cc, d) =
-                      Printf.sprintf "seq=%d rand=%d spill=%d cpu=%d" a b cc d
-                    in
+                    let s = Fmt.str "%a" Exec.Context.pp_snapshot in
                     Some
                       { oracle = "counters"; cfg = c.cname;
                         detail =
@@ -270,6 +267,46 @@ let check ?(grid = full_grid) spec ast =
              | _ -> None)
           runs
     in
+    (* Estimate-sanity oracle (soft): one instrumented run.  The worst
+       per-operator q-error lands in the metrics registry (the pipeline
+       records it), but only an *infinite* q-error — an operator that
+       produced rows where the optimizer estimated exactly zero — is a
+       failure.  Finite misestimates are data, not bugs; never-executed
+       operators are skipped. *)
+    let qerror_check () =
+      let cat, db = Dbspec.build spec in
+      let q = Sql.Binder.bind_query cat ast in
+      let config = { P.default_config with instrument = true } in
+      match P.run_query ~config cat db q with
+      | exception _ -> None (* crashes belong to the exception oracle *)
+      | _, reports ->
+        List.concat_map (fun r -> r.P.op_stats) reports
+        |> List.find_map (fun (o : Exec.Instrument.op) ->
+            if
+              o.Exec.Instrument.executed
+              && o.Exec.Instrument.act_rows > 0
+              && (match o.Exec.Instrument.est_rows with
+                  | Some e -> e <= 0.
+                  | None -> false)
+            then
+              Some
+                { oracle = "qerror"; cfg = "batch-instr";
+                  detail =
+                    Printf.sprintf
+                      "op %d (%s): estimated 0 rows, produced %d"
+                      o.Exec.Instrument.id
+                      (Exec.Plan.describe o.Exec.Instrument.node)
+                      o.Exec.Instrument.act_rows }
+            else None)
+    in
     first_some
       [ exception_check; multiset_check; counters_check; lint_check;
-        sorted_check ]
+        sorted_check; qerror_check ]
+
+let check ?grid spec ast =
+  let failure = check_case ?grid spec ast in
+  Obs.Metrics.incr
+    (match failure with
+     | None -> Obs.Metrics.fuzz_oracle_pass
+     | Some _ -> Obs.Metrics.fuzz_oracle_fail);
+  failure

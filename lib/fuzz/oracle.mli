@@ -14,9 +14,14 @@
       bit-identical-accounting guarantee;
     - [lint]: any {!Verify} diagnostic from any stage of any config;
     - [sortedness]: ORDER BY output not actually ordered (checked when the
-      sort keys are projected and no DISTINCT/UNION re-hashes the rows).
+      sort keys are projected and no DISTINCT/UNION re-hashes the rows);
+    - [qerror]: a soft estimate-sanity pass — one instrumented run whose
+      worst per-operator q-error lands in the {!Obs.Metrics} registry;
+      only an infinite q-error (rows produced where the optimizer
+      estimated exactly zero) fails.
 
-    [None] means every config agreed on everything. *)
+    [None] means every config agreed on everything.  Each call bumps the
+    [fuzz_oracle_pass] / [fuzz_oracle_fail] metric. *)
 
 type cfg = {
   cname : string;

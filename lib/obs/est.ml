@@ -1,0 +1,130 @@
+(* Post-hoc cardinality annotation of physical plans.
+
+   The enumerator costs logical subsets, not physical nodes, so the
+   per-node estimates EXPLAIN ANALYZE compares against are re-derived
+   here: one bottom-up pass over the final plan through the same
+   [Stats.Derive] propagation the optimizer used.  The pass is pure —
+   it returns a lookup by physical node identity — and must run while
+   the catalog/stats still contain any temporary tables the plan scans
+   (materialized views are dropped after execution). *)
+
+open Relalg
+
+type t = (Exec.Plan.t * Stats.Derive.rel_stats) list
+
+let conj a b =
+  match (a, b) with
+  | Expr.Const (Value.Bool true), e | e, Expr.Const (Value.Bool true) -> e
+  | a, b -> Expr.And (a, b)
+
+let bound_pred alias column lo hi =
+  let c = Expr.col ~rel:alias ~col:column in
+  let one op v = Expr.Cmp (op, c, Expr.Const v) in
+  let lo_p =
+    match lo with
+    | Storage.Btree.Unbounded -> Expr.ftrue
+    | Storage.Btree.Incl v -> one Expr.Ge v
+    | Storage.Btree.Excl v -> one Expr.Gt v
+  in
+  let hi_p =
+    match hi with
+    | Storage.Btree.Unbounded -> Expr.ftrue
+    | Storage.Btree.Incl v -> one Expr.Le v
+    | Storage.Btree.Excl v -> one Expr.Lt v
+  in
+  conj lo_p hi_p
+
+let pairs_pred pairs residual =
+  List.fold_left
+    (fun acc ((a : Expr.col_ref), (b : Expr.col_ref)) ->
+       conj acc (Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b)))
+    residual pairs
+
+(* Base-table summary under an alias; tables unknown to the stats
+   registry (possible for fabricated temps) fall back to the physical
+   row count with no column statistics. *)
+let table_stats cat (db : Stats.Table_stats.db) table alias =
+  let t = Storage.Catalog.table cat table in
+  let schema = Schema.requalify t.Storage.Table.schema ~rel:alias in
+  let ts =
+    match Stats.Table_stats.find db table with
+    | Some ts -> ts
+    | None ->
+      { Stats.Table_stats.table;
+        rows = float_of_int (Storage.Table.row_count t);
+        pages = Storage.Table.page_count t;
+        cols = [] }
+  in
+  Stats.Derive.of_table ts ~alias ~schema
+
+let annotate ?asm (cat : Storage.Catalog.t) (db : Stats.Table_stats.db)
+    (plan : Exec.Plan.t) : t =
+  let module P = Exec.Plan in
+  let acc : t ref = ref [] in
+  let rec go (p : P.t) : Stats.Derive.rel_stats =
+    let s =
+      match p with
+      | P.Seq_scan { table; alias; filter } ->
+        let base = table_stats cat db table alias in
+        (match filter with
+         | None -> base
+         | Some f -> Stats.Derive.apply_select ?asm base f)
+      | P.Index_scan { table; alias; column; lo; hi; filter } ->
+        let base = table_stats cat db table alias in
+        let ranged =
+          match bound_pred alias column lo hi with
+          | Expr.Const (Value.Bool true) -> base
+          | pred -> Stats.Derive.apply_select ?asm base pred
+        in
+        (match filter with
+         | None -> ranged
+         | Some f -> Stats.Derive.apply_select ?asm ranged f)
+      | P.Filter (f, i) -> Stats.Derive.apply_select ?asm (go i) f
+      | P.Project (items, i) -> Stats.Derive.project (go i) items
+      | P.Sort (_, i) | P.Materialize i -> go i
+      | P.Hash_distinct i -> Stats.Derive.distinct (go i)
+      | P.Nested_loop { kind; pred; outer; inner } ->
+        let so = go outer in
+        let si = go inner in
+        Stats.Derive.join ?asm kind so si pred
+      | P.Index_nl { kind; outer; table; alias; columns; outer_keys; residual; _ }
+        ->
+        let so = go outer in
+        let si = table_stats cat db table alias in
+        let pred =
+          List.fold_left2
+            (fun acc k c ->
+               conj acc
+                 (Expr.Cmp (Expr.Eq, k, Expr.col ~rel:alias ~col:c)))
+            residual outer_keys columns
+        in
+        Stats.Derive.join ?asm kind so si pred
+      | P.Merge_join { kind; pairs; residual; left; right }
+      | P.Hash_join { kind; pairs; residual; left; right } ->
+        let sl = go left in
+        let sr = go right in
+        Stats.Derive.join ?asm kind sl sr (pairs_pred pairs residual)
+      | P.Hash_agg { keys; aggs; input } | P.Stream_agg { keys; aggs; input }
+        ->
+        Stats.Derive.group (go input) ~keys ~aggs
+    in
+    acc := (p, s) :: !acc;
+    s
+  in
+  ignore (go plan);
+  !acc
+
+let card (t : t) (p : Exec.Plan.t) : float option =
+  let rec find = function
+    | [] -> None
+    | (q, s) :: rest ->
+      if q == p then Some s.Stats.Derive.card else find rest
+  in
+  find t
+
+(* Push estimates onto an instrument recorder's operators. *)
+let attach (t : t) (r : Exec.Instrument.t) : unit =
+  List.iter
+    (fun (o : Exec.Instrument.op) ->
+       o.Exec.Instrument.est_rows <- card t o.Exec.Instrument.node)
+    (Exec.Instrument.ops r)

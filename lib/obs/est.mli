@@ -1,0 +1,20 @@
+(** Post-hoc per-node cardinality estimates for physical plans.
+
+    The enumerator costs logical subsets, not physical nodes; this module
+    re-derives a per-node estimate by one bottom-up {!Stats.Derive} pass
+    over the final plan — the same propagation rules the optimizer used.
+    Must run while any temporary tables the plan scans are still present
+    in the catalog and stats registry. *)
+
+type t
+
+(** Derive estimates for every node of [plan]. *)
+val annotate :
+  ?asm:Stats.Derive.assumption ->
+  Storage.Catalog.t -> Stats.Table_stats.db -> Exec.Plan.t -> t
+
+(** Estimated output cardinality of a node ([==] identity). *)
+val card : t -> Exec.Plan.t -> float option
+
+(** Copy estimates onto an instrument recorder's operators. *)
+val attach : t -> Exec.Instrument.t -> unit

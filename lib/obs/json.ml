@@ -1,0 +1,165 @@
+(* Minimal JSON validator (RFC 8259 subset, no dependency).
+
+   The trace writer hand-builds its JSON, so tests and the CI checker
+   need an independent reader to certify the output is well-formed.
+   Validation only — nothing in the tree consumes parsed JSON values, so
+   no AST is built. *)
+
+type pos = { s : string; mutable i : int }
+
+exception Bad of string * int
+
+let fail p msg = raise (Bad (msg, p.i))
+
+let peek p = if p.i < String.length p.s then Some p.s.[p.i] else None
+
+let advance p = p.i <- p.i + 1
+
+let skip_ws p =
+  while
+    match peek p with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance p;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> advance p
+  | _ -> fail p (Printf.sprintf "expected '%c'" c)
+
+let literal p lit =
+  String.iter (fun c -> expect p c) lit
+
+let hex_digit = function
+  | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+  | _ -> false
+
+let string_body p =
+  expect p '"';
+  let rec go () =
+    match peek p with
+    | None -> fail p "unterminated string"
+    | Some '"' -> advance p
+    | Some '\\' ->
+      advance p;
+      (match peek p with
+       | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+         advance p;
+         go ()
+       | Some 'u' ->
+         advance p;
+         for _ = 1 to 4 do
+           match peek p with
+           | Some c when hex_digit c -> advance p
+           | _ -> fail p "bad \\u escape"
+         done;
+         go ()
+       | _ -> fail p "bad escape")
+    | Some c when Char.code c < 0x20 -> fail p "control char in string"
+    | Some _ ->
+      advance p;
+      go ()
+  in
+  go ()
+
+let digits p =
+  let n = ref 0 in
+  while (match peek p with Some '0' .. '9' -> true | _ -> false) do
+    advance p;
+    incr n
+  done;
+  if !n = 0 then fail p "expected digit"
+
+let number p =
+  (match peek p with Some '-' -> advance p | _ -> ());
+  (match peek p with
+   | Some '0' -> advance p
+   | Some '1' .. '9' -> digits p
+   | _ -> fail p "expected number");
+  (match peek p with
+   | Some '.' ->
+     advance p;
+     digits p
+   | _ -> ());
+  match peek p with
+  | Some ('e' | 'E') ->
+    advance p;
+    (match peek p with Some ('+' | '-') -> advance p | _ -> ());
+    digits p
+  | _ -> ()
+
+let rec value p =
+  skip_ws p;
+  match peek p with
+  | Some '"' -> string_body p
+  | Some '{' ->
+    advance p;
+    skip_ws p;
+    (match peek p with
+     | Some '}' -> advance p
+     | _ ->
+       let rec members () =
+         skip_ws p;
+         string_body p;
+         skip_ws p;
+         expect p ':';
+         value p;
+         skip_ws p;
+         match peek p with
+         | Some ',' ->
+           advance p;
+           members ()
+         | Some '}' -> advance p
+         | _ -> fail p "expected ',' or '}'"
+       in
+       members ())
+  | Some '[' ->
+    advance p;
+    skip_ws p;
+    (match peek p with
+     | Some ']' -> advance p
+     | _ ->
+       let rec elements () =
+         value p;
+         skip_ws p;
+         match peek p with
+         | Some ',' ->
+           advance p;
+           elements ()
+         | Some ']' -> advance p
+         | _ -> fail p "expected ',' or ']'"
+       in
+       elements ())
+  | Some 't' -> literal p "true"
+  | Some 'f' -> literal p "false"
+  | Some 'n' -> literal p "null"
+  | Some ('-' | '0' .. '9') -> number p
+  | _ -> fail p "expected value"
+
+let validate (s : string) : (unit, string) result =
+  let p = { s; i = 0 } in
+  match
+    value p;
+    skip_ws p;
+    if p.i <> String.length s then fail p "trailing garbage"
+  with
+  | () -> Ok ()
+  | exception Bad (msg, i) -> Error (Printf.sprintf "%s at offset %d" msg i)
+
+(* Line-delimited JSON: every non-empty line must be a standalone value. *)
+let validate_lines (s : string) : (unit, string) result =
+  let lines = String.split_on_char '\n' s in
+  let rec go n = function
+    | [] -> Ok ()
+    | line :: rest ->
+      if String.trim line = "" then go (n + 1) rest
+      else (
+        match validate line with
+        | Ok () -> go (n + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" n e))
+  in
+  go 1 lines

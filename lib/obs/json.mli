@@ -1,0 +1,10 @@
+(** Minimal JSON well-formedness checker (RFC 8259 subset, no
+    dependency).  The trace writer hand-builds its JSON; tests and the CI
+    checker use this independent reader to certify the output. *)
+
+(** Check one complete JSON value. *)
+val validate : string -> (unit, string) result
+
+(** Check line-delimited JSON: every non-empty line must be a standalone
+    value.  Reports the first offending 1-based line. *)
+val validate_lines : string -> (unit, string) result

@@ -1,0 +1,55 @@
+(* Process-wide metrics registry: monotonic counters and max-gauges,
+   keyed by name.  Deliberately tiny — the registry exists so long-lived
+   drivers (CLI, fuzzer, benches) can report "what has this process done"
+   without threading state through every layer. *)
+
+type cell = Counter of int ref | Max_gauge of float ref
+
+let registry : (string, cell) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter r) -> r
+  | Some (Max_gauge _) -> invalid_arg ("Metrics: " ^ name ^ " is a gauge")
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace registry name (Counter r);
+    r
+
+let incr ?(by = 1) name =
+  let r = counter name in
+  r := !r + by
+
+let observe_max name v =
+  match Hashtbl.find_opt registry name with
+  | Some (Max_gauge r) -> if v > !r then r := v
+  | Some (Counter _) -> invalid_arg ("Metrics: " ^ name ^ " is a counter")
+  | None -> Hashtbl.replace registry name (Max_gauge (ref v))
+
+let get name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter r) -> Some (float_of_int !r)
+  | Some (Max_gauge r) -> Some !r
+  | None -> None
+
+let reset () = Hashtbl.reset registry
+
+let dump () =
+  Hashtbl.fold (fun name cell acc -> (name, cell) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (name, cell) ->
+      match cell with
+      | Counter r -> (name, string_of_int !r)
+      | Max_gauge r -> (name, Printf.sprintf "%.4g" !r))
+
+let render () =
+  dump ()
+  |> List.map (fun (k, v) -> Printf.sprintf "%-24s %s" k v)
+  |> String.concat "\n"
+
+(* Canonical metric names, so emitters and readers agree on spelling. *)
+let queries_run = "queries_run"
+let blocks_planned = "blocks_planned"
+let fuzz_oracle_pass = "fuzz_oracle_pass"
+let fuzz_oracle_fail = "fuzz_oracle_fail"
+let qerror_max = "qerror_max"

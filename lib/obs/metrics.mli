@@ -1,0 +1,31 @@
+(** Process-wide metrics registry: monotonic counters and max-gauges,
+    keyed by name.  Long-lived drivers (CLI, fuzzer, benches) use it to
+    report process totals without threading state through every layer. *)
+
+(** Increment a counter (created at zero on first use).
+    @raise Invalid_argument if [name] is already a gauge. *)
+val incr : ?by:int -> string -> unit
+
+(** Raise a max-gauge to [v] if [v] exceeds its current value.
+    @raise Invalid_argument if [name] is already a counter. *)
+val observe_max : string -> float -> unit
+
+(** Current value, if the metric exists (counters as floats). *)
+val get : string -> float option
+
+(** Drop every metric (tests). *)
+val reset : unit -> unit
+
+(** Sorted [(name, rendered value)] pairs. *)
+val dump : unit -> (string * string) list
+
+(** One ["name value"] line per metric, sorted by name. *)
+val render : unit -> string
+
+(** {2 Canonical metric names} *)
+
+val queries_run : string
+val blocks_planned : string
+val fuzz_oracle_pass : string
+val fuzz_oracle_fail : string
+val qerror_max : string

@@ -1,0 +1,105 @@
+(* Structured optimizer trace: typed events covering the three optimizer
+   layers (rewrite rules, join enumeration, memoization), rendered either
+   as human-readable text or as line-delimited JSON.
+
+   Emitters hand a [event -> unit] sink down into the optimizer; the
+   pipeline collects into a list when tracing is on and passes nothing
+   when it is off, so the optimizer pays one closure call per event at
+   most. *)
+
+type event =
+  | Rewrite_fired of { rule : string; before : string; after : string }
+      (* [before]/[after] are block digests — see [digest] *)
+  | Rewrite_rejected of { rule : string }
+  | Enum_level of {
+      level : int; (* relations joined (union-mask popcount) *)
+      subsets : int;
+      splits : int;
+      costed : int;
+      pruned : int;
+    }
+  | Prune of {
+      left_mask : int;
+      right_mask : int;
+      lower_bound : float;
+      bound : float;
+    }
+  | Order_retained of { order : string; cost : float; bound : float }
+  | Memo_stats of { table : string; hits : int; misses : int }
+
+(* FNV-1a (32-bit) over the pretty-printed form: a stable, dependency-free
+   fingerprint for before/after rewrite comparisons.  Not cryptographic —
+   it only needs to distinguish "changed" from "unchanged" in a trace. *)
+let digest (s : string) : string =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+       h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    s;
+  Printf.sprintf "%08x" !h
+
+let pp ppf = function
+  | Rewrite_fired { rule; before; after } ->
+    Fmt.pf ppf "rewrite %s fired: block %s -> %s" rule before after
+  | Rewrite_rejected { rule } -> Fmt.pf ppf "rewrite %s rejected" rule
+  | Enum_level { level; subsets; splits; costed; pruned } ->
+    Fmt.pf ppf
+      "enum level %d: %d subsets, %d splits, %d plans costed, %d pruned"
+      level subsets splits costed pruned
+  | Prune { left_mask; right_mask; lower_bound; bound } ->
+    Fmt.pf ppf "prune {%#x x %#x}: lower bound %.3f > bound %.3f" left_mask
+      right_mask lower_bound bound
+  | Order_retained { order; cost; bound } ->
+    Fmt.pf ppf "interesting order [%s] retained at cost %.3f (best %.3f)"
+      order cost bound
+  | Memo_stats { table; hits; misses } ->
+    Fmt.pf ppf "memo %s: %d hits, %d misses" table hits misses
+
+let to_string e = Fmt.str "%a" pp e
+
+(* JSON rendering is hand-rolled (no JSON dependency in the tree): one
+   object per line, strings escaped per RFC 8259, non-finite floats
+   (open bounds are +inf) mapped to null. *)
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jfloat f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let to_json = function
+  | Rewrite_fired { rule; before; after } ->
+    Printf.sprintf
+      {|{"event":"rewrite_fired","rule":%s,"before":%s,"after":%s}|}
+      (jstr rule) (jstr before) (jstr after)
+  | Rewrite_rejected { rule } ->
+    Printf.sprintf {|{"event":"rewrite_rejected","rule":%s}|} (jstr rule)
+  | Enum_level { level; subsets; splits; costed; pruned } ->
+    Printf.sprintf
+      {|{"event":"enum_level","level":%d,"subsets":%d,"splits":%d,"costed":%d,"pruned":%d}|}
+      level subsets splits costed pruned
+  | Prune { left_mask; right_mask; lower_bound; bound } ->
+    Printf.sprintf
+      {|{"event":"prune","left_mask":%d,"right_mask":%d,"lower_bound":%s,"bound":%s}|}
+      left_mask right_mask (jfloat lower_bound) (jfloat bound)
+  | Order_retained { order; cost; bound } ->
+    Printf.sprintf
+      {|{"event":"order_retained","order":%s,"cost":%s,"bound":%s}|}
+      (jstr order) (jfloat cost) (jfloat bound)
+  | Memo_stats { table; hits; misses } ->
+    Printf.sprintf {|{"event":"memo_stats","table":%s,"hits":%d,"misses":%d}|}
+      (jstr table) hits misses

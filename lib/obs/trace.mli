@@ -1,0 +1,36 @@
+(** Structured optimizer trace: typed events from the rewrite engine
+    (rule fired/rejected), the join enumerator (per-level counters,
+    branch-and-bound prunes, interesting-order retentions) and the
+    memoization layers (interning hits), rendered as human-readable text
+    or line-delimited JSON. *)
+
+type event =
+  | Rewrite_fired of { rule : string; before : string; after : string }
+      (** [before]/[after] are {!digest}s of the block's printed form *)
+  | Rewrite_rejected of { rule : string }
+  | Enum_level of {
+      level : int;  (** relations joined (union-mask popcount) *)
+      subsets : int;
+      splits : int;
+      costed : int;
+      pruned : int;
+    }
+  | Prune of {
+      left_mask : int;
+      right_mask : int;
+      lower_bound : float;
+      bound : float;
+    }  (** branch-and-bound cut: [lower_bound > bound] *)
+  | Order_retained of { order : string; cost : float; bound : float }
+      (** a costlier plan kept for its interesting order *)
+  | Memo_stats of { table : string; hits : int; misses : int }
+
+(** Stable FNV-1a fingerprint of a printed block (8 hex digits). *)
+val digest : string -> string
+
+val pp : Format.formatter -> event -> unit
+val to_string : event -> string
+
+(** One JSON object, no trailing newline; non-finite floats become
+    [null]. *)
+val to_json : event -> string

@@ -88,9 +88,12 @@ type trace = (string * int) list
 (* Run each rule class to fixpoint, in order.  [budget] bounds total
    applications (the paper's point about tuning rule engines).  [check] is
    an oracle invoked after every successful application with the rule name
-   and the block before/after — the lint hook (see the [verify] library). *)
+   and the block before/after — the lint hook (see the [verify] library).
+   [on_reject] is invoked whenever a rule is attempted but its condition
+   matches nowhere in the block — the optimizer-trace hook. *)
 let run ?(budget = 200)
     ?(check : (rule:string -> before:Qgm.block -> after:Qgm.block -> unit) option)
+    ?(on_reject : (rule:string -> unit) option)
     (classes : t list list) (b : Qgm.block) : Qgm.block * trace =
   let applications = Hashtbl.create 8 in
   let budget_left = ref budget in
@@ -109,7 +112,11 @@ let run ?(budget = 200)
              | Some f -> f ~rule:r.name ~before:b ~after:b'
              | None -> ());
             Some b'
-          | None -> try_rules rest)
+          | None ->
+            (match on_reject with
+             | Some f -> f ~rule:r.name
+             | None -> ());
+            try_rules rest)
       in
       match try_rules rules with
       | Some b' -> fix_class rules b'

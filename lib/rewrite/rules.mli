@@ -14,8 +14,10 @@ type trace = (string * int) list
 (** Run each class to fixpoint in order; [budget] bounds total
     applications.  [check] is called after every successful application
     with the rule name and the block before/after — the hook the [verify]
-    library's rewrite oracle plugs into. *)
+    library's rewrite oracle plugs into.  [on_reject] is called whenever
+    a rule is attempted but matches nowhere — the optimizer-trace hook. *)
 val run :
   ?budget:int ->
   ?check:(rule:string -> before:Qgm.block -> after:Qgm.block -> unit) ->
+  ?on_reject:(rule:string -> unit) ->
   t list list -> Qgm.block -> Qgm.block * trace

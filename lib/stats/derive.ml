@@ -236,6 +236,12 @@ let apply_select ?(asm = default_assumption) (r : rel_stats) (e : Expr.t) :
   let cols = List.map restrict r.cols in
   { r with card; cols = cap_distinct card cols }
 
+(* Clamp a derived cardinality to at least one row when the input is
+   nonempty; an estimate of exactly zero is reserved for provably empty
+   inputs. *)
+let floor_one input_card est =
+  if input_card > 0. then Float.max 1. est else Float.max 0. est
+
 let join ?(asm = default_assumption) (kind : Algebra.join_kind)
     (l : rel_stats) (rr : rel_stats) (pred : Expr.t) : rel_stats =
   let combined_cols = l.cols @ rr.cols in
@@ -251,9 +257,13 @@ let join ?(asm = default_assumption) (kind : Algebra.join_kind)
     | Algebra.Inner -> (inner_card, combined.schema)
     | Algebra.Left_outer -> (Float.max inner_card l.card, combined.schema)
     | Algebra.Semi ->
-      (Float.min l.card inner_card, l.schema)
+      (* floor at one row: saturating to an exact zero would claim the
+         output is provably empty, which the independence assumption
+         cannot establish (the q-error oracle treats est=0/act>0 as a
+         contradiction) *)
+      (floor_one l.card (Float.min l.card inner_card), l.schema)
     | Algebra.Anti ->
-      (Float.max 0. (l.card -. Float.min l.card inner_card), l.schema)
+      (floor_one l.card (l.card -. Float.min l.card inner_card), l.schema)
   in
   let cols =
     match kind with

@@ -72,6 +72,12 @@ let counters_add a b =
     costed = a.costed + b.costed;
     pruned = a.pruned + b.pruned }
 
+let counters_sub a b =
+  { subsets = a.subsets - b.subsets;
+    splits = a.splits - b.splits;
+    costed = a.costed - b.costed;
+    pruned = a.pruned - b.pruned }
+
 type ctx = {
   cfg : config;
   cat : Storage.Catalog.t;
@@ -89,10 +95,13 @@ type ctx = {
   has_index : bool array;
   base : (Candidate.t list * Stats.Derive.rel_stats) array;
   stats_memo : (int, Stats.Derive.rel_stats) Hashtbl.t;
+  trace : (Obs.Trace.event -> unit) option;
+      (* optimizer-trace sink; None = tracing off (no event is built) *)
   mutable plans_costed : int;
   mutable splits_considered : int;
   mutable plans_pruned : int;
   mutable subsets_created : int;
+  mutable memo_hits : int; (* stats_memo lookups served from the memo *)
 }
 
 type entry = { stats : Stats.Derive.rel_stats; mutable cands : Candidate.t list }
@@ -132,7 +141,7 @@ let fold_bits f acc mask =
    behavior this replaces. *)
 let foreign_bit = 1 lsl 60
 
-let make_ctx cfg cat db (q : Spj.t) : ctx =
+let make_ctx ?trace cfg cat db (q : Spj.t) : ctx =
   let rels = Array.of_list q.Spj.relations in
   let n = Array.length rels in
   if n > 60 then
@@ -190,10 +199,15 @@ let make_ctx cfg cat db (q : Spj.t) : ctx =
     has_index;
     base;
     stats_memo = Hashtbl.create 64;
+    trace;
     plans_costed = 0;
     splits_considered = 0;
     plans_pruned = 0;
-    subsets_created = 0 }
+    subsets_created = 0;
+    memo_hits = 0 }
+
+let emit ctx e =
+  match ctx.trace with None -> () | Some sink -> sink (e ())
 
 let aliases_of ctx mask =
   List.rev (fold_bits (fun acc i -> ctx.rels.(i).Spj.alias :: acc) [] mask)
@@ -296,7 +310,9 @@ let legacy_connected ctx m1 m2 =
    (statistics are a logical property, Section 5). *)
 let rec stats_of ctx mask : Stats.Derive.rel_stats =
   match Hashtbl.find_opt ctx.stats_memo mask with
-  | Some s -> s
+  | Some s ->
+    ctx.memo_hits <- ctx.memo_hits + 1;
+    s
   | None ->
     let s =
       if mask = 0 then invalid_arg "stats_of: empty subset"
@@ -511,15 +527,29 @@ let join_cands ctx ~(left : entry) ~left_mask ~(right : entry) ~right_mask
 let insert_all ?(bound = infinity) ctx entry cands =
   List.iter
     (fun (c : Candidate.t) ->
-       if
-         c.Candidate.cost > bound
-         && not (ctx.cfg.interesting_orders && c.Candidate.order <> [])
-       then ctx.plans_pruned <- ctx.plans_pruned + 1
+       if c.Candidate.cost > bound then
+         if ctx.cfg.interesting_orders && c.Candidate.order <> [] then begin
+           emit ctx (fun () ->
+               Obs.Trace.Order_retained
+                 { order = Cost.Physical_props.to_string c.Candidate.order;
+                   cost = c.Candidate.cost;
+                   bound });
+           entry.cands <-
+             Candidate.insert ~interesting_orders:ctx.cfg.interesting_orders
+               entry.cands c
+         end
+         else ctx.plans_pruned <- ctx.plans_pruned + 1
        else
          entry.cands <-
            Candidate.insert ~interesting_orders:ctx.cfg.interesting_orders
              entry.cands c)
     cands
+
+let counters_of ctx =
+  { subsets = ctx.subsets_created;
+    splits = ctx.splits_considered;
+    costed = ctx.plans_costed;
+    pruned = ctx.plans_pruned }
 
 (* Cost of [e]'s best candidate with the required output order and the
    final projection applied — the cost [finish] would report. *)
@@ -597,9 +627,9 @@ let greedy_upper_bound ctx (q : Spj.t) : float =
    with Exit -> ());
   if !mask = (1 lsl n) - 1 then finished_cost ctx q !current else infinity
 
-let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
+let optimize_entry ?trace ?(config = default_config) cat db (q : Spj.t) :
   ctx * entry =
-  let ctx = make_ctx config cat db q in
+  let ctx = make_ctx ?trace config cat db q in
   let n = Array.length ctx.rels in
   if n = 0 then invalid_arg "Join_order.optimize: no relations";
   let entries : (int, entry) Hashtbl.t = Hashtbl.create 64 in
@@ -654,11 +684,29 @@ let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
         if right_may_be_free then lc.Candidate.cost
         else lc.Candidate.cost +. rc.Candidate.cost
       in
-      if lb > ub then ctx.plans_pruned <- ctx.plans_pruned + 1
+      if lb > ub then begin
+        ctx.plans_pruned <- ctx.plans_pruned + 1;
+        emit ctx (fun () ->
+            Obs.Trace.Prune
+              { left_mask; right_mask; lower_bound = lb; bound = ub })
+      end
       else
         insert_all ~bound:ub ctx out
           (join_cands ctx ~left ~left_mask ~right ~right_mask ~right_base
              ~out_stats:out.stats)
+  in
+  (* Per-level enumeration counters (level = relations in the union mask),
+     accumulated from snapshot deltas around each enumeration step; the
+     snapshots are only taken when tracing. *)
+  let levels = Array.make (n + 1) counters_zero in
+  let at_level lvl body =
+    match ctx.trace with
+    | None -> body ()
+    | Some _ ->
+      let before = counters_of ctx in
+      body ();
+      levels.(lvl) <-
+        counters_add levels.(lvl) (counters_sub (counters_of ctx) before)
   in
   if not config.bushy then begin
     (* left-deep, by subset size *)
@@ -669,6 +717,7 @@ let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
           entries []
         |> List.sort_uniq compare
       in
+      at_level (size + 1) @@ fun () ->
       List.iter
         (fun mask ->
            let left = Hashtbl.find entries mask in
@@ -707,7 +756,8 @@ let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
          surfaces once — the side holding the lowest bit is the csg — and
          is costed in both orders. *)
       for mask = 3 to full do
-        if mask land (mask - 1) <> 0 && mask_connected ctx mask then begin
+        if mask land (mask - 1) <> 0 && mask_connected ctx mask then
+          at_level (popcount mask) @@ fun () ->
           let out = ensure mask in
           let consider_pair s1 =
             let s2 = mask land lnot s1 in
@@ -757,7 +807,6 @@ let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
           let low = mask land -mask in
           consider_pair low;
           csg_rec low low
-        end
       done
     end
     else begin
@@ -767,7 +816,8 @@ let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
          is disconnected.  A merely-disconnected intermediate subset is
          simply skipped, as in standard connected-subgraph enumeration. *)
       for mask = 1 to full do
-        if mask land (mask - 1) <> 0 then begin
+        if mask land (mask - 1) <> 0 then
+          at_level (popcount mask) @@ fun () ->
           let out = ensure mask in
           let splits = ref [] in
           let s = ref ((mask - 1) land mask) in
@@ -801,17 +851,26 @@ let optimize_entry ?(config = default_config) cat db (q : Spj.t) :
                    ~right_base out
                | _ -> ())
             chosen
-        end
       done
     end
   end;
+  (match ctx.trace with
+   | None -> ()
+   | Some sink ->
+     Array.iteri
+       (fun level c ->
+          if c <> counters_zero then
+            sink
+              (Obs.Trace.Enum_level
+                 { level; subsets = c.subsets; splits = c.splits;
+                   costed = c.costed; pruned = c.pruned }))
+       levels;
+     sink
+       (Obs.Trace.Memo_stats
+          { table = "subset_stats";
+            hits = ctx.memo_hits;
+            misses = Hashtbl.length ctx.stats_memo }));
   (ctx, Hashtbl.find entries full)
-
-let counters_of ctx =
-  { subsets = ctx.subsets_created;
-    splits = ctx.splits_considered;
-    costed = ctx.plans_costed;
-    pruned = ctx.plans_pruned }
 
 let finish ctx (q : Spj.t) (final : entry) : result =
   let stats = final.stats in
@@ -836,6 +895,6 @@ let finish ctx (q : Spj.t) (final : entry) : result =
     card = stats.Stats.Derive.card;
     counters = counters_of ctx }
 
-let optimize ?config cat db (q : Spj.t) : result =
-  let ctx, final = optimize_entry ?config cat db q in
+let optimize ?trace ?config cat db (q : Spj.t) : result =
+  let ctx, final = optimize_entry ?trace ?config cat db q in
   finish ctx q final

@@ -73,10 +73,14 @@ type ctx = {
   has_index : bool array;
   base : (Candidate.t list * Stats.Derive.rel_stats) array;
   stats_memo : (int, Stats.Derive.rel_stats) Hashtbl.t;
+  trace : (Obs.Trace.event -> unit) option;
+      (** optimizer-trace sink; [None] = tracing off (no event is built) *)
   mutable plans_costed : int;
   mutable splits_considered : int;
   mutable plans_pruned : int;
   mutable subsets_created : int;
+  mutable memo_hits : int;
+      (** subset-statistics lookups served from the memo *)
 }
 
 (** Per-subset entry: logical statistics plus the Pareto candidate set. *)
@@ -94,8 +98,13 @@ type result = {
 val popcount : int -> int
 val lowest_bit_index : int -> int
 
-(** @raise Invalid_argument beyond 60 relations (bitset width). *)
-val make_ctx : config -> Storage.Catalog.t -> Stats.Table_stats.db -> Spj.t -> ctx
+(** [trace] receives typed optimizer events (per-level enumeration
+    counters, branch-and-bound prunes, interesting-order retentions,
+    memo statistics) as the search runs; omitted = tracing off.
+    @raise Invalid_argument beyond 60 relations (bitset width). *)
+val make_ctx :
+  ?trace:(Obs.Trace.event -> unit) ->
+  config -> Storage.Catalog.t -> Stats.Table_stats.db -> Spj.t -> ctx
 
 val aliases_of : ctx -> int -> string list
 
@@ -134,13 +143,13 @@ val insert_all : ?bound:float -> ctx -> entry -> Candidate.t list -> unit
 
 (** Run the enumeration, returning the context and the full-set entry. *)
 val optimize_entry :
-  ?config:config -> Storage.Catalog.t -> Stats.Table_stats.db -> Spj.t ->
-  ctx * entry
+  ?trace:(Obs.Trace.event -> unit) -> ?config:config ->
+  Storage.Catalog.t -> Stats.Table_stats.db -> Spj.t -> ctx * entry
 
 (** Apply the required output order and projection to the best candidate. *)
 val finish : ctx -> Spj.t -> entry -> result
 
 (** End-to-end optimization.  @raise Invalid_argument on empty queries. *)
 val optimize :
-  ?config:config -> Storage.Catalog.t -> Stats.Table_stats.db -> Spj.t ->
-  result
+  ?trace:(Obs.Trace.event -> unit) -> ?config:config ->
+  Storage.Catalog.t -> Stats.Table_stats.db -> Spj.t -> result

@@ -1,0 +1,23 @@
+(* CI gate for --trace-json output: read line-delimited JSON on stdin,
+   exit 0 iff every non-empty line is a well-formed JSON value (checked by
+   the hand-rolled reader in [Obs.Json], independent of the writer). *)
+
+let () =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf stdin 4096
+     done
+   with End_of_file -> ());
+  let input = Buffer.contents buf in
+  let lines =
+    List.length
+      (List.filter
+         (fun l -> String.trim l <> "")
+         (String.split_on_char '\n' input))
+  in
+  match Obs.Json.validate_lines input with
+  | Ok () -> Printf.printf "trace ok: %d well-formed JSON line(s)\n" lines
+  | Error m ->
+    Printf.eprintf "malformed trace: %s\n" m;
+    exit 1

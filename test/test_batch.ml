@@ -36,12 +36,8 @@ let sort_on rel col input =
   Exec.Plan.Sort
     ([ { Exec.Plan.key = Expr.col ~rel ~col; descending = false } ], input)
 
-let counters (ctx : Exec.Context.t) =
-  ( ctx.Exec.Context.seq_io, ctx.Exec.Context.rand_io,
-    ctx.Exec.Context.spill_io, ctx.Exec.Context.cpu_ops )
-
-let pp_counters (s, r, sp, c) =
-  Printf.sprintf "seq=%d rand=%d spill=%d cpu=%d" s r sp c
+let counters = Exec.Context.snapshot
+let pp_counters = Fmt.str "%a" Exec.Context.pp_snapshot
 
 (* The differential harness: run [plan] under both engines with
    identically-configured fresh contexts; rows must match bit-for-bit and

@@ -1,0 +1,254 @@
+(* Observability tests: q-error arithmetic, EXPLAIN ANALYZE golden output
+   on the paper's Emp/Dept schema, cross-engine agreement of per-operator
+   actuals, and well-formedness of the hand-built trace JSON. *)
+
+open Relalg
+
+(* ------------------------------------------------------------------ *)
+(* q-error arithmetic *)
+
+let test_q_error () =
+  let q = Obs.Analyze.q_error in
+  Alcotest.(check (float 1e-9)) "exact" 1.0 (q ~est:5. ~act:5.);
+  Alcotest.(check (float 1e-9)) "underestimate" 2.0 (q ~est:5. ~act:10.);
+  Alcotest.(check (float 1e-9)) "overestimate" 4.0 (q ~est:20. ~act:5.);
+  Alcotest.(check (float 1e-9)) "both zero" 1.0 (q ~est:0. ~act:0.);
+  Alcotest.(check bool) "est zero, rows produced" true
+    (q ~est:0. ~act:3. = infinity);
+  Alcotest.(check bool) "rows estimated, none produced" true
+    (q ~est:3. ~act:0. = infinity)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE goldens on Emp/Dept (deterministic workload data;
+   [show_wall:false] drops the only nondeterministic column) *)
+
+let emp_dept () =
+  let w = Workload.Schemas.emp_dept ~emps:200 ~depts:10 () in
+  (w.Workload.Schemas.cat, w.Workload.Schemas.db)
+
+let analyze_text ?(engine = `Batch) sql =
+  let cat, db = emp_dept () in
+  let q = Sql.Binder.query_of_string cat sql in
+  let config = { Core.Pipeline.default_config with engine } in
+  let _, _, text =
+    Core.Pipeline.analyze_query ~config ~show_wall:false cat db q
+  in
+  text
+
+let test_analyze_golden_join () =
+  Alcotest.(check string) "annotated join plan"
+    "[ 0] Project Emp.name AS name, Dept.name AS name      \
+     est=200.0 act=200 q=1.00 rescans=0 seq=0 rand=0 spill=0 cpu=200\n\
+     [ 1]   Hash Join (Emp.did = Dept.did)                 \
+     est=200.0 act=200 q=1.00 rescans=0 seq=0 rand=0 spill=0 cpu=410\n\
+     [ 2]     Table Scan Emp                               \
+     est=200.0 act=200 q=1.00 rescans=0 seq=3 rand=0 spill=0 cpu=200\n\
+     [ 3]     Table Scan Dept                              \
+     est=10.0 act=10 q=1.00 rescans=0 seq=1 rand=0 spill=0 cpu=10\n\
+     max q-error: 1.00 at op 0 (Project Emp.name AS name, Dept.name AS \
+     name)\n"
+    (analyze_text
+       "SELECT Emp.name, Dept.name FROM Emp, Dept WHERE Emp.did = Dept.did")
+
+let test_analyze_golden_agg () =
+  Alcotest.(check string) "annotated aggregate plan"
+    "[ 0] Project name, agg0                               \
+     est=10.0 act=9 q=1.11 rescans=0 seq=0 rand=0 spill=0 cpu=9\n\
+     [ 1]   Hash Aggregate [Dept.name | COUNT(*) AS agg0]  \
+     est=10.0 act=9 q=1.11 rescans=0 seq=0 rand=0 spill=0 cpu=170\n\
+     [ 2]     Hash Join (Emp.did = Dept.did)               \
+     est=170.0 act=170 q=1.00 rescans=0 seq=0 rand=0 spill=0 cpu=350\n\
+     [ 3]       Table Scan Emp [Emp.sal > 60000]           \
+     est=170.0 act=170 q=1.00 rescans=0 seq=3 rand=0 spill=0 cpu=200\n\
+     [ 4]       Table Scan Dept                            \
+     est=10.0 act=10 q=1.00 rescans=0 seq=1 rand=0 spill=0 cpu=10\n\
+     max q-error: 1.11 at op 0 (Project name, agg0)\n"
+    (analyze_text
+       "SELECT Dept.name, COUNT(*) FROM Emp, Dept \
+        WHERE Emp.did = Dept.did AND Emp.sal > 60000 GROUP BY Dept.name")
+
+(* Engine choice must not change the analyzed actuals (wall clock aside). *)
+let test_analyze_engine_independent () =
+  let sql =
+    "SELECT Emp.name, Dept.name FROM Emp, Dept WHERE Emp.did = Dept.did"
+  in
+  Alcotest.(check string) "same text under both engines"
+    (analyze_text ~engine:`Interpreted sql)
+    (analyze_text ~engine:`Batch sql)
+
+(* ------------------------------------------------------------------ *)
+(* Property: both engines report identical per-operator actuals — same
+   operator ids, same cold row counts, same rescan counts — on random
+   data across every plan shape. *)
+
+let mk_catalog rs ss =
+  let cat = Storage.Catalog.create () in
+  let r = Storage.Catalog.create_table cat ~name:"R"
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ] in
+  let s = Storage.Catalog.create_table cat ~name:"S"
+      ~columns:[ ("a", Value.Tint); ("c", Value.Tint) ] in
+  List.iter (fun (a, b) -> Storage.Table.insert r (Tuple.of_list [ a; b ])) rs;
+  List.iter (fun (a, c) -> Storage.Table.insert s (Tuple.of_list [ a; c ])) ss;
+  cat
+
+let scan t = Exec.Plan.Seq_scan { table = t; alias = t; filter = None }
+let pair = ({ Expr.rel = "R"; col = "a" }, { Expr.rel = "S"; col = "a" })
+
+let join_pred =
+  Expr.Cmp (Expr.Eq, Expr.col ~rel:"R" ~col:"a", Expr.col ~rel:"S" ~col:"a")
+
+let sort_on rel col input =
+  Exec.Plan.Sort
+    ([ { Exec.Plan.key = Expr.col ~rel ~col; descending = false } ], input)
+
+let actuals_of run cat plan =
+  let ctx = Exec.Context.create ~buffer_pages:4 ~work_mem_pages:2 () in
+  let obs = Exec.Instrument.create plan in
+  let (_ : Exec.Executor.result) = run ~ctx ~obs cat plan in
+  List.map
+    (fun (o : Exec.Instrument.op) ->
+       (o.Exec.Instrument.id, o.Exec.Instrument.act_rows,
+        o.Exec.Instrument.rescans, o.Exec.Instrument.executed))
+    (Exec.Instrument.ops obs)
+
+let actuals_agree cat plan =
+  actuals_of (fun ~ctx ~obs -> Exec.Executor.run ~ctx ~obs) cat plan
+  = actuals_of (fun ~ctx ~obs -> Exec.Batch.run ~ctx ~obs) cat plan
+
+let kinds = [ Algebra.Inner; Algebra.Semi; Algebra.Anti; Algebra.Left_outer ]
+
+let arb_rows =
+  QCheck.(list_of_size Gen.(int_range 0 25)
+            (pair (int_range 0 6) (int_range 0 60)))
+
+let prop_actuals_cross_engine =
+  QCheck.Test.make ~name:"engines report identical per-operator actuals"
+    ~count:50
+    (QCheck.pair arb_rows arb_rows)
+    (fun (rs, ss) ->
+       let mk (a, b) = (Value.Int a, Value.Int b) in
+       let cat = mk_catalog (List.map mk rs) (List.map mk ss) in
+       let plans =
+         List.map
+           (fun kind ->
+              Exec.Plan.Nested_loop
+                { kind; pred = join_pred; outer = scan "R"; inner = scan "S" })
+           kinds
+         @ List.map
+             (fun kind ->
+                Exec.Plan.Nested_loop
+                  { kind; pred = join_pred; outer = scan "R";
+                    inner =
+                      Exec.Plan.Filter
+                        ( Expr.Cmp
+                            (Expr.Ge, Expr.col ~rel:"S" ~col:"c", Expr.int 30),
+                          scan "S" ) })
+             kinds
+         @ List.map
+             (fun kind ->
+                Exec.Plan.Hash_join
+                  { kind; pairs = [ pair ]; residual = Expr.ftrue;
+                    left = scan "R"; right = scan "S" })
+             kinds
+         @ [ Exec.Plan.Nested_loop
+               { kind = Algebra.Inner; pred = join_pred; outer = scan "R";
+                 inner = Exec.Plan.Materialize (scan "S") };
+             Exec.Plan.Merge_join
+               { kind = Algebra.Inner; pairs = [ pair ];
+                 residual = Expr.ftrue; left = sort_on "R" "a" (scan "R");
+                 right = sort_on "S" "a" (scan "S") };
+             Exec.Plan.Hash_agg
+               { keys = [ (Expr.col ~rel:"R" ~col:"a", "a") ];
+                 aggs = [ (Expr.Count_star, "n") ]; input = scan "R" };
+             Exec.Plan.Hash_distinct
+               (Exec.Plan.Project
+                  ([ (Expr.col ~rel:"R" ~col:"a", "a") ], scan "R")) ]
+       in
+       List.for_all (actuals_agree cat) plans)
+
+(* ------------------------------------------------------------------ *)
+(* Trace JSON: every event the pipeline emits must pass the independent
+   well-formedness checker, including non-finite bounds. *)
+
+let test_trace_json_wellformed () =
+  let cat, db = emp_dept () in
+  let sql =
+    "SELECT Emp.name, Dept.name FROM Emp, Dept \
+     WHERE Emp.did = Dept.did AND Emp.sal > 60000 ORDER BY Emp.name"
+  in
+  let q = Sql.Binder.query_of_string cat sql in
+  let config = { Core.Pipeline.default_config with instrument = true } in
+  let _, reports = Core.Pipeline.run_query ~config cat db q in
+  let events = List.concat_map (fun r -> r.Core.Pipeline.trace_events) reports in
+  Alcotest.(check bool) "pipeline emitted trace events" true (events <> []);
+  let lines = String.concat "\n" (List.map Obs.Trace.to_json events) in
+  (match Obs.Json.validate_lines lines with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "malformed trace JSON: %s" m);
+  (* non-finite floats must serialize as null, not as "inf" *)
+  let e =
+    Obs.Trace.Prune
+      { left_mask = 1; right_mask = 2; lower_bound = 3.5; bound = infinity }
+  in
+  let j = Obs.Trace.to_json e in
+  (match Obs.Json.validate j with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "malformed JSON for infinite bound: %s" m);
+  Alcotest.(check bool) "infinity rendered as null" true
+    (String.length j >= 4
+     && (let found = ref false in
+         String.iteri
+           (fun i _ ->
+              if i + 4 <= String.length j && String.sub j i 4 = "null" then
+                found := true)
+           j;
+         !found))
+
+let test_trace_events_off_by_default () =
+  let cat, db = emp_dept () in
+  let sql = "SELECT Emp.name FROM Emp WHERE Emp.sal > 60000" in
+  let q = Sql.Binder.query_of_string cat sql in
+  let _, reports = Core.Pipeline.run_query cat db q in
+  List.iter
+    (fun r ->
+       Alcotest.(check int) "no trace events" 0
+         (List.length r.Core.Pipeline.trace_events);
+       Alcotest.(check int) "no op stats" 0
+         (List.length r.Core.Pipeline.op_stats))
+    reports
+
+(* Digests are stable fingerprints: equal inputs agree, different inputs
+   (here) differ, and the format is 8 hex digits. *)
+let test_digest () =
+  let d1 = Obs.Trace.digest "select * from Emp" in
+  let d2 = Obs.Trace.digest "select * from Emp" in
+  let d3 = Obs.Trace.digest "select * from Dept" in
+  Alcotest.(check string) "deterministic" d1 d2;
+  Alcotest.(check bool) "discriminates" true (d1 <> d3);
+  Alcotest.(check int) "8 hex chars" 8 (String.length d1);
+  String.iter
+    (fun c ->
+       Alcotest.(check bool) "hex digit" true
+         ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    d1
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "q-error",
+        [ Alcotest.test_case "arithmetic" `Quick test_q_error ] );
+      ( "analyze",
+        [ Alcotest.test_case "golden join" `Quick test_analyze_golden_join;
+          Alcotest.test_case "golden aggregate" `Quick
+            test_analyze_golden_agg;
+          Alcotest.test_case "engine independent" `Quick
+            test_analyze_engine_independent ] );
+      ( "cross-engine",
+        [ QCheck_alcotest.to_alcotest prop_actuals_cross_engine ] );
+      ( "trace",
+        [ Alcotest.test_case "json well-formed" `Quick
+            test_trace_json_wellformed;
+          Alcotest.test_case "off by default" `Quick
+            test_trace_events_off_by_default;
+          Alcotest.test_case "digest" `Quick test_digest ] ) ]
