@@ -138,6 +138,9 @@ type row = {
   n : int;
   new_s : float;
   old_s : float option;  (* None beyond the old enumerator's cutoff *)
+  analysis_s : float;
+      (* abstract-interpretation pass over the winning plan: the cost the
+         [analysis] pipeline option adds on top of optimization *)
   counters : Systemr.Join_order.counters;
 }
 
@@ -160,8 +163,14 @@ let bench_point ~reps ~shape_name ~shape ~bushy ~n : row =
       Some s
     else None
   in
+  let best = res.Systemr.Join_order.best.Systemr.Candidate.plan in
+  let analysis_s, _ =
+    time_runs reps (fun () ->
+        Analysis.Absint.annotate_plan ~db:p.Workload.Schemas.jdb
+          p.Workload.Schemas.jcat best)
+  in
   { shape = shape_name; mode = (if bushy then "bushy" else "left-deep"); n;
-    new_s; old_s; counters = res.Systemr.Join_order.counters }
+    new_s; old_s; analysis_s; counters = res.Systemr.Join_order.counters }
 
 let bench_all (sc : scale) : row list =
   List.concat_map
@@ -205,6 +214,23 @@ let json_of_rows ~smoke ~precheck_n (rows : row list) =
           (Printf.sprintf "  \"chain12_bushy_speedup\": %.2f,\n" s)
       | None -> ())
    | None -> ());
+  let max_pct =
+    List.fold_left
+      (fun acc r ->
+         if r.new_s > 0. then Float.max acc (100. *. r.analysis_s /. r.new_s)
+         else acc)
+      0. rows
+  in
+  let total_pct =
+    let an = List.fold_left (fun acc r -> acc +. r.analysis_s) 0. rows
+    and opt = List.fold_left (fun acc r -> acc +. r.new_s) 0. rows in
+    if opt > 0. then 100. *. an /. opt else 0.
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"analysis_overhead_total_pct\": %.2f,\n\
+       \  \"analysis_overhead_max_pct\": %.2f,\n"
+       total_pct max_pct);
   Buffer.add_string b "  \"points\": [\n";
   List.iteri
     (fun i r ->
@@ -213,6 +239,7 @@ let json_of_rows ~smoke ~precheck_n (rows : row list) =
          (Printf.sprintf
             "    {\"shape\": %S, \"mode\": %S, \"n\": %d, \
              \"new_s\": %.6f, \"old_s\": %s, \"speedup\": %s, \
+             \"analysis_s\": %.6f, \"analysis_pct\": %.2f, \
              \"subsets\": %d, \"splits\": %d, \"costed\": %d, \
              \"pruned\": %d}%s\n"
             r.shape r.mode r.n r.new_s
@@ -222,6 +249,8 @@ let json_of_rows ~smoke ~precheck_n (rows : row list) =
             (match speedup r with
              | Some s -> Printf.sprintf "%.2f" s
              | None -> "null")
+            r.analysis_s
+            (if r.new_s > 0. then 100. *. r.analysis_s /. r.new_s else 0.)
             c.Systemr.Join_order.subsets c.Systemr.Join_order.splits
             c.Systemr.Join_order.costed c.Systemr.Join_order.pruned
             (if i = List.length rows - 1 then "" else ",")))
@@ -246,13 +275,14 @@ let () =
                       clean\n%!" shape_name sc.precheck_n)
     shapes;
   let rows = bench_all sc in
-  Printf.printf "%-6s %-9s %3s %10s %10s %8s %8s %8s %8s %8s\n" "shape"
-    "mode" "n" "new_s" "old_s" "speedup" "subsets" "splits" "costed"
-    "pruned";
+  Printf.printf "%-6s %-9s %3s %10s %10s %8s %9s %8s %8s %8s %8s\n" "shape"
+    "mode" "n" "new_s" "old_s" "speedup" "anlys%" "subsets" "splits"
+    "costed" "pruned";
   List.iter
     (fun r ->
        let c = r.counters in
-       Printf.printf "%-6s %-9s %3d %10.4f %10s %8s %8d %8d %8d %8d\n"
+       Printf.printf
+         "%-6s %-9s %3d %10.4f %10s %8s %8.2f%% %8d %8d %8d %8d\n"
          r.shape r.mode r.n r.new_s
          (match r.old_s with
           | Some s -> Printf.sprintf "%.4f" s
@@ -260,6 +290,7 @@ let () =
          (match speedup r with
           | Some s -> Printf.sprintf "%.1fx" s
           | None -> "-")
+         (if r.new_s > 0. then 100. *. r.analysis_s /. r.new_s else 0.)
          c.Systemr.Join_order.subsets c.Systemr.Join_order.splits
          c.Systemr.Join_order.costed c.Systemr.Join_order.pruned)
     rows;

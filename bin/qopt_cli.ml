@@ -96,19 +96,20 @@ let write_trace_json file reports =
     reports;
   close_out oc
 
-let run_cmd db_name opt engine lint limit tree opt_stats analyze trace_json
-    metrics sql =
+let run_cmd db_name opt engine lint analysis limit tree opt_stats analyze
+    trace_json metrics sql =
   with_query db_name sql (fun cat db block ->
       let config =
         apply_tree tree
           { (optimizer_config opt) with
             Core.Pipeline.lint;
+            analysis;
             engine = engine_of_string engine;
             instrument = analyze || trace_json <> None }
       in
       let ctx = Exec.Context.create () in
       let t0 = Unix.gettimeofday () in
-      let result, reports, analysis =
+      let result, reports, analyze_text =
         if analyze then
           let result, reports, text =
             Core.Pipeline.analyze_query ~ctx ~config cat db block
@@ -135,7 +136,7 @@ let run_cmd db_name opt engine lint limit tree opt_stats analyze trace_json
                  | Core.Pipeline.Planned -> "planned"
                  | Core.Pipeline.Interpreted -> "interpreted")
               reports));
-      (match analysis with
+      (match analyze_text with
        | Some text -> Fmt.pr "-- analyze:@.%s" text
        | None -> ());
       (match trace_json with
@@ -143,12 +144,13 @@ let run_cmd db_name opt engine lint limit tree opt_stats analyze trace_json
        | None -> ());
       if opt_stats then print_opt_stats reports wall;
       if metrics then print_endline (Obs.Metrics.render ());
-      if lint then print_diags reports)
+      if lint || analysis then print_diags reports)
 
-let explain_cmd db_name opt lint tree sql =
+let explain_cmd db_name opt lint analysis tree sql =
   with_query db_name sql (fun cat db block ->
       let config =
-        apply_tree tree { (optimizer_config opt) with Core.Pipeline.lint }
+        apply_tree tree
+          { (optimizer_config opt) with Core.Pipeline.lint; analysis }
       in
       print_endline (Core.Pipeline.explain_query ~config cat db block))
 
@@ -197,6 +199,15 @@ let lint_arg =
            ~doc:"Statically verify every rewrite step and physical plan; \
                  print diagnostics (exit 2 on lint errors under run).")
 
+let analysis_arg =
+  Arg.(value & flag
+       & info [ "analysis" ]
+           ~doc:"Abstract-interpretation pass: fold provably-empty \
+                 subtrees, derive transitive range predicates, and lint \
+                 cardinality estimates against the provable envelope \
+                 (est-above-envelope, est-below-envelope, \
+                 est-zero-nonempty); prints diagnostics under run.")
+
 let tree_arg =
   Arg.(value
        & vflag `Default
@@ -242,13 +253,15 @@ let sql_arg =
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a SQL query")
     Term.(
-      const run_cmd $ db_arg $ opt_arg $ engine_arg $ lint_arg $ limit_arg
-      $ tree_arg $ opt_stats_arg $ analyze_arg $ trace_json_arg $ metrics_arg
-      $ sql_arg)
+      const run_cmd $ db_arg $ opt_arg $ engine_arg $ lint_arg $ analysis_arg
+      $ limit_arg $ tree_arg $ opt_stats_arg $ analyze_arg $ trace_json_arg
+      $ metrics_arg $ sql_arg)
 
 let explain_t =
   Cmd.v (Cmd.info "explain" ~doc:"Show rewrites and the chosen physical plan")
-    Term.(const explain_cmd $ db_arg $ opt_arg $ lint_arg $ tree_arg $ sql_arg)
+    Term.(
+      const explain_cmd $ db_arg $ opt_arg $ lint_arg $ analysis_arg
+      $ tree_arg $ sql_arg)
 
 let tables_t =
   Cmd.v (Cmd.info "tables" ~doc:"List tables, indexes and statistics")

@@ -1,0 +1,8 @@
+(* Facade of the static plan analyzer (mirrors the [verify] library's
+   layout): abstract domains, the abstract interpreter, analyzer-backed
+   rewrite rules, and the provable-bound lints. *)
+
+module Domain = Domain
+module Absint = Absint
+module Simplify = Simplify
+module Lint = Lint

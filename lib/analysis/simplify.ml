@@ -1,0 +1,360 @@
+(* Analyzer-backed rewrite rules (plugged into the Starburst-style rule
+   engine of [Rewrite.Rules]):
+
+   - [fold_empty] folds blocks whose input is provably empty — an empty
+     derived source, a predicate over a provably empty subquery, a
+     semijoin against an empty source — down to the canonical
+     empty-input form [WHERE FALSE], and removes never-failing
+     NOT-EXISTS / anti-semijoin filters;
+
+   - [range_closure] computes, per equality class of the WHERE
+     conjuncts (Section 4.1's transitive predicate addition), the
+     strongest provable per-column range; it detects contradictions
+     (folding to [WHERE FALSE]), drops implied/redundant bounds and
+     emits derived transitive bounds for the other class members.
+
+   Both rules are db-free: they use only facts derivable from the query
+   text itself, so they are valid in any database.  Statistics-backed
+   reasoning (0-row tables) lives in the lint and the fuzz oracle
+   instead.  Soundness of every emitted/dropped conjunct follows the
+   TRUE-accepting WHERE semantics: a derived conjunct is implied TRUE
+   whenever the original conjunction is TRUE, and a dropped conjunct is
+   implied by the ones kept.  Integer tightening is used only to detect
+   contradictions, never to alter emitted bounds. *)
+
+open Relalg
+module Qgm = Rewrite.Qgm
+module Rules = Rewrite.Rules
+
+let false_where = [ Qgm.P (Expr.bool false) ]
+
+let is_false_where = function
+  | [ Qgm.P (Expr.Const (Value.Bool false)) ] -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* fold_empty *)
+
+let empty_block (blk : Qgm.block) =
+  Domain.env_is_empty (Absint.of_block blk).Absint.env
+
+let empty_source = function
+  | Qgm.Base _ -> false
+  | Qgm.Derived { block; _ } -> empty_block block
+
+let fold_empty : Rules.t =
+  { Rules.name = "fold_empty";
+    apply =
+      (fun b ->
+        let input_empty =
+          List.exists empty_source b.Qgm.from
+          || List.exists
+               (fun p ->
+                 match p with
+                 | Qgm.In_sub (_, blk)
+                 | Qgm.Cmp_sub (_, _, blk)
+                 | Qgm.Exists_sub (true, blk) ->
+                   (* e IN (empty) and EXISTS (empty) are FALSE; a
+                      scalar comparison against an empty block is
+                      UNKNOWN — none is ever TRUE *)
+                   empty_block blk
+                 | Qgm.Exists_sub (false, _) | Qgm.P _ -> false)
+               b.Qgm.where
+          || List.exists
+               (fun (sj : Qgm.semijoin) ->
+                 (not sj.Qgm.s_anti) && empty_source sj.Qgm.s_source)
+               b.Qgm.semijoins
+        in
+        if input_empty && not (is_false_where b.Qgm.where) then
+          (* semijoins filter nothing on empty input and contribute no
+             output columns; outerjoins are kept for the schema *)
+          Some { b with Qgm.where = false_where; semijoins = [] }
+        else
+          (* NOT EXISTS over a provably empty block and anti-semijoins
+             against provably empty sources never reject a row *)
+          let where' =
+            List.filter
+              (fun p ->
+                match p with
+                | Qgm.Exists_sub (false, blk) -> not (empty_block blk)
+                | _ -> true)
+              b.Qgm.where
+          in
+          let semijoins' =
+            List.filter
+              (fun (sj : Qgm.semijoin) ->
+                not (sj.Qgm.s_anti && empty_source sj.Qgm.s_source))
+              b.Qgm.semijoins
+          in
+          if
+            List.length where' <> List.length b.Qgm.where
+            || List.length semijoins' <> List.length b.Qgm.semijoins
+          then Some { b with Qgm.where = where'; semijoins = semijoins' }
+          else None) }
+
+(* ------------------------------------------------------------------ *)
+(* range_closure *)
+
+(* A range-shaped conjunct normalized to (column, operator, constant):
+   [Cmp (op, Col c, Const v)] or its mirror image. *)
+let range_shape (e : Expr.t) : (Expr.col_ref * Expr.cmpop * Value.t) option
+  =
+  match e with
+  | Expr.Cmp (op, Expr.Col c, Expr.Const v) -> Some (c, op, v)
+  | Expr.Cmp (op, Expr.Const v, Expr.Col c) ->
+    let flip = function
+      | Expr.Eq -> Expr.Eq
+      | Expr.Neq -> Expr.Neq
+      | Expr.Lt -> Expr.Gt
+      | Expr.Le -> Expr.Ge
+      | Expr.Gt -> Expr.Lt
+      | Expr.Ge -> Expr.Le
+    in
+    Some (c, flip op, v)
+  | _ -> None
+
+(* Merge-based union-find over column references (conjunct lists are
+   tiny). *)
+let eq_classes (pairs : (Expr.col_ref * Expr.col_ref) list) :
+  Expr.col_ref list list =
+  List.fold_left
+    (fun classes (a, b) ->
+      let ca, rest = List.partition (List.mem a) classes in
+      let ca = match ca with [] -> [ a ] | l -> List.concat l in
+      if List.mem b ca then List.sort_uniq compare ca :: rest
+      else
+        let cb, rest' = List.partition (List.mem b) rest in
+        let cb = match cb with [] -> [ b ] | l -> List.concat l in
+        List.sort_uniq compare (ca @ cb) :: rest')
+    [] pairs
+
+(* One directional bound: the strongest of a set of lower (or upper)
+   bounds, keeping the originating operator and constant for
+   emission. *)
+type bnd = { op : Expr.cmpop; v : Value.t; f : float }
+
+let strict = function Expr.Gt | Expr.Lt -> true | _ -> false
+
+(* [stronger ~lower a b]: does bound [a] strictly imply bound [b]? *)
+let stronger ~lower (a : bnd) (b : bnd) =
+  if lower then a.f > b.f || (a.f = b.f && strict a.op && not (strict b.op))
+  else a.f < b.f || (a.f = b.f && strict a.op && not (strict b.op))
+
+let strongest ~lower = function
+  | [] -> None
+  | b :: rest ->
+    Some
+      (List.fold_left
+         (fun best c -> if stronger ~lower c best then c else best)
+         b rest)
+
+let interval_of (lo : bnd option) (hi : bnd option) : Domain.interval =
+  let open Domain in
+  { lo = (match lo with Some b -> b.f | None -> neg_infinity);
+    lo_open = (match lo with Some b -> strict b.op | None -> true);
+    hi = (match hi with Some b -> b.f | None -> infinity);
+    hi_open = (match hi with Some b -> strict b.op | None -> true) }
+
+let range_closure : Rules.t =
+  { Rules.name = "range_closure";
+    apply =
+      (fun b ->
+        if is_false_where b.Qgm.where then None
+        else begin
+          let schema = List.concat_map Qgm.source_schema b.Qgm.from in
+          let col_ty (c : Expr.col_ref) =
+            match Schema.find_opt schema ~rel:c.Expr.rel ~name:c.Expr.col with
+            | Some (_, col) -> Some col.Schema.ty
+            | None -> None
+            | exception Failure _ -> None
+          in
+          (* collect equalities between columns, and per-column
+             range-shaped conjuncts *)
+          let col_pairs = ref [] in
+          let eqs = ref [] (* (col, v, numeric) *)
+          and neqs = ref []
+          and lowers = ref []
+          and uppers = ref [] in
+          List.iter
+            (fun p ->
+              match p with
+              | Qgm.P (Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b'))
+                when a <> b' ->
+                col_pairs := (a, b') :: !col_pairs
+              | Qgm.P e -> (
+                match range_shape e with
+                | Some (c, Expr.Eq, v) when not (Value.is_null v) ->
+                  eqs := (c, v) :: !eqs
+                | Some (c, Expr.Neq, v) when not (Value.is_null v) ->
+                  neqs := (c, v) :: !neqs
+                | Some (c, ((Expr.Gt | Expr.Ge) as op), v) -> (
+                  match Value.to_float v with
+                  | Some f -> lowers := (c, { op; v; f }) :: !lowers
+                  | None -> ())
+                | Some (c, ((Expr.Lt | Expr.Le) as op), v) -> (
+                  match Value.to_float v with
+                  | Some f -> uppers := (c, { op; v; f }) :: !uppers
+                  | None -> ())
+                | _ -> ())
+              | _ -> ())
+            b.Qgm.where;
+          let all_cols =
+            List.sort_uniq compare
+              (List.concat_map (fun (a, b') -> [ a; b' ]) !col_pairs
+               @ List.map fst !eqs @ List.map fst !neqs
+               @ List.map fst !lowers @ List.map fst !uppers)
+          in
+          let classes =
+            let merged = eq_classes !col_pairs in
+            let in_merged c = List.exists (List.mem c) merged in
+            merged
+            @ List.filter_map
+                (fun c -> if in_merged c then None else Some [ c ])
+                all_cols
+          in
+          let of_members xs members =
+            List.filter (fun (c, _) -> List.mem c members) xs
+            |> List.map snd
+          in
+          (* canonical per-column conjuncts, or a contradiction *)
+          let contradiction = ref false in
+          let canonical : (Expr.col_ref * (Expr.cmpop * Value.t) list) list
+            =
+            List.concat_map
+              (fun members ->
+                let m_eqs = of_members !eqs members in
+                let m_neqs = of_members !neqs members in
+                let m_lo = strongest ~lower:true (of_members !lowers members)
+                and m_hi =
+                  strongest ~lower:false (of_members !uppers members)
+                in
+                let int_class =
+                  List.exists (fun c -> col_ty c = Some Value.Tint) members
+                in
+                match m_eqs with
+                | v :: rest ->
+                  (* the class is pinned to one constant: all equalities
+                     must agree, every range must admit it, and no
+                     inequality may exclude it *)
+                  if List.exists (fun w -> not (Value.equal v w)) rest then
+                    contradiction := true;
+                  if List.exists (fun w -> Value.equal v w) m_neqs then
+                    contradiction := true;
+                  (match Value.to_float v with
+                   | Some f ->
+                     let itv = interval_of m_lo m_hi in
+                     if not (Domain.contains itv f) then contradiction := true
+                   | None -> ());
+                  (* canonical: member = v; ranges and inequalities on
+                     the class are implied (or contradictory) *)
+                  List.map (fun c -> (c, [ (Expr.Eq, v) ])) members
+                | [] ->
+                  let itv = interval_of m_lo m_hi in
+                  if
+                    Domain.is_empty itv
+                    || (int_class && Domain.is_empty_int itv)
+                  then contradiction := true;
+                  (* a point interval excluded by an inequality *)
+                  (match (m_lo, m_hi) with
+                   | Some lo, Some hi
+                     when lo.f = hi.f && not (strict lo.op)
+                          && not (strict hi.op) ->
+                     if
+                       List.exists
+                         (fun w -> Value.to_float w = Some lo.f)
+                         m_neqs
+                     then contradiction := true
+                   | _ -> ());
+                  let keep =
+                    (match m_lo with Some b -> [ (b.op, b.v) ] | None -> [])
+                    @ match m_hi with Some b -> [ (b.op, b.v) ] | None -> []
+                  in
+                  List.map (fun c -> (c, keep)) members)
+              classes
+          in
+          if !contradiction then Some { b with Qgm.where = false_where }
+          else begin
+            (* Rebuild the conjunct list: keep each canonical bound at
+               its first original occurrence, drop implied/duplicate
+               range bounds, then append the derived transitive bounds
+               that were not already present.  Inequalities and
+               column=column links pass through untouched. *)
+            let changed = ref false in
+            let consumed :
+              (Expr.col_ref * (Expr.cmpop * Value.t)) list ref =
+              ref []
+            in
+            (* keep a collected conjunct iff it realizes a canonical
+               bound not already realized by an earlier conjunct *)
+            let keep_if_canonical c op v =
+              match List.assoc_opt c canonical with
+              | None -> true
+              | Some want -> (
+                let hit =
+                  List.find_opt
+                    (fun (wop, wv) ->
+                      wop = op && Value.equal wv v
+                      && not (List.mem (c, (wop, wv)) !consumed))
+                    want
+                in
+                match hit with
+                | Some pair ->
+                  consumed := (c, pair) :: !consumed;
+                  true
+                | None ->
+                  changed := true;
+                  false)
+            in
+            let kept =
+              List.filter
+                (fun p ->
+                  match p with
+                  | Qgm.P e -> (
+                    match range_shape e with
+                    | Some (c, Expr.Neq, v) when not (Value.is_null v) ->
+                      (* under a pinned class, inequalities are implied
+                         (a contradictory one was caught above) *)
+                      let pinned =
+                        match List.assoc_opt c canonical with
+                        | Some [ (Expr.Eq, _) ] -> true
+                        | _ -> false
+                      in
+                      if pinned then changed := true;
+                      not pinned
+                    | Some (c, Expr.Eq, v) when not (Value.is_null v) ->
+                      keep_if_canonical c Expr.Eq v
+                    | Some
+                        ( c,
+                          ((Expr.Gt | Expr.Ge | Expr.Lt | Expr.Le) as op),
+                          v )
+                      when Value.to_float v <> None ->
+                      keep_if_canonical c op v
+                    | _ -> true)
+                  | _ -> true)
+                b.Qgm.where
+            in
+            let emitted =
+              List.concat_map
+                (fun (c, want) ->
+                  List.filter_map
+                    (fun (op, v) ->
+                      if
+                        List.exists
+                          (fun (c', (op', v')) ->
+                            c' = c && op' = op && Value.equal v' v)
+                          !consumed
+                      then None
+                      else
+                        Some
+                          (Qgm.P (Expr.Cmp (op, Expr.Col c, Expr.Const v))))
+                    want)
+                canonical
+            in
+            if emitted <> [] then changed := true;
+            if !changed then Some { b with Qgm.where = kept @ emitted }
+            else None
+          end
+        end) }
+
+(* The rule class, in the order the engine should try them. *)
+let rules : Rules.t list = [ fold_empty; range_closure ]

@@ -1,0 +1,19 @@
+(** Analyzer-backed rewrite rules for the [Rewrite.Rules] engine.
+
+    Both rules are db-free — they rely only on facts provable from the
+    query text, so the rewrites are valid in every database. *)
+
+(** Folds blocks whose input is provably empty (empty derived source,
+    predicate over a provably empty subquery, semijoin against an empty
+    source) to the canonical [WHERE FALSE] form, and drops NOT-EXISTS /
+    anti-semijoin filters that can never reject a row. *)
+val fold_empty : Rewrite.Rules.t
+
+(** Transitive range closure over the WHERE equality classes (paper
+    Section 4.1): detects contradictory conjunct sets (folding to
+    [WHERE FALSE]), drops implied/redundant bounds, and derives the
+    strongest provable bound for every member of an equality class. *)
+val range_closure : Rewrite.Rules.t
+
+(** [[fold_empty; range_closure]] — the rule class in preferred order. *)
+val rules : Rewrite.Rules.t list

@@ -23,6 +23,11 @@ type config = {
   instrument : bool;
       (* per-operator runtime stats + optimizer trace (EXPLAIN ANALYZE);
          off = zero-cost *)
+  analysis : bool;
+      (* abstract-interpretation pass: analyzer-backed rewrite rules
+         (empty-subtree folding, transitive range closure) appended as a
+         final rule class, plus provable-bound lints comparing the cost
+         model's estimates against the sound cardinality envelope *)
 }
 
 let default_rewrites : Rewrite.Rules.t list list =
@@ -37,7 +42,15 @@ let default_config =
     join_config = Systemr.Join_order.default_config;
     lint = false;
     engine = `Batch;
-    instrument = false }
+    instrument = false;
+    analysis = false }
+
+(* The analyzer rules run after pushdown so contradictions pushed into a
+   view fold there first; [fold_empty]'s own fixpoint then propagates the
+   emptiness back out through the enclosing blocks. *)
+let effective_rewrites (config : config) : Rewrite.Rules.t list list =
+  if config.analysis then config.rewrites @ [ Analysis.Simplify.rules ]
+  else config.rewrites
 
 (* Both engines produce bit-identical rows and Context accounting; the
    interpreter remains the differential-testing oracle. *)
@@ -335,13 +348,22 @@ let run_block ~ctx ~config (cat : Storage.Catalog.t)
   Exec.Executor.result * report * Exec.Instrument.t option =
   let h = make_hooks config cat in
   let rewritten, trace =
-    Rewrite.Rules.run ?check:h.check ?on_reject:h.on_reject config.rewrites
-      block
+    Rewrite.Rules.run ?check:h.check ?on_reject:h.on_reject
+      (effective_rewrites config) block
   in
   if plannable rewritten then begin
     let plan, est_cost, enum, temps =
       plan_block ~on_plan:h.on_plan ?trace:h.trace ctx config cat db rewritten
     in
+    (* provable-bound lint: only here, while view temporaries are still
+       registered with exact (ANALYZE-derived) statistics — the EXPLAIN
+       path fabricates temp statistics from estimates, which would make
+       the envelope itself unsound *)
+    if config.analysis then
+      h.diags :=
+        !(h.diags)
+        @ Analysis.Lint.physical
+            ~asm:config.join_config.Systemr.Join_order.asm cat db plan;
     let recorder =
       if config.instrument then begin
         let r = Exec.Instrument.create plan in
@@ -400,8 +422,8 @@ let explain ?(config = default_config) cat db block : string =
   let ctx = Exec.Context.create () in
   let h = make_hooks config cat in
   let rewritten, trace =
-    Rewrite.Rules.run ?check:h.check ?on_reject:h.on_reject config.rewrites
-      block
+    Rewrite.Rules.run ?check:h.check ?on_reject:h.on_reject
+      (effective_rewrites config) block
   in
   let body =
     if plannable rewritten then begin

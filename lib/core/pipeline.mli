@@ -21,6 +21,14 @@ type config = {
   (** record per-operator runtime statistics and a structured optimizer
       trace (EXPLAIN ANALYZE); off (the default) costs nothing on the
       execution path *)
+  analysis : bool;
+  (** abstract-interpretation pass (off by default): appends the
+      analyzer-backed rewrite rules ([Analysis.Simplify.rules]: folding
+      provably-empty subtrees, transitive range closure) as a final rule
+      class, and lints every executed physical plan's cardinality
+      estimates against the analyzer's sound envelope
+      ([est-above-envelope] / [est-below-envelope] warnings,
+      [est-zero-nonempty] errors) into [report.diags] *)
 }
 
 (** view merging; unnesting; view merging again; constant propagation;

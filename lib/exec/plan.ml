@@ -68,6 +68,13 @@ and agg = {
   input : t;
 }
 
+(* Unmatched outer tuples pad the inner side with NULLs. *)
+let outer_side kind (s : Schema.t) : Schema.t =
+  match kind with
+  | Algebra.Left_outer ->
+    List.map (fun c -> { c with Schema.nullable = true }) s
+  | Algebra.Inner | Algebra.Semi | Algebra.Anti -> s
+
 (* Output schema.  Scans need the catalog to resolve table schemas. *)
 let rec schema (cat : Storage.Catalog.t) (p : t) : Schema.t =
   match p with
@@ -79,13 +86,16 @@ let rec schema (cat : Storage.Catalog.t) (p : t) : Schema.t =
   | Project (items, i) ->
     let s = schema cat i in
     List.map
-      (fun (e, a) -> Schema.column ~rel:"" ~name:a ~ty:(Typing.infer s e))
+      (fun (e, a) ->
+         Schema.with_nullable (Algebra.expr_nullable s e)
+           (Schema.column ~rel:"" ~name:a ~ty:(Typing.infer s e)))
       items
   | Nested_loop { kind; outer; inner; _ } -> (
     match kind with
     | Algebra.Semi | Algebra.Anti -> schema cat outer
     | Algebra.Inner | Algebra.Left_outer ->
-      Schema.concat (schema cat outer) (schema cat inner))
+      Schema.concat (schema cat outer)
+        (outer_side kind (schema cat inner)))
   | Index_nl { kind; outer; table; alias; _ } -> (
     let inner =
       Schema.requalify (Storage.Catalog.table cat table).Storage.Table.schema
@@ -94,20 +104,25 @@ let rec schema (cat : Storage.Catalog.t) (p : t) : Schema.t =
     match kind with
     | Algebra.Semi | Algebra.Anti -> schema cat outer
     | Algebra.Inner | Algebra.Left_outer ->
-      Schema.concat (schema cat outer) inner)
+      Schema.concat (schema cat outer) (outer_side kind inner))
   | Merge_join { kind; left; right; _ } | Hash_join { kind; left; right; _ }
     -> (
     match kind with
     | Algebra.Semi | Algebra.Anti -> schema cat left
     | Algebra.Inner | Algebra.Left_outer ->
-      Schema.concat (schema cat left) (schema cat right))
+      Schema.concat (schema cat left)
+        (outer_side kind (schema cat right)))
   | Hash_agg { keys; aggs; input } | Stream_agg { keys; aggs; input } ->
     let s = schema cat input in
     List.map
-      (fun (e, a) -> Schema.column ~rel:"" ~name:a ~ty:(Typing.infer s e))
+      (fun (e, a) ->
+         Schema.with_nullable (Algebra.expr_nullable s e)
+           (Schema.column ~rel:"" ~name:a ~ty:(Typing.infer s e)))
       keys
     @ List.map
-        (fun (g, a) -> Schema.column ~rel:"" ~name:a ~ty:(Typing.infer_agg s g))
+        (fun (g, a) ->
+           Schema.with_nullable (Algebra.agg_nullable s g)
+             (Schema.column ~rel:"" ~name:a ~ty:(Typing.infer_agg s g)))
         aggs
 
 let pp_sort_key ppf { key; descending } =

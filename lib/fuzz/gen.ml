@@ -148,7 +148,7 @@ let const_for st (r : rel) (cname, cty) : A.expr =
       else A.Lit_int (G.uniform_int st ~lo:(-2) ~hi:12)
 
 (* Single-relation filter predicate. *)
-let gen_filter st (r : rel) : A.expr =
+let gen_filter_base st (r : rel) : A.expr =
   let ics = int_cols r in
   let scs = str_cols r in
   let icol () = G.pick st ics in
@@ -182,6 +182,25 @@ let gen_filter st (r : rel) : A.expr =
          A.Lit_int (G.uniform_int st ~lo:1 ~hi:7))
     in
     A.Cmp (cmp_op st, arith, const_for st r c)
+
+(* Occasionally inject a provably contradictory conjunction (an empty
+   range or conflicting equalities) so the analyzer's empty-subtree
+   folding and the provably-empty oracle are exercised on every run. *)
+let gen_filter st (r : rel) : A.expr =
+  match int_cols r with
+  | _ :: _ as ics when G.chance st 0.04 ->
+    let c = G.pick st ics in
+    let v = G.uniform_int st ~lo:(-2) ~hi:12 in
+    let col = col_ref r c in
+    if G.chance st 0.5 then
+      A.And
+        (A.Cmp (Expr.Gt, col, A.Lit_int v),
+         A.Cmp (Expr.Lt, col, A.Lit_int (v - G.uniform_int st ~lo:0 ~hi:3)))
+    else
+      A.And
+        (A.Cmp (Expr.Eq, col, A.Lit_int v),
+         A.Cmp (Expr.Eq, col, A.Lit_int (v + 1 + G.uniform_int st ~lo:0 ~hi:3)))
+  | _ -> gen_filter_base st r
 
 (* Preferred join column: "k" when present on both, else any int column. *)
 let jcol st r =

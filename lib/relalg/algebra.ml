@@ -36,6 +36,28 @@ let join_kind_name = function
   | Semi -> "SEMIJOIN"
   | Anti -> "ANTIJOIN"
 
+(* Nullability of an expression's result given the input schema: plain
+   column references and NULL-free constants inherit; everything else is
+   conservatively nullable.  (Deeper reasoning lives in the [analysis]
+   library; the schema just carries the cheap, always-sound core so that
+   catalog NOT NULL declarations survive projections.) *)
+let expr_nullable (s : Schema.t) (e : Expr.t) : bool =
+  match e with
+  | Expr.Col c -> (
+    match Schema.find_opt s ~rel:c.Expr.rel ~name:c.Expr.col with
+    | Some (_, col) -> col.Schema.nullable
+    | None -> true
+    | exception Failure _ -> true)
+  | Expr.Const v -> Value.is_null v
+  | _ -> true
+
+let agg_nullable (s : Schema.t) (a : Expr.agg) : bool =
+  match a with
+  | Expr.Count_star | Expr.Count _ -> false (* COUNT is never NULL *)
+  | Expr.Sum _ | Expr.Min _ | Expr.Max _ | Expr.Avg _ ->
+    ignore s;
+    true (* NULL over an empty/all-NULL group *)
+
 (* Output schema.  Projection and grouping introduce unqualified columns
    named by their aliases; [requalify] can re-introduce a qualifier when an
    operator result is used as a named view. *)
@@ -44,22 +66,29 @@ let rec schema (t : t) : Schema.t =
   | Scan { schema = s; _ } -> s
   | Select (_, input) -> schema input
   | Join ((Semi | Anti), _, l, _) -> schema l
-  | Join (_, _, l, r) -> Schema.concat (schema l) (schema r)
+  | Join (Left_outer, _, l, r) ->
+    (* unmatched left tuples pad the right side with NULLs *)
+    Schema.concat (schema l)
+      (List.map (fun c -> { c with Schema.nullable = true }) (schema r))
+  | Join (Inner, _, l, r) -> Schema.concat (schema l) (schema r)
   | Project (items, input) ->
     let s = schema input in
     List.map
       (fun (e, alias) ->
-         Schema.column ~rel:"" ~name:alias ~ty:(Typing.infer s e))
+         Schema.with_nullable (expr_nullable s e)
+           (Schema.column ~rel:"" ~name:alias ~ty:(Typing.infer s e)))
       items
   | Group_by { keys; aggs; input } ->
     let s = schema input in
     List.map
       (fun (e, alias) ->
-         Schema.column ~rel:"" ~name:alias ~ty:(Typing.infer s e))
+         Schema.with_nullable (expr_nullable s e)
+           (Schema.column ~rel:"" ~name:alias ~ty:(Typing.infer s e)))
       keys
     @ List.map
         (fun (a, alias) ->
-           Schema.column ~rel:"" ~name:alias ~ty:(Typing.infer_agg s a))
+           Schema.with_nullable (agg_nullable s a)
+             (Schema.column ~rel:"" ~name:alias ~ty:(Typing.infer_agg s a)))
         aggs
   | Distinct input -> schema input
   | Order_by (_, input) -> schema input

@@ -26,8 +26,19 @@ and group_by = {
 
 val join_kind_name : join_kind -> string
 
+(** Cheap, always-sound nullability of an expression result against an
+    input schema: plain column references and non-NULL constants are
+    non-null when their source is, everything else is conservatively
+    nullable. *)
+val expr_nullable : Schema.t -> Expr.t -> bool
+
+(** Nullability of an aggregate output: COUNT is never NULL; SUM/MIN/MAX/
+    AVG may be (empty or all-NULL group). *)
+val agg_nullable : Schema.t -> Expr.agg -> bool
+
 (** Output schema.  Projection and grouping outputs are unqualified columns
-    named by their aliases. *)
+    named by their aliases; nullability is propagated (outer-join right
+    sides become nullable, plain projected columns inherit). *)
 val schema : t -> Schema.t
 
 (** Relation aliases contributing base tuples to this subtree (semi/anti

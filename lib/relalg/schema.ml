@@ -6,11 +6,14 @@ type column = {
   rel : string;  (* relation alias, e.g. "E" or "Emp" *)
   name : string; (* column name, e.g. "sal" *)
   ty : Value.ty;
+  nullable : bool; (* false only when the column provably never holds NULL *)
 }
 
 type t = column list
 
-let column ~rel ~name ~ty = { rel; name; ty }
+let column ~rel ~name ~ty = { rel; name; ty; nullable = true }
+
+let with_nullable nullable c = { c with nullable }
 
 let arity (s : t) = List.length s
 

@@ -1,12 +1,20 @@
 (** Schemas: ordered lists of relation-qualified, typed columns. *)
 
 (** One column: relation alias (possibly [""] for derived outputs), name,
-    type. *)
-type column = { rel : string; name : string; ty : Value.ty }
+    type, and nullability.  [nullable = false] asserts the column can never
+    hold NULL — catalog declarations and schema inference both maintain it,
+    so the binder and the static plan analyzer share one source of truth.
+    The conservative default is [true]. *)
+type column = { rel : string; name : string; ty : Value.ty; nullable : bool }
 
 type t = column list
 
+(** Construct a column with the conservative [nullable = true]. *)
 val column : rel:string -> name:string -> ty:Value.ty -> column
+
+(** Override a column's nullability (e.g. from catalog NOT NULL
+    declarations or schema inference). *)
+val with_nullable : bool -> column -> column
 
 (** Number of columns. *)
 val arity : t -> int

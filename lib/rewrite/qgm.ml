@@ -41,35 +41,55 @@ and predicate =
 let alias_of_source = function
   | Base { alias; _ } | Derived { alias; _ } -> alias
 
-(* Output schema of a block: unqualified columns named by select aliases. *)
+(* Output schema of a block: unqualified columns named by select aliases.
+   Nullability flows through: plain projected columns inherit their
+   source's flag, outer-joined sources are nullable (NULL padding), COUNT
+   aggregates are non-null. *)
 let rec block_schema (b : block) : Schema.t =
   let inner = inner_schema b in
   if b.aggs = [] && b.group_by = [] then
     List.map
-      (fun (e, a) -> Schema.column ~rel:"" ~name:a ~ty:(Typing.infer inner e))
+      (fun (e, a) ->
+         Schema.with_nullable
+           (Algebra.expr_nullable inner e)
+           (Schema.column ~rel:"" ~name:a ~ty:(Typing.infer inner e)))
       b.select
   else
     (* select list references group keys and agg aliases *)
     let gs =
       List.map
-        (fun (e, a) -> Schema.column ~rel:"" ~name:a ~ty:(Typing.infer inner e))
+        (fun (e, a) ->
+           Schema.with_nullable
+             (Algebra.expr_nullable inner e)
+             (Schema.column ~rel:"" ~name:a ~ty:(Typing.infer inner e)))
         b.group_by
       @ List.map
           (fun (g, a) ->
-             Schema.column ~rel:"" ~name:a ~ty:(Typing.infer_agg inner g))
+             Schema.with_nullable
+               (Algebra.agg_nullable inner g)
+               (Schema.column ~rel:"" ~name:a ~ty:(Typing.infer_agg inner g)))
           b.aggs
     in
     List.map
       (fun (e, a) ->
-         Schema.column ~rel:"" ~name:a ~ty:(Typing.infer gs e))
+         Schema.with_nullable
+           (Algebra.expr_nullable gs e)
+           (Schema.column ~rel:"" ~name:a ~ty:(Typing.infer gs e)))
       b.select
 
 (* Schema visible inside the block: all source columns (inner, semi sources
    excluded from output but visible in predicates; treat them as visible
-   only within their own predicate — callers handle that). *)
+   only within their own predicate — callers handle that).  Outer-joined
+   source columns are nullable in every clause that can see them (WHERE
+   cannot; it runs before the outerjoins attach). *)
 and inner_schema (b : block) : Schema.t =
   List.concat_map source_schema b.from
-  @ List.concat_map (fun oj -> source_schema oj.o_source) b.outerjoins
+  @ List.concat_map
+      (fun oj ->
+         List.map
+           (fun c -> { c with Schema.nullable = true })
+           (source_schema oj.o_source))
+      b.outerjoins
 
 and source_schema = function
   | Base { schema; _ } -> schema

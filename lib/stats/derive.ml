@@ -305,7 +305,13 @@ let group (r : rel_stats) ~(keys : (Expr.t * string) list)
          | _ -> None)
       keys
   in
-  { card = Float.max 1. groups; schema; cols = cap_distinct groups cols }
+  (* Keyed grouping of a provably empty input yields no groups; an exact
+     zero is reserved for that case.  A scalar aggregate (no keys) always
+     emits exactly one row, even over empty input. *)
+  let card =
+    if keys <> [] && r.card <= 0. then 0. else Float.max 1. groups
+  in
+  { card; schema; cols = cap_distinct groups cols }
 
 let project (r : rel_stats) (items : (Expr.t * string) list) : rel_stats =
   let schema =

@@ -202,8 +202,21 @@ let join_rows (a : t) (b : t) : float =
     | [ x ] -> [ (x, x) ]
     | [] -> []
   in
+  (* Like [bucket_range_rows], except a single-point overlap with a range
+     bucket contributes that bucket's per-distinct mass rather than the
+     measure-zero continuous answer.  Such overlaps arise exactly when
+     the other histogram has a point bucket sitting on this bucket's
+     edge — returning 0 there would estimate 0 join rows for a value the
+     histograms both provably contain. *)
   let rows_in bs ~lo_v ~hi_v =
-    List.fold_left (fun acc bk -> acc +. bucket_range_rows bk ~lo_v ~hi_v) 0. bs
+    List.fold_left
+      (fun acc bk ->
+         let olo = Float.max lo_v bk.lo and ohi = Float.min hi_v bk.hi in
+         if ohi < olo then acc
+         else if bk.hi = bk.lo then acc +. bk.count
+         else if ohi = olo then acc +. (bk.count /. Float.max 1. bk.distinct)
+         else acc +. (bk.count *. ((ohi -. olo) /. (bk.hi -. bk.lo))))
+      0. bs
   in
   let distinct_in bs ~lo_v ~hi_v =
     List.fold_left
@@ -211,6 +224,7 @@ let join_rows (a : t) (b : t) : float =
          let overlap_lo = max lo_v bk.lo and overlap_hi = min hi_v bk.hi in
          if overlap_hi < overlap_lo then acc
          else if bk.hi = bk.lo then acc +. bk.distinct
+         else if overlap_hi = overlap_lo then acc +. 1.
          else
            acc +. (bk.distinct *. ((overlap_hi -. overlap_lo) /. (bk.hi -. bk.lo))))
       0. bs

@@ -10,6 +10,8 @@ type col_stats = {
   null_frac : float;
   lo : float option; (* second-lowest value, numeric columns *)
   hi : float option; (* second-highest *)
+  min_v : float option; (* exact minimum (numeric columns) — sound bound *)
+  max_v : float option; (* exact maximum — sound bound *)
   hist : Histogram.t option;
 }
 
@@ -63,6 +65,10 @@ let analyze_column ?(hist_buckets = 20) ?(hist_kind = Sample.Equi_depth)
   let sorted = Array.copy values in
   Array.sort Float.compare sorted;
   let lo, hi = robust_bounds sorted in
+  let min_v, max_v =
+    let n = Array.length sorted in
+    if n = 0 then (None, None) else (Some sorted.(0), Some sorted.(n - 1))
+  in
   let hist =
     if is_numeric && Array.length values > 0 then
       Some (Sample.build hist_kind ~buckets:hist_buckets values)
@@ -72,6 +78,8 @@ let analyze_column ?(hist_buckets = 20) ?(hist_kind = Sample.Equi_depth)
     null_frac = (if n = 0 then 0. else float_of_int !nulls /. float_of_int n);
     lo;
     hi;
+    min_v;
+    max_v;
     hist }
 
 let analyze ?hist_buckets ?hist_kind (table : Storage.Table.t) : t =

@@ -7,6 +7,11 @@ type col_stats = {
   null_frac : float;
   lo : float option;  (** second-lowest value (numeric columns) *)
   hi : float option;  (** second-highest value *)
+  min_v : float option;
+      (** exact minimum over non-null values (numeric columns): unlike the
+          outlier-robust [lo]/[hi] pair this is a {e sound} bound, which
+          the static plan analyzer relies on *)
+  max_v : float option;  (** exact maximum — sound bound *)
   hist : Histogram.t option;
 }
 

@@ -13,8 +13,8 @@ let add_table cat (table : Table.t) =
     invalid_arg ("Catalog.add_table: duplicate " ^ table.Table.name);
   Hashtbl.replace cat.tables table.Table.name { table; indexes = [] }
 
-let create_table cat ~name ~columns =
-  let t = Table.create ~name ~columns in
+let create_table ?non_null cat ~name ~columns =
+  let t = Table.create ?non_null ~name ~columns () in
   add_table cat t;
   t
 

@@ -11,8 +11,13 @@ val create : unit -> t
 (** @raise Invalid_argument on duplicate names. *)
 val add_table : t -> Table.t -> unit
 
+(** [non_null] is passed through to {!Table.create}. *)
 val create_table :
-  t -> name:string -> columns:(string * Relalg.Value.ty) list -> Table.t
+  ?non_null:string list ->
+  t ->
+  name:string ->
+  columns:(string * Relalg.Value.ty) list ->
+  Table.t
 
 (** @raise Invalid_argument when absent. *)
 val find : t -> string -> entry

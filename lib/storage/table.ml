@@ -11,9 +11,15 @@ type t = {
   rows : Tuple.t Vec.t;
 }
 
-let create ~name ~(columns : (string * Value.ty) list) : t =
+let create ?(non_null = []) ~name ~(columns : (string * Value.ty) list) () : t
+  =
   let schema =
-    List.map (fun (cn, ty) -> Schema.column ~rel:name ~name:cn ~ty) columns
+    List.map
+      (fun (cn, ty) ->
+         Schema.with_nullable
+           (List.mem cn non_null |> not)
+           (Schema.column ~rel:name ~name:cn ~ty))
+      columns
   in
   { name; schema; rows = Vec.create () }
 

@@ -8,7 +8,15 @@ type t = {
   rows : Relalg.Tuple.t Vec.t;
 }
 
-val create : name:string -> columns:(string * Relalg.Value.ty) list -> t
+(** [non_null] names columns declared NOT NULL; they are recorded as
+    [nullable = false] in the schema.  Inserts are not checked — the
+    declaration is a promise the loader keeps. *)
+val create :
+  ?non_null:string list ->
+  name:string ->
+  columns:(string * Relalg.Value.ty) list ->
+  unit ->
+  t
 
 (** @raise Invalid_argument on arity mismatch. *)
 val insert : t -> Relalg.Tuple.t -> unit

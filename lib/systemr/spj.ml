@@ -19,13 +19,21 @@ let make ?(projections = None) ?(order_by = []) ~relations ~predicates () =
 
 let relation_aliases q = List.map (fun r -> r.alias) q.relations
 
-(* Local (single-relation) conjuncts for [alias]. *)
+(* Local (single-relation) conjuncts for [alias].  Constant conjuncts
+   (referencing no relation — e.g. the WHERE FALSE left by folding a
+   contradictory predicate set) must not be dropped: they are assigned
+   to the first relation, which filters the whole result exactly once
+   and as early as possible. *)
 let local_predicates q alias =
+  let first =
+    match q.relations with r :: _ -> r.alias = alias | [] -> false
+  in
   List.filter
     (fun p ->
        match Pred.classify p with
        | Pred.Single r -> r = alias
-       | Pred.Constant | Pred.Equi_join _ | Pred.Theta_join _ -> false)
+       | Pred.Constant -> first
+       | Pred.Equi_join _ | Pred.Theta_join _ -> false)
     q.predicates
 
 (* Conjuncts spanning at least two relations. *)

@@ -64,6 +64,21 @@ let dup ~code ~what names =
        end)
     names
 
+(* An output column whose type cannot be determined (e.g. a bare NULL
+   literal) silently falls back to int in [safe_block_schema]; surface
+   that instead of hiding it.  Only fires when inference produced no
+   other diagnostic — a column that fails to resolve is already
+   reported. *)
+let unknown_ty env ((e, a) : Expr.t * string) : Diag.t list =
+  match Typecheck.infer env e with
+  | None, [] ->
+    [ Diag.warning ~code:"unknown-column-type"
+        (Fmt.str
+           "output column %S has an undeterminable type; the schema falls \
+            back to int"
+           a) ]
+  | _ -> []
+
 let rec block ?(outer = []) (b : Qgm.block) : Diag.t list =
   let from_schema = List.concat_map safe_source_schema b.Qgm.from in
   let inner = safe_inner_schema b in
@@ -146,6 +161,7 @@ let rec block ?(outer = []) (b : Qgm.block) : Diag.t list =
       (List.concat_map
          (fun (e, _) -> snd (Typecheck.infer top_env e))
          b.Qgm.select
+       @ List.concat_map (unknown_ty top_env) b.Qgm.select
        @ dup ~code:"duplicate-alias" ~what:"select alias"
            (List.map snd b.Qgm.select))
   in

@@ -28,14 +28,14 @@ let emp_dept ?(seed = 42) ?(emps = 2000) ?(depts = 50)
   let st = Gen.rng seed in
   let cat = Storage.Catalog.create () in
   let dept =
-    Storage.Catalog.create_table cat ~name:"Dept"
+    Storage.Catalog.create_table ~non_null:[ "did"; "name" ] cat ~name:"Dept"
       ~columns:
         [ ("did", Value.Tint); ("name", Value.Tstring); ("loc", Value.Tstring);
           ("budget", Value.Tint); ("num_machines", Value.Tint);
           ("mgr", Value.Tint) ]
   in
   let emp =
-    Storage.Catalog.create_table cat ~name:"Emp"
+    Storage.Catalog.create_table ~non_null:[ "eid"; "did" ] cat ~name:"Emp"
       ~columns:
         [ ("eid", Value.Tint); ("name", Value.Tstring); ("did", Value.Tint);
           ("dept_name", Value.Tstring); ("sal", Value.Tint);
@@ -87,7 +87,7 @@ let star ?(seed = 7) ?(fact_rows = 5000) ?(dim_rows = 20) ?(dims = 3) () :
   List.iter
     (fun name ->
        let t =
-         Storage.Catalog.create_table cat ~name
+         Storage.Catalog.create_table ~non_null:[ "id" ] cat ~name
            ~columns:
              [ ("id", Value.Tint); ("label", Value.Tstring);
                ("weight", Value.Tint) ]
@@ -106,7 +106,11 @@ let star ?(seed = 7) ?(fact_rows = 5000) ?(dim_rows = 20) ?(dims = 3) () :
          dim_names
     @ [ ("amount", Value.Tint) ]
   in
-  let fact = Storage.Catalog.create_table cat ~name:"Sales" ~columns:fact_cols in
+  let fact =
+    Storage.Catalog.create_table
+      ~non_null:(List.map fst fact_cols)
+      cat ~name:"Sales" ~columns:fact_cols
+  in
   for s = 0 to fact_rows - 1 do
     Storage.Table.insert fact
       (Tuple.of_list

@@ -6,7 +6,7 @@ open Relalg
 let mk_table ?(rows = 100) name =
   let t =
     Storage.Table.create ~name
-      ~columns:[ ("k", Value.Tint); ("v", Value.Tstring) ]
+      ~columns:[ ("k", Value.Tint); ("v", Value.Tstring) ] ()
   in
   for i = 0 to rows - 1 do
     Storage.Table.insert t
@@ -61,7 +61,7 @@ let test_btree_range_matches_filter () =
   Alcotest.(check (list int)) "range = filter" (List.sort compare !via_scan) via_index
 
 let test_btree_null_handling () =
-  let t = Storage.Table.create ~name:"N" ~columns:[ ("k", Value.Tint) ] in
+  let t = Storage.Table.create ~name:"N" ~columns:[ ("k", Value.Tint) ] () in
   Storage.Table.insert t (Tuple.of_list [ Value.Null ]);
   Storage.Table.insert t (Tuple.of_list [ Value.Int 1 ]);
   let idx = Storage.Btree.build ~name:"i" ~clustered:false t ~columns:[ "k" ] in
@@ -77,7 +77,7 @@ let prop_btree_range =
               (pair (int_range (-25) 25) (int_range (-25) 25)))
     (fun (keys, (a, b)) ->
        let lo = min a b and hi = max a b in
-       let t = Storage.Table.create ~name:"P" ~columns:[ ("k", Value.Tint) ] in
+       let t = Storage.Table.create ~name:"P" ~columns:[ ("k", Value.Tint) ] () in
        List.iter (fun k -> Storage.Table.insert t (Tuple.of_list [ Value.Int k ])) keys;
        let idx = Storage.Btree.build ~name:"i" ~clustered:false t ~columns:[ "k" ] in
        let via_index =
@@ -96,7 +96,7 @@ let prop_btree_range =
 let test_btree_composite () =
   let t =
     Storage.Table.create ~name:"C2"
-      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ] ()
   in
   for i = 0 to 99 do
     Storage.Table.insert t
@@ -123,7 +123,7 @@ let prop_btree_composite_probe =
     (fun (rows, (pa, pb)) ->
        let t =
          Storage.Table.create ~name:"P2"
-           ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+           ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ] ()
        in
        List.iter
          (fun (a, b) ->
