@@ -10,9 +10,17 @@
    Usage: exec_bench [--smoke] [--out FILE] [--trace-json FILE]
      --smoke       tiny inputs, single repetition — a CI liveness check, no
                    timing claims
-     --out         output path (default BENCH_exec.json)
+     --out         output path (default BENCH_exec.json; BENCH_par.json
+                   under --parallel)
      --trace-json  also run the end-to-end query once with instrumentation
-                   on and write its optimizer trace as line-delimited JSON *)
+                   on and write its optimizer trace as line-delimited JSON
+     --parallel    benchmark the morsel-driven engine instead: sequential
+                   batch vs Exec.Morsel at dop 1/2/4/8 on scan_filter,
+                   hash_join, hash_agg and sort.  Equivalence (identical
+                   rows and counters) is verified before any timing; the
+                   JSON records the machine's core count, since speedup is
+                   bounded by it — on a single-core host parallel runs can
+                   only measure overhead, not speedup. *)
 
 open Relalg
 
@@ -239,6 +247,134 @@ let write_trace sc file =
   Printf.printf "wrote %s (optimizer trace, line-delimited JSON)\n" file
 
 (* ------------------------------------------------------------------ *)
+(* Parallel mode: sequential batch vs the morsel engine at several dops *)
+
+let par_dops = [ 1; 2; 4; 8 ]
+
+type prow = {
+  p_name : string;
+  p_input_rows : int;
+  p_out_rows : int;
+  seq_s : float;
+  by_dop : (int * float) list;
+}
+
+(* Verify once per dop (rows and counters bit-identical to Batch), then
+   time with a pre-created pool so domain spawning stays out of the
+   measured region. *)
+let bench_parallel ~reps ~input_rows name cat plan : prow =
+  let seq () =
+    let ctx = Exec.Context.create () in
+    let r = Exec.Batch.run ~ctx cat plan in
+    (r, Exec.Context.snapshot ctx)
+  in
+  let seq_s, (rs, cs) = time_runs reps seq in
+  let by_dop =
+    List.map
+      (fun dop ->
+         Domain_pool.with_pool dop (fun pool ->
+             let par () =
+               let ctx = Exec.Context.create () in
+               let r = Exec.Morsel.run ~ctx ~pool ~dop cat plan in
+               (r, Exec.Context.snapshot ctx)
+             in
+             let p_s, (rp, cp) = time_runs reps par in
+             verify (Printf.sprintf "%s@dop=%d" name dop) rs cs rp cp;
+             (dop, p_s)))
+      par_dops
+  in
+  { p_name = name; p_input_rows = input_rows;
+    p_out_rows = Array.length rs.Exec.Executor.rows; seq_s; by_dop }
+
+let par_workloads (sc : scale) : prow list =
+  let n = sc.n and reps = sc.reps in
+  let groups = max 1 (n / 100) in
+  let r1 = one_table ~rows:(2 * n) ~groups in
+  let r2 = two_tables ~rows:n ~fanout:2 in
+  [ bench_parallel ~reps ~input_rows:(2 * n) "scan_filter" r1
+      (Exec.Plan.Filter
+         ( Expr.Cmp
+             (Expr.Eq, Expr.Binop (Expr.Mod, col "T" "v", Expr.int 7),
+              Expr.int 0),
+           scan "T" ));
+    bench_parallel ~reps ~input_rows:(2 * n) "hash_join" r2
+      (Exec.Plan.Hash_join
+         { kind = Algebra.Inner; pairs = [ pair ]; residual = Expr.ftrue;
+           left = scan "R"; right = scan "S" });
+    bench_parallel ~reps ~input_rows:(2 * n) "hash_agg" r1
+      (Exec.Plan.Hash_agg
+         { keys = [ (col "T" "k", "k") ];
+           aggs =
+             [ (Expr.Count_star, "n"); (Expr.Sum (col "T" "v"), "total");
+               (Expr.Max (col "T" "v"), "hi") ];
+           input = scan "T" });
+    bench_parallel ~reps ~input_rows:(2 * n) "sort" r1
+      (Exec.Plan.Sort
+         ( [ { Exec.Plan.key = col "T" "k"; descending = false };
+             { Exec.Plan.key = col "T" "v"; descending = true } ],
+           scan "T" )) ]
+
+let json_of_prows ~smoke (rows : prow list) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"smoke\": %b,\n  \"reps\": \"best-of\",\n\
+       \  \"cpus\": %d,\n  \"domains_available\": %b,\n\
+       \  \"dops\": [%s],\n\
+       \  \"note\": \"speedup is bounded by the core count above; on a \
+        single-core host dop > 1 measures scheduling overhead, not \
+        speedup. Every run is verified bit-identical (rows and counters) \
+        to the sequential batch engine before timing.\",\n"
+       smoke
+       (Domain_pool.cpu_count ())
+       Domain_pool.available
+       (String.concat ", " (List.map string_of_int par_dops)));
+  Buffer.add_string b "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+       let per_dop =
+         String.concat ", "
+           (List.map
+              (fun (d, s) ->
+                 Printf.sprintf
+                   "{\"dop\": %d, \"wall_s\": %.6f, \"speedup\": %.2f}" d s
+                   (if s > 0. then r.seq_s /. s else 0.))
+              r.by_dop)
+       in
+       Buffer.add_string b
+         (Printf.sprintf
+            "    {\"name\": %S, \"input_rows\": %d, \"out_rows\": %d, \
+             \"sequential_s\": %.6f, \"parallel\": [%s], \
+             \"verified\": true}%s\n"
+            r.p_name r.p_input_rows r.p_out_rows r.seq_s per_dop
+            (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let run_parallel ~smoke ~out sc =
+  let rows = par_workloads sc in
+  Printf.printf "%-12s %12s %10s %12s" "workload" "input_rows" "out_rows"
+    "seq_s";
+  List.iter (fun d -> Printf.printf " %9s" (Printf.sprintf "dop=%d" d))
+    par_dops;
+  print_newline ();
+  List.iter
+    (fun r ->
+       Printf.printf "%-12s %12d %10d %12.4f" r.p_name r.p_input_rows
+         r.p_out_rows r.seq_s;
+       List.iter (fun (_, s) -> Printf.printf " %9.4f" s) r.by_dop;
+       print_newline ())
+    rows;
+  let oc = open_out out in
+  output_string oc (json_of_prows ~smoke rows);
+  close_out oc;
+  Printf.printf
+    "wrote %s (cpus=%d; all runs verified bit-identical to sequential)\n"
+    out (Domain_pool.cpu_count ())
+
+(* ------------------------------------------------------------------ *)
 (* Output *)
 
 let json_of_rows ~smoke (rows : row list) =
@@ -264,17 +400,24 @@ let json_of_rows ~smoke (rows : row list) =
   Buffer.contents b
 
 let () =
-  let smoke_flag = ref false and out = ref "BENCH_exec.json" in
-  let trace_out = ref None in
+  let smoke_flag = ref false and out = ref None in
+  let trace_out = ref None and parallel = ref false in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest -> smoke_flag := true; parse rest
-    | "--out" :: f :: rest -> out := f; parse rest
+    | "--out" :: f :: rest -> out := Some f; parse rest
     | "--trace-json" :: f :: rest -> trace_out := Some f; parse rest
+    | "--parallel" :: rest -> parallel := true; parse rest
     | a :: _ -> Printf.eprintf "unknown argument: %s\n" a; exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   let sc = if !smoke_flag then smoke else full in
+  if !parallel then begin
+    let out = Option.value !out ~default:"BENCH_par.json" in
+    run_parallel ~smoke:!smoke_flag ~out sc;
+    exit 0
+  end;
+  let out = ref (Option.value !out ~default:"BENCH_exec.json") in
   let rows = workloads sc @ [ end_to_end sc ] in
   Printf.printf "%-12s %12s %10s %12s %12s %9s\n" "workload" "input_rows"
     "out_rows" "interp_s" "batch_s" "speedup";

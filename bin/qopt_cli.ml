@@ -96,7 +96,7 @@ let write_trace_json file reports =
     reports;
   close_out oc
 
-let run_cmd db_name opt engine lint analysis limit tree opt_stats analyze
+let run_cmd db_name opt engine dop lint analysis limit tree opt_stats analyze
     trace_json metrics sql =
   with_query db_name sql (fun cat db block ->
       let config =
@@ -105,6 +105,7 @@ let run_cmd db_name opt engine lint analysis limit tree opt_stats analyze
             Core.Pipeline.lint;
             analysis;
             engine = engine_of_string engine;
+            dop = max 1 dop;
             instrument = analyze || trace_json <> None }
       in
       let ctx = Exec.Context.create () in
@@ -193,6 +194,15 @@ let engine_arg =
                  (tuple-at-a-time oracle). Both produce identical rows and \
                  cost accounting.")
 
+let dop_arg =
+  Arg.(value & opt int 1
+       & info [ "dop" ] ~docv:"N"
+           ~doc:"Degree of parallelism for plan execution (batch engine \
+                 only). N > 1 runs plans on the morsel-driven parallel \
+                 engine, with per-operator parallelism taken from the \
+                 two-phase segment schedule; rows and cost accounting are \
+                 bit-identical to --dop 1.")
+
 let lint_arg =
   Arg.(value & flag
        & info [ "lint" ]
@@ -253,7 +263,8 @@ let sql_arg =
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a SQL query")
     Term.(
-      const run_cmd $ db_arg $ opt_arg $ engine_arg $ lint_arg $ analysis_arg
+      const run_cmd $ db_arg $ opt_arg $ engine_arg $ dop_arg $ lint_arg
+      $ analysis_arg
       $ limit_arg $ tree_arg $ opt_stats_arg $ analyze_arg $ trace_json_arg
       $ metrics_arg $ sql_arg)
 

@@ -28,6 +28,12 @@ type config = {
          (empty-subtree folding, transitive range closure) appended as a
          final rule class, plus provable-bound lints comparing the cost
          model's estimates against the sound cardinality envelope *)
+  dop : int;
+      (* degree of parallelism.  > 1 selects the morsel-driven engine
+         (batch plans only), with per-node dop taken from the two-phase
+         segment schedule; results and counters are bit-identical to
+         dop 1 *)
+  morsel_rows : int; (* parallel split granularity, rows per morsel *)
 }
 
 let default_rewrites : Rewrite.Rules.t list list =
@@ -43,7 +49,9 @@ let default_config =
     lint = false;
     engine = `Batch;
     instrument = false;
-    analysis = false }
+    analysis = false;
+    dop = 1;
+    morsel_rows = Exec.Morsel.default_morsel_rows }
 
 (* The analyzer rules run after pushdown so contradictions pushed into a
    view fold there first; [fold_empty]'s own fixpoint then propagates the
@@ -52,12 +60,28 @@ let effective_rewrites (config : config) : Rewrite.Rules.t list list =
   if config.analysis then config.rewrites @ [ Analysis.Simplify.rules ]
   else config.rewrites
 
-(* Both engines produce bit-identical rows and Context accounting; the
-   interpreter remains the differential-testing oracle. *)
-let exec_plan config ~ctx ?obs cat plan =
+(* All engines produce bit-identical rows and Context accounting; the
+   interpreter remains the differential-testing oracle.  At dop > 1 the
+   two-phase segment schedule decides each node's parallelism; if
+   deriving it fails (e.g. missing statistics) the morsel engine runs
+   every eligible node at the full dop — either way results are exact. *)
+let exec_plan config ~ctx ?obs cat db plan =
   match config.engine with
   | `Interpreted -> Exec.Executor.run ~ctx ?obs cat plan
-  | `Batch -> Exec.Batch.run ~ctx ?obs cat plan
+  | `Batch ->
+    if config.dop > 1 then
+      let schedule =
+        try
+          Some
+            (Parallel.Two_phase.node_dop
+               { Parallel.Two_phase.default_config with
+                 processors = config.dop }
+               cat db plan)
+        with _ -> None
+      in
+      Exec.Morsel.run ~ctx ?obs ?schedule ~morsel:config.morsel_rows
+        ~dop:config.dop cat plan
+    else Exec.Batch.run ~ctx ?obs cat plan
 
 (* No rewriting at all: the naive baseline. *)
 let naive_config = { default_config with rewrites = [] }
@@ -128,7 +152,7 @@ let rec materialize_source ~on_plan ~trace ~exec_views ~on_view ctx config cat
     in
     let table = Storage.Catalog.create_table cat ~name:tmp_name ~columns in
     if exec_views then begin
-      let result = exec_plan config ~ctx cat plan in
+      let result = exec_plan config ~ctx cat db plan in
       Array.iter (Storage.Table.insert table) result.Exec.Executor.rows;
       (* writing the temporary costs its pages *)
       Exec.Context.charge_spill ctx (Storage.Table.page_count table);
@@ -377,7 +401,7 @@ let run_block ~ctx ~config (cat : Storage.Catalog.t)
       end
       else None
     in
-    let result = exec_plan config ~ctx ?obs:recorder cat plan in
+    let result = exec_plan config ~ctx ?obs:recorder cat db plan in
     List.iter
       (fun t ->
          Storage.Catalog.remove_table cat t;

@@ -29,6 +29,17 @@ type config = {
       estimates against the analyzer's sound envelope
       ([est-above-envelope] / [est-below-envelope] warnings,
       [est-zero-nonempty] errors) into [report.diags] *)
+  dop : int;
+  (** degree of parallelism (default 1).  > 1 executes batch plans with
+      the morsel-driven engine ({!Exec.Morsel}), each node running at
+      the dop its two-phase segment ({!Parallel.Two_phase.node_dop}) was
+      scheduled at; rows and cost accounting stay bit-identical to
+      [dop = 1].  Ignored by the interpreted engine, and a no-op on
+      OCaml < 5. *)
+  morsel_rows : int;
+  (** parallel split granularity in rows (default
+      {!Exec.Morsel.default_morsel_rows}); tests and the fuzzer shrink
+      it to force multi-morsel execution on small tables *)
 }
 
 (** view merging; unnesting; view merging again; constant propagation;

@@ -32,6 +32,7 @@
    replay is a no-op — the interpreter's memo makes warm rescans free). *)
 
 open Relalg
+open Eval
 
 let chunk_rows = 1024
 
@@ -48,82 +49,12 @@ type node = {
   replay : unit -> unit; (* charge ctx as one warm re-execution *)
 }
 
-let key_nullfree (k : Value.t array) =
-  let n = Array.length k in
-  let rec go i = i = n || ((not (Value.is_null k.(i))) && go (i + 1)) in
-  go 0
+(* Shared helpers ([pred1]/[pred2], offsets, key extraction, buckets,
+   join-row emission, the Int_col unboxed column) live in {!Eval}, common
+   with the morsel executor. *)
 
-let offsets schema (refs : Expr.col_ref list) =
-  Array.of_list
-    (List.map
-       (fun (r : Expr.col_ref) ->
-          Schema.index_of schema ~rel:r.Expr.rel ~name:r.Expr.col)
-       refs)
-
-let extract_key (offs : int array) (t : Tuple.t) : Value.t array =
-  Array.map (fun i -> Tuple.get t i) offs
-
-(* Int fast-path eligibility: every key value in [rows] at [off] is Int or
-   Null.  (Value.equal matches Int 2 = Float 2.0, so a single Float on
-   either side forces the generic path.) *)
-let int_or_null_col rows off =
-  Array.for_all
-    (fun t ->
-       match Tuple.get t off with
-       | Value.Int _ | Value.Null -> true
-       | Value.Bool _ | Value.Float _ | Value.Str _ -> false)
-    rows
-
-(* Hash-join buckets carry their length so probes never re-measure the
-   chain; items are most-recent-first, matching the interpreter's
-   emission order. *)
-type bucket = { mutable blen : int; mutable items : Tuple.t list }
-
-(* Specialized WHERE-semantics predicates.  [Expr.holds] boxes every
-   comparison result in a [Value.Bool]; for the AND/OR/Cmp/Const fragment
-   the held-ness of a predicate ("evaluates to Bool true") distributes
-   over the connectives under three-valued logic — true AND x is held iff
-   both are held, x OR y is held iff either is held, and a comparison is
-   held iff [Value.sql_cmp] is conclusive and the operator accepts its
-   sign — so these compile to unboxed boolean closures.  Anything else
-   (NOT, IS NULL, UDFs, bare columns) falls back to [Expr.holds]. *)
-let rec pred1 (s : Schema.t) (e : Expr.t) : Tuple.t -> bool =
-  match e with
-  | Expr.Const (Value.Bool b) -> fun _ -> b
-  | Expr.Cmp (op, a, b) ->
-    let fa = Expr.compile s a and fb = Expr.compile s b in
-    fun t ->
-      (match Value.sql_cmp (fa t) (fb t) with
-       | None -> false
-       | Some c -> Expr.compare_op op c)
-  | Expr.And (a, b) ->
-    let pa = pred1 s a and pb = pred1 s b in
-    fun t -> pa t && pb t
-  | Expr.Or (a, b) ->
-    let pa = pred1 s a and pb = pred1 s b in
-    fun t -> pa t || pb t
-  | _ -> Expr.holds s e
-
-let rec pred2 (l : Schema.t) (r : Schema.t) (e : Expr.t) :
-  Tuple.t -> Tuple.t -> bool =
-  match e with
-  | Expr.Const (Value.Bool b) -> fun _ _ -> b
-  | Expr.Cmp (op, a, b) ->
-    let fa = Expr.compile2 l r a and fb = Expr.compile2 l r b in
-    fun x y ->
-      (match Value.sql_cmp (fa x y) (fb x y) with
-       | None -> false
-       | Some c -> Expr.compare_op op c)
-  | Expr.And (a, b) ->
-    let pa = pred2 l r a and pb = pred2 l r b in
-    fun x y -> pa x y && pb x y
-  | Expr.Or (a, b) ->
-    let pa = pred2 l r a and pb = pred2 l r b in
-    fun x y -> pa x y || pb x y
-  | _ -> Expr.holds2 l r e
-
-let run ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
-    (plan : Plan.t) : Executor.result =
+let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
+    (plan : Plan.t) : node =
   let memo : (Plan.t * node) list ref = ref [] in
   (* Instrumentation is a single match per operator execution when off.
      The measured copy of the node wraps [replay] so each replay invocation
@@ -191,13 +122,15 @@ let run ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
       match filter with
       | None -> Array.init n (Storage.Table.get t)
       | Some f ->
+        (* filter through [pred_rows]: int-comparison conjuncts run over
+           unboxed column extractions instead of boxed values *)
+        let all = Array.init n (Storage.Table.get t) in
         let keep =
-          pred1 (Schema.requalify t.Storage.Table.schema ~rel:alias) f
+          pred_rows (Schema.requalify t.Storage.Table.schema ~rel:alias) f all
         in
         let out = Storage.Vec.create () in
         for rid = 0 to n - 1 do
-          let tu = Storage.Table.get t rid in
-          if keep tu then Storage.Vec.push out tu
+          if keep rid then Storage.Vec.push out all.(rid)
         done;
         Storage.Vec.to_array out
     in
@@ -227,10 +160,12 @@ let run ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
       | None -> rows
       | Some f ->
         let keep =
-          pred1 (Schema.requalify t.Storage.Table.schema ~rel:alias) f
+          pred_rows (Schema.requalify t.Storage.Table.schema ~rel:alias) f rows
         in
         let out = Storage.Vec.create () in
-        Array.iter (fun tu -> if keep tu then Storage.Vec.push out tu) rows;
+        Array.iteri
+          (fun rid tu -> if keep rid then Storage.Vec.push out tu)
+          rows;
         Storage.Vec.to_array out
     in
     { rows; replay = charge }
@@ -241,8 +176,8 @@ let run ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
   and filter_op f i =
     let child = exec i in
     let s = Plan.schema cat i in
-    let keep = pred1 s f in
     let rows = child.rows in
+    let keep = pred_rows s f rows in
     let n = Array.length rows in
     Context.charge_cpu ctx n;
     (* chunked single pass: gather a selection vector, then copy the
@@ -254,7 +189,7 @@ let run ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
       let stop = min n (!base + chunk_rows) in
       let m = ref 0 in
       for j = !base to stop - 1 do
-        if keep rows.(j) then begin
+        if keep j then begin
           sel.(!m) <- j;
           incr m
         end
@@ -357,59 +292,8 @@ let run ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
     { rows = sorted; replay = (fun () -> child.replay (); charge ()) }
 
   (* ---------------------------------------------------------------- *)
-  (* Join-row emission (shared across the join operators).  [lo, hi) is a
-     range of [arr]; matching against an index range avoids the
-     interpreter's Array.sub copies in merge join. *)
-
-  and emit_range out kind ~inner_arity ot arr lo hi ~matches =
-    match kind with
-    | Algebra.Inner ->
-      for k = lo to hi - 1 do
-        let it = arr.(k) in
-        if matches it then Storage.Vec.push out (Tuple.concat ot it)
-      done
-    | Algebra.Left_outer ->
-      let any = ref false in
-      for k = lo to hi - 1 do
-        let it = arr.(k) in
-        if matches it then begin
-          any := true;
-          Storage.Vec.push out (Tuple.concat ot it)
-        end
-      done;
-      if not !any then
-        Storage.Vec.push out (Tuple.concat ot (Tuple.nulls inner_arity))
-    | Algebra.Semi ->
-      let rec ex k = k < hi && (matches arr.(k) || ex (k + 1)) in
-      if ex lo then Storage.Vec.push out ot
-    | Algebra.Anti ->
-      let rec ex k = k < hi && (matches arr.(k) || ex (k + 1)) in
-      if not (ex lo) then Storage.Vec.push out ot
-
-  and emit_list out kind ~inner_arity ot items ~matches =
-    match kind with
-    | Algebra.Inner ->
-      List.iter
-        (fun it -> if matches it then Storage.Vec.push out (Tuple.concat ot it))
-        items
-    | Algebra.Left_outer ->
-      let any = ref false in
-      List.iter
-        (fun it ->
-           if matches it then begin
-             any := true;
-             Storage.Vec.push out (Tuple.concat ot it)
-           end)
-        items;
-      if not !any then
-        Storage.Vec.push out (Tuple.concat ot (Tuple.nulls inner_arity))
-    | Algebra.Semi ->
-      if List.exists matches items then Storage.Vec.push out ot
-    | Algebra.Anti ->
-      if not (List.exists matches items) then Storage.Vec.push out ot
-
-  (* ---------------------------------------------------------------- *)
-  (* Joins *)
+  (* Joins.  Join-row emission ([emit_range]/[emit_list]) is shared with
+     the morsel executor via {!Eval}. *)
 
   and nested_loop kind pred outer inner =
     let onode = exec outer in
@@ -614,47 +498,46 @@ let run ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
       emit_list out kind ~inner_arity lt items ~matches:(fun rt -> holds lt rt)
     in
     let single = Array.length roffs = 1 in
-    if
-      single
-      && int_or_null_col rrows roffs.(0)
-      && int_or_null_col lrows loffs.(0)
-    then begin
-      (* single-column integer keys: open-addressing map, raw int
-         hashing, no key or entry allocation; the miss dummy doubles as
-         the empty bucket on probe *)
-      let absent = { blen = 0; items = [] } in
-      let tbl = Keys.Int_map.create ~dummy:absent (max 16 nr) in
-      (* NULL keys never join; under the test-only fault they collapse to
-         key 0, which the differential fuzzer must detect *)
-      let key_of v =
-        match v with
-        | Value.Int k -> Some k
-        | Value.Null when !fault_null_key_as_zero -> Some 0
-        | _ -> None
-      in
-      Array.iter
-        (fun rt ->
-           match key_of (Tuple.get rt roffs.(0)) with
-           | Some k ->
-             let b = Keys.Int_map.find tbl k in
-             if b == absent then
-               Keys.Int_map.add tbl k { blen = 1; items = [ rt ] }
-             else begin
-               b.blen <- b.blen + 1;
-               b.items <- rt :: b.items
-             end
-           | None -> ())
-        rrows;
-      Array.iter
-        (fun lt ->
-           match key_of (Tuple.get lt loffs.(0)) with
-           | Some k ->
-             let b = Keys.Int_map.find tbl k in
-             emit_bucket lt b.items b.blen
-           | None -> emit_bucket lt [] 0)
-        lrows
-    end
-    else begin
+    let rcol = if single then Int_col.extract rrows roffs.(0) else None in
+    let lcol =
+      if single && rcol <> None then Int_col.extract lrows loffs.(0) else None
+    in
+    (match (rcol, lcol) with
+     | Some rc, Some lc ->
+       (* single-column integer keys, both sides extracted into unboxed
+          int arrays: open-addressing map, raw int hashing, no key or
+          entry allocation; the miss dummy doubles as the empty bucket on
+          probe *)
+       let absent = { blen = 0; items = [] } in
+       let tbl = Keys.Int_map.create ~dummy:absent (max 16 nr) in
+       (* NULL keys never join; under the test-only fault they collapse to
+          key 0, which the differential fuzzer must detect *)
+       let fault = !fault_null_key_as_zero in
+       for ri = 0 to nr - 1 do
+         let null = Int_col.is_null rc ri in
+         if (not null) || fault then begin
+           let k = if null then 0 else rc.Int_col.data.(ri) in
+           let b = Keys.Int_map.find tbl k in
+           if b == absent then
+             Keys.Int_map.add tbl k { blen = 1; items = [ rrows.(ri) ] }
+           else begin
+             b.blen <- b.blen + 1;
+             b.items <- rrows.(ri) :: b.items
+           end
+         end
+       done;
+       for li = 0 to nl - 1 do
+         let lt = lrows.(li) in
+         let null = Int_col.is_null lc li in
+         if (not null) || fault then begin
+           let k = if null then 0 else lc.Int_col.data.(li) in
+           let b = Keys.Int_map.find tbl k in
+           emit_bucket lt b.items b.blen
+         end
+         else emit_bucket lt [] 0
+       done
+     | _ ->
+       begin
       let tbl = Keys.Array_tbl.create (max 16 nr) in
       Array.iter
         (fun rt ->
@@ -675,7 +558,7 @@ let run ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
            | Some b -> emit_bucket lt b.items b.blen
            | None -> emit_bucket lt [] 0)
         lrows
-    end;
+      end);
     let total_cpu = !cpu in
     { rows = Storage.Vec.to_array out;
       replay =
@@ -848,4 +731,9 @@ let run ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
     { rows = Storage.Vec.to_array out;
       replay = (fun () -> child.replay (); Context.charge_cpu ctx n) }
   in
-  { Executor.schema = Plan.schema cat plan; rows = (exec plan).rows }
+  exec plan
+
+let run ?ctx ?obs (cat : Storage.Catalog.t) (plan : Plan.t) :
+  Executor.result =
+  { Executor.schema = Plan.schema cat plan;
+    rows = (run_node ?ctx ?obs cat plan).rows }

@@ -18,6 +18,21 @@ val run :
   ?ctx:Context.t -> ?obs:Instrument.t -> Storage.Catalog.t -> Plan.t ->
   Executor.result
 
+(** An executed subtree: its rows plus a [replay] closure that charges
+    the context exactly as one warm re-execution of the interpreter
+    would (page reads re-issued against the stateful buffer pool in the
+    same order, CPU and spill totals re-charged). *)
+type node = {
+  rows : Relalg.Tuple.t array;
+  replay : unit -> unit;
+}
+
+(** [run_node] is {!run} exposing the replay closure — the morsel
+    executor runs sequential-only subtrees (e.g. [Nested_loop] inners
+    that must replay per outer tuple) through it. *)
+val run_node :
+  ?ctx:Context.t -> ?obs:Instrument.t -> Storage.Catalog.t -> Plan.t -> node
+
 (** Test-only fault injection: treat NULL single-column integer join keys
     as [Int 0] (simulating loss of the NULL-key guard on the
     {!Keys.Int_map} fast path).  Exists so the differential fuzzer's

@@ -1,0 +1,233 @@
+(* Shared compiled-evaluation helpers for the vectorized engines.
+
+   [Batch] and [Morsel] execute the same physical plans with identical
+   semantics; everything here is the common substrate: offset resolution,
+   specialized predicate compilers, join-key extraction, hash-join
+   buckets, join-row emission, and the unboxed integer-column fast path.
+   All closures returned here are pure (no [Context] charging, no shared
+   mutable state), so the morsel executor may evaluate them from any
+   domain. *)
+
+open Relalg
+
+let key_nullfree (k : Value.t array) =
+  let n = Array.length k in
+  let rec go i = i = n || ((not (Value.is_null k.(i))) && go (i + 1)) in
+  go 0
+
+let offsets schema (refs : Expr.col_ref list) =
+  Array.of_list
+    (List.map
+       (fun (r : Expr.col_ref) ->
+          Schema.index_of schema ~rel:r.Expr.rel ~name:r.Expr.col)
+       refs)
+
+let extract_key (offs : int array) (t : Tuple.t) : Value.t array =
+  Array.map (fun i -> Tuple.get t i) offs
+
+(* Int fast-path eligibility: every key value in [rows] at [off] is Int or
+   Null.  (Value.equal matches Int 2 = Float 2.0, so a single Float on
+   either side forces the generic path.) *)
+let int_or_null_col rows off =
+  Array.for_all
+    (fun t ->
+       match Tuple.get t off with
+       | Value.Int _ | Value.Null -> true
+       | Value.Bool _ | Value.Float _ | Value.Str _ -> false)
+    rows
+
+(* Hash-join buckets carry their length so probes never re-measure the
+   chain; items are most-recent-first, matching the interpreter's
+   emission order. *)
+type bucket = { mutable blen : int; mutable items : Tuple.t list }
+
+(* Specialized WHERE-semantics predicates.  [Expr.holds] boxes every
+   comparison result in a [Value.Bool]; for the AND/OR/Cmp/Const fragment
+   the held-ness of a predicate ("evaluates to Bool true") distributes
+   over the connectives under three-valued logic — true AND x is held iff
+   both are held, x OR y is held iff either is held, and a comparison is
+   held iff [Value.sql_cmp] is conclusive and the operator accepts its
+   sign — so these compile to unboxed boolean closures.  Anything else
+   (NOT, IS NULL, UDFs, bare columns) falls back to [Expr.holds]. *)
+let rec pred1 (s : Schema.t) (e : Expr.t) : Tuple.t -> bool =
+  match e with
+  | Expr.Const (Value.Bool b) -> fun _ -> b
+  | Expr.Cmp (op, a, b) ->
+    let fa = Expr.compile s a and fb = Expr.compile s b in
+    fun t ->
+      (match Value.sql_cmp (fa t) (fb t) with
+       | None -> false
+       | Some c -> Expr.compare_op op c)
+  | Expr.And (a, b) ->
+    let pa = pred1 s a and pb = pred1 s b in
+    fun t -> pa t && pb t
+  | Expr.Or (a, b) ->
+    let pa = pred1 s a and pb = pred1 s b in
+    fun t -> pa t || pb t
+  | _ -> Expr.holds s e
+
+let rec pred2 (l : Schema.t) (r : Schema.t) (e : Expr.t) :
+  Tuple.t -> Tuple.t -> bool =
+  match e with
+  | Expr.Const (Value.Bool b) -> fun _ _ -> b
+  | Expr.Cmp (op, a, b) ->
+    let fa = Expr.compile2 l r a and fb = Expr.compile2 l r b in
+    fun x y ->
+      (match Value.sql_cmp (fa x y) (fb x y) with
+       | None -> false
+       | Some c -> Expr.compare_op op c)
+  | Expr.And (a, b) ->
+    let pa = pred2 l r a and pb = pred2 l r b in
+    fun x y -> pa x y && pb x y
+  | Expr.Or (a, b) ->
+    let pa = pred2 l r a and pb = pred2 l r b in
+    fun x y -> pa x y || pb x y
+  | _ -> Expr.holds2 l r e
+
+(* ------------------------------------------------------------------ *)
+(* Unboxed integer columns.
+
+   A column whose values are all Int-or-Null extracts once into an [int
+   array] plus a null bitmap; scans, filters and join-key extraction then
+   run over raw ints with no per-row boxing or tag dispatch.  Extraction
+   bails out (returns [None]) on the first value of any other type, so
+   eligibility costs one pass and the generic path stays authoritative. *)
+
+module Int_col = struct
+  type t = { data : int array; nulls : Bytes.t; any_null : bool }
+
+  let is_null c i = Bytes.unsafe_get c.nulls i <> '\000'
+
+  let extract (rows : Tuple.t array) (off : int) : t option =
+    let n = Array.length rows in
+    let data = Array.make n 0 in
+    let nulls = Bytes.make n '\000' in
+    let any_null = ref false in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      (match Tuple.get rows.(!i) off with
+       | Value.Int k -> data.(!i) <- k
+       | Value.Null ->
+         Bytes.set nulls !i '\001';
+         any_null := true
+       | Value.Bool _ | Value.Float _ | Value.Str _ -> ok := false);
+      incr i
+    done;
+    if !ok then Some { data; nulls; any_null = !any_null } else None
+end
+
+(* A column reference's offset in [s], or [None] for computed exprs. *)
+let col_offset (s : Schema.t) (e : Expr.t) : int option =
+  match e with
+  | Expr.Col { rel; col } -> (
+    match Schema.index_of s ~rel ~name:col with
+    | off -> Some off
+    | exception _ -> None)
+  | _ -> None
+
+(* Index-based predicate over a fixed row array.  Conjuncts of the shape
+   <int col> cmp <int const> or <int col> cmp <int col> evaluate over
+   unboxed column extractions; every other conjunct falls back to [pred1]
+   applied to the indexed row.  Correctness: held-ness distributes over
+   top-level AND (see [pred1]); comparisons with a NULL operand are never
+   held, which the null bitmap reproduces; [Value.sql_cmp] on two Ints is
+   [Stdlib.compare], which the raw-int comparison reproduces. *)
+let pred_rows (s : Schema.t) (e : Expr.t) (rows : Tuple.t array) :
+  int -> bool =
+  let int_col ce =
+    match col_offset s ce with
+    | Some off -> Int_col.extract rows off
+    | None -> None
+  in
+  let compile_conj c =
+    let fallback () =
+      let p = pred1 s c in
+      fun i -> p rows.(i)
+    in
+    match c with
+    | Expr.Cmp (op, a, Expr.Const (Value.Int k)) -> (
+      match int_col a with
+      | Some col ->
+        let data = col.Int_col.data in
+        fun i ->
+          (not (Int_col.is_null col i)) && Expr.compare_op op (compare data.(i) k)
+      | None -> fallback ())
+    | Expr.Cmp (op, Expr.Const (Value.Int k), b) -> (
+      match int_col b with
+      | Some col ->
+        let data = col.Int_col.data in
+        fun i ->
+          (not (Int_col.is_null col i)) && Expr.compare_op op (compare k data.(i))
+      | None -> fallback ())
+    | Expr.Cmp (op, (Expr.Col _ as a), (Expr.Col _ as b)) -> (
+      match (int_col a, int_col b) with
+      | Some ca, Some cb ->
+        let da = ca.Int_col.data and db = cb.Int_col.data in
+        fun i ->
+          (not (Int_col.is_null ca i))
+          && (not (Int_col.is_null cb i))
+          && Expr.compare_op op (compare da.(i) db.(i))
+      | _ -> fallback ())
+    | _ -> fallback ()
+  in
+  let ps = Array.of_list (List.map compile_conj (Pred.conjuncts e)) in
+  match Array.length ps with
+  | 0 -> fun _ -> true
+  | 1 -> ps.(0)
+  | 2 ->
+    let a = ps.(0) and b = ps.(1) in
+    fun i -> a i && b i
+  | _ -> fun i -> Array.for_all (fun p -> p i) ps
+
+(* ------------------------------------------------------------------ *)
+(* Join-row emission (shared across the join operators).  [lo, hi) is a
+   range of [arr]; matching against an index range avoids the
+   interpreter's Array.sub copies in merge join. *)
+
+let emit_range out kind ~inner_arity ot arr lo hi ~matches =
+  match kind with
+  | Algebra.Inner ->
+    for k = lo to hi - 1 do
+      let it = arr.(k) in
+      if matches it then Storage.Vec.push out (Tuple.concat ot it)
+    done
+  | Algebra.Left_outer ->
+    let any = ref false in
+    for k = lo to hi - 1 do
+      let it = arr.(k) in
+      if matches it then begin
+        any := true;
+        Storage.Vec.push out (Tuple.concat ot it)
+      end
+    done;
+    if not !any then
+      Storage.Vec.push out (Tuple.concat ot (Tuple.nulls inner_arity))
+  | Algebra.Semi ->
+    let rec ex k = k < hi && (matches arr.(k) || ex (k + 1)) in
+    if ex lo then Storage.Vec.push out ot
+  | Algebra.Anti ->
+    let rec ex k = k < hi && (matches arr.(k) || ex (k + 1)) in
+    if not (ex lo) then Storage.Vec.push out ot
+
+let emit_list out kind ~inner_arity ot items ~matches =
+  match kind with
+  | Algebra.Inner ->
+    List.iter
+      (fun it -> if matches it then Storage.Vec.push out (Tuple.concat ot it))
+      items
+  | Algebra.Left_outer ->
+    let any = ref false in
+    List.iter
+      (fun it ->
+         if matches it then begin
+           any := true;
+           Storage.Vec.push out (Tuple.concat ot it)
+         end)
+      items;
+    if not !any then
+      Storage.Vec.push out (Tuple.concat ot (Tuple.nulls inner_arity))
+  | Algebra.Semi ->
+    if List.exists matches items then Storage.Vec.push out ot
+  | Algebra.Anti ->
+    if not (List.exists matches items) then Storage.Vec.push out ot

@@ -1,0 +1,65 @@
+(** Compiled-evaluation helpers shared by the vectorized engines
+    ({!Batch} and {!Morsel}): offset resolution, specialized
+    WHERE-semantics predicate compilers, join-key extraction, hash-join
+    buckets, join-row emission, and the unboxed integer-column fast path.
+
+    Everything here is pure — no {!Context} charging, no shared mutable
+    state — so returned closures are safe to evaluate from worker
+    domains. *)
+
+open Relalg
+
+(** No position of the key is NULL. *)
+val key_nullfree : Value.t array -> bool
+
+(** Resolve column refs to tuple offsets, once per operator. *)
+val offsets : Schema.t -> Expr.col_ref list -> int array
+
+val extract_key : int array -> Tuple.t -> Value.t array
+
+(** Every value at [off] is Int or Null (single-int fast-path
+    eligibility). *)
+val int_or_null_col : Tuple.t array -> int -> bool
+
+(** Hash-join bucket: chain length + most-recent-first items. *)
+type bucket = { mutable blen : int; mutable items : Tuple.t list }
+
+(** [pred1 s e] compiles [e] to "held under WHERE semantics" over one
+    tuple; unboxed for the AND/OR/Cmp/Const fragment, [Expr.holds]
+    otherwise. *)
+val pred1 : Schema.t -> Expr.t -> Tuple.t -> bool
+
+(** [pred2 l r e] — as {!pred1} over an (outer, inner) tuple pair. *)
+val pred2 : Schema.t -> Schema.t -> Expr.t -> Tuple.t -> Tuple.t -> bool
+
+(** A column whose values are all Int-or-Null, extracted once into an
+    unboxed [int array] plus null bitmap. *)
+module Int_col : sig
+  type t = { data : int array; nulls : Bytes.t; any_null : bool }
+
+  val is_null : t -> int -> bool
+
+  (** [None] when any value at [off] is neither Int nor Null. *)
+  val extract : Tuple.t array -> int -> t option
+end
+
+(** Offset of a plain column reference in the schema; [None] for
+    computed expressions or unresolvable refs. *)
+val col_offset : Schema.t -> Expr.t -> int option
+
+(** [pred_rows s e rows] — {!pred1} as an index-based predicate over a
+    fixed row array; [<int col> cmp <int const/col>] conjuncts evaluate
+    over {!Int_col} extractions, the rest fall back per row. *)
+val pred_rows : Schema.t -> Expr.t -> Tuple.t array -> int -> bool
+
+(** Emit join rows for one outer tuple against inner rows [lo, hi) of
+    [arr], honoring the join kind's semantics (Inner / Left_outer / Semi
+    / Anti). *)
+val emit_range :
+  Tuple.t Storage.Vec.t -> Algebra.join_kind -> inner_arity:int ->
+  Tuple.t -> Tuple.t array -> int -> int -> matches:(Tuple.t -> bool) -> unit
+
+(** As {!emit_range} over a bucket's item list. *)
+val emit_list :
+  Tuple.t Storage.Vec.t -> Algebra.join_kind -> inner_arity:int ->
+  Tuple.t -> Tuple.t list -> matches:(Tuple.t -> bool) -> unit

@@ -19,6 +19,14 @@
    The recorder is engine-agnostic: it never inspects operator semantics,
    only the dynamic nesting of executions. *)
 
+(* Per-worker actuals for morsel-parallel operator phases; worker 0 is
+   the coordinating domain. *)
+type par = {
+  par_dop : int;
+  worker_wall : float array;
+  worker_rows : int array;
+}
+
 type op = {
   id : int;
   node : Plan.t;
@@ -28,6 +36,7 @@ type op = {
   mutable wall_s : float;
   mutable self : Context.snapshot;
   mutable executed : bool;
+  mutable par : par option;
 }
 
 type frame = {
@@ -52,7 +61,8 @@ let create (plan : Plan.t) : t =
       (List.mapi
          (fun id node ->
             { id; node; est_rows = None; act_rows = 0; rescans = 0;
-              wall_s = 0.; self = Context.snapshot_zero; executed = false })
+              wall_s = 0.; self = Context.snapshot_zero; executed = false;
+              par = None })
          nodes)
   in
   let index = Array.to_list (Array.map (fun o -> (o.node, o)) ops) in
@@ -122,6 +132,26 @@ let measure (r : t) (ctx : Context.t) (p : Plan.t) ~(rows : 'a -> int)
 
 (* Wrap a batch-engine replay closure so each invocation counts as a
    rescan of [p] and its work is attributed like a nested execution. *)
+(* Fold one parallel phase's per-worker stats into [p]'s operator.  An
+   operator may run several parallel phases (e.g. hash join: partition,
+   build, probe); phases accumulate element-wise. *)
+let record_par (r : t) (p : Plan.t) ~(dop : int) ~(wall : float array)
+    ~(rows : int array) : unit =
+  match lookup r p with
+  | None -> ()
+  | Some o -> (
+    match o.par with
+    | Some pr when Array.length pr.worker_wall = Array.length wall ->
+      for w = 0 to Array.length wall - 1 do
+        pr.worker_wall.(w) <- pr.worker_wall.(w) +. wall.(w);
+        pr.worker_rows.(w) <- pr.worker_rows.(w) + rows.(w)
+      done
+    | Some _ | None ->
+      o.par <-
+        Some
+          { par_dop = dop; worker_wall = Array.copy wall;
+            worker_rows = Array.copy rows })
+
 let measured_replay (r : t) (ctx : Context.t) (p : Plan.t)
     (replay : unit -> unit) : unit -> unit =
   match lookup r p with

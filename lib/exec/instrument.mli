@@ -5,6 +5,15 @@
     runs execute the same tree, ids (and the actuals keyed by them) are
     directly comparable across engines. *)
 
+(** Parallel-execution actuals for one operator (morsel executor only):
+    per-worker busy seconds and rows produced, summed over the
+    operator's parallel phases.  Worker 0 is the coordinating domain. *)
+type par = {
+  par_dop : int;
+  worker_wall : float array;  (** busy seconds per worker *)
+  worker_rows : int array;  (** rows produced per worker *)
+}
+
 type op = {
   id : int;  (** pre-order index in the plan tree *)
   node : Plan.t;
@@ -16,6 +25,9 @@ type op = {
   mutable wall_s : float;  (** exclusive wall-clock seconds *)
   mutable self : Context.snapshot;  (** exclusive counter deltas *)
   mutable executed : bool;
+  mutable par : par option;
+      (** per-worker actuals; [None] unless the morsel executor ran this
+          operator's loops in parallel *)
 }
 
 type t
@@ -41,3 +53,9 @@ val measure :
     rescan of [p], with the same attribution rules as [measure]. *)
 val measured_replay :
   t -> Context.t -> Plan.t -> (unit -> unit) -> unit -> unit
+
+(** Accumulate one parallel phase's per-worker busy time and row counts
+    into [p]'s operator (element-wise add onto any previous phase).
+    Unknown nodes are ignored. *)
+val record_par :
+  t -> Plan.t -> dop:int -> wall:float array -> rows:int array -> unit

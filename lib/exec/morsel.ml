@@ -1,0 +1,854 @@
+(* Morsel-driven parallel execution engine.
+
+   Executes the same physical [Plan.t] trees as [Batch], splitting
+   operator work into fixed-size row ranges ("morsels") that a
+   [Domain_pool] drains by atomic work stealing.  The contract is strict:
+   for every plan, [run ~dop] returns BIT-IDENTICAL rows in the SAME
+   ORDER, and drives the [Context] identically to [Batch.run] — not just
+   multiset-equal.  That strength is what keeps the differential oracles
+   (interpreter vs. batch vs. morsel) and the deterministic cost
+   accounting valid at any dop.  It is achieved by construction:
+
+   - Workers do pure computation only.  Every [Context] charge (CPU,
+     spill, buffer-pool page access) happens on the coordinating domain,
+     using [Batch]'s exact formulas, in [Batch]'s exact order relative to
+     child executions — so the stateful LRU buffer pool sees the same
+     access sequence and the additive counters the same totals.
+   - Order-preserving splits: scans/filters/projects/probes process
+     morsels of the input index space and concatenate results in morsel
+     order, reproducing the sequential emission order exactly.
+   - Hash joins build per-partition tables from per-morsel partition
+     vectors concatenated in morsel order, so every key's bucket chain
+     (most-recent-first) is identical to the sequential build; probes
+     then emit in probe-row order.
+   - Hash aggregation exchanges rows by key-hash partition; each
+     partition folds ITS keys' rows sequentially in global row order
+     (bit-exact float sums — no state merging), and groups are emitted in
+     global first-occurrence order by sorting on the first row index.
+   - Sort runs parallel stable chunk sorts + pairwise merge rounds whose
+     ties prefer the earlier chunk: exactly a stable sort.
+   - Sequential-only operators (Index_scan, Index_nl probes, Merge_join,
+     Stream_agg) run the [Batch] logic inline; [Nested_loop] inners —
+     which must replay their page-access pattern per outer tuple — run
+     through [Batch.run_node].
+
+   The optional [schedule] maps each plan node to the DOP the two-phase
+   optimizer chose for its segment; nodes scheduled at 1 run inline on
+   the coordinator even when the pool is wider. *)
+
+open Relalg
+open Eval
+
+let default_morsel_rows = 4096
+
+let run ?(ctx = Context.create ()) ?obs ?pool
+    ?(morsel = default_morsel_rows) ?schedule ~dop
+    (cat : Storage.Catalog.t) (plan : Plan.t) : Executor.result =
+  let dop = max 1 dop in
+  if dop = 1 || not Domain_pool.available then Batch.run ~ctx ?obs cat plan
+  else begin
+    let owned, pool =
+      match pool with
+      | Some p -> (false, p)
+      | None -> (true, Domain_pool.create dop)
+    in
+    Fun.protect
+      ~finally:(fun () -> if owned then Domain_pool.shutdown pool)
+    @@ fun () ->
+    let pdop = Domain_pool.dop pool in
+    let msize = max 1 morsel in
+    let ntasks n = (n + msize - 1) / msize in
+    let bounds n c = (c * msize, min n ((c * msize) + msize)) in
+    (* partition fan-out for hash exchanges; any value is correct (output
+       and counters are partition-count-independent), wider than the pool
+       for balance under skew *)
+    let nparts = min 64 (4 * pdop) in
+    let sched p =
+      match schedule with
+      | None -> pdop
+      | Some f -> max 1 (min pdop (f p))
+    in
+    (* Run [tasks] as a parallel phase attributed to [node]: per-worker
+       busy time and row counts are folded into the operator's [par]
+       stats.  [f c] returns the rows the task produced/processed.
+       Degrades to an inline loop when the phase or schedule leaves no
+       parallelism. *)
+    let dispatch node ~tasks (f : int -> int) =
+      if tasks > 0 then begin
+        let w = sched node in
+        if w <= 1 || tasks = 1 then
+          for c = 0 to tasks - 1 do ignore (f c) done
+        else begin
+          let wall = Array.make pdop 0. and wrows = Array.make pdop 0 in
+          Domain_pool.run pool ~workers:w ~tasks (fun ~worker c ->
+              let t0 = Unix.gettimeofday () in
+              let r = f c in
+              wall.(worker) <-
+                wall.(worker) +. (Unix.gettimeofday () -. t0);
+              wrows.(worker) <- wrows.(worker) + r);
+          match obs with
+          | Some rc ->
+            Instrument.record_par rc node ~dop:pdop ~wall ~rows:wrows
+          | None -> ()
+        end
+      end
+    in
+    let memo : (Plan.t * Tuple.t array) list ref = ref [] in
+    let rec exec (p : Plan.t) : Tuple.t array =
+      match obs with
+      | None -> exec_op p
+      | Some r ->
+        Instrument.measure r ctx p ~rows:Array.length (fun () -> exec_op p)
+
+    and exec_op (p : Plan.t) : Tuple.t array =
+      match p with
+      | Plan.Seq_scan { table; alias; filter } -> seq_scan p table alias filter
+      | Plan.Index_scan { table; alias; column; lo; hi; filter } ->
+        index_scan table alias column lo hi filter
+      | Plan.Filter (f, i) -> filter_op p f i
+      | Plan.Project (items, i) -> project p items i
+      | Plan.Sort (keys, i) -> sort p keys i
+      | Plan.Materialize i -> (
+        match List.find_opt (fun (q, _) -> q == p) !memo with
+        | Some (_, rows) -> rows
+        | None ->
+          let rows = exec i in
+          memo := (p, rows) :: !memo;
+          rows)
+      | Plan.Nested_loop { kind; pred; outer; inner } ->
+        nested_loop p kind pred outer inner
+      | Plan.Index_nl
+          { kind; outer; table; alias; index; columns = _; outer_keys;
+            residual } ->
+        index_nl kind outer table alias index outer_keys residual
+      | Plan.Merge_join { kind; pairs; residual; left; right } ->
+        merge_join kind pairs residual left right
+      | Plan.Hash_join { kind; pairs; residual; left; right } ->
+        hash_join p kind pairs residual left right
+      | Plan.Hash_agg { keys; aggs; input } ->
+        aggregate p ~sorted:false keys aggs input
+      | Plan.Stream_agg { keys; aggs; input } ->
+        aggregate p ~sorted:true keys aggs input
+      | Plan.Hash_distinct i -> hash_distinct p i
+
+    (* ---------------------------------------------------------------- *)
+    (* Scans *)
+
+    and seq_scan p table alias filter =
+      let t = Storage.Catalog.table cat table in
+      let pages = Storage.Table.page_count t in
+      let n = Storage.Table.row_count t in
+      (* all charging on the coordinator, in Batch's order: pages then
+         CPU, before any data movement *)
+      for pg = 0 to pages - 1 do
+        Context.read_page ctx ~random:false (table, pg)
+      done;
+      Context.charge_cpu ctx n;
+      let all = Array.make n [||] in
+      dispatch p ~tasks:(ntasks n) (fun c ->
+          let lo, hi = bounds n c in
+          for rid = lo to hi - 1 do
+            all.(rid) <- Storage.Table.get t rid
+          done;
+          hi - lo);
+      match filter with
+      | None -> all
+      | Some f ->
+        let keep =
+          pred_rows (Schema.requalify t.Storage.Table.schema ~rel:alias) f all
+        in
+        par_filter p n all keep
+
+    and index_scan table alias column lo hi filter =
+      (* index probes charge the buffer pool per entry: inherently
+         sequential; runs Batch's logic inline *)
+      let t = Storage.Catalog.table cat table in
+      let idx =
+        match Storage.Catalog.index_on cat ~table ~column with
+        | Some i -> i
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Index_scan: no index on %s(%s)" table column)
+      in
+      let entries = Storage.Btree.range idx ~lo ~hi in
+      let lo_pos =
+        match lo with
+        | Storage.Btree.Unbounded ->
+          Storage.Btree.upper_bound idx [ Value.Null ]
+        | Storage.Btree.Incl k -> Storage.Btree.lower_bound idx [ k ]
+        | Storage.Btree.Excl k -> Storage.Btree.upper_bound idx [ k ]
+      in
+      Access.charge_index_fetch ctx idx t ~entries ~lo_pos;
+      let rows = Access.fetch_rows t entries in
+      (match filter with
+       | None -> rows
+       | Some f ->
+         let keep =
+           pred_rows (Schema.requalify t.Storage.Table.schema ~rel:alias) f
+             rows
+         in
+         let out = Storage.Vec.create () in
+         Array.iteri
+           (fun rid tu -> if keep rid then Storage.Vec.push out tu)
+           rows;
+         Storage.Vec.to_array out)
+
+    (* Parallel selection over a fixed row array: per-morsel survivor
+       vectors concatenated in morsel order = sequential order. *)
+    and par_filter p n rows keep =
+      let tasks = ntasks n in
+      let outs = Array.make (max tasks 1) [||] in
+      dispatch p ~tasks (fun c ->
+          let lo, hi = bounds n c in
+          let out = Storage.Vec.create () in
+          for i = lo to hi - 1 do
+            if keep i then Storage.Vec.push out rows.(i)
+          done;
+          let a = Storage.Vec.to_array out in
+          outs.(c) <- a;
+          Array.length a);
+      Array.concat (Array.to_list outs)
+
+    (* ---------------------------------------------------------------- *)
+    (* Row-at-a-time scalar operators over morsels *)
+
+    and filter_op p f i =
+      let rows = exec i in
+      let s = Plan.schema cat i in
+      let keep = pred_rows s f rows in
+      let n = Array.length rows in
+      Context.charge_cpu ctx n;
+      par_filter p n rows keep
+
+    and project p items i =
+      let rows = exec i in
+      let s = Plan.schema cat i in
+      let fs =
+        Array.of_list (List.map (fun (e, _) -> Expr.compile s e) items)
+      in
+      let nf = Array.length fs in
+      let n = Array.length rows in
+      Context.charge_cpu ctx n;
+      let out = Array.make n [||] in
+      dispatch p ~tasks:(ntasks n) (fun c ->
+          let lo, hi = bounds n c in
+          for ri = lo to hi - 1 do
+            let t = rows.(ri) in
+            out.(ri) <- Array.init nf (fun k -> fs.(k) t)
+          done;
+          hi - lo);
+      out
+
+    and sort p keys i =
+      let rows = exec i in
+      let s = Plan.schema cat i in
+      let fs =
+        Array.of_list
+          (List.map
+             (fun (k : Plan.sort_key) ->
+                (Expr.compile s k.Plan.key, k.Plan.descending))
+             keys)
+      in
+      let nk = Array.length fs in
+      let n = Array.length rows in
+      let cpu = n * Access.log2_ceil n in
+      let pages = Storage.Page.pages_for ~rows:n s in
+      let spill =
+        Access.sort_spill_pages ~work_mem:ctx.Context.work_mem_pages ~pages
+      in
+      Context.charge_cpu ctx cpu;
+      Context.charge_spill ctx spill;
+      let key_offsets =
+        List.map
+          (fun (k : Plan.sort_key) ->
+             match col_offset s k.Plan.key with
+             | Some off -> Some (off, k.Plan.descending)
+             | None -> None)
+          keys
+      in
+      if List.for_all Option.is_some key_offsets then begin
+        let ks = Array.of_list (List.filter_map Fun.id key_offsets) in
+        let cmp a b =
+          let rec go k =
+            if k = nk then 0
+            else
+              let off, desc = ks.(k) in
+              match Value.compare (Tuple.get a off) (Tuple.get b off) with
+              | 0 -> go (k + 1)
+              | c -> if desc then -c else c
+          in
+          go 0
+        in
+        psort p cmp rows
+      end
+      else begin
+        (* decorate in parallel (keys evaluate once per row), sort the
+           decorated pairs, strip *)
+        let deco = Array.make n ([||], [||]) in
+        dispatch p ~tasks:(ntasks n) (fun c ->
+            let lo, hi = bounds n c in
+            for ri = lo to hi - 1 do
+              let t = rows.(ri) in
+              deco.(ri) <- (Array.init nk (fun k -> fst fs.(k) t), t)
+            done;
+            hi - lo);
+        let cmp (ka, _) (kb, _) =
+          let rec go k =
+            if k = nk then 0
+            else
+              match Value.compare ka.(k) kb.(k) with
+              | 0 -> go (k + 1)
+              | c -> if snd fs.(k) then -c else c
+          in
+          go 0
+        in
+        Array.map snd (psort p cmp deco)
+      end
+
+    (* Parallel stable sort: stable-sorted morsel runs, then pairwise
+       merge rounds.  Ties take the earlier (lower-indexed) run, so the
+       result equals [Array.stable_sort cmp] on the whole array. *)
+    and psort : 'a. Plan.t -> ('a -> 'a -> int) -> 'a array -> 'a array =
+      fun p cmp arr ->
+      let n = Array.length arr in
+      let nchunks = ntasks n in
+      if nchunks <= 1 then begin
+        let c = Array.copy arr in
+        Array.stable_sort cmp c;
+        c
+      end
+      else begin
+        let runs =
+          Array.init nchunks (fun c ->
+              let lo, hi = bounds n c in
+              Array.sub arr lo (hi - lo))
+        in
+        dispatch p ~tasks:nchunks (fun c ->
+            Array.stable_sort cmp runs.(c);
+            Array.length runs.(c));
+        let merge a b =
+          let na = Array.length a and nb = Array.length b in
+          if na = 0 then b
+          else if nb = 0 then a
+          else begin
+            let out = Array.make (na + nb) a.(0) in
+            let ai = ref 0 and bi = ref 0 and k = ref 0 in
+            while !ai < na && !bi < nb do
+              if cmp a.(!ai) b.(!bi) <= 0 then begin
+                out.(!k) <- a.(!ai);
+                incr ai
+              end
+              else begin
+                out.(!k) <- b.(!bi);
+                incr bi
+              end;
+              incr k
+            done;
+            while !ai < na do
+              out.(!k) <- a.(!ai);
+              incr ai;
+              incr k
+            done;
+            while !bi < nb do
+              out.(!k) <- b.(!bi);
+              incr bi;
+              incr k
+            done;
+            out
+          end
+        in
+        let cur = ref runs in
+        while Array.length !cur > 1 do
+          let m = Array.length !cur in
+          let prev = !cur in
+          let nxt = Array.make ((m + 1) / 2) [||] in
+          dispatch p ~tasks:(m / 2) (fun pr ->
+              let merged = merge prev.(2 * pr) prev.((2 * pr) + 1) in
+              nxt.(pr) <- merged;
+              Array.length merged);
+          if m land 1 = 1 then nxt.((m - 1) / 2) <- prev.(m - 1);
+          cur := nxt
+        done;
+        !cur.(0)
+      end
+
+    (* ---------------------------------------------------------------- *)
+    (* Joins *)
+
+    and nested_loop p kind pred outer inner =
+      let outer_rows = exec outer in
+      let n_out = Array.length outer_rows in
+      if n_out = 0 then [||] (* the inner of an empty outer never runs *)
+      else begin
+        let so = Plan.schema cat outer and si = Plan.schema cat inner in
+        let inner_arity = Schema.arity si in
+        (* the inner subtree must replay its page-access pattern once per
+           further outer tuple: run it through Batch, which provides the
+           replay closure *)
+        let inode = Batch.run_node ~ctx ?obs cat inner in
+        let inner_rows = inode.Batch.rows in
+        let n_in = Array.length inner_rows in
+        Context.charge_cpu ctx n_in;
+        for _ = 2 to n_out do
+          inode.Batch.replay ();
+          Context.charge_cpu ctx n_in
+        done;
+        let holds = pred2 so si pred in
+        (* probe in parallel over outer morsels; concatenation in morsel
+           order = sequential emission order *)
+        let tasks = ntasks n_out in
+        let outs = Array.make (max tasks 1) [||] in
+        dispatch p ~tasks (fun c ->
+            let lo, hi = bounds n_out c in
+            let out = Storage.Vec.create () in
+            for oi = lo to hi - 1 do
+              let ot = outer_rows.(oi) in
+              emit_range out kind ~inner_arity ot inner_rows 0 n_in
+                ~matches:(fun it -> holds ot it)
+            done;
+            let a = Storage.Vec.to_array out in
+            outs.(c) <- a;
+            Array.length a);
+        Array.concat (Array.to_list outs)
+      end
+
+    and index_nl kind outer table alias index outer_keys residual =
+      (* per-probe B-tree page charges are inherently order-dependent:
+         the probe loop stays on the coordinator (the outer subtree still
+         executes in parallel) *)
+      let t = Storage.Catalog.table cat table in
+      let idx =
+        match Storage.Catalog.index_named cat ~table ~name:index with
+        | Some i -> i
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Index_nl: no index %s on %s" index table)
+      in
+      let outer_rows = exec outer in
+      let so = Plan.schema cat outer in
+      let si = Schema.requalify t.Storage.Table.schema ~rel:alias in
+      let keyfs = Array.of_list (List.map (Expr.compile so) outer_keys) in
+      let probe_keys ot = Array.to_list (Array.map (fun f -> f ot) keyfs) in
+      let holds = pred2 so si residual in
+      let inner_arity = Schema.arity si in
+      let out = Storage.Vec.create () in
+      Array.iter
+        (fun ot ->
+           let ks = probe_keys ot in
+           let entries = Storage.Btree.probe idx ks in
+           Access.charge_index_fetch ctx idx t ~entries
+             ~lo_pos:(Storage.Btree.lower_bound idx ks);
+           Context.charge_cpu ctx (1 + Array.length entries);
+           let matches = Access.fetch_rows t entries in
+           emit_range out kind ~inner_arity ot matches 0
+             (Array.length matches) ~matches:(fun it -> holds ot it))
+        outer_rows;
+      Storage.Vec.to_array out
+
+    and merge_join kind pairs residual left right =
+      (* the merge walk is a sequential two-pointer scan; children (often
+         parallel Sorts) still execute through [exec] *)
+      let lrows = exec left in
+      let rrows = exec right in
+      let sl = Plan.schema cat left and sr = Plan.schema cat right in
+      let loffs = offsets sl (List.map fst pairs) in
+      let roffs = offsets sr (List.map snd pairs) in
+      let nk = Array.length loffs in
+      let holds = pred2 sl sr residual in
+      let inner_arity = Schema.arity sr in
+      let nl = Array.length lrows and nr = Array.length rrows in
+      Context.charge_cpu ctx (nl + nr);
+      let cmp_lr li rj =
+        let lt = lrows.(li) and rt = rrows.(rj) in
+        let rec go k =
+          if k = nk then 0
+          else
+            match
+              Value.compare (Tuple.get lt loffs.(k)) (Tuple.get rt roffs.(k))
+            with
+            | 0 -> go (k + 1)
+            | c -> c
+        in
+        go 0
+      in
+      let cmp_ll li li' =
+        let a = lrows.(li) and b = lrows.(li') in
+        let rec go k =
+          if k = nk then 0
+          else
+            match
+              Value.compare (Tuple.get a loffs.(k)) (Tuple.get b loffs.(k))
+            with
+            | 0 -> go (k + 1)
+            | c -> c
+        in
+        go 0
+      in
+      let l_nullfree li =
+        let t = lrows.(li) in
+        let rec go k =
+          k = nk
+          || ((not (Value.is_null (Tuple.get t loffs.(k)))) && go (k + 1))
+        in
+        go 0
+      in
+      let r_nullfree rj =
+        let t = rrows.(rj) in
+        let rec go k =
+          k = nk
+          || ((not (Value.is_null (Tuple.get t roffs.(k)))) && go (k + 1))
+        in
+        go 0
+      in
+      let out = Storage.Vec.create () in
+      let i = ref 0 in
+      let j = ref 0 in
+      while !i < nl do
+        if not (l_nullfree !i) then begin
+          (match kind with
+           | Algebra.Left_outer ->
+             Storage.Vec.push out
+               (Tuple.concat lrows.(!i) (Tuple.nulls inner_arity))
+           | Algebra.Anti -> Storage.Vec.push out lrows.(!i)
+           | Algebra.Inner | Algebra.Semi -> ());
+          incr i
+        end
+        else begin
+          let anchor = !i in
+          while !j < nr && ((not (r_nullfree !j)) || cmp_lr anchor !j > 0) do
+            incr j
+          done;
+          let bs = !j in
+          let be = ref !j in
+          while !be < nr && cmp_lr anchor !be = 0 do
+            incr be
+          done;
+          while !i < nl && l_nullfree !i && cmp_ll !i anchor = 0 do
+            let lt = lrows.(!i) in
+            let blen = !be - bs in
+            Context.charge_cpu ctx blen;
+            emit_range out kind ~inner_arity lt rrows bs !be
+              ~matches:(fun rt -> holds lt rt);
+            incr i
+          done
+        end
+      done;
+      Storage.Vec.to_array out
+
+    and hash_join p kind pairs residual left right =
+      (* Batch order: build side (right) executes first *)
+      let rrows = exec right in
+      let nr = Array.length rrows in
+      let sl = Plan.schema cat left and sr = Plan.schema cat right in
+      let roffs = offsets sr (List.map snd pairs) in
+      Context.charge_cpu ctx nr;
+      let rpages = Storage.Page.pages_for ~rows:nr sr in
+      let lrows = exec left in
+      let nl = Array.length lrows in
+      let lpages = Storage.Page.pages_for ~rows:nl sl in
+      let spill =
+        if rpages > ctx.Context.work_mem_pages then 2 * (rpages + lpages)
+        else 0
+      in
+      if spill > 0 then Context.charge_spill ctx spill;
+      let loffs = offsets sl (List.map fst pairs) in
+      let holds = pred2 sl sr residual in
+      let inner_arity = Schema.arity sr in
+      Context.charge_cpu ctx nl;
+      let single = Array.length roffs = 1 in
+      let rcol = if single then Int_col.extract rrows roffs.(0) else None in
+      let lcol =
+        if single && rcol <> None then Int_col.extract lrows loffs.(0)
+        else None
+      in
+      let fault = !Batch.fault_null_key_as_zero in
+      (* Exchange: hash-partition build rows by key into per-morsel ×
+         per-partition index vectors (morsel order concatenation keeps
+         every bucket chain in sequential insert order), build one table
+         per partition in parallel, then probe morsels in parallel —
+         every probe row finds its partition by the same hash.  Int keys
+         hash as [Value.hash] of the boxed value would, so a mixed
+         Int/Float comparison on the generic path still lands both sides
+         in the same partition ([Value.equal] matches Int 2 = Float 2.0,
+         and [Value.hash] is numerically consistent). *)
+      let btasks = ntasks nr in
+      let probe :
+        (* per-probe-row bucket lookup, returning the bucket's (items,
+           blen) *) (int -> Tuple.t -> Tuple.t list * int) =
+        match (rcol, lcol) with
+        | Some rc, Some lc ->
+          let ihash k = Hashtbl.hash (float_of_int k) land max_int in
+          let parts =
+            Array.init (max btasks 1) (fun _ ->
+                Array.init nparts (fun _ -> Storage.Vec.create ()))
+          in
+          dispatch p ~tasks:btasks (fun c ->
+              let lo, hi = bounds nr c in
+              for ri = lo to hi - 1 do
+                let null = Int_col.is_null rc ri in
+                if (not null) || fault then begin
+                  let k = if null then 0 else rc.Int_col.data.(ri) in
+                  Storage.Vec.push parts.(c).(ihash k mod nparts) ri
+                end
+              done;
+              hi - lo);
+          let absent = { blen = 0; items = [] } in
+          let tbls =
+            Array.init nparts (fun _ ->
+                Keys.Int_map.create ~dummy:absent
+                  (max 16 ((2 * nr / nparts) + 1)))
+          in
+          dispatch p ~tasks:nparts (fun pt ->
+              let tbl = tbls.(pt) in
+              let built = ref 0 in
+              for c = 0 to btasks - 1 do
+                Storage.Vec.iter
+                  (fun ri ->
+                     incr built;
+                     let null = Int_col.is_null rc ri in
+                     let k = if null then 0 else rc.Int_col.data.(ri) in
+                     let b = Keys.Int_map.find tbl k in
+                     if b == absent then
+                       Keys.Int_map.add tbl k
+                         { blen = 1; items = [ rrows.(ri) ] }
+                     else begin
+                       b.blen <- b.blen + 1;
+                       b.items <- rrows.(ri) :: b.items
+                     end)
+                  parts.(c).(pt)
+              done;
+              !built);
+          fun li _lt ->
+            let null = Int_col.is_null lc li in
+            if (not null) || fault then begin
+              let k = if null then 0 else lc.Int_col.data.(li) in
+              let b = Keys.Int_map.find tbls.(ihash k mod nparts) k in
+              (b.items, b.blen)
+            end
+            else ([], 0)
+        | _ ->
+          let phash kv = Keys.hash_array kv land max_int mod nparts in
+          let parts =
+            Array.init (max btasks 1) (fun _ ->
+                Array.init nparts (fun _ -> Storage.Vec.create ()))
+          in
+          dispatch p ~tasks:btasks (fun c ->
+              let lo, hi = bounds nr c in
+              for ri = lo to hi - 1 do
+                let k = extract_key roffs rrows.(ri) in
+                if key_nullfree k then
+                  Storage.Vec.push parts.(c).(phash k) (ri, k)
+              done;
+              hi - lo);
+          let tbls =
+            Array.init nparts (fun _ ->
+                Keys.Array_tbl.create (max 16 ((2 * nr / nparts) + 1)))
+          in
+          dispatch p ~tasks:nparts (fun pt ->
+              let tbl = tbls.(pt) in
+              let built = ref 0 in
+              for c = 0 to btasks - 1 do
+                Storage.Vec.iter
+                  (fun (ri, k) ->
+                     incr built;
+                     match Keys.Array_tbl.find_opt tbl k with
+                     | Some b ->
+                       b.blen <- b.blen + 1;
+                       b.items <- rrows.(ri) :: b.items
+                     | None ->
+                       Keys.Array_tbl.add tbl k
+                         { blen = 1; items = [ rrows.(ri) ] })
+                  parts.(c).(pt)
+              done;
+              !built);
+          fun _li lt ->
+            let k = extract_key loffs lt in
+            if key_nullfree k then begin
+              match Keys.Array_tbl.find_opt tbls.(phash k) k with
+              | Some b -> (b.items, b.blen)
+              | None -> ([], 0)
+            end
+            else ([], 0)
+      in
+      let ptasks = ntasks nl in
+      let outs = Array.make (max ptasks 1) [||] in
+      let cpus = Array.make (max ptasks 1) 0 in
+      dispatch p ~tasks:ptasks (fun c ->
+          let lo, hi = bounds nl c in
+          let out = Storage.Vec.create () in
+          let cpu = ref 0 in
+          for li = lo to hi - 1 do
+            let lt = lrows.(li) in
+            let items, blen = probe li lt in
+            cpu := !cpu + blen;
+            emit_list out kind ~inner_arity lt items
+              ~matches:(fun rt -> holds lt rt)
+          done;
+          let a = Storage.Vec.to_array out in
+          outs.(c) <- a;
+          cpus.(c) <- !cpu;
+          Array.length a);
+      Context.charge_cpu ctx (Array.fold_left ( + ) 0 cpus);
+      Array.concat (Array.to_list outs)
+
+    (* ---------------------------------------------------------------- *)
+    (* Aggregation *)
+
+    and aggregate p ~sorted keys aggs input =
+      let rows = exec input in
+      let n = Array.length rows in
+      let s = Plan.schema cat input in
+      let keyfs =
+        Array.of_list (List.map (fun (e, _) -> Expr.compile s e) keys)
+      in
+      let nkeys = Array.length keyfs in
+      let argfs =
+        Array.of_list
+          (List.map
+             (fun (a, _) ->
+                match Expr.agg_arg a with
+                | None -> fun _ -> Value.Int 1 (* count-star: any non-null *)
+                | Some e -> Expr.compile s e)
+             aggs)
+      in
+      let agg_arr = Array.of_list (List.map fst aggs) in
+      let naggs = Array.length agg_arr in
+      Context.charge_cpu ctx n;
+      let finalize kv (states : Expr.agg_state array) =
+        Array.init (nkeys + naggs) (fun k ->
+            if k < nkeys then kv.(k)
+            else Expr.agg_final agg_arr.(k - nkeys) states.(k - nkeys))
+      in
+      let fresh_states () =
+        Array.init naggs (fun _ -> Expr.agg_init ())
+      in
+      let step_all t states =
+        for a = 0 to naggs - 1 do
+          Expr.agg_step states.(a) (argfs.(a) t)
+        done
+      in
+      let out =
+        if sorted then begin
+          (* stream aggregation over key-sorted input: sequential flush
+             walk, same as Batch *)
+          let out = Storage.Vec.create () in
+          let cur_key = ref None in
+          let cur_states = ref [||] in
+          let flush () =
+            match !cur_key with
+            | None -> ()
+            | Some kv -> Storage.Vec.push out (finalize kv !cur_states)
+          in
+          Array.iter
+            (fun t ->
+               let kv = Array.init nkeys (fun k -> keyfs.(k) t) in
+               (match !cur_key with
+                | Some kv' when Keys.equal_array kv kv' -> ()
+                | Some _ | None ->
+                  flush ();
+                  cur_key := Some kv;
+                  cur_states := fresh_states ());
+               step_all t !cur_states)
+            rows;
+          flush ();
+          Storage.Vec.to_array out
+        end
+        else begin
+          (* Exchange by key-hash partition: each key's entire fold runs
+             on one partition, sequentially in global row order — so
+             non-associative float sums come out bit-exact and no state
+             merging is needed.  Groups carry their first row index;
+             sorting the merged groups on it reproduces the sequential
+             first-occurrence emission order. *)
+          let tasks = ntasks n in
+          let parts =
+            Array.init (max tasks 1) (fun _ ->
+                Array.init nparts (fun _ -> Storage.Vec.create ()))
+          in
+          dispatch p ~tasks (fun c ->
+              let lo, hi = bounds n c in
+              for ri = lo to hi - 1 do
+                let t = rows.(ri) in
+                let kv = Array.init nkeys (fun k -> keyfs.(k) t) in
+                let pt = Keys.hash_array kv land max_int mod nparts in
+                Storage.Vec.push parts.(c).(pt) (ri, kv, t)
+              done;
+              hi - lo);
+          let group_arrays = Array.make nparts [||] in
+          dispatch p ~tasks:nparts (fun pt ->
+              let tbl = Keys.Array_tbl.create 64 in
+              let order = Storage.Vec.create () in
+              let folded = ref 0 in
+              for c = 0 to max tasks 1 - 1 do
+                Storage.Vec.iter
+                  (fun (ri, kv, t) ->
+                     incr folded;
+                     let states =
+                       match Keys.Array_tbl.find_opt tbl kv with
+                       | Some st -> st
+                       | None ->
+                         let st = fresh_states () in
+                         Keys.Array_tbl.add tbl kv st;
+                         Storage.Vec.push order (ri, kv);
+                         st
+                     in
+                     step_all t states)
+                  parts.(c).(pt)
+              done;
+              group_arrays.(pt) <-
+                Array.map
+                  (fun (ri, kv) ->
+                     (ri, finalize kv (Keys.Array_tbl.find tbl kv)))
+                  (Storage.Vec.to_array order);
+              !folded);
+          let all = Array.concat (Array.to_list group_arrays) in
+          Array.sort (fun (a, _) (b, _) -> compare (a : int) b) all;
+          Array.map snd all
+        end
+      in
+      if keys = [] && Array.length out = 0 then
+        (* scalar aggregate over the empty input: one row *)
+        [| finalize [||] (fresh_states ()) |]
+      else out
+
+    and hash_distinct p i =
+      let rows = exec i in
+      let n = Array.length rows in
+      Context.charge_cpu ctx n;
+      (* exchange by whole-tuple hash; first-occurrence order restored by
+         sorting survivors on their row index *)
+      let tasks = ntasks n in
+      let parts =
+        Array.init (max tasks 1) (fun _ ->
+            Array.init nparts (fun _ -> Storage.Vec.create ()))
+      in
+      dispatch p ~tasks (fun c ->
+          let lo, hi = bounds n c in
+          for ri = lo to hi - 1 do
+            let t = rows.(ri) in
+            let pt = Keys.hash_array t land max_int mod nparts in
+            Storage.Vec.push parts.(c).(pt) ri
+          done;
+          hi - lo);
+      let survivors = Array.make nparts [||] in
+      dispatch p ~tasks:nparts (fun pt ->
+          let seen = Keys.Array_tbl.create 64 in
+          let keep = Storage.Vec.create () in
+          for c = 0 to max tasks 1 - 1 do
+            Storage.Vec.iter
+              (fun ri ->
+                 let t = rows.(ri) in
+                 if not (Keys.Array_tbl.mem seen t) then begin
+                   Keys.Array_tbl.add seen t ();
+                   Storage.Vec.push keep ri
+                 end)
+              parts.(c).(pt)
+          done;
+          survivors.(pt) <- Storage.Vec.to_array keep;
+          Array.length survivors.(pt));
+      let all = Array.concat (Array.to_list survivors) in
+      Array.sort (fun (a : int) b -> compare a b) all;
+      Array.map (fun ri -> rows.(ri)) all
+    in
+    { Executor.schema = Plan.schema cat plan; rows = exec plan }
+  end

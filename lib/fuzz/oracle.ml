@@ -22,6 +22,13 @@ let full_grid =
     { cname = "interp";
       config = lint { d with engine = `Interpreted };
       counter_class = 1 };
+    (* morsel-parallel batch execution: rows AND counters must be
+       bit-identical to the sequential batch run, so it joins counter
+       class 1.  Tiny morsels force multi-morsel paths on fuzz-sized
+       tables. *)
+    { cname = "batch-dop4";
+      config = lint { d with dop = 4; morsel_rows = 16 };
+      counter_class = 1 };
     { cname = "batch-bushy";
       config =
         lint { d with join_config = { d.join_config with bushy = true } };
@@ -39,7 +46,8 @@ let full_grid =
 let fast_grid =
   List.filter
     (fun c ->
-       List.mem c.cname [ "interp-norw"; "batch"; "interp"; "batch-analysis" ])
+       List.mem c.cname
+         [ "interp-norw"; "batch"; "interp"; "batch-dop4"; "batch-analysis" ])
     full_grid
 
 type failure = { oracle : string; cfg : string; detail : string }

@@ -57,6 +57,18 @@ let op_line ~show_wall depth (o : I.op) : string =
   in
   Fmt.str "%-52s  %s" head metrics
 
+(* Per-worker actuals of a morsel-parallel operator.  Which worker got
+   which morsel is scheduling-dependent, so this line — like wall-clock —
+   only appears under [show_wall]. *)
+let par_line depth (p : I.par) : string =
+  let pad = String.make (2 * depth) ' ' in
+  Fmt.str "     %s  par: dop=%d rows=[%s] busy=[%s]ms" pad p.I.par_dop
+    (String.concat " "
+       (Array.to_list (Array.map string_of_int p.I.worker_rows)))
+    (String.concat " "
+       (Array.to_list
+          (Array.map (fun w -> Fmt.str "%.3f" (w *. 1000.)) p.I.worker_wall)))
+
 (* Render the recorder's plan as an indented tree, one operator per
    line.  [show_wall:false] drops wall-clock times (golden tests). *)
 let render ?(show_wall = true) (r : I.t) : string =
@@ -66,7 +78,12 @@ let render ?(show_wall = true) (r : I.t) : string =
      | None -> ()
      | Some o ->
        Buffer.add_string b (op_line ~show_wall depth o);
-       Buffer.add_char b '\n');
+       Buffer.add_char b '\n';
+       match o.I.par with
+       | Some pr when show_wall ->
+         Buffer.add_string b (par_line depth pr);
+         Buffer.add_char b '\n'
+       | _ -> ());
     List.iter (walk (depth + 1)) (Exec.Plan.children p)
   in
   (match I.ops r with

@@ -65,6 +65,8 @@ let compatible have want =
 type builder = {
   mutable segs : segment list;
   mutable next : int;
+  (* plan node -> id of the segment it executes in (physical identity) *)
+  mutable assign : (Exec.Plan.t * int) list;
   cfg : config;
   cat : Storage.Catalog.t;
   db : Stats.Table_stats.db;
@@ -84,11 +86,16 @@ type open_seg = {
   o_deps : int list;
   o_comm : float; (* rows repartitioned within this open segment *)
   o_part : partitioning;
+  o_nodes : Exec.Plan.t list; (* plan nodes executing in this segment *)
 }
 
 let close b (o : open_seg) : segment =
-  new_seg b ~ops:o.o_ops ~work:o.o_work ~max_dop:o.o_dop ~comm_rows:o.o_comm
-    ~deps:o.o_deps ~produces:o.o_part
+  let s =
+    new_seg b ~ops:o.o_ops ~work:o.o_work ~max_dop:o.o_dop ~comm_rows:o.o_comm
+      ~deps:o.o_deps ~produces:o.o_part
+  in
+  List.iter (fun n -> b.assign <- (n, s.id) :: b.assign) o.o_nodes;
+  s
 
 let rec walk (b : builder) (p : Exec.Plan.t) : open_seg =
   let work_of q = (fst (Plan_stats.derive b.cfg.params b.cat b.db q)).Plan_stats.work in
@@ -96,7 +103,8 @@ let rec walk (b : builder) (p : Exec.Plan.t) : open_seg =
   let node_work children = work_of p -. List.fold_left (fun a c -> a +. work_of c) 0. children in
   let unary name i =
     let o = walk b i in
-    { o with o_ops = o.o_ops @ [ name ]; o_work = o.o_work +. node_work [ i ] }
+    { o with o_ops = o.o_ops @ [ name ]; o_work = o.o_work +. node_work [ i ];
+      o_nodes = o.o_nodes @ [ p ] }
   in
   match p with
   | Exec.Plan.Seq_scan { table; _ } | Exec.Plan.Index_scan { table; _ } ->
@@ -104,7 +112,8 @@ let rec walk (b : builder) (p : Exec.Plan.t) : open_seg =
       float_of_int (Storage.Table.page_count (Storage.Catalog.table b.cat table))
     in
     { o_ops = [ "scan " ^ table ]; o_work = work_of p;
-      o_dop = Float.max 1. pages; o_deps = []; o_comm = 0.; o_part = Any }
+      o_dop = Float.max 1. pages; o_deps = []; o_comm = 0.; o_part = Any;
+      o_nodes = [ p ] }
   | Exec.Plan.Filter (_, i) -> unary "filter" i
   | Exec.Plan.Project (_, i) -> unary "project" i
   | Exec.Plan.Hash_distinct i -> unary "distinct" i
@@ -114,7 +123,7 @@ let rec walk (b : builder) (p : Exec.Plan.t) : open_seg =
     let name = match p with Exec.Plan.Sort _ -> "sort" | _ -> "materialize" in
     { o_ops = [ name ]; o_work = node_work [ i ];
       o_dop = closed.max_dop; o_deps = [ closed.id ]; o_comm = 0.;
-      o_part = closed.produces }
+      o_part = closed.produces; o_nodes = [ p ] }
   | Exec.Plan.Hash_agg { input; keys; _ } | Exec.Plan.Stream_agg { input; keys; _ }
     ->
     let closed = close b (walk b input) in
@@ -126,7 +135,7 @@ let rec walk (b : builder) (p : Exec.Plan.t) : open_seg =
     in
     { o_ops = [ "aggregate" ]; o_work = node_work [ input ];
       o_dop = closed.max_dop; o_deps = [ closed.id ]; o_comm = 0.;
-      o_part = part }
+      o_part = part; o_nodes = [ p ] }
   | Exec.Plan.Nested_loop { outer; inner; _ } ->
     let o = walk b outer in
     let inner_seg = close b (walk b inner) in
@@ -135,12 +144,14 @@ let rec walk (b : builder) (p : Exec.Plan.t) : open_seg =
       o_dop = o.o_dop;
       o_deps = o.o_deps @ [ inner_seg.id ];
       o_comm = o.o_comm;
-      o_part = o.o_part }
+      o_part = o.o_part;
+      o_nodes = o.o_nodes @ [ p ] }
   | Exec.Plan.Index_nl { outer; _ } ->
     let o = walk b outer in
     { o with
       o_ops = o.o_ops @ [ "index-nl join" ];
-      o_work = o.o_work +. node_work [ outer ] }
+      o_work = o.o_work +. node_work [ outer ];
+      o_nodes = o.o_nodes @ [ p ] }
   | Exec.Plan.Merge_join { pairs; left; right; _ }
   | Exec.Plan.Hash_join { pairs; left; right; _ } ->
     let want_l = On (List.map fst pairs) and want_r = On (List.map snd pairs) in
@@ -164,13 +175,44 @@ let rec walk (b : builder) (p : Exec.Plan.t) : open_seg =
       o_dop = Float.max lo.o_dop 1.;
       o_deps = lo.o_deps @ [ right_seg.id ];
       o_comm = lo.o_comm +. comm_of lo.o_part want_l (rows_of left);
-      o_part = want_l }
+      o_part = want_l;
+      o_nodes = lo.o_nodes @ [ p ] }
 
-let decompose (cfg : config) cat db (plan : Exec.Plan.t) : segment list =
-  let b = { segs = []; next = 0; cfg; cat; db } in
+let decompose_assign (cfg : config) cat db (plan : Exec.Plan.t) :
+  segment list * (Exec.Plan.t * int) list =
+  let b = { segs = []; next = 0; assign = []; cfg; cat; db } in
   let top = walk b plan in
   ignore (close b top);
-  b.segs
+  (b.segs, b.assign)
+
+let decompose (cfg : config) cat db (plan : Exec.Plan.t) : segment list =
+  fst (decompose_assign cfg cat db plan)
+
+(* The degree of parallelism each plan node actually runs at: its
+   segment's cap, clamped to the processor budget — the same dop the
+   wave scheduler charges that segment with.  Nodes the decomposition
+   does not reach (none today) default to the full budget. *)
+let node_dop (cfg : config) cat db (plan : Exec.Plan.t) :
+  Exec.Plan.t -> int =
+  let segs, assign = decompose_assign cfg cat db plan in
+  let budget = max 1 cfg.processors in
+  let seg_dop =
+    List.map
+      (fun s ->
+         (s.id, min budget (max 1 (int_of_float (Float.ceil s.max_dop)))))
+      segs
+  in
+  fun node ->
+    let rec go = function
+      | [] -> budget
+      | (n, sid) :: rest ->
+        if n == node then
+          match List.assoc_opt sid seg_dop with
+          | Some d -> d
+          | None -> budget
+        else go rest
+    in
+    go assign
 
 (* ------------------------------------------------------------------ *)
 (* Phase-2 scheduling: topological waves of malleable tasks *)

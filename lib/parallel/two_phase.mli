@@ -45,6 +45,15 @@ val decompose :
   config -> Storage.Catalog.t -> Stats.Table_stats.db -> Exec.Plan.t ->
   segment list
 
+(** [node_dop cfg cat db plan] maps each node of [plan] (by physical
+    identity) to the degree of parallelism its segment was scheduled
+    at: the segment's [max_dop] cap clamped to [cfg.processors].  The
+    morsel executor uses this as its per-node schedule, so phase-2
+    decisions govern the actual intra-operator parallelism. *)
+val node_dop :
+  config -> Storage.Catalog.t -> Stats.Table_stats.db -> Exec.Plan.t ->
+  Exec.Plan.t -> int
+
 (** Topological waves of malleable tasks. *)
 val schedule_segments : config -> segment list -> schedule
 

@@ -1,0 +1,585 @@
+(* Differential tests for the morsel-driven parallel engine: for every
+   plan, every dop and every morsel size, [Exec.Morsel.run] must produce
+   bit-identical rows in the same order AND drive the Context (buffer
+   pool, CPU, spill) identically to [Exec.Batch.run] — the oracle, which
+   is itself differentially tied to the interpreter.  Tiny morsel sizes
+   force multi-morsel execution on small inputs, so the parallel split /
+   exchange / merge machinery is exercised even on 5-row tables.
+
+   On OCaml < 5 the pool degrades to dop 1 and Morsel.run falls back to
+   Batch.run; these tests then check the fallback is transparent. *)
+
+open Relalg
+
+let mk_catalog rs ss =
+  let cat = Storage.Catalog.create () in
+  let r = Storage.Catalog.create_table cat ~name:"R"
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ] in
+  let s = Storage.Catalog.create_table cat ~name:"S"
+      ~columns:[ ("a", Value.Tint); ("c", Value.Tint) ] in
+  List.iter (fun (a, b) -> Storage.Table.insert r (Tuple.of_list [ a; b ])) rs;
+  List.iter (fun (a, c) -> Storage.Table.insert s (Tuple.of_list [ a; c ])) ss;
+  cat
+
+let default_r =
+  [ (Value.Int 1, Value.Int 10); (Value.Int 2, Value.Int 20);
+    (Value.Int 2, Value.Int 21); (Value.Int 3, Value.Int 30);
+    (Value.Null, Value.Int 99) ]
+
+let default_s =
+  [ (Value.Int 2, Value.Int 200); (Value.Int 2, Value.Int 201);
+    (Value.Int 3, Value.Int 300); (Value.Int 4, Value.Int 400);
+    (Value.Null, Value.Int 999) ]
+
+let scan t = Exec.Plan.Seq_scan { table = t; alias = t; filter = None }
+
+let join_pred =
+  Expr.Cmp (Expr.Eq, Expr.col ~rel:"R" ~col:"a", Expr.col ~rel:"S" ~col:"a")
+
+let pair = ({ Expr.rel = "R"; col = "a" }, { Expr.rel = "S"; col = "a" })
+
+let sort_on rel col input =
+  Exec.Plan.Sort
+    ([ { Exec.Plan.key = Expr.col ~rel ~col; descending = false } ], input)
+
+let counters = Exec.Context.snapshot
+let pp_counters = Fmt.str "%a" Exec.Context.pp_snapshot
+
+(* The differential harness: Batch (oracle) vs Morsel under
+   identically-configured fresh contexts; rows bit-identical and in
+   order, counters exactly equal. *)
+let differ ?buffer_pages ?work_mem_pages ?(dop = 4) ?(morsel = 2) name cat
+    plan =
+  let ctx_b = Exec.Context.create ?buffer_pages ?work_mem_pages () in
+  let oracle = Exec.Batch.run ~ctx:ctx_b cat plan in
+  let ctx_m = Exec.Context.create ?buffer_pages ?work_mem_pages () in
+  let par = Exec.Morsel.run ~ctx:ctx_m ~dop ~morsel cat plan in
+  Alcotest.(check int)
+    (name ^ ": row count")
+    (Array.length oracle.Exec.Executor.rows)
+    (Array.length par.Exec.Executor.rows);
+  Array.iteri
+    (fun i t ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: row %d identical" name i)
+         true
+         (Tuple.equal t par.Exec.Executor.rows.(i)))
+    oracle.Exec.Executor.rows;
+  Alcotest.(check string)
+    (name ^ ": counters")
+    (pp_counters (counters ctx_b))
+    (pp_counters (counters ctx_m))
+
+let kinds =
+  [ ("inner", Algebra.Inner); ("left_outer", Algebra.Left_outer);
+    ("semi", Algebra.Semi); ("anti", Algebra.Anti) ]
+
+(* ------------------------------------------------------------------ *)
+(* Operator coverage at tiny morsel sizes *)
+
+let test_scans () =
+  let cat = mk_catalog default_r default_s in
+  ignore (Storage.Catalog.create_index cat ~table:"S" ~column:"a" ());
+  differ "seq scan" cat (scan "R");
+  differ "seq scan + pushed filter" cat
+    (Exec.Plan.Seq_scan
+       { table = "R"; alias = "R";
+         filter =
+           Some (Expr.Cmp (Expr.Ge, Expr.col ~rel:"R" ~col:"a", Expr.int 2)) });
+  differ "index scan" cat
+    (Exec.Plan.Index_scan
+       { table = "S"; alias = "S"; column = "a";
+         lo = Exec.Plan.Incl (Value.Int 2); hi = Exec.Plan.Excl (Value.Int 4);
+         filter = None });
+  differ "index scan + residual" cat
+    (Exec.Plan.Index_scan
+       { table = "S"; alias = "S"; column = "a"; lo = Exec.Plan.Unbounded;
+         hi = Exec.Plan.Unbounded;
+         filter =
+           Some (Expr.Cmp (Expr.Gt, Expr.col ~rel:"S" ~col:"c", Expr.int 200))
+       })
+
+let test_scalar_ops () =
+  let cat = mk_catalog default_r default_s in
+  differ "filter" cat
+    (Exec.Plan.Filter
+       (Expr.Cmp (Expr.Ge, Expr.col ~rel:"R" ~col:"a", Expr.int 2), scan "R"));
+  differ "filter empty result" cat
+    (Exec.Plan.Filter
+       (Expr.Cmp (Expr.Gt, Expr.col ~rel:"R" ~col:"a", Expr.int 99), scan "R"));
+  differ "project" cat
+    (Exec.Plan.Project
+       ([ (Expr.Binop (Expr.Add, Expr.col ~rel:"R" ~col:"b", Expr.int 1), "b1");
+          (Expr.col ~rel:"R" ~col:"a", "a") ],
+        scan "R"));
+  differ "sort asc" cat (sort_on "R" "a" (scan "R"));
+  differ "sort desc multi-key" cat
+    (Exec.Plan.Sort
+       ([ { Exec.Plan.key = Expr.col ~rel:"R" ~col:"a"; descending = true };
+          { Exec.Plan.key = Expr.col ~rel:"R" ~col:"b"; descending = false } ],
+        scan "R"));
+  (* computed sort key: forces the decorated path *)
+  differ "sort computed key" cat
+    (Exec.Plan.Sort
+       ([ { Exec.Plan.key =
+              Expr.Binop (Expr.Mul, Expr.col ~rel:"R" ~col:"b", Expr.int (-1));
+            descending = false } ],
+        scan "R"));
+  differ "materialize" cat (Exec.Plan.Materialize (scan "R"))
+
+let test_joins () =
+  let cat = mk_catalog default_r default_s in
+  ignore (Storage.Catalog.create_index cat ~table:"S" ~column:"a" ());
+  List.iter
+    (fun (kn, kind) ->
+       differ ("nested loop " ^ kn) cat
+         (Exec.Plan.Nested_loop
+            { kind; pred = join_pred; outer = scan "R"; inner = scan "S" });
+       differ ("hash join " ^ kn) cat
+         (Exec.Plan.Hash_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue;
+              left = scan "R"; right = scan "S" });
+       differ ("merge join " ^ kn) cat
+         (Exec.Plan.Merge_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue;
+              left = sort_on "R" "a" (scan "R");
+              right = sort_on "S" "a" (scan "S") });
+       (* generic hash path via a two-column key *)
+       differ ("hash join generic " ^ kn) cat
+         (Exec.Plan.Hash_join
+            { kind;
+              pairs =
+                [ pair;
+                  ({ Expr.rel = "R"; col = "b" }, { Expr.rel = "S"; col = "c" })
+                ];
+              residual = Expr.ftrue; left = scan "R"; right = scan "S" }))
+    kinds;
+  differ "index nl" cat
+    (Exec.Plan.Index_nl
+       { kind = Algebra.Inner; outer = scan "R"; table = "S"; alias = "S";
+         index = "idx_S_a"; columns = [ "a" ];
+         outer_keys = [ Expr.col ~rel:"R" ~col:"a" ]; residual = Expr.ftrue })
+
+let test_empty_inputs () =
+  let cat = mk_catalog [] [] in
+  differ "empty scan" cat (scan "R");
+  List.iter
+    (fun (kn, kind) ->
+       differ ("empty hash join " ^ kn) cat
+         (Exec.Plan.Hash_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue;
+              left = scan "R"; right = scan "S" });
+       differ ("empty nested loop " ^ kn) cat
+         (Exec.Plan.Nested_loop
+            { kind; pred = join_pred; outer = scan "R"; inner = scan "S" }))
+    kinds;
+  (* scalar aggregate over the empty input: exactly one row *)
+  differ "empty scalar agg" cat
+    (Exec.Plan.Hash_agg
+       { keys = [];
+         aggs = [ (Expr.Count_star, "n");
+                  (Expr.Sum (Expr.col ~rel:"R" ~col:"b"), "t") ];
+         input = scan "R" });
+  (* one side empty *)
+  let cat2 = mk_catalog default_r [] in
+  List.iter
+    (fun (kn, kind) ->
+       differ ("empty build side " ^ kn) cat2
+         (Exec.Plan.Hash_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue;
+              left = scan "R"; right = scan "S" }))
+    kinds
+
+let test_aggregates () =
+  let cat = mk_catalog default_r default_s in
+  let agg input =
+    { Exec.Plan.keys = [ (Expr.col ~rel:"R" ~col:"a", "a") ];
+      aggs =
+        [ (Expr.Count_star, "n");
+          (Expr.Sum (Expr.col ~rel:"R" ~col:"b"), "t");
+          (Expr.Min (Expr.col ~rel:"R" ~col:"b"), "mn");
+          (Expr.Max (Expr.col ~rel:"R" ~col:"b"), "mx");
+          (Expr.Avg (Expr.col ~rel:"R" ~col:"b"), "av") ];
+      input }
+  in
+  differ "hash agg" cat (Exec.Plan.Hash_agg (agg (scan "R")));
+  differ "stream agg" cat
+    (Exec.Plan.Stream_agg (agg (sort_on "R" "a" (scan "R"))));
+  (* computed group key *)
+  differ "hash agg computed key" cat
+    (Exec.Plan.Hash_agg
+       { keys =
+           [ (Expr.Binop (Expr.Div, Expr.col ~rel:"R" ~col:"b", Expr.int 10),
+              "g") ];
+         aggs = [ (Expr.Count_star, "n") ];
+         input = scan "R" });
+  (* multi-key group *)
+  differ "hash agg multi key" cat
+    (Exec.Plan.Hash_agg
+       { keys =
+           [ (Expr.col ~rel:"R" ~col:"a", "a");
+             (Expr.col ~rel:"R" ~col:"b", "b") ];
+         aggs = [ (Expr.Count_star, "n") ];
+         input = scan "R" });
+  differ "distinct" cat
+    (Exec.Plan.Hash_distinct
+       (Exec.Plan.Project ([ (Expr.col ~rel:"R" ~col:"a", "a") ], scan "R")))
+
+(* Float sums are non-associative: the exchange must fold every group's
+   rows in global row order, or sums drift by ulps and this fails. *)
+let test_float_sum_exact () =
+  let cat = Storage.Catalog.create () in
+  let t = Storage.Catalog.create_table cat ~name:"F"
+      ~columns:[ ("g", Value.Tint); ("x", Value.Tfloat) ] in
+  for i = 0 to 400 do
+    Storage.Table.insert t
+      (Tuple.of_list
+         [ Value.Int (i mod 7); Value.Float (0.1 +. (float_of_int i /. 3.)) ])
+  done;
+  differ "float sum groups" ~morsel:16 cat
+    (Exec.Plan.Hash_agg
+       { keys = [ (Expr.col ~rel:"F" ~col:"g", "g") ];
+         aggs =
+           [ (Expr.Sum (Expr.col ~rel:"F" ~col:"x"), "s");
+             (Expr.Avg (Expr.col ~rel:"F" ~col:"x"), "a") ];
+         input = scan "F" });
+  (* scalar float sum: single partition, still global order *)
+  differ "float sum scalar" ~morsel:16 cat
+    (Exec.Plan.Hash_agg
+       { keys = [];
+         aggs = [ (Expr.Sum (Expr.col ~rel:"F" ~col:"x"), "s") ];
+         input = scan "F" });
+  (* float join keys force the generic hash path; Int 2 = Float 2.0
+     must still match across partitions *)
+  let m = Storage.Catalog.create_table cat ~name:"M"
+      ~columns:[ ("k", Value.Tfloat) ] in
+  List.iter
+    (fun v -> Storage.Table.insert m (Tuple.of_list [ v ]))
+    [ Value.Float 2.0; Value.Int 2; Value.Float 2.5; Value.Null ];
+  let n = Storage.Catalog.create_table cat ~name:"N"
+      ~columns:[ ("k", Value.Tfloat) ] in
+  List.iter
+    (fun v -> Storage.Table.insert n (Tuple.of_list [ v ]))
+    [ Value.Int 2; Value.Float 2.5; Value.Null; Value.Float 3.0 ];
+  List.iter
+    (fun (kn, kind) ->
+       differ ("mixed int/float keys " ^ kn) cat
+         (Exec.Plan.Hash_join
+            { kind;
+              pairs = [ ({ Expr.rel = "M"; col = "k" },
+                         { Expr.rel = "N"; col = "k" }) ];
+              residual = Expr.ftrue; left = scan "M"; right = scan "N" }))
+    kinds
+
+let composed_plan () =
+  Exec.Plan.Project
+    ( [ (Expr.col ~rel:"R" ~col:"a", "a");
+        (Expr.col ~rel:"S" ~col:"c", "c") ],
+      Exec.Plan.Sort
+        ( [ { Exec.Plan.key = Expr.col ~rel:"S" ~col:"c"; descending = true } ],
+          Exec.Plan.Filter
+            ( Expr.Cmp (Expr.Ge, Expr.col ~rel:"S" ~col:"c", Expr.int 200),
+              Exec.Plan.Hash_join
+                { kind = Algebra.Inner; pairs = [ pair ];
+                  residual = Expr.ftrue; left = scan "R"; right = scan "S" } )
+        ) )
+
+let test_dop_grid () =
+  let cat = mk_catalog default_r default_s in
+  let plan = composed_plan () in
+  List.iter
+    (fun (dop, morsel) ->
+       differ (Printf.sprintf "composed dop=%d morsel=%d" dop morsel)
+         ~dop ~morsel cat plan)
+    [ (1, 1); (2, 1); (2, 3); (4, 2); (8, 2); (16, 7) ]
+
+(* Spills and a tiny buffer pool: charge ordering against the stateful
+   LRU must survive parallel execution. *)
+let test_spill_and_pool () =
+  let rs =
+    List.init 300 (fun i -> (Value.Int (i mod 17), Value.Int i))
+  in
+  let ss =
+    List.init 200 (fun i -> (Value.Int (i mod 13), Value.Int (1000 + i)))
+  in
+  let cat = mk_catalog rs ss in
+  differ "spilling hash join" ~buffer_pages:4 ~work_mem_pages:2 ~morsel:16
+    cat
+    (Exec.Plan.Hash_join
+       { kind = Algebra.Inner; pairs = [ pair ]; residual = Expr.ftrue;
+         left = scan "R"; right = scan "S" });
+  differ "spilling sort" ~buffer_pages:4 ~work_mem_pages:2 ~morsel:16 cat
+    (sort_on "R" "b" (scan "R"));
+  differ "nested loop rescan charging" ~buffer_pages:4 ~work_mem_pages:2
+    ~morsel:16 cat
+    (Exec.Plan.Nested_loop
+       { kind = Algebra.Semi; pred = join_pred;
+         outer = scan "R"; inner = Exec.Plan.Materialize (scan "S") })
+
+(* A larger input: many morsels per operator, real domain fan-out. *)
+let test_larger_input () =
+  let rs = List.init 5000 (fun i -> (Value.Int (i mod 97), Value.Int i)) in
+  let ss =
+    List.init 3000 (fun i -> (Value.Int (i mod 89), Value.Int (i * 3)))
+  in
+  let cat = mk_catalog rs ss in
+  let plans =
+    [ ("scan+filter",
+       Exec.Plan.Seq_scan
+         { table = "R"; alias = "R";
+           filter =
+             Some
+               (Expr.Cmp (Expr.Lt, Expr.col ~rel:"R" ~col:"a", Expr.int 40))
+         });
+      ("hash join",
+       Exec.Plan.Hash_join
+         { kind = Algebra.Inner; pairs = [ pair ]; residual = Expr.ftrue;
+           left = scan "R"; right = scan "S" });
+      ("hash agg",
+       Exec.Plan.Hash_agg
+         { keys = [ (Expr.col ~rel:"R" ~col:"a", "a") ];
+           aggs =
+             [ (Expr.Count_star, "n");
+               (Expr.Sum (Expr.col ~rel:"R" ~col:"b"), "t") ];
+           input = scan "R" });
+      ("sort", sort_on "R" "b" (scan "R"));
+      ("distinct",
+       Exec.Plan.Hash_distinct
+         (Exec.Plan.Project ([ (Expr.col ~rel:"R" ~col:"a", "a") ], scan "R")))
+    ]
+  in
+  List.iter
+    (fun (name, plan) -> differ name ~dop:4 ~morsel:256 cat plan)
+    plans
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool unit tests *)
+
+let test_pool_basic () =
+  Domain_pool.with_pool 4 (fun pool ->
+      let n = 1000 in
+      let out = Array.make n 0 in
+      Domain_pool.run pool ~tasks:n (fun ~worker:_ i -> out.(i) <- i * i);
+      Alcotest.(check bool) "all tasks ran" true
+        (Array.for_all (fun x -> x >= 0) out);
+      let ok = ref true in
+      Array.iteri (fun i x -> if x <> i * i then ok := false) out;
+      Alcotest.(check bool) "task results correct" true !ok;
+      (* capped workers still complete every task *)
+      let out2 = Array.make n 0 in
+      Domain_pool.run pool ~workers:1 ~tasks:n (fun ~worker i ->
+          Alcotest.(check int) "workers:1 runs inline" 0 worker;
+          out2.(i) <- i + 1);
+      Alcotest.(check int) "capped run complete" ((n * (n + 1)) / 2)
+        (Array.fold_left ( + ) 0 out2);
+      (* zero tasks is a no-op *)
+      Domain_pool.run pool ~tasks:0 (fun ~worker:_ _ -> assert false));
+  (* dop accounting *)
+  Domain_pool.with_pool 1 (fun p ->
+      Alcotest.(check int) "dop 1 pool" 1 (Domain_pool.dop p));
+  if Domain_pool.available then
+    Domain_pool.with_pool 3 (fun p ->
+        Alcotest.(check int) "dop 3 pool" 3 (Domain_pool.dop p))
+
+exception Boom
+
+let test_pool_exception () =
+  Domain_pool.with_pool 4 (fun pool ->
+      let raised =
+        try
+          Domain_pool.run pool ~tasks:100 (fun ~worker:_ i ->
+              if i = 57 then raise Boom);
+          false
+        with Boom -> true
+      in
+      Alcotest.(check bool) "task exception propagates" true raised;
+      (* the pool survives a failed job *)
+      let sum = ref 0 in
+      let m = Mutex.create () in
+      Domain_pool.run pool ~tasks:100 (fun ~worker:_ i ->
+          Mutex.lock m;
+          sum := !sum + i;
+          Mutex.unlock m);
+      Alcotest.(check int) "pool usable after failure" 4950 !sum)
+
+let test_pool_reuse () =
+  (* many sequential jobs against one pool: the wake/quiesce protocol
+     must not lose tasks or deadlock *)
+  Domain_pool.with_pool 4 (fun pool ->
+      for round = 1 to 50 do
+        let n = 17 * round mod 97 in
+        let hits = Array.make (max 1 n) 0 in
+        Domain_pool.run pool ~tasks:n (fun ~worker:_ i ->
+            hits.(i) <- hits.(i) + 1);
+        for i = 0 to n - 1 do
+          if hits.(i) <> 1 then
+            Alcotest.failf "round %d: task %d ran %d times" round i hits.(i)
+        done
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation: per-worker stats *)
+
+let test_par_stats () =
+  let rs = List.init 500 (fun i -> (Value.Int (i mod 7), Value.Int i)) in
+  let cat = mk_catalog rs [] in
+  let plan = scan "R" in
+  let obs = Exec.Instrument.create plan in
+  let ctx = Exec.Context.create () in
+  ignore (Exec.Morsel.run ~ctx ~obs ~dop:4 ~morsel:16 cat plan);
+  match Exec.Instrument.lookup obs plan with
+  | None -> Alcotest.fail "scan op not found"
+  | Some o ->
+    Alcotest.(check int) "act_rows" 500 o.Exec.Instrument.act_rows;
+    if Domain_pool.available then begin
+      match o.Exec.Instrument.par with
+      | None -> Alcotest.fail "expected par stats at dop 4"
+      | Some p ->
+        Alcotest.(check int) "par dop" 4 p.Exec.Instrument.par_dop;
+        Alcotest.(check int) "worker rows sum to scanned rows" 500
+          (Array.fold_left ( + ) 0 p.Exec.Instrument.worker_rows);
+        Alcotest.(check bool) "some worker busy time recorded" true
+          (Array.exists (fun w -> w >= 0.) p.Exec.Instrument.worker_wall)
+    end
+
+(* A schedule pinning every node to dop 1 must run inline (no par
+   stats) and still be exact. *)
+let test_schedule_sequential () =
+  let rs = List.init 200 (fun i -> (Value.Int (i mod 7), Value.Int i)) in
+  let cat = mk_catalog rs [] in
+  let plan = scan "R" in
+  let obs = Exec.Instrument.create plan in
+  let ctx = Exec.Context.create () in
+  let r =
+    Exec.Morsel.run ~ctx ~obs ~dop:4 ~morsel:16 ~schedule:(fun _ -> 1) cat
+      plan
+  in
+  Alcotest.(check int) "rows" 200 (Array.length r.Exec.Executor.rows);
+  (match Exec.Instrument.lookup obs plan with
+   | Some o ->
+     Alcotest.(check bool) "no par stats when scheduled at 1" true
+       (o.Exec.Instrument.par = None)
+   | None -> Alcotest.fail "op missing");
+  let ctx_b = Exec.Context.create () in
+  ignore (Exec.Batch.run ~ctx:ctx_b cat plan);
+  Alcotest.(check string) "counters still exact"
+    (pp_counters (counters ctx_b))
+    (pp_counters (counters ctx))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let arb_rows =
+  QCheck.(list_of_size Gen.(int_range 0 30)
+            (pair (int_range 0 6) (int_range 0 60)))
+
+let prop_morsel_differential =
+  QCheck.Test.make ~name:"morsel engine matches batch on random inputs"
+    ~count:40
+    (QCheck.pair arb_rows arb_rows)
+    (fun (rs, ss) ->
+       let mk (a, b) = (Value.Int a, Value.Int b) in
+       let cat = mk_catalog (List.map mk rs) (List.map mk ss) in
+       let plans =
+         List.map
+           (fun (_, kind) ->
+              Exec.Plan.Nested_loop
+                { kind; pred = join_pred; outer = scan "R"; inner = scan "S" })
+           kinds
+         @ List.map
+             (fun (_, kind) ->
+                Exec.Plan.Hash_join
+                  { kind; pairs = [ pair ]; residual = Expr.ftrue;
+                    left = scan "R"; right = scan "S" })
+             kinds
+         @ List.map
+             (fun (_, kind) ->
+                Exec.Plan.Merge_join
+                  { kind; pairs = [ pair ]; residual = Expr.ftrue;
+                    left = sort_on "R" "a" (scan "R");
+                    right = sort_on "S" "a" (scan "S") })
+             kinds
+         @ [ Exec.Plan.Hash_agg
+               { keys = [ (Expr.col ~rel:"R" ~col:"a", "a") ];
+                 aggs = [ (Expr.Count_star, "n");
+                          (Expr.Sum (Expr.col ~rel:"R" ~col:"b"), "t") ];
+                 input = scan "R" };
+             Exec.Plan.Hash_distinct
+               (Exec.Plan.Project
+                  ([ (Expr.col ~rel:"R" ~col:"a", "a") ], scan "R"));
+             composed_plan () ]
+       in
+       List.for_all
+         (fun plan ->
+            let ctx_b =
+              Exec.Context.create ~buffer_pages:4 ~work_mem_pages:2 ()
+            in
+            let oracle = Exec.Batch.run ~ctx:ctx_b cat plan in
+            let ctx_m =
+              Exec.Context.create ~buffer_pages:4 ~work_mem_pages:2 ()
+            in
+            let par = Exec.Morsel.run ~ctx:ctx_m ~dop:4 ~morsel:3 cat plan in
+            Array.length oracle.Exec.Executor.rows
+            = Array.length par.Exec.Executor.rows
+            && Array.for_all2 Tuple.equal oracle.Exec.Executor.rows
+                 par.Exec.Executor.rows
+            && counters ctx_b = counters ctx_m)
+         plans)
+
+(* End-to-end: full pipeline at config.dop 4 (two-phase schedule, morsel
+   executor) vs dop 1 (batch) over fuzz-generated databases and queries —
+   Zipfian keys, NULL fractions, empty tables, ORDER BY, subqueries.
+   Full equality (rows in order + counters) subsumes the multiset and
+   sortedness requirements. *)
+let prop_pipeline_dop =
+  QCheck.Test.make ~name:"pipeline dop=4 matches dop=1 exactly" ~count:60
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+       let spec, ast = Fuzz.Gen.case ~seed in
+       let run dop =
+         (* fresh catalog per run: planning materializes view temps *)
+         let cat, db = Fuzz.Dbspec.build spec in
+         let q = Sql.Binder.bind_query cat ast in
+         let ctx = Exec.Context.create () in
+         let config =
+           { Core.Pipeline.default_config with dop; morsel_rows = 16 }
+         in
+         let result, _ = Core.Pipeline.run_query ~ctx ~config cat db q in
+         (result, counters ctx)
+       in
+       match run 1 with
+       | exception _ -> QCheck.assume_fail ()
+       | r1, c1 ->
+         let r4, c4 = run 4 in
+         Array.length r1.Exec.Executor.rows
+         = Array.length r4.Exec.Executor.rows
+         && Array.for_all2 Tuple.equal r1.Exec.Executor.rows
+              r4.Exec.Executor.rows
+         && c1 = c4)
+
+let () =
+  Alcotest.run "morsel"
+    [ ("operators",
+       [ Alcotest.test_case "scans" `Quick test_scans;
+         Alcotest.test_case "filter/project/sort/materialize" `Quick
+           test_scalar_ops;
+         Alcotest.test_case "joins, all algorithms and kinds" `Quick
+           test_joins;
+         Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
+         Alcotest.test_case "aggregates + distinct" `Quick test_aggregates;
+         Alcotest.test_case "float exactness + mixed keys" `Quick
+           test_float_sum_exact ]);
+      ("parallel machinery",
+       [ Alcotest.test_case "dop/morsel grid" `Quick test_dop_grid;
+         Alcotest.test_case "spill + buffer pool" `Quick test_spill_and_pool;
+         Alcotest.test_case "larger input" `Quick test_larger_input;
+         Alcotest.test_case "per-worker stats" `Quick test_par_stats;
+         Alcotest.test_case "sequential schedule" `Quick
+           test_schedule_sequential ]);
+      ("domain pool",
+       [ Alcotest.test_case "basic" `Quick test_pool_basic;
+         Alcotest.test_case "exceptions" `Quick test_pool_exception;
+         Alcotest.test_case "reuse" `Quick test_pool_reuse ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_morsel_differential;
+         QCheck_alcotest.to_alcotest prop_pipeline_dop ]) ]
