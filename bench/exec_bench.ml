@@ -26,7 +26,7 @@ open Relalg
 
 type scale = { n : int (* base table rows *); reps : int }
 
-let full = { n = 100_000; reps = 3 }
+let full = { n = 100_000; reps = 5 }
 let smoke = { n = 500; reps = 1 }
 
 (* ------------------------------------------------------------------ *)
@@ -40,6 +40,21 @@ let one_table ~rows ~groups =
   for i = 0 to rows - 1 do
     Storage.Table.insert t
       (Tuple.of_list [ Value.Int (i mod groups); Value.Int i ])
+  done;
+  cat
+
+(* W(c0..c7 int): a wide 8-column table; c0 = i mod groups, cj = i*(j+1) *)
+let wide_table ~rows ~groups =
+  let cat = Storage.Catalog.create () in
+  let t =
+    Storage.Catalog.create_table cat ~name:"W"
+      ~columns:(List.init 8 (fun j -> (Printf.sprintf "c%d" j, Value.Tint)))
+  in
+  for i = 0 to rows - 1 do
+    Storage.Table.insert t
+      (Tuple.of_list
+         (List.init 8 (fun j ->
+              Value.Int (if j = 0 then i mod groups else i * (j + 1)))))
   done;
   cat
 
@@ -73,20 +88,25 @@ let sort_on rel c input =
 (* ------------------------------------------------------------------ *)
 (* Harness *)
 
-(* best-of-[reps] wall clock; returns (seconds, result, counters) *)
+(* best-of-[reps] wall clock plus the best run's minor-heap allocation
+   (words); returns (seconds, words, result) *)
 let time_runs reps f =
-  let best = ref infinity and last = ref None in
+  let best = ref infinity and last = ref None and alloc = ref 0. in
   for _ = 1 to reps do
     Gc.full_major ();
+    let a0 = Gc.minor_words () in
     let t0 = Unix.gettimeofday () in
     let r = f () in
     let dt = Unix.gettimeofday () -. t0 in
-    if dt < !best then best := dt;
+    if dt < !best then begin
+      best := dt;
+      alloc := Gc.minor_words () -. a0
+    end;
     last := Some r
   done;
   match !last with
   | None -> assert false
-  | Some r -> (!best, r)
+  | Some r -> (!best, !alloc, r)
 
 type row = {
   name : string;
@@ -94,6 +114,8 @@ type row = {
   out_rows : int;
   interp_s : float;
   batch_s : float;
+  interp_alloc_w : float; (* minor words allocated, best run *)
+  batch_alloc_w : float;
 }
 
 let speedup r = if r.batch_s > 0. then r.interp_s /. r.batch_s else 0.
@@ -128,11 +150,13 @@ let bench_plan ~reps ~input_rows name cat plan : row =
     in
     (r, Exec.Context.snapshot ctx)
   in
-  let interp_s, (ro, co) = time_runs reps (run_with `Interpreted) in
-  let batch_s, (rb, cb) = time_runs reps (run_with `Batch) in
+  let interp_s, interp_alloc_w, (ro, co) =
+    time_runs reps (run_with `Interpreted)
+  in
+  let batch_s, batch_alloc_w, (rb, cb) = time_runs reps (run_with `Batch) in
   verify name ro co rb cb;
   { name; input_rows; out_rows = Array.length rb.Exec.Executor.rows;
-    interp_s; batch_s }
+    interp_s; batch_s; interp_alloc_w; batch_alloc_w }
 
 (* ------------------------------------------------------------------ *)
 (* Operator-class workloads *)
@@ -153,11 +177,28 @@ let workloads (sc : scale) : row list =
              (Expr.Eq, Expr.Binop (Expr.Mod, col "T" "v", Expr.int 7),
               Expr.int 0),
            scan "T" ));
+    (* 0.1% selectivity: the selection vector stays tiny and no row is
+       ever materialized between the scan and the filter output *)
+    bench_plan ~reps ~input_rows:(2 * n) "selective_filter" r1
+      (Exec.Plan.Filter
+         ( Expr.Cmp
+             (Expr.Eq, Expr.Binop (Expr.Mod, col "T" "v", Expr.int 1000),
+              Expr.int 0),
+           scan "T" ));
     bench_plan ~reps ~input_rows:(2 * n) "project" r1
       (Exec.Plan.Project
          ( [ (Expr.Binop (Expr.Add, col "T" "v", col "T" "k"), "s");
              (Expr.Binop (Expr.Mul, col "T" "v", Expr.int 3), "t") ],
            scan "T" ));
+    (* eight plain columns + one computed: plain columns pass through the
+       columnar engine as shared typed arrays *)
+    (let rw = wide_table ~rows:(2 * n) ~groups in
+     bench_plan ~reps ~input_rows:(2 * n) "wide_projection" rw
+       (Exec.Plan.Project
+          ( List.init 8 (fun j ->
+                (col "W" (Printf.sprintf "c%d" j), Printf.sprintf "p%d" j))
+            @ [ (Expr.Binop (Expr.Add, col "W" "c0", col "W" "c7"), "s") ],
+            scan "W" )));
     bench_plan ~reps ~input_rows:(2 * n) "sort" r1
       (Exec.Plan.Sort
          ( [ { Exec.Plan.key = col "T" "k"; descending = false };
@@ -215,11 +256,16 @@ let end_to_end (sc : scale) : row =
     let r, _ = Core.Pipeline.run_query ~ctx ~config cat db q in
     (r, Exec.Context.snapshot ctx)
   in
-  let interp_s, (ro, co) = time_runs sc.reps (run_with `Interpreted) in
-  let batch_s, (rb, cb) = time_runs sc.reps (run_with `Batch) in
+  let interp_s, interp_alloc_w, (ro, co) =
+    time_runs sc.reps (run_with `Interpreted)
+  in
+  let batch_s, batch_alloc_w, (rb, cb) =
+    time_runs sc.reps (run_with `Batch)
+  in
   verify "end_to_end" ro co rb cb;
   { name = "end_to_end"; input_rows = emps + depts;
-    out_rows = Array.length rb.Exec.Executor.rows; interp_s; batch_s }
+    out_rows = Array.length rb.Exec.Executor.rows; interp_s; batch_s;
+    interp_alloc_w; batch_alloc_w }
 
 (* One instrumented pass over the end-to-end query; its optimizer trace
    goes to [file] as line-delimited JSON (a CI artifact). *)
@@ -268,7 +314,7 @@ let bench_parallel ~reps ~input_rows name cat plan : prow =
     let r = Exec.Batch.run ~ctx cat plan in
     (r, Exec.Context.snapshot ctx)
   in
-  let seq_s, (rs, cs) = time_runs reps seq in
+  let seq_s, _, (rs, cs) = time_runs reps seq in
   let by_dop =
     List.map
       (fun dop ->
@@ -278,7 +324,7 @@ let bench_parallel ~reps ~input_rows name cat plan : prow =
                let r = Exec.Morsel.run ~ctx ~pool ~dop cat plan in
                (r, Exec.Context.snapshot ctx)
              in
-             let p_s, (rp, cp) = time_runs reps par in
+             let p_s, _, (rp, cp) = time_runs reps par in
              verify (Printf.sprintf "%s@dop=%d" name dop) rs cs rp cp;
              (dop, p_s)))
       par_dops
@@ -391,9 +437,12 @@ let json_of_rows ~smoke (rows : row list) =
             "    {\"name\": %S, \"input_rows\": %d, \"out_rows\": %d, \
              \"interpreted_s\": %.6f, \"batch_s\": %.6f, \
              \"interpreted_rows_per_s\": %.0f, \"batch_rows_per_s\": %.0f, \
+             \"interpreted_alloc_words\": %.0f, \
+             \"batch_alloc_words\": %.0f, \
              \"speedup\": %.2f, \"verified\": true}%s\n"
             r.name r.input_rows r.out_rows r.interp_s r.batch_s
-            (rps r r.interp_s) (rps r r.batch_s) (speedup r)
+            (rps r r.interp_s) (rps r r.batch_s) r.interp_alloc_w
+            r.batch_alloc_w (speedup r)
             (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ]\n}\n";
@@ -419,12 +468,14 @@ let () =
   end;
   let out = ref (Option.value !out ~default:"BENCH_exec.json") in
   let rows = workloads sc @ [ end_to_end sc ] in
-  Printf.printf "%-12s %12s %10s %12s %12s %9s\n" "workload" "input_rows"
-    "out_rows" "interp_s" "batch_s" "speedup";
+  Printf.printf "%-16s %12s %10s %12s %12s %9s %13s %13s\n" "workload"
+    "input_rows" "out_rows" "interp_s" "batch_s" "speedup" "interp_Mw"
+    "batch_Mw";
   List.iter
     (fun r ->
-       Printf.printf "%-12s %12d %10d %12.4f %12.4f %8.1fx\n" r.name
-         r.input_rows r.out_rows r.interp_s r.batch_s (speedup r))
+       Printf.printf "%-16s %12d %10d %12.4f %12.4f %8.1fx %13.2f %13.2f\n"
+         r.name r.input_rows r.out_rows r.interp_s r.batch_s (speedup r)
+         (r.interp_alloc_w /. 1e6) (r.batch_alloc_w /. 1e6))
     rows;
   let oc = open_out !out in
   output_string oc (json_of_rows ~smoke:!smoke_flag rows);

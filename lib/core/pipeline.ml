@@ -34,6 +34,9 @@ type config = {
          segment schedule; results and counters are bit-identical to
          dop 1 *)
   morsel_rows : int; (* parallel split granularity, rows per morsel *)
+  chunk_rows : int;
+      (* columnar-engine block granularity (selection-vector build and
+         emission loops); results are chunk_rows-independent *)
 }
 
 let default_rewrites : Rewrite.Rules.t list list =
@@ -51,7 +54,8 @@ let default_config =
     instrument = false;
     analysis = false;
     dop = 1;
-    morsel_rows = Exec.Morsel.default_morsel_rows }
+    morsel_rows = Exec.Morsel.default_morsel_rows;
+    chunk_rows = Exec.Batch.default_chunk_rows }
 
 (* The analyzer rules run after pushdown so contradictions pushed into a
    view fold there first; [fold_empty]'s own fixpoint then propagates the
@@ -80,8 +84,8 @@ let exec_plan config ~ctx ?obs cat db plan =
         with _ -> None
       in
       Exec.Morsel.run ~ctx ?obs ?schedule ~morsel:config.morsel_rows
-        ~dop:config.dop cat plan
-    else Exec.Batch.run ~ctx ?obs cat plan
+        ~chunk_rows:config.chunk_rows ~dop:config.dop cat plan
+    else Exec.Batch.run ~ctx ?obs ~chunk_rows:config.chunk_rows cat plan
 
 (* No rewriting at all: the naive baseline. *)
 let naive_config = { default_config with rewrites = [] }

@@ -40,6 +40,11 @@ type config = {
   (** parallel split granularity in rows (default
       {!Exec.Morsel.default_morsel_rows}); tests and the fuzzer shrink
       it to force multi-morsel execution on small tables *)
+  chunk_rows : int;
+  (** columnar-engine block granularity (default
+      {!Exec.Batch.default_chunk_rows}); rows and counters are
+      [chunk_rows]-independent — the fuzzer shrinks it to exercise block
+      boundaries *)
 }
 
 (** view merging; unnesting; view merging again; constant propagation;

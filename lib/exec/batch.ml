@@ -1,40 +1,47 @@
 (* Batch execution engine.
 
    Executes the same physical [Plan.t] trees as [Executor], but
-   operator-at-a-time over chunked row batches, with bit-identical results
+   operator-at-a-time over columnar chunks, with bit-identical results
    and identical [Context] cost accounting.  The differences from the
    interpreter are purely mechanical:
 
-   - every column reference is resolved to an integer offset once per
-     operator ([Expr.compile] / [Expr.compile2]), so join predicates and
-     residuals evaluate against the two input tuples directly instead of
-     materializing the concatenated tuple per probe;
-   - join/aggregation keys are fixed-arity [Value.t array]s — or raw ints
-     on the single-integer-column fast path — in the specialized hash
-     tables of [Keys] (no per-tuple list allocation, no length
-     re-traversal);
-   - operators fill output buffers in single passes over input chunks
-     (selection vectors for filters) instead of array/list round-trips;
-   - in-place sorting decorates rows with precomputed key arrays, so no
-     expression is evaluated inside the comparator.
+   - operators exchange [Eval.Chunk.t] values: per-column typed storage
+     (unboxed int/float arrays with null bitmaps, a boxed fallback
+     column for strings/bools/mixed numerics) plus a selection vector.
+     Filters and semi/anti hash joins narrow the selection without
+     materializing rows; rows are built only where an operator is
+     inherently row-shaped (sort payloads, nested-loop rescans,
+     join-row emission, the final result);
+   - predicates and projection items whose leaves are all integer
+     columns/constants compile to unboxed closures ([Eval.int_expr] /
+     [Eval.pred_store]) and run directly over the column data;
+   - join/aggregation keys hash straight out of the columns: raw ints
+     on the single-integer-column fast path ([Keys.Int_map]), and
+     column-accessor probing ([Keys.Cols_tbl]) otherwise, so a probe
+     never allocates a key array;
+   - aggregates over integer arguments fold unboxed
+     ([Expr.agg_step_int]) with key extraction amortized per chunk.
 
-   Cost charging is decoupled from data movement.  Executing a node
-   returns, besides its rows, a [replay] closure that charges the Context
-   exactly as one *warm* re-execution of the interpreter would: page reads
-   re-issued against the (stateful, LRU) buffer pool in the same order,
-   CPU and spill totals re-charged.  [Nested_loop] — whose interpreter
-   semantics re-execute the inner child once per outer tuple — computes
-   the inner rows once and calls the inner node's [replay] for every
-   further outer tuple: the rescan charges the buffer pool without
-   recomputing the subtree.  The rescan cache is the node itself, held by
-   physical identity in the operator's closure; [Materialize] nodes are
-   additionally memoized by physical identity within one [run] (their
-   replay is a no-op — the interpreter's memo makes warm rescans free). *)
+   Cost charging is decoupled from data movement — all charging loops
+   run over *logical* (selection-order) row counts, so the counters are
+   identical to the row-at-a-time engine's.  Executing a node returns,
+   besides its chunk, a [replay] closure that charges the Context
+   exactly as one *warm* re-execution of the interpreter would: page
+   reads re-issued against the (stateful, LRU) buffer pool in the same
+   order, CPU and spill totals re-charged.  [Nested_loop] — whose
+   interpreter semantics re-execute the inner child once per outer
+   tuple — computes the inner rows once and calls the inner node's
+   [replay] for every further outer tuple: the rescan charges the
+   buffer pool without recomputing the subtree.  The rescan cache is
+   the node itself, held by physical identity in the operator's
+   closure; [Materialize] nodes are additionally memoized by physical
+   identity within one [run] (their replay is a no-op — the
+   interpreter's memo makes warm rescans free). *)
 
 open Relalg
 open Eval
 
-let chunk_rows = 1024
+let default_chunk_rows = 1024
 
 (* Test-only fault injection: when set, the single-column integer hash
    join treats NULL keys as [Int 0] on both the build and probe sides —
@@ -45,17 +52,56 @@ let chunk_rows = 1024
 let fault_null_key_as_zero = ref false
 
 type node = {
-  rows : Tuple.t array;
+  chunk : Chunk.t;
   replay : unit -> unit; (* charge ctx as one warm re-execution *)
 }
 
-(* Shared helpers ([pred1]/[pred2], offsets, key extraction, buckets,
-   join-row emission, the Int_col unboxed column) live in {!Eval}, common
-   with the morsel executor. *)
+(* Gather a column through a selection vector. *)
+let gather_col (c : Chunk.col) (sel : int array) : Chunk.col =
+  let n = Array.length sel in
+  match c with
+  | Chunk.Ints (d, nb) ->
+    let d' = Array.make n 0 and nb' = Bytes.make n '\000' in
+    for i = 0 to n - 1 do
+      let p = Array.unsafe_get sel i in
+      d'.(i) <- d.(p);
+      Bytes.set nb' i (Bytes.get nb p)
+    done;
+    Chunk.Ints (d', nb')
+  | Chunk.Floats (d, nb) ->
+    let d' = Array.make n 0. and nb' = Bytes.make n '\000' in
+    for i = 0 to n - 1 do
+      let p = Array.unsafe_get sel i in
+      d'.(i) <- d.(p);
+      Bytes.set nb' i (Bytes.get nb p)
+    done;
+    Chunk.Floats (d', nb')
+  | Chunk.Boxed v -> Chunk.Boxed (Array.map (fun p -> v.(p)) sel)
 
-let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
+(* Shared helpers ([pred1]/[pred2], offsets, buckets, join-row emission,
+   the chunk representation and the unboxed expression compilers) live
+   in {!Eval}, common with the morsel executor. *)
+
+let run_node ?(ctx = Context.create ()) ?obs
+    ?(chunk_rows = default_chunk_rows) (cat : Storage.Catalog.t)
     (plan : Plan.t) : node =
   let memo : (Plan.t * node) list ref = ref [] in
+  (* Filter a dense store: compile the predicate once, then gather the
+     selection vector in [chunk_rows] blocks. *)
+  let select_dense s f (store : Chunk.store) : Chunk.t =
+    let keep = pred_store s f store in
+    let n = store.Chunk.len in
+    let sel = Storage.Vec.create () in
+    let base = ref 0 in
+    while !base < n do
+      let stop = min n (!base + chunk_rows) in
+      for j = !base to stop - 1 do
+        if keep j then Storage.Vec.push sel j
+      done;
+      base := stop
+    done;
+    { Chunk.store; sel = Some (Storage.Vec.to_array sel) }
+  in
   (* Instrumentation is a single match per operator execution when off.
      The measured copy of the node wraps [replay] so each replay invocation
      counts as a rescan — mirroring the interpreter, where a rescan is a
@@ -67,7 +113,7 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
     | Some r ->
       let n =
         Instrument.measure r ctx p
-          ~rows:(fun (n : node) -> Array.length n.rows)
+          ~rows:(fun (n : node) -> Chunk.length n.chunk)
           (fun () -> exec_op p)
       in
       { n with replay = Instrument.measured_replay r ctx p n.replay }
@@ -87,7 +133,7 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
         let child = exec i in
         (* the interpreter's memo makes warm rescans of a Materialize
            free: replay charges nothing *)
-        let n = { rows = child.rows; replay = (fun () -> ()) } in
+        let n = { chunk = child.chunk; replay = (fun () -> ()) } in
         memo := (p, n) :: !memo;
         n)
     | Plan.Nested_loop { kind; pred; outer; inner } ->
@@ -118,23 +164,19 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
       Context.charge_cpu ctx n
     in
     charge ();
-    let rows =
-      match filter with
-      | None -> Array.init n (Storage.Table.get t)
-      | Some f ->
-        (* filter through [pred_rows]: int-comparison conjuncts run over
-           unboxed column extractions instead of boxed values *)
-        let all = Array.init n (Storage.Table.get t) in
-        let keep =
-          pred_rows (Schema.requalify t.Storage.Table.schema ~rel:alias) f all
-        in
-        let out = Storage.Vec.create () in
-        for rid = 0 to n - 1 do
-          if keep rid then Storage.Vec.push out all.(rid)
-        done;
-        Storage.Vec.to_array out
+    let s = Schema.requalify t.Storage.Table.schema ~rel:alias in
+    let store =
+      Chunk.store_of_rows ~arity:(Schema.arity s) (Storage.Table.rows_array t)
     in
-    { rows; replay = charge }
+    let chunk =
+      match filter with
+      | None -> Chunk.dense store
+      | Some f ->
+        (* pushed filter: emit a selection over the scanned store — int
+           comparisons run unboxed over the column extractions *)
+        select_dense s f store
+    in
+    { chunk; replay = charge }
 
   and index_scan table alias column lo hi filter =
     let t = Storage.Catalog.table cat table in
@@ -154,21 +196,16 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
     in
     let charge () = Access.charge_index_fetch ctx idx t ~entries ~lo_pos in
     charge ();
-    let rows = Access.fetch_rows t entries in
-    let rows =
-      match filter with
-      | None -> rows
-      | Some f ->
-        let keep =
-          pred_rows (Schema.requalify t.Storage.Table.schema ~rel:alias) f rows
-        in
-        let out = Storage.Vec.create () in
-        Array.iteri
-          (fun rid tu -> if keep rid then Storage.Vec.push out tu)
-          rows;
-        Storage.Vec.to_array out
+    let s = Schema.requalify t.Storage.Table.schema ~rel:alias in
+    let store =
+      Chunk.store_of_rows ~arity:(Schema.arity s) (Access.fetch_rows t entries)
     in
-    { rows; replay = charge }
+    let chunk =
+      match filter with
+      | None -> Chunk.dense store
+      | Some f -> select_dense s f store
+    in
+    { chunk; replay = charge }
 
   (* ---------------------------------------------------------------- *)
   (* Row-at-a-time scalar operators, vectorized *)
@@ -176,44 +213,124 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
   and filter_op f i =
     let child = exec i in
     let s = Plan.schema cat i in
-    let rows = child.rows in
-    let keep = pred_rows s f rows in
-    let n = Array.length rows in
+    let ch = child.chunk in
+    let n = Chunk.length ch in
+    let keep = pred_store s f ch.Chunk.store in
     Context.charge_cpu ctx n;
-    (* chunked single pass: gather a selection vector, then copy the
-       survivors — no array/list round-trip *)
-    let out = Storage.Vec.create () in
-    let sel = Array.make chunk_rows 0 in
+    (* narrow the selection: survivors of the child's logical iteration,
+       gathered in [chunk_rows] blocks — the data is never copied *)
+    let phys = Chunk.phys ch in
+    let sel = Storage.Vec.create () in
     let base = ref 0 in
     while !base < n do
       let stop = min n (!base + chunk_rows) in
-      let m = ref 0 in
       for j = !base to stop - 1 do
-        if keep j then begin
-          sel.(!m) <- j;
-          incr m
-        end
-      done;
-      for k = 0 to !m - 1 do
-        Storage.Vec.push out rows.(sel.(k))
+        let p = phys j in
+        if keep p then Storage.Vec.push sel p
       done;
       base := stop
     done;
-    { rows = Storage.Vec.to_array out;
+    { chunk = { Chunk.store = ch.Chunk.store;
+                sel = Some (Storage.Vec.to_array sel) };
       replay = (fun () -> child.replay (); Context.charge_cpu ctx n) }
 
   and project items i =
     let child = exec i in
     let s = Plan.schema cat i in
-    let fs = Array.of_list (List.map (fun (e, _) -> Expr.compile s e) items) in
-    let nf = Array.length fs in
-    let rows = child.rows in
-    let n = Array.length rows in
+    let ch = child.chunk in
+    let store = ch.Chunk.store in
+    let n = Chunk.length ch in
     Context.charge_cpu ctx n;
-    let out =
-      Array.map (fun t -> Array.init nf (fun k -> fs.(k) t)) rows
+    let es = Array.of_list (List.map fst items) in
+    let nf = Array.length es in
+    let chunk =
+      match store.Chunk.rows with
+      | Some srows ->
+        (* the child is already materialized: one fused row-at-a-time
+           pass — plain columns share the existing boxes, integer
+           arithmetic re-boxes through the interned small-int cache —
+           beats building typed columns that re-box at the next
+           materialization boundary.  Output columns stay lazy. *)
+        let fs = Array.map (proj_item s) es in
+        let out = Array.make n [||] in
+        (* item evaluation stays left-to-right (explicit lets below) so
+           any expression error surfaces in the interpreter's order *)
+        (match ch.Chunk.sel, fs with
+         | None, [| f0 |] ->
+           for j = 0 to n - 1 do
+             Array.unsafe_set out j [| f0 (Array.unsafe_get srows j) |]
+           done
+         | None, [| f0; f1 |] ->
+           for j = 0 to n - 1 do
+             let t = Array.unsafe_get srows j in
+             let a = f0 t in
+             let b = f1 t in
+             Array.unsafe_set out j [| a; b |]
+           done
+         | None, fs ->
+           for j = 0 to n - 1 do
+             let t = Array.unsafe_get srows j in
+             let o = Array.make nf Value.Null in
+             for c = 0 to nf - 1 do
+               Array.unsafe_set o c ((Array.unsafe_get fs c) t)
+             done;
+             Array.unsafe_set out j o
+           done
+         | Some sel, [| f0; f1 |] ->
+           for j = 0 to n - 1 do
+             let t = Array.unsafe_get srows (Array.unsafe_get sel j) in
+             let a = f0 t in
+             let b = f1 t in
+             Array.unsafe_set out j [| a; b |]
+           done
+         | Some sel, fs ->
+           for j = 0 to n - 1 do
+             let t = Array.unsafe_get srows (Array.unsafe_get sel j) in
+             let o = Array.make nf Value.Null in
+             for c = 0 to nf - 1 do
+               Array.unsafe_set o c ((Array.unsafe_get fs c) t)
+             done;
+             Array.unsafe_set out j o
+           done);
+        Chunk.of_rows ~arity:nf out
+      | None ->
+        (* column-at-a-time: plain column refs share (or gather) the
+           child's typed columns; integer expressions fill unboxed
+           output columns; everything else falls back to compiled row
+           evaluation.  The output is always dense — a projection
+           consumes the selection. *)
+        let phys = Chunk.phys ch in
+        let rows = lazy (Chunk.to_rows ch) in
+        let out_cols =
+          Array.map
+            (fun e ->
+               let c =
+                 match col_offset s e with
+                 | Some off -> (
+                   match ch.Chunk.sel with
+                   | None -> Chunk.col store off (* share, zero cost *)
+                   | Some sel -> gather_col (Chunk.col store off) sel)
+                 | None -> (
+                   match int_expr s store e with
+                   | Some v ->
+                     let d = Array.make n 0 and nb = Bytes.make n '\000' in
+                     for j = 0 to n - 1 do
+                       let p = phys j in
+                       if v.inull p then Bytes.set nb j '\001'
+                       else d.(j) <- v.iv p
+                     done;
+                     Chunk.Ints (d, nb)
+                   | None ->
+                     let f = Expr.compile s e in
+                     let r = Lazy.force rows in
+                     Chunk.Boxed (Array.init n (fun j -> f r.(j))))
+               in
+               Some c)
+            es
+        in
+        Chunk.dense { Chunk.arity = nf; len = n; rows = None; cols = out_cols }
     in
-    { rows = out;
+    { chunk;
       replay = (fun () -> child.replay (); Context.charge_cpu ctx n) }
 
   and sort keys i =
@@ -227,7 +344,7 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
            keys)
     in
     let nk = Array.length fs in
-    let rows = child.rows in
+    let rows = Chunk.to_rows child.chunk in
     let n = Array.length rows in
     let cpu = n * Access.log2_ceil n in
     let pages = Storage.Page.pages_for ~rows:n s in
@@ -289,7 +406,8 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
         Array.map snd deco
       end
     in
-    { rows = sorted; replay = (fun () -> child.replay (); charge ()) }
+    { chunk = Chunk.of_rows ~arity:(Schema.arity s) sorted;
+      replay = (fun () -> child.replay (); charge ()) }
 
   (* ---------------------------------------------------------------- *)
   (* Joins.  Join-row emission ([emit_range]/[emit_list]) is shared with
@@ -297,18 +415,19 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
 
   and nested_loop kind pred outer inner =
     let onode = exec outer in
-    let outer_rows = onode.rows in
+    let outer_rows = Chunk.to_rows onode.chunk in
     let n_out = Array.length outer_rows in
+    let so = Plan.schema cat outer and si = Plan.schema cat inner in
+    let inner_arity = Schema.arity si in
+    let out_arity = join_arity kind ~outer:(Schema.arity so) ~inner:inner_arity in
     if n_out = 0 then
       (* the interpreter never executes the inner of an empty outer *)
-      { rows = [||]; replay = onode.replay }
+      { chunk = Chunk.of_rows ~arity:out_arity [||]; replay = onode.replay }
     else begin
-      let so = Plan.schema cat outer and si = Plan.schema cat inner in
-      let inner_arity = Schema.arity si in
       (* the rescan cache: the inner subtree runs once; every further
          outer tuple replays its cost against the buffer pool *)
       let inode = exec inner in
-      let inner_rows = inode.rows in
+      let inner_rows = Chunk.to_rows inode.chunk in
       let n_in = Array.length inner_rows in
       Context.charge_cpu ctx n_in;
       for _ = 2 to n_out do
@@ -322,7 +441,7 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
         emit_range out kind ~inner_arity ot inner_rows 0 n_in
           ~matches:(fun it -> holds ot it)
       done;
-      { rows = Storage.Vec.to_array out;
+      { chunk = Chunk.of_rows ~arity:out_arity (Storage.Vec.to_array out);
         replay =
           (fun () ->
              onode.replay ();
@@ -341,13 +460,14 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
         invalid_arg (Printf.sprintf "Index_nl: no index %s on %s" index table)
     in
     let onode = exec outer in
-    let outer_rows = onode.rows in
+    let outer_rows = Chunk.to_rows onode.chunk in
     let so = Plan.schema cat outer in
     let si = Schema.requalify t.Storage.Table.schema ~rel:alias in
     let keyfs = Array.of_list (List.map (Expr.compile so) outer_keys) in
     let probe_keys ot = Array.to_list (Array.map (fun f -> f ot) keyfs) in
     let holds = pred2 so si residual in
     let inner_arity = Schema.arity si in
+    let out_arity = join_arity kind ~outer:(Schema.arity so) ~inner:inner_arity in
     let charge_probe ks =
       let entries = Storage.Btree.probe idx ks in
       Access.charge_index_fetch ctx idx t ~entries
@@ -363,7 +483,7 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
          emit_range out kind ~inner_arity ot matches 0 (Array.length matches)
            ~matches:(fun it -> holds ot it))
       outer_rows;
-    { rows = Storage.Vec.to_array out;
+    { chunk = Chunk.of_rows ~arity:out_arity (Storage.Vec.to_array out);
       replay =
         (fun () ->
            onode.replay ();
@@ -373,13 +493,15 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
   and merge_join kind pairs residual left right =
     let lnode = exec left in
     let rnode = exec right in
-    let lrows = lnode.rows and rrows = rnode.rows in
+    let lrows = Chunk.to_rows lnode.chunk in
+    let rrows = Chunk.to_rows rnode.chunk in
     let sl = Plan.schema cat left and sr = Plan.schema cat right in
     let loffs = offsets sl (List.map fst pairs) in
     let roffs = offsets sr (List.map snd pairs) in
     let nk = Array.length loffs in
     let holds = pred2 sl sr residual in
     let inner_arity = Schema.arity sr in
+    let out_arity = join_arity kind ~outer:(Schema.arity sl) ~inner:inner_arity in
     let nl = Array.length lrows and nr = Array.length rrows in
     Context.charge_cpu ctx (nl + nr);
     let cpu = ref (nl + nr) in
@@ -461,7 +583,7 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
       end
     done;
     let total_cpu = !cpu in
-    { rows = Storage.Vec.to_array out;
+    { chunk = Chunk.of_rows ~arity:out_arity (Storage.Vec.to_array out);
       replay =
         (fun () ->
            lnode.replay ();
@@ -471,15 +593,15 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
   and hash_join kind pairs residual left right =
     (* interpreter order: build side (right) executes first *)
     let rnode = exec right in
-    let rrows = rnode.rows in
-    let nr = Array.length rrows in
+    let rch = rnode.chunk in
+    let nr = Chunk.length rch in
     let sl = Plan.schema cat left and sr = Plan.schema cat right in
     let roffs = offsets sr (List.map snd pairs) in
     Context.charge_cpu ctx nr;
     let rpages = Storage.Page.pages_for ~rows:nr sr in
     let lnode = exec left in
-    let lrows = lnode.rows in
-    let nl = Array.length lrows in
+    let lch = lnode.chunk in
+    let nl = Chunk.length lch in
     let lpages = Storage.Page.pages_for ~rows:nl sl in
     (* spill if the build side exceeds work_mem (Grace-style partitioning) *)
     let spill =
@@ -487,106 +609,215 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
     in
     if spill > 0 then Context.charge_spill ctx spill;
     let loffs = offsets sl (List.map fst pairs) in
-    let holds = pred2 sl sr residual in
     let inner_arity = Schema.arity sr in
-    let out = Storage.Vec.create () in
+    let out_arity = join_arity kind ~outer:(Schema.arity sl) ~inner:inner_arity in
     Context.charge_cpu ctx nl;
     let cpu = ref (nr + nl) in
-    let emit_bucket lt items blen =
+    let charge_bucket blen =
       Context.charge_cpu ctx blen;
-      cpu := !cpu + blen;
-      emit_list out kind ~inner_arity lt items ~matches:(fun rt -> holds lt rt)
+      cpu := !cpu + blen
     in
-    let single = Array.length roffs = 1 in
-    let rcol = if single then Int_col.extract rrows roffs.(0) else None in
+    let finish chunk =
+      let total_cpu = !cpu in
+      { chunk;
+        replay =
+          (fun () ->
+             rnode.replay ();
+             lnode.replay ();
+             Context.charge_cpu ctx total_cpu;
+             if spill > 0 then Context.charge_spill ctx spill) }
+    in
+    let rstore = rch.Chunk.store and lstore = lch.Chunk.store in
+    let rphys = Chunk.phys rch and lphys = Chunk.phys lch in
+    let fault = !fault_null_key_as_zero in
+    (* semi/anti with no residual never build an output row: the result
+       is a selection over the left store, and the build side carries
+       bucket counts only — neither side materializes rows *)
+    let semi_only =
+      (match kind with Algebra.Semi | Algebra.Anti -> true | _ -> false)
+      && residual = Expr.ftrue
+    in
+    let keep_if_match =
+      match kind with Algebra.Semi -> true | _ -> false
+    in
+    let nk = Array.length roffs in
+    let single = nk = 1 in
+    let rcol = if single then Chunk.int_col rstore roffs.(0) else None in
     let lcol =
-      if single && rcol <> None then Int_col.extract lrows loffs.(0) else None
+      if single && rcol <> None then Chunk.int_col lstore loffs.(0) else None
     in
-    (match (rcol, lcol) with
-     | Some rc, Some lc ->
-       (* single-column integer keys, both sides extracted into unboxed
-          int arrays: open-addressing map, raw int hashing, no key or
-          entry allocation; the miss dummy doubles as the empty bucket on
-          probe *)
-       let absent = { blen = 0; items = [] } in
-       let tbl = Keys.Int_map.create ~dummy:absent (max 16 nr) in
-       (* NULL keys never join; under the test-only fault they collapse to
-          key 0, which the differential fuzzer must detect *)
-       let fault = !fault_null_key_as_zero in
-       for ri = 0 to nr - 1 do
-         let null = Int_col.is_null rc ri in
-         if (not null) || fault then begin
-           let k = if null then 0 else rc.Int_col.data.(ri) in
-           let b = Keys.Int_map.find tbl k in
-           if b == absent then
-             Keys.Int_map.add tbl k { blen = 1; items = [ rrows.(ri) ] }
-           else begin
-             b.blen <- b.blen + 1;
-             b.items <- rrows.(ri) :: b.items
-           end
-         end
-       done;
-       for li = 0 to nl - 1 do
-         let lt = lrows.(li) in
-         let null = Int_col.is_null lc li in
-         if (not null) || fault then begin
-           let k = if null then 0 else lc.Int_col.data.(li) in
-           let b = Keys.Int_map.find tbl k in
-           emit_bucket lt b.items b.blen
-         end
-         else emit_bucket lt [] 0
-       done
-     | _ ->
-       begin
-      let tbl = Keys.Array_tbl.create (max 16 nr) in
-      Array.iter
-        (fun rt ->
-           let k = extract_key roffs rt in
-           if key_nullfree k then
-             match Keys.Array_tbl.find_opt tbl k with
-             | Some b ->
-               b.blen <- b.blen + 1;
-               b.items <- rt :: b.items
-             | None -> Keys.Array_tbl.add tbl k { blen = 1; items = [ rt ] })
-        rrows;
-      Array.iter
-        (fun lt ->
-           let k = extract_key loffs lt in
-           match
-             if key_nullfree k then Keys.Array_tbl.find_opt tbl k else None
-           with
-           | Some b -> emit_bucket lt b.items b.blen
-           | None -> emit_bucket lt [] 0)
-        lrows
-      end);
-    let total_cpu = !cpu in
-    { rows = Storage.Vec.to_array out;
-      replay =
-        (fun () ->
-           rnode.replay ();
-           lnode.replay ();
-           Context.charge_cpu ctx total_cpu;
-           if spill > 0 then Context.charge_spill ctx spill) }
+    match (rcol, lcol) with
+    | Some (rd, rnb), Some (ld, lnb) when semi_only ->
+      (* unboxed int keys, count-only buckets, selection-vector output *)
+      let absent = ref (-1) in
+      let tbl = Keys.Int_map.create ~dummy:absent (max 16 nr) in
+      for ri = 0 to nr - 1 do
+        let pr = rphys ri in
+        let null = Bytes.get rnb pr <> '\000' in
+        if (not null) || fault then begin
+          let k = if null then 0 else rd.(pr) in
+          let c = Keys.Int_map.find tbl k in
+          if c == absent then Keys.Int_map.add tbl k (ref 1) else incr c
+        end
+      done;
+      let sel = Storage.Vec.create () in
+      for li = 0 to nl - 1 do
+        let pl = lphys li in
+        let null = Bytes.get lnb pl <> '\000' in
+        let blen =
+          if (not null) || fault then begin
+            let k = if null then 0 else ld.(pl) in
+            let c = Keys.Int_map.find tbl k in
+            if c == absent then 0 else !c
+          end
+          else 0
+        in
+        charge_bucket blen;
+        if (blen > 0) = keep_if_match then Storage.Vec.push sel pl
+      done;
+      finish
+        { Chunk.store = lstore; sel = Some (Storage.Vec.to_array sel) }
+    | Some (rd, rnb), Some (ld, lnb) ->
+      (* single-column integer keys, both sides already unboxed in the
+         column store: open-addressing map, raw int hashing, no key or
+         entry allocation; the miss dummy doubles as the empty bucket on
+         probe.  NULL keys never join; under the test-only fault they
+         collapse to key 0, which the differential fuzzer must detect. *)
+      let rrows = Chunk.to_rows rch in
+      let lrows = Chunk.to_rows lch in
+      let holds = pred2 sl sr residual in
+      let out = Storage.Vec.create () in
+      let absent = { blen = 0; items = [] } in
+      let tbl = Keys.Int_map.create ~dummy:absent (max 16 nr) in
+      for ri = 0 to nr - 1 do
+        let pr = rphys ri in
+        let null = Bytes.get rnb pr <> '\000' in
+        if (not null) || fault then begin
+          let k = if null then 0 else rd.(pr) in
+          let b = Keys.Int_map.find tbl k in
+          if b == absent then
+            Keys.Int_map.add tbl k { blen = 1; items = [ rrows.(ri) ] }
+          else begin
+            b.blen <- b.blen + 1;
+            b.items <- rrows.(ri) :: b.items
+          end
+        end
+      done;
+      for li = 0 to nl - 1 do
+        let lt = lrows.(li) in
+        let pl = lphys li in
+        let null = Bytes.get lnb pl <> '\000' in
+        let items, blen =
+          if (not null) || fault then begin
+            let k = if null then 0 else ld.(pl) in
+            let b = Keys.Int_map.find tbl k in
+            (b.items, b.blen)
+          end
+          else ([], 0)
+        in
+        charge_bucket blen;
+        emit_list out kind ~inner_arity lt items
+          ~matches:(fun rt -> holds lt rt)
+      done;
+      finish (Chunk.of_rows ~arity:out_arity (Storage.Vec.to_array out))
+    | _ when semi_only ->
+      (* generic keys, count-only buckets, selection-vector output: the
+         build materializes each key once; probes hash and compare
+         column-wise through accessors *)
+      let rgets = Array.map (fun off -> Chunk.getter rstore off) roffs in
+      let lgets = Array.map (fun off -> Chunk.getter lstore off) loffs in
+      let absent = ref (-1) in
+      let tbl = Keys.Cols_tbl.create ~dummy:absent (max 16 nr) in
+      for ri = 0 to nr - 1 do
+        let pr = rphys ri in
+        let rec nullfree c =
+          c = nk || ((not (Value.is_null (rgets.(c) pr))) && nullfree (c + 1))
+        in
+        if nullfree 0 then begin
+          let c = Keys.Cols_tbl.find tbl rgets pr in
+          if c == absent then
+            Keys.Cols_tbl.add tbl
+              (Array.init nk (fun c -> rgets.(c) pr))
+              (ref 1)
+          else incr c
+        end
+      done;
+      let sel = Storage.Vec.create () in
+      for li = 0 to nl - 1 do
+        let pl = lphys li in
+        let rec nullfree c =
+          c = nk || ((not (Value.is_null (lgets.(c) pl))) && nullfree (c + 1))
+        in
+        let blen =
+          if nullfree 0 then begin
+            let c = Keys.Cols_tbl.find tbl lgets pl in
+            if c == absent then 0 else !c
+          end
+          else 0
+        in
+        charge_bucket blen;
+        if (blen > 0) = keep_if_match then Storage.Vec.push sel pl
+      done;
+      finish
+        { Chunk.store = lstore; sel = Some (Storage.Vec.to_array sel) }
+    | _ ->
+      (* generic keys: the build materializes each key exactly once; a
+         probe hashes and compares column-wise through accessors, never
+         allocating a key array *)
+      let rrows = Chunk.to_rows rch in
+      let lrows = Chunk.to_rows lch in
+      let holds = pred2 sl sr residual in
+      let rgets = Array.map (fun off -> Chunk.getter rstore off) roffs in
+      let lgets = Array.map (fun off -> Chunk.getter lstore off) loffs in
+      let out = Storage.Vec.create () in
+      let absent = { blen = 0; items = [] } in
+      let tbl = Keys.Cols_tbl.create ~dummy:absent (max 16 nr) in
+      for ri = 0 to nr - 1 do
+        let pr = rphys ri in
+        let rec nullfree c =
+          c = nk || ((not (Value.is_null (rgets.(c) pr))) && nullfree (c + 1))
+        in
+        if nullfree 0 then begin
+          let b = Keys.Cols_tbl.find tbl rgets pr in
+          if b == absent then
+            Keys.Cols_tbl.add tbl
+              (Array.init nk (fun c -> rgets.(c) pr))
+              { blen = 1; items = [ rrows.(ri) ] }
+          else begin
+            b.blen <- b.blen + 1;
+            b.items <- rrows.(ri) :: b.items
+          end
+        end
+      done;
+      for li = 0 to nl - 1 do
+        let lt = lrows.(li) in
+        let pl = lphys li in
+        let rec nullfree c =
+          c = nk || ((not (Value.is_null (lgets.(c) pl))) && nullfree (c + 1))
+        in
+        let items, blen =
+          if nullfree 0 then begin
+            let b = Keys.Cols_tbl.find tbl lgets pl in
+            (b.items, b.blen)
+          end
+          else ([], 0)
+        in
+        charge_bucket blen;
+        emit_list out kind ~inner_arity lt items
+          ~matches:(fun rt -> holds lt rt)
+      done;
+      finish (Chunk.of_rows ~arity:out_arity (Storage.Vec.to_array out))
 
   (* ---------------------------------------------------------------- *)
   (* Aggregation *)
 
   and aggregate ~sorted keys aggs input =
     let child = exec input in
-    let rows = child.rows in
-    let n = Array.length rows in
+    let ch = child.chunk in
+    let store = ch.Chunk.store in
+    let n = Chunk.length ch in
     let s = Plan.schema cat input in
-    let keyfs = Array.of_list (List.map (fun (e, _) -> Expr.compile s e) keys) in
-    let nkeys = Array.length keyfs in
-    let argfs =
-      Array.of_list
-        (List.map
-           (fun (a, _) ->
-              match Expr.agg_arg a with
-              | None -> fun _ -> Value.Int 1 (* count-star: any non-null *)
-              | Some e -> Expr.compile s e)
-           aggs)
-    in
+    let nkeys = List.length keys in
     let agg_arr = Array.of_list (List.map fst aggs) in
     let naggs = Array.length agg_arr in
     Context.charge_cpu ctx n;
@@ -596,14 +827,27 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
           else Expr.agg_final agg_arr.(k - nkeys) states.(k - nkeys))
     in
     let fresh_states () = Array.init naggs (fun _ -> Expr.agg_init ()) in
-    let step_all t states =
-      for a = 0 to naggs - 1 do
-        Expr.agg_step states.(a) (argfs.(a) t)
-      done
-    in
     let out = Storage.Vec.create () in
     if sorted then begin
-      (* stream aggregation over key-sorted input *)
+      (* stream aggregation over key-sorted input: row-shaped *)
+      let rows = Chunk.to_rows ch in
+      let keyfs =
+        Array.of_list (List.map (fun (e, _) -> Expr.compile s e) keys)
+      in
+      let argfs =
+        Array.of_list
+          (List.map
+             (fun (a, _) ->
+                match Expr.agg_arg a with
+                | None -> fun _ -> Value.Int 1 (* count-star: any non-null *)
+                | Some e -> Expr.compile s e)
+             aggs)
+      in
+      let step_all t states =
+        for a = 0 to naggs - 1 do
+          Expr.agg_step states.(a) (argfs.(a) t)
+        done
+      in
       let cur_key = ref None in
       let cur_states = ref [||] in
       let flush () =
@@ -624,98 +868,120 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
         rows;
       flush ()
     end
-    else if nkeys = 1 then begin
-      (* evaluate the single key once per row, then pick the int fast path
-         when every key value is a plain Int *)
-      let kv1 = Array.map (fun t -> keyfs.(0) t) rows in
-      let all_int =
-        Array.for_all
-          (fun v -> match v with Value.Int _ -> true | _ -> false)
-          kv1
+    else begin
+      (* hash aggregation, column-at-a-time: aggregate arguments that
+         compile to integer vectors fold unboxed through
+         [Expr.agg_step_int]; the rest step through compiled row
+         closures.  Steppers take physical indices. *)
+      let phys = Chunk.phys ch in
+      let steppers =
+        Array.of_list
+          (List.map
+             (fun (a, _) ->
+                match Expr.agg_arg a with
+                | None -> fun st (_ : int) -> Expr.agg_step_int st 1
+                | Some e -> (
+                  match int_expr s store e with
+                  | Some v ->
+                    fun st p ->
+                      if not (v.inull p) then Expr.agg_step_int st (v.iv p)
+                  | None ->
+                    let f = Expr.compile s e in
+                    let rows = Chunk.rows_view store in
+                    fun st p -> Expr.agg_step st (f rows.(p))))
+             aggs)
       in
-      if all_int then begin
+      let step_all p states =
+        for a = 0 to naggs - 1 do
+          steppers.(a) states.(a) p
+        done
+      in
+      (* single integer key with no NULL at any selected row: raw int
+         hashing, no key boxing *)
+      let int_key =
+        match keys with
+        | [ (e, _) ] -> (
+          match int_expr s store e with
+          | Some v ->
+            let rec clean i = i = n || ((not (v.inull (phys i))) && clean (i + 1)) in
+            if clean 0 then Some v else None
+          | None -> None)
+        | _ -> None
+      in
+      match int_key with
+      | Some v ->
         (* physically unique dummy: [fresh_states] always allocates, and
            a zero-agg states array is [[||]], never length 1 *)
         let dummy = Array.make 1 (Expr.agg_init ()) in
         let tbl = Keys.Int_map.create ~dummy 64 in
         let order = Storage.Vec.create () in
-        Array.iteri
-          (fun ri t ->
-             let k =
-               match kv1.(ri) with Value.Int k -> k | _ -> assert false
-             in
-             let states =
-               let st = Keys.Int_map.find tbl k in
-               if st != dummy then st
-               else begin
-                 let st = fresh_states () in
-                 Keys.Int_map.add tbl k st;
-                 Storage.Vec.push order k;
-                 st
-               end
-             in
-             step_all t states)
-          rows;
+        for j = 0 to n - 1 do
+          let p = phys j in
+          let k = v.iv p in
+          let states =
+            let st = Keys.Int_map.find tbl k in
+            if st != dummy then st
+            else begin
+              let st = fresh_states () in
+              Keys.Int_map.add tbl k st;
+              Storage.Vec.push order k;
+              st
+            end
+          in
+          step_all p states
+        done;
         Storage.Vec.iter
           (fun k ->
              Storage.Vec.push out
                (finalize [| Value.Int k |] (Keys.Int_map.find tbl k)))
           order
-      end
-      else begin
-        let tbl = Keys.Array_tbl.create 64 in
+      | None ->
+        (* generic keys: probe column-wise ([Keys.Cols_tbl]); the key is
+           materialized once per group, in first-occurrence order *)
+        let kgets =
+          Array.of_list
+            (List.map
+               (fun (e, _) ->
+                  match col_offset s e with
+                  | Some off -> Chunk.getter store off
+                  | None ->
+                    let f = Expr.compile s e in
+                    let rows = Chunk.rows_view store in
+                    fun p -> f rows.(p))
+               keys)
+        in
+        let dummy = Array.make 1 (Expr.agg_init ()) in
+        let tbl = Keys.Cols_tbl.create ~dummy 64 in
         let order = Storage.Vec.create () in
-        Array.iteri
-          (fun ri t ->
-             let kv = [| kv1.(ri) |] in
-             let states =
-               match Keys.Array_tbl.find_opt tbl kv with
-               | Some st -> st
-               | None ->
-                 let st = fresh_states () in
-                 Keys.Array_tbl.add tbl kv st;
-                 Storage.Vec.push order kv;
-                 st
-             in
-             step_all t states)
-          rows;
+        for j = 0 to n - 1 do
+          let p = phys j in
+          let states =
+            let st = Keys.Cols_tbl.find tbl kgets p in
+            if st != dummy then st
+            else begin
+              let st = fresh_states () in
+              let kv = Array.init nkeys (fun c -> kgets.(c) p) in
+              Keys.Cols_tbl.add tbl kv st;
+              Storage.Vec.push order (kv, st);
+              st
+            end
+          in
+          step_all p states
+        done;
         Storage.Vec.iter
-          (fun kv ->
-             Storage.Vec.push out (finalize kv (Keys.Array_tbl.find tbl kv)))
+          (fun (kv, st) -> Storage.Vec.push out (finalize kv st))
           order
-      end
-    end
-    else begin
-      let tbl = Keys.Array_tbl.create 64 in
-      let order = Storage.Vec.create () in
-      Array.iter
-        (fun t ->
-           let kv = Array.init nkeys (fun k -> keyfs.(k) t) in
-           let states =
-             match Keys.Array_tbl.find_opt tbl kv with
-             | Some st -> st
-             | None ->
-               let st = fresh_states () in
-               Keys.Array_tbl.add tbl kv st;
-               Storage.Vec.push order kv;
-               st
-           in
-           step_all t states)
-        rows;
-      Storage.Vec.iter
-        (fun kv ->
-           Storage.Vec.push out (finalize kv (Keys.Array_tbl.find tbl kv)))
-        order
     end;
     if keys = [] && Storage.Vec.length out = 0 then
       (* scalar aggregate over the empty input: one row *)
       Storage.Vec.push out (finalize [||] (fresh_states ()));
-    { rows = Storage.Vec.to_array out;
+    { chunk =
+        Chunk.of_rows ~arity:(nkeys + naggs) (Storage.Vec.to_array out);
       replay = (fun () -> child.replay (); Context.charge_cpu ctx n) }
 
   and hash_distinct i =
     let child = exec i in
-    let rows = child.rows in
+    let rows = Chunk.to_rows child.chunk in
     let n = Array.length rows in
     Context.charge_cpu ctx n;
     (* tuples are Value.t arrays: used directly as fixed-arity keys *)
@@ -728,12 +994,15 @@ let run_node ?(ctx = Context.create ()) ?obs (cat : Storage.Catalog.t)
            Storage.Vec.push out t
          end)
       rows;
-    { rows = Storage.Vec.to_array out;
+    { chunk =
+        Chunk.of_rows
+          ~arity:(Schema.arity (Plan.schema cat i))
+          (Storage.Vec.to_array out);
       replay = (fun () -> child.replay (); Context.charge_cpu ctx n) }
   in
   exec plan
 
-let run ?ctx ?obs (cat : Storage.Catalog.t) (plan : Plan.t) :
+let run ?ctx ?obs ?chunk_rows (cat : Storage.Catalog.t) (plan : Plan.t) :
   Executor.result =
   { Executor.schema = Plan.schema cat plan;
-    rows = (run_node ?ctx ?obs cat plan).rows }
+    rows = Chunk.to_rows (run_node ?ctx ?obs ?chunk_rows cat plan).chunk }

@@ -1,37 +1,47 @@
 (** Batch execution engine: executes the same physical {!Plan.t} trees as
-    {!Executor}, operator-at-a-time over row batches with column offsets
-    resolved once per operator, specialized key hash tables, and
-    cost charging decoupled from data movement — a [Nested_loop] rescan
-    charges the buffer pool (by replaying the inner subtree's page-access
-    pattern) without recomputing the inner rows, which are cached by
-    physical node identity.
+    {!Executor}, operator-at-a-time over columnar chunks
+    ({!Eval.Chunk.t}: per-column typed storage plus a selection vector).
+    Filters and semi/anti hash joins narrow the selection without
+    materializing rows; integer predicates, projection items, join keys
+    and aggregate arguments run unboxed over the column data; rows are
+    materialized only where an operator is inherently row-shaped (sort
+    payloads, nested-loop rescans, join-row emission, the final result).
+    Cost charging is decoupled from data movement — all charging loops
+    run over logical (selection-order) row counts, and a [Nested_loop]
+    rescan charges the buffer pool (by replaying the inner subtree's
+    page-access pattern) without recomputing the inner rows, which are
+    cached by physical node identity.
 
     Contract: for every plan, [run] returns bit-identical rows in the same
     order, and drives the {!Context} (buffer pool, CPU, spill counters)
-    identically to {!Executor.run}.  The interpreter remains the
-    differential-testing oracle. *)
+    identically to {!Executor.run} — at any [chunk_rows].  The
+    interpreter remains the differential-testing oracle. *)
+
+(** Default block size for selection-vector gathering. *)
+val default_chunk_rows : int
 
 (** When [obs] is given, node executions and replay invocations are
     recorded against the {!Instrument} recorder; per-operator [act_rows]
     and [rescans] match {!Executor.run} on the same plan. *)
 val run :
-  ?ctx:Context.t -> ?obs:Instrument.t -> Storage.Catalog.t -> Plan.t ->
-  Executor.result
+  ?ctx:Context.t -> ?obs:Instrument.t -> ?chunk_rows:int ->
+  Storage.Catalog.t -> Plan.t -> Executor.result
 
-(** An executed subtree: its rows plus a [replay] closure that charges
+(** An executed subtree: its chunk plus a [replay] closure that charges
     the context exactly as one warm re-execution of the interpreter
     would (page reads re-issued against the stateful buffer pool in the
     same order, CPU and spill totals re-charged). *)
 type node = {
-  rows : Relalg.Tuple.t array;
+  chunk : Eval.Chunk.t;
   replay : unit -> unit;
 }
 
-(** [run_node] is {!run} exposing the replay closure — the morsel
-    executor runs sequential-only subtrees (e.g. [Nested_loop] inners
-    that must replay per outer tuple) through it. *)
+(** [run_node] is {!run} exposing the chunk and replay closure — the
+    morsel executor runs sequential-only subtrees (e.g. [Nested_loop]
+    inners that must replay per outer tuple) through it. *)
 val run_node :
-  ?ctx:Context.t -> ?obs:Instrument.t -> Storage.Catalog.t -> Plan.t -> node
+  ?ctx:Context.t -> ?obs:Instrument.t -> ?chunk_rows:int ->
+  Storage.Catalog.t -> Plan.t -> node
 
 (** Test-only fault injection: treat NULL single-column integer join keys
     as [Int 0] (simulating loss of the NULL-key guard on the

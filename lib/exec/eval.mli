@@ -47,10 +47,101 @@ end
     computed expressions or unresolvable refs. *)
 val col_offset : Schema.t -> Expr.t -> int option
 
+(** Box an int as a [Value.Int], sharing one interned block per small
+    non-negative int (values are immutable and compared structurally, so
+    the sharing is unobservable). *)
+val box_int : int -> Value.t
+
+(** Columnar chunks: one batch of physical rows in per-column typed
+    storage (unboxed int/float arrays with null bitmaps, or a boxed
+    fallback column for strings/bools/mixed numerics), plus an optional
+    selection vector mapping logical to physical rows.  Row and column
+    views are lazy caches forced at most once; forcing mutates the
+    store, so engines force what workers need on the coordinating domain
+    first. *)
+module Chunk : sig
+  type col =
+    | Ints of int array * Bytes.t (* data, null bitmap *)
+    | Floats of float array * Bytes.t
+    | Boxed of Value.t array
+
+  type store = {
+    arity : int;
+    len : int; (* physical row count *)
+    mutable rows : Tuple.t array option; (* lazy row view *)
+    cols : col option array; (* lazy column cache, length [arity] *)
+  }
+
+  (** [sel = Some s]: logical row [i] is physical row [s.(i)];
+      [sel = None]: dense, logical = physical. *)
+  type t = { store : store; sel : int array option }
+
+  val store_of_rows : arity:int -> Tuple.t array -> store
+  val of_rows : arity:int -> Tuple.t array -> t
+  val dense : store -> t
+
+  (** Logical row count. *)
+  val length : t -> int
+
+  (** Physical index of a logical row. *)
+  val phys : t -> int -> int
+
+  (** Boxed value of a forced column at a physical row. *)
+  val col_value : col -> int -> Value.t
+
+  (** Force column [j] (classify physical values, extract typed
+      storage).  All-NULL columns classify as [Ints] with every null bit
+      set; mixed Int/Float columns stay [Boxed] to preserve value
+      identity. *)
+  val col : store -> int -> col
+
+  (** Unboxed int view of column [j], or [None] when any physical value
+      is neither Int nor Null. *)
+  val int_col : store -> int -> (int array * Bytes.t) option
+
+  (** Physical-row accessor for column [j], avoiding allocation where
+      possible (prefers an existing row view over re-boxing typed
+      columns). *)
+  val getter : store -> int -> int -> Value.t
+
+  (** Force the physical row view. *)
+  val rows_view : store -> Tuple.t array
+
+  (** Logical rows in selection order; dense chunks share the store's
+      row view without copying. *)
+  val to_rows : t -> Tuple.t array
+end
+
+(** Compiled unboxed integer expression over a store's physical rows:
+    [iv i] is valid only when [inull i] is false (the NULL-divisor guard
+    lives in [inull]).  Matches [Expr.arith] on Int arguments exactly. *)
+type int_vec = { iv : int -> int; inull : int -> bool }
+
+(** [int_expr s st e] compiles [e] when every leaf is an Int constant,
+    NULL, or an all-Int-or-Null column; forces the referenced columns at
+    compile time, so the closures are pure. *)
+val int_expr : Schema.t -> Chunk.store -> Expr.t -> int_vec option
+
+(** {!pred1} as an index-based predicate over a store's physical rows;
+    comparison conjuncts whose operands both compile through
+    {!int_expr} evaluate unboxed, the rest fall back to the forced row
+    view.  All forcing happens at compile time. *)
+val pred_store : Schema.t -> Expr.t -> Chunk.store -> int -> bool
+
 (** [pred_rows s e rows] — {!pred1} as an index-based predicate over a
     fixed row array; [<int col> cmp <int const/col>] conjuncts evaluate
     over {!Int_col} extractions, the rest fall back per row. *)
 val pred_rows : Schema.t -> Expr.t -> Tuple.t array -> int -> bool
+
+(** Compiled projection item over physical rows: a plain column shares
+    the existing box, integer arithmetic re-boxes through the small-int
+    cache with no intermediate allocation, everything else evaluates
+    through [Expr.compile].  Result rows are structurally identical to
+    [Expr.compile] on every input. *)
+val proj_item : Schema.t -> Expr.t -> Tuple.t -> Value.t
+
+(** Output arity of a join: semi/anti keep the outer schema only. *)
+val join_arity : Algebra.join_kind -> outer:int -> inner:int -> int
 
 (** Emit join rows for one outer tuple against inner rows [lo, hi) of
     [arr], honoring the join kind's semantics (Inner / Left_outer / Semi

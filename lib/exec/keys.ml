@@ -41,6 +41,91 @@ module Array_tbl = Hashtbl.Make (struct
     let hash = hash_array
   end)
 
+(* Columnar probing for generic (Value.t array) keys.
+
+   An open-addressing table whose [find] hashes and compares key
+   positions straight out of per-column accessor closures — no per-row
+   key materialization on probe.  The key array is built exactly once,
+   on first insert ([add]); [hash_cols] folds [Value.hash] over the
+   accessors in the same order as [hash_array] over the materialized
+   key, so probe and insert agree on slots, and [Value.equal] keeps the
+   interpreter's key semantics (Int 2 matches Float 2.0).  Insert-only,
+   like {!Int_map}; misses return the caller-supplied [dummy]. *)
+module Cols_tbl = struct
+  type 'a t = {
+    mutable keys : Value.t array array;
+    mutable vals : 'a array;
+    mutable used : Bytes.t;
+    mutable mask : int;
+    mutable count : int;
+    dummy : 'a;
+  }
+
+  let create ~dummy cap =
+    let rec pow2 n = if n >= cap * 2 then n else pow2 (n * 2) in
+    let c = pow2 16 in
+    { keys = Array.make c [||]; vals = Array.make c dummy;
+      used = Bytes.make c '\000'; mask = c - 1; count = 0; dummy }
+
+  let hash_cols (gets : (int -> Value.t) array) i =
+    let acc = ref 7 in
+    for c = 0 to Array.length gets - 1 do
+      acc := (!acc * 31) + Value.hash (gets.(c) i)
+    done;
+    !acc
+
+  let equal_cols (k : Value.t array) (gets : (int -> Value.t) array) i =
+    let n = Array.length k in
+    let rec go c = c = n || (Value.equal k.(c) (gets.(c) i) && go (c + 1)) in
+    go 0
+
+  let mix h mask = h * 0x9E3779B1 land mask
+
+  (* [t.dummy] when the key read column-wise at row [i] is absent. *)
+  let find t gets i =
+    let rec probe j =
+      if Bytes.unsafe_get t.used j = '\000' then t.dummy
+      else if equal_cols (Array.unsafe_get t.keys j) gets i then
+        Array.unsafe_get t.vals j
+      else probe ((j + 1) land t.mask)
+    in
+    probe (mix (hash_cols gets i) t.mask)
+
+  let slot_key t (k : Value.t array) =
+    let rec probe j =
+      if Bytes.unsafe_get t.used j = '\000' then j
+      else if equal_array t.keys.(j) k then j
+      else probe ((j + 1) land t.mask)
+    in
+    probe (mix (hash_array k) t.mask)
+
+  let grow t =
+    let okeys = t.keys and ovals = t.vals and oused = t.used in
+    let c = 2 * (t.mask + 1) in
+    t.keys <- Array.make c [||];
+    t.vals <- Array.make c t.dummy;
+    t.used <- Bytes.make c '\000';
+    t.mask <- c - 1;
+    for i = 0 to Array.length okeys - 1 do
+      if Bytes.get oused i = '\001' then begin
+        let j = slot_key t okeys.(i) in
+        Bytes.set t.used j '\001';
+        t.keys.(j) <- okeys.(i);
+        t.vals.(j) <- ovals.(i)
+      end
+    done
+
+  (* The key must be absent (callers [find] first); [k] must hold the
+     same values the accessors produced at the probed row. *)
+  let add t k v =
+    if 2 * (t.count + 1) > t.mask + 1 then grow t;
+    let j = slot_key t k in
+    Bytes.set t.used j '\001';
+    t.keys.(j) <- k;
+    t.vals.(j) <- v;
+    t.count <- t.count + 1
+end
+
 (* Fast path for single-column integer keys.  Only sound when every key
    value on both sides of the table is Int or Null (NULLs are handled by
    the caller): Value.equal would also match Float 2.0 = Int 2, so callers

@@ -23,6 +23,33 @@ val equal_array : Value.t array -> Value.t array -> bool
 (** Hash table over array keys — the batch engine's key table. *)
 module Array_tbl : Hashtbl.S with type key = Value.t array
 
+(** Columnar probing for generic (fixed-arity [Value.t array]) keys:
+    open-addressing, insert-only.  {!Cols_tbl.find} hashes and compares
+    key positions straight out of per-column accessor closures, so a
+    probe never materializes a key array; the key is built exactly once,
+    on {!Cols_tbl.add}.  Key semantics are {!Value.equal}/{!Value.hash}
+    — identical to {!Array_tbl} (Int 2 matches Float 2.0, NULLs are
+    ordinary key values; join operators exclude NULL keys themselves).
+    Misses return the [dummy]; callers that must distinguish absence use
+    a physically unique dummy and compare with [==]. *)
+module Cols_tbl : sig
+  type 'a t
+
+  val create : dummy:'a -> int -> 'a t
+
+  (** Hash of the key read column-wise at row [i] — consistent with
+      {!hash_array} of the materialized key. *)
+  val hash_cols : (int -> Value.t) array -> int -> int
+
+  (** The value bound to the key read column-wise at row [i], or the
+      [dummy] when absent. *)
+  val find : 'a t -> (int -> Value.t) array -> int -> 'a
+
+  (** The key must be absent (call {!find} first) and must hold the
+      values the accessors produced at the probed row. *)
+  val add : 'a t -> Value.t array -> 'a -> unit
+end
+
 (** Fast path for single-column integer keys: open-addressing, no
     allocation per entry, insert-only.  Only sound when every key value on
     both sides is Int or Null ({!Value.equal} would also match Float 2.0 =

@@ -1,7 +1,7 @@
 (* Morsel-driven parallel execution engine.
 
    Executes the same physical [Plan.t] trees as [Batch], splitting
-   operator work into fixed-size row ranges ("morsels") that a
+   operator work into fixed-size logical-row ranges ("morsels") that a
    [Domain_pool] drains by atomic work stealing.  The contract is strict:
    for every plan, [run ~dop] returns BIT-IDENTICAL rows in the SAME
    ORDER, and drives the [Context] identically to [Batch.run] — not just
@@ -9,11 +9,19 @@
    (interpreter vs. batch vs. morsel) and the deterministic cost
    accounting valid at any dop.  It is achieved by construction:
 
+   - Operators exchange the same columnar chunks as [Batch]
+     ([Eval.Chunk.t]): morsels are ranges of a chunk's logical index
+     space, filters and semi/anti hash joins exchange per-morsel
+     selection-index vectors (concatenated in morsel order), and
+     projections fill disjoint ranges of preallocated typed columns.
    - Workers do pure computation only.  Every [Context] charge (CPU,
      spill, buffer-pool page access) happens on the coordinating domain,
      using [Batch]'s exact formulas, in [Batch]'s exact order relative to
      child executions — so the stateful LRU buffer pool sees the same
-     access sequence and the additive counters the same totals.
+     access sequence and the additive counters the same totals.  Lazy
+     chunk caches (column/row views) are forced on the coordinator
+     before dispatch — compiled predicate/expression closures are pure
+     by the time a worker calls them.
    - Order-preserving splits: scans/filters/projects/probes process
      morsels of the input index space and concatenate results in morsel
      order, reproducing the sequential emission order exactly.
@@ -21,10 +29,11 @@
      vectors concatenated in morsel order, so every key's bucket chain
      (most-recent-first) is identical to the sequential build; probes
      then emit in probe-row order.
-   - Hash aggregation exchanges rows by key-hash partition; each
-     partition folds ITS keys' rows sequentially in global row order
-     (bit-exact float sums — no state merging), and groups are emitted in
-     global first-occurrence order by sorting on the first row index.
+   - Hash aggregation exchanges logical row indices by key-hash
+     partition; each partition folds ITS keys' rows sequentially in
+     global row order (bit-exact float sums — no state merging), and
+     groups are emitted in global first-occurrence order by sorting on
+     the first row index.
    - Sort runs parallel stable chunk sorts + pairwise merge rounds whose
      ties prefer the earlier chunk: exactly a stable sort.
    - Sequential-only operators (Index_scan, Index_nl probes, Merge_join,
@@ -42,10 +51,11 @@ open Eval
 let default_morsel_rows = 4096
 
 let run ?(ctx = Context.create ()) ?obs ?pool
-    ?(morsel = default_morsel_rows) ?schedule ~dop
+    ?(morsel = default_morsel_rows) ?schedule ?chunk_rows ~dop
     (cat : Storage.Catalog.t) (plan : Plan.t) : Executor.result =
   let dop = max 1 dop in
-  if dop = 1 || not Domain_pool.available then Batch.run ~ctx ?obs cat plan
+  if dop = 1 || not Domain_pool.available then
+    Batch.run ~ctx ?obs ?chunk_rows cat plan
   else begin
     let owned, pool =
       match pool with
@@ -93,14 +103,14 @@ let run ?(ctx = Context.create ()) ?obs ?pool
         end
       end
     in
-    let memo : (Plan.t * Tuple.t array) list ref = ref [] in
-    let rec exec (p : Plan.t) : Tuple.t array =
+    let memo : (Plan.t * Chunk.t) list ref = ref [] in
+    let rec exec (p : Plan.t) : Chunk.t =
       match obs with
       | None -> exec_op p
       | Some r ->
-        Instrument.measure r ctx p ~rows:Array.length (fun () -> exec_op p)
+        Instrument.measure r ctx p ~rows:Chunk.length (fun () -> exec_op p)
 
-    and exec_op (p : Plan.t) : Tuple.t array =
+    and exec_op (p : Plan.t) : Chunk.t =
       match p with
       | Plan.Seq_scan { table; alias; filter } -> seq_scan p table alias filter
       | Plan.Index_scan { table; alias; column; lo; hi; filter } ->
@@ -110,11 +120,11 @@ let run ?(ctx = Context.create ()) ?obs ?pool
       | Plan.Sort (keys, i) -> sort p keys i
       | Plan.Materialize i -> (
         match List.find_opt (fun (q, _) -> q == p) !memo with
-        | Some (_, rows) -> rows
+        | Some (_, ch) -> ch
         | None ->
-          let rows = exec i in
-          memo := (p, rows) :: !memo;
-          rows)
+          let ch = exec i in
+          memo := (p, ch) :: !memo;
+          ch)
       | Plan.Nested_loop { kind; pred; outer; inner } ->
         nested_loop p kind pred outer inner
       | Plan.Index_nl
@@ -131,6 +141,25 @@ let run ?(ctx = Context.create ()) ?obs ?pool
         aggregate p ~sorted:true keys aggs input
       | Plan.Hash_distinct i -> hash_distinct p i
 
+    (* Parallel selection: per-morsel survivor-index vectors concatenated
+       in morsel order = sequential order.  [idx] maps the logical
+       iteration index to the physical index tested and pushed; [keep]
+       must be pure (compiled on the coordinator). *)
+    and par_select p n idx keep store =
+      let tasks = ntasks n in
+      let outs = Array.make (max tasks 1) [||] in
+      dispatch p ~tasks (fun c ->
+          let lo, hi = bounds n c in
+          let out = Storage.Vec.create () in
+          for j = lo to hi - 1 do
+            let pp = idx j in
+            if keep pp then Storage.Vec.push out pp
+          done;
+          let a = Storage.Vec.to_array out in
+          outs.(c) <- a;
+          Array.length a);
+      { Chunk.store; sel = Some (Array.concat (Array.to_list outs)) }
+
     (* ---------------------------------------------------------------- *)
     (* Scans *)
 
@@ -144,20 +173,18 @@ let run ?(ctx = Context.create ()) ?obs ?pool
         Context.read_page ctx ~random:false (table, pg)
       done;
       Context.charge_cpu ctx n;
-      let all = Array.make n [||] in
-      dispatch p ~tasks:(ntasks n) (fun c ->
-          let lo, hi = bounds n c in
-          for rid = lo to hi - 1 do
-            all.(rid) <- Storage.Table.get t rid
-          done;
-          hi - lo);
+      let s = Schema.requalify t.Storage.Table.schema ~rel:alias in
+      let store =
+        Chunk.store_of_rows ~arity:(Schema.arity s)
+          (Storage.Table.rows_array t)
+      in
       match filter with
-      | None -> all
+      | None -> Chunk.dense store
       | Some f ->
-        let keep =
-          pred_rows (Schema.requalify t.Storage.Table.schema ~rel:alias) f all
-        in
-        par_filter p n all keep
+        (* pred_store forces the referenced columns here, on the
+           coordinator; the returned closure is pure *)
+        let keep = pred_store s f store in
+        par_select p n (fun j -> j) keep store
 
     and index_scan table alias column lo hi filter =
       (* index probes charge the buffer pool per entry: inherently
@@ -179,68 +206,144 @@ let run ?(ctx = Context.create ()) ?obs ?pool
         | Storage.Btree.Excl k -> Storage.Btree.upper_bound idx [ k ]
       in
       Access.charge_index_fetch ctx idx t ~entries ~lo_pos;
-      let rows = Access.fetch_rows t entries in
+      let s = Schema.requalify t.Storage.Table.schema ~rel:alias in
+      let store =
+        Chunk.store_of_rows ~arity:(Schema.arity s)
+          (Access.fetch_rows t entries)
+      in
       (match filter with
-       | None -> rows
+       | None -> Chunk.dense store
        | Some f ->
-         let keep =
-           pred_rows (Schema.requalify t.Storage.Table.schema ~rel:alias) f
-             rows
-         in
-         let out = Storage.Vec.create () in
-         Array.iteri
-           (fun rid tu -> if keep rid then Storage.Vec.push out tu)
-           rows;
-         Storage.Vec.to_array out)
-
-    (* Parallel selection over a fixed row array: per-morsel survivor
-       vectors concatenated in morsel order = sequential order. *)
-    and par_filter p n rows keep =
-      let tasks = ntasks n in
-      let outs = Array.make (max tasks 1) [||] in
-      dispatch p ~tasks (fun c ->
-          let lo, hi = bounds n c in
-          let out = Storage.Vec.create () in
-          for i = lo to hi - 1 do
-            if keep i then Storage.Vec.push out rows.(i)
-          done;
-          let a = Storage.Vec.to_array out in
-          outs.(c) <- a;
-          Array.length a);
-      Array.concat (Array.to_list outs)
+         let keep = pred_store s f store in
+         let sel = Storage.Vec.create () in
+         for j = 0 to store.Chunk.len - 1 do
+           if keep j then Storage.Vec.push sel j
+         done;
+         { Chunk.store; sel = Some (Storage.Vec.to_array sel) })
 
     (* ---------------------------------------------------------------- *)
-    (* Row-at-a-time scalar operators over morsels *)
+    (* Scalar operators over morsels *)
 
     and filter_op p f i =
-      let rows = exec i in
+      let ch = exec i in
       let s = Plan.schema cat i in
-      let keep = pred_rows s f rows in
-      let n = Array.length rows in
+      let n = Chunk.length ch in
+      let keep = pred_store s f ch.Chunk.store in
       Context.charge_cpu ctx n;
-      par_filter p n rows keep
+      par_select p n (Chunk.phys ch) keep ch.Chunk.store
 
     and project p items i =
-      let rows = exec i in
+      let ch = exec i in
       let s = Plan.schema cat i in
-      let fs =
-        Array.of_list (List.map (fun (e, _) -> Expr.compile s e) items)
-      in
-      let nf = Array.length fs in
-      let n = Array.length rows in
+      let store = ch.Chunk.store in
+      let n = Chunk.length ch in
       Context.charge_cpu ctx n;
-      let out = Array.make n [||] in
-      dispatch p ~tasks:(ntasks n) (fun c ->
-          let lo, hi = bounds n c in
-          for ri = lo to hi - 1 do
-            let t = rows.(ri) in
-            out.(ri) <- Array.init nf (fun k -> fs.(k) t)
-          done;
-          hi - lo);
-      out
+      let phys = Chunk.phys ch in
+      let es = Array.of_list (List.map fst items) in
+      let nf = Array.length es in
+      match store.Chunk.rows with
+      | Some srows ->
+        (* the child is already materialized: fused row-at-a-time passes
+           over disjoint morsels (plain columns share boxes, integer
+           arithmetic re-boxes through the interned small-int cache).
+           [proj_item] closures are pure, so workers may run them. *)
+        let fs = Array.map (proj_item s) es in
+        let out = Array.make n [||] in
+        let get =
+          match ch.Chunk.sel with
+          | None -> fun j -> Array.unsafe_get srows j
+          | Some sel ->
+            fun j -> Array.unsafe_get srows (Array.unsafe_get sel j)
+        in
+        dispatch p ~tasks:(ntasks n) (fun c ->
+            let lo, hi = bounds n c in
+            for j = lo to hi - 1 do
+              let t = get j in
+              let o = Array.make nf Value.Null in
+              for k = 0 to nf - 1 do
+                Array.unsafe_set o k ((Array.unsafe_get fs k) t)
+              done;
+              out.(j) <- o
+            done;
+            hi - lo);
+        Chunk.of_rows ~arity:nf out
+      | None ->
+      (* classify and preallocate on the coordinator (this forces the
+         child's column/row caches); workers then fill disjoint logical
+         ranges of the output columns.  Dense plain-column items share
+         the child's typed columns outright — no fill at all. *)
+      let rows = lazy (Chunk.to_rows ch) in
+      let fills = Storage.Vec.create () in
+      let out_cols =
+        Array.map
+          (fun e ->
+             let c =
+               match col_offset s e with
+               | Some off -> (
+                 let c = Chunk.col store off in
+                 match ch.Chunk.sel with
+                 | None -> c
+                 | Some sel -> (
+                   match c with
+                   | Chunk.Ints (d, nb) ->
+                     let d' = Array.make n 0 and nb' = Bytes.make n '\000' in
+                     Storage.Vec.push fills (fun lo hi ->
+                         for j = lo to hi - 1 do
+                           let pp = Array.unsafe_get sel j in
+                           d'.(j) <- d.(pp);
+                           Bytes.set nb' j (Bytes.get nb pp)
+                         done);
+                     Chunk.Ints (d', nb')
+                   | Chunk.Floats (d, nb) ->
+                     let d' = Array.make n 0. and nb' = Bytes.make n '\000' in
+                     Storage.Vec.push fills (fun lo hi ->
+                         for j = lo to hi - 1 do
+                           let pp = Array.unsafe_get sel j in
+                           d'.(j) <- d.(pp);
+                           Bytes.set nb' j (Bytes.get nb pp)
+                         done);
+                     Chunk.Floats (d', nb')
+                   | Chunk.Boxed v ->
+                     let v' = Array.make n Value.Null in
+                     Storage.Vec.push fills (fun lo hi ->
+                         for j = lo to hi - 1 do
+                           v'.(j) <- v.(Array.unsafe_get sel j)
+                         done);
+                     Chunk.Boxed v'))
+               | None -> (
+                 match int_expr s store e with
+                 | Some v ->
+                   let d = Array.make n 0 and nb = Bytes.make n '\000' in
+                   Storage.Vec.push fills (fun lo hi ->
+                       for j = lo to hi - 1 do
+                         let pp = phys j in
+                         if v.inull pp then Bytes.set nb j '\001'
+                         else d.(j) <- v.iv pp
+                       done);
+                   Chunk.Ints (d, nb)
+                 | None ->
+                   let f = Expr.compile s e in
+                   let r = Lazy.force rows in
+                   let v' = Array.make n Value.Null in
+                   Storage.Vec.push fills (fun lo hi ->
+                       for j = lo to hi - 1 do
+                         v'.(j) <- f r.(j)
+                       done);
+                   Chunk.Boxed v')
+             in
+             Some c)
+          es
+      in
+      let fills = Storage.Vec.to_array fills in
+      if Array.length fills > 0 then
+        dispatch p ~tasks:(ntasks n) (fun c ->
+            let lo, hi = bounds n c in
+            Array.iter (fun fill -> fill lo hi) fills;
+            hi - lo);
+      Chunk.dense { Chunk.arity = nf; len = n; rows = None; cols = out_cols }
 
     and sort p keys i =
-      let rows = exec i in
+      let rows = Chunk.to_rows (exec i) in
       let s = Plan.schema cat i in
       let fs =
         Array.of_list
@@ -266,44 +369,47 @@ let run ?(ctx = Context.create ()) ?obs ?pool
              | None -> None)
           keys
       in
-      if List.for_all Option.is_some key_offsets then begin
-        let ks = Array.of_list (List.filter_map Fun.id key_offsets) in
-        let cmp a b =
-          let rec go k =
-            if k = nk then 0
-            else
-              let off, desc = ks.(k) in
-              match Value.compare (Tuple.get a off) (Tuple.get b off) with
-              | 0 -> go (k + 1)
-              | c -> if desc then -c else c
+      let sorted =
+        if List.for_all Option.is_some key_offsets then begin
+          let ks = Array.of_list (List.filter_map Fun.id key_offsets) in
+          let cmp a b =
+            let rec go k =
+              if k = nk then 0
+              else
+                let off, desc = ks.(k) in
+                match Value.compare (Tuple.get a off) (Tuple.get b off) with
+                | 0 -> go (k + 1)
+                | c -> if desc then -c else c
+            in
+            go 0
           in
-          go 0
-        in
-        psort p cmp rows
-      end
-      else begin
-        (* decorate in parallel (keys evaluate once per row), sort the
-           decorated pairs, strip *)
-        let deco = Array.make n ([||], [||]) in
-        dispatch p ~tasks:(ntasks n) (fun c ->
-            let lo, hi = bounds n c in
-            for ri = lo to hi - 1 do
-              let t = rows.(ri) in
-              deco.(ri) <- (Array.init nk (fun k -> fst fs.(k) t), t)
-            done;
-            hi - lo);
-        let cmp (ka, _) (kb, _) =
-          let rec go k =
-            if k = nk then 0
-            else
-              match Value.compare ka.(k) kb.(k) with
-              | 0 -> go (k + 1)
-              | c -> if snd fs.(k) then -c else c
+          psort p cmp rows
+        end
+        else begin
+          (* decorate in parallel (keys evaluate once per row), sort the
+             decorated pairs, strip *)
+          let deco = Array.make n ([||], [||]) in
+          dispatch p ~tasks:(ntasks n) (fun c ->
+              let lo, hi = bounds n c in
+              for ri = lo to hi - 1 do
+                let t = rows.(ri) in
+                deco.(ri) <- (Array.init nk (fun k -> fst fs.(k) t), t)
+              done;
+              hi - lo);
+          let cmp (ka, _) (kb, _) =
+            let rec go k =
+              if k = nk then 0
+              else
+                match Value.compare ka.(k) kb.(k) with
+                | 0 -> go (k + 1)
+                | c -> if snd fs.(k) then -c else c
+            in
+            go 0
           in
-          go 0
-        in
-        Array.map snd (psort p cmp deco)
-      end
+          Array.map snd (psort p cmp deco)
+        end
+      in
+      Chunk.of_rows ~arity:(Schema.arity s) sorted
 
     (* Parallel stable sort: stable-sorted morsel runs, then pairwise
        merge rounds.  Ties take the earlier (lower-indexed) run, so the
@@ -376,17 +482,21 @@ let run ?(ctx = Context.create ()) ?obs ?pool
     (* Joins *)
 
     and nested_loop p kind pred outer inner =
-      let outer_rows = exec outer in
+      let och = exec outer in
+      let outer_rows = Chunk.to_rows och in
       let n_out = Array.length outer_rows in
-      if n_out = 0 then [||] (* the inner of an empty outer never runs *)
+      let so = Plan.schema cat outer and si = Plan.schema cat inner in
+      let inner_arity = Schema.arity si in
+      let out_arity = join_arity kind ~outer:(Schema.arity so) ~inner:inner_arity in
+      if n_out = 0 then
+        Chunk.of_rows ~arity:out_arity [||]
+        (* the inner of an empty outer never runs *)
       else begin
-        let so = Plan.schema cat outer and si = Plan.schema cat inner in
-        let inner_arity = Schema.arity si in
         (* the inner subtree must replay its page-access pattern once per
            further outer tuple: run it through Batch, which provides the
            replay closure *)
-        let inode = Batch.run_node ~ctx ?obs cat inner in
-        let inner_rows = inode.Batch.rows in
+        let inode = Batch.run_node ~ctx ?obs ?chunk_rows cat inner in
+        let inner_rows = Chunk.to_rows inode.Batch.chunk in
         let n_in = Array.length inner_rows in
         Context.charge_cpu ctx n_in;
         for _ = 2 to n_out do
@@ -409,7 +519,7 @@ let run ?(ctx = Context.create ()) ?obs ?pool
             let a = Storage.Vec.to_array out in
             outs.(c) <- a;
             Array.length a);
-        Array.concat (Array.to_list outs)
+        Chunk.of_rows ~arity:out_arity (Array.concat (Array.to_list outs))
       end
 
     and index_nl kind outer table alias index outer_keys residual =
@@ -424,13 +534,14 @@ let run ?(ctx = Context.create ()) ?obs ?pool
           invalid_arg
             (Printf.sprintf "Index_nl: no index %s on %s" index table)
       in
-      let outer_rows = exec outer in
+      let outer_rows = Chunk.to_rows (exec outer) in
       let so = Plan.schema cat outer in
       let si = Schema.requalify t.Storage.Table.schema ~rel:alias in
       let keyfs = Array.of_list (List.map (Expr.compile so) outer_keys) in
       let probe_keys ot = Array.to_list (Array.map (fun f -> f ot) keyfs) in
       let holds = pred2 so si residual in
       let inner_arity = Schema.arity si in
+      let out_arity = join_arity kind ~outer:(Schema.arity so) ~inner:inner_arity in
       let out = Storage.Vec.create () in
       Array.iter
         (fun ot ->
@@ -443,19 +554,20 @@ let run ?(ctx = Context.create ()) ?obs ?pool
            emit_range out kind ~inner_arity ot matches 0
              (Array.length matches) ~matches:(fun it -> holds ot it))
         outer_rows;
-      Storage.Vec.to_array out
+      Chunk.of_rows ~arity:out_arity (Storage.Vec.to_array out)
 
     and merge_join kind pairs residual left right =
       (* the merge walk is a sequential two-pointer scan; children (often
          parallel Sorts) still execute through [exec] *)
-      let lrows = exec left in
-      let rrows = exec right in
+      let lrows = Chunk.to_rows (exec left) in
+      let rrows = Chunk.to_rows (exec right) in
       let sl = Plan.schema cat left and sr = Plan.schema cat right in
       let loffs = offsets sl (List.map fst pairs) in
       let roffs = offsets sr (List.map snd pairs) in
       let nk = Array.length loffs in
       let holds = pred2 sl sr residual in
       let inner_arity = Schema.arity sr in
+      let out_arity = join_arity kind ~outer:(Schema.arity sl) ~inner:inner_arity in
       let nl = Array.length lrows and nr = Array.length rrows in
       Context.charge_cpu ctx (nl + nr);
       let cmp_lr li rj =
@@ -533,18 +645,18 @@ let run ?(ctx = Context.create ()) ?obs ?pool
           done
         end
       done;
-      Storage.Vec.to_array out
+      Chunk.of_rows ~arity:out_arity (Storage.Vec.to_array out)
 
     and hash_join p kind pairs residual left right =
       (* Batch order: build side (right) executes first *)
-      let rrows = exec right in
-      let nr = Array.length rrows in
+      let rch = exec right in
+      let nr = Chunk.length rch in
       let sl = Plan.schema cat left and sr = Plan.schema cat right in
       let roffs = offsets sr (List.map snd pairs) in
       Context.charge_cpu ctx nr;
       let rpages = Storage.Page.pages_for ~rows:nr sr in
-      let lrows = exec left in
-      let nl = Array.length lrows in
+      let lch = exec left in
+      let nl = Chunk.length lch in
       let lpages = Storage.Page.pages_for ~rows:nl sl in
       let spill =
         if rpages > ctx.Context.work_mem_pages then 2 * (rpages + lpages)
@@ -552,46 +664,140 @@ let run ?(ctx = Context.create ()) ?obs ?pool
       in
       if spill > 0 then Context.charge_spill ctx spill;
       let loffs = offsets sl (List.map fst pairs) in
-      let holds = pred2 sl sr residual in
       let inner_arity = Schema.arity sr in
+      let out_arity = join_arity kind ~outer:(Schema.arity sl) ~inner:inner_arity in
       Context.charge_cpu ctx nl;
-      let single = Array.length roffs = 1 in
-      let rcol = if single then Int_col.extract rrows roffs.(0) else None in
+      let rstore = rch.Chunk.store and lstore = lch.Chunk.store in
+      let rphys = Chunk.phys rch and lphys = Chunk.phys lch in
+      let fault = !Batch.fault_null_key_as_zero in
+      let semi_only =
+        (match kind with Algebra.Semi | Algebra.Anti -> true | _ -> false)
+        && residual = Expr.ftrue
+      in
+      let keep_if_match =
+        match kind with Algebra.Semi -> true | _ -> false
+      in
+      let nk = Array.length roffs in
+      let single = nk = 1 in
+      let rcol = if single then Chunk.int_col rstore roffs.(0) else None in
       let lcol =
-        if single && rcol <> None then Int_col.extract lrows loffs.(0)
+        if single && rcol <> None then Chunk.int_col lstore loffs.(0)
         else None
       in
-      let fault = !Batch.fault_null_key_as_zero in
-      (* Exchange: hash-partition build rows by key into per-morsel ×
-         per-partition index vectors (morsel order concatenation keeps
-         every bucket chain in sequential insert order), build one table
-         per partition in parallel, then probe morsels in parallel —
-         every probe row finds its partition by the same hash.  Int keys
-         hash as [Value.hash] of the boxed value would, so a mixed
-         Int/Float comparison on the generic path still lands both sides
-         in the same partition ([Value.equal] matches Int 2 = Float 2.0,
-         and [Value.hash] is numerically consistent). *)
       let btasks = ntasks nr in
-      let probe :
-        (* per-probe-row bucket lookup, returning the bucket's (items,
-           blen) *) (int -> Tuple.t -> Tuple.t list * int) =
-        match (rcol, lcol) with
-        | Some rc, Some lc ->
-          let ihash k = Hashtbl.hash (float_of_int k) land max_int in
-          let parts =
-            Array.init (max btasks 1) (fun _ ->
-                Array.init nparts (fun _ -> Storage.Vec.create ()))
+      let ptasks = ntasks nl in
+      (* Parallel probe phases.  Per-task CPU (bucket chain lengths) is
+         accumulated and charged once on the coordinator after the
+         dispatch — the total equals Batch's per-probe charges. *)
+      let probe_rows (probe : int -> Tuple.t list * int) =
+        let lrows = Chunk.to_rows lch in
+        let holds = pred2 sl sr residual in
+        let outs = Array.make (max ptasks 1) [||] in
+        let cpus = Array.make (max ptasks 1) 0 in
+        dispatch p ~tasks:ptasks (fun c ->
+            let lo, hi = bounds nl c in
+            let out = Storage.Vec.create () in
+            let cpu = ref 0 in
+            for li = lo to hi - 1 do
+              let lt = lrows.(li) in
+              let items, blen = probe li in
+              cpu := !cpu + blen;
+              emit_list out kind ~inner_arity lt items
+                ~matches:(fun rt -> holds lt rt)
+            done;
+            let a = Storage.Vec.to_array out in
+            outs.(c) <- a;
+            cpus.(c) <- !cpu;
+            Array.length a);
+        Context.charge_cpu ctx (Array.fold_left ( + ) 0 cpus);
+        Chunk.of_rows ~arity:out_arity (Array.concat (Array.to_list outs))
+      in
+      let probe_sel (blen_of : int -> int) =
+        let outs = Array.make (max ptasks 1) [||] in
+        let cpus = Array.make (max ptasks 1) 0 in
+        dispatch p ~tasks:ptasks (fun c ->
+            let lo, hi = bounds nl c in
+            let out = Storage.Vec.create () in
+            let cpu = ref 0 in
+            for li = lo to hi - 1 do
+              let blen = blen_of li in
+              cpu := !cpu + blen;
+              if (blen > 0) = keep_if_match then
+                Storage.Vec.push out (lphys li)
+            done;
+            let a = Storage.Vec.to_array out in
+            outs.(c) <- a;
+            cpus.(c) <- !cpu;
+            Array.length a);
+        Context.charge_cpu ctx (Array.fold_left ( + ) 0 cpus);
+        { Chunk.store = lstore;
+          sel = Some (Array.concat (Array.to_list outs)) }
+      in
+      (* Exchange: hash-partition build-side logical indices by key into
+         per-morsel × per-partition index vectors (morsel-order
+         concatenation keeps every bucket chain in sequential insert
+         order), build one table per partition in parallel, then probe
+         morsels in parallel — every probe row finds its partition by
+         the same hash.  Int keys hash as [Value.hash] of the boxed
+         value would, so a mixed Int/Float comparison on the generic
+         path still lands both sides in the same partition
+         ([Value.equal] matches Int 2 = Float 2.0, and [Value.hash] is
+         numerically consistent). *)
+      match (rcol, lcol) with
+      | Some (rd, rnb), Some (ld, lnb) ->
+        let ihash k = Hashtbl.hash (float_of_int k) land max_int in
+        let parts =
+          Array.init (max btasks 1) (fun _ ->
+              Array.init nparts (fun _ -> Storage.Vec.create ()))
+        in
+        dispatch p ~tasks:btasks (fun c ->
+            let lo, hi = bounds nr c in
+            for ri = lo to hi - 1 do
+              let pr = rphys ri in
+              let null = Bytes.get rnb pr <> '\000' in
+              if (not null) || fault then begin
+                let k = if null then 0 else rd.(pr) in
+                Storage.Vec.push parts.(c).(ihash k mod nparts) ri
+              end
+            done;
+            hi - lo);
+        if semi_only then begin
+          (* count-only buckets; the output is a selection over the left
+             store — neither side materializes rows *)
+          let absent = ref (-1) in
+          let tbls =
+            Array.init nparts (fun _ ->
+                Keys.Int_map.create ~dummy:absent
+                  (max 16 ((2 * nr / nparts) + 1)))
           in
-          dispatch p ~tasks:btasks (fun c ->
-              let lo, hi = bounds nr c in
-              for ri = lo to hi - 1 do
-                let null = Int_col.is_null rc ri in
-                if (not null) || fault then begin
-                  let k = if null then 0 else rc.Int_col.data.(ri) in
-                  Storage.Vec.push parts.(c).(ihash k mod nparts) ri
-                end
+          dispatch p ~tasks:nparts (fun pt ->
+              let tbl = tbls.(pt) in
+              let built = ref 0 in
+              for c = 0 to btasks - 1 do
+                Storage.Vec.iter
+                  (fun ri ->
+                     incr built;
+                     let pr = rphys ri in
+                     let null = Bytes.get rnb pr <> '\000' in
+                     let k = if null then 0 else rd.(pr) in
+                     let cnt = Keys.Int_map.find tbl k in
+                     if cnt == absent then Keys.Int_map.add tbl k (ref 1)
+                     else incr cnt)
+                  parts.(c).(pt)
               done;
-              hi - lo);
+              !built);
+          probe_sel (fun li ->
+              let pl = lphys li in
+              let null = Bytes.get lnb pl <> '\000' in
+              if (not null) || fault then begin
+                let k = if null then 0 else ld.(pl) in
+                let cnt = Keys.Int_map.find tbls.(ihash k mod nparts) k in
+                if cnt == absent then 0 else !cnt
+              end
+              else 0)
+        end
+        else begin
+          let rrows = Chunk.to_rows rch in
           let absent = { blen = 0; items = [] } in
           let tbls =
             Array.init nparts (fun _ ->
@@ -605,8 +811,9 @@ let run ?(ctx = Context.create ()) ?obs ?pool
                 Storage.Vec.iter
                   (fun ri ->
                      incr built;
-                     let null = Int_col.is_null rc ri in
-                     let k = if null then 0 else rc.Int_col.data.(ri) in
+                     let pr = rphys ri in
+                     let null = Bytes.get rnb pr <> '\000' in
+                     let k = if null then 0 else rd.(pr) in
                      let b = Keys.Int_map.find tbl k in
                      if b == absent then
                        Keys.Int_map.add tbl k
@@ -618,31 +825,57 @@ let run ?(ctx = Context.create ()) ?obs ?pool
                   parts.(c).(pt)
               done;
               !built);
-          fun li _lt ->
-            let null = Int_col.is_null lc li in
-            if (not null) || fault then begin
-              let k = if null then 0 else lc.Int_col.data.(li) in
-              let b = Keys.Int_map.find tbls.(ihash k mod nparts) k in
-              (b.items, b.blen)
-            end
-            else ([], 0)
-        | _ ->
-          let phash kv = Keys.hash_array kv land max_int mod nparts in
-          let parts =
-            Array.init (max btasks 1) (fun _ ->
-                Array.init nparts (fun _ -> Storage.Vec.create ()))
+          probe_rows (fun li ->
+              let pl = lphys li in
+              let null = Bytes.get lnb pl <> '\000' in
+              if (not null) || fault then begin
+                let k = if null then 0 else ld.(pl) in
+                let b = Keys.Int_map.find tbls.(ihash k mod nparts) k in
+                (b.items, b.blen)
+              end
+              else ([], 0))
+        end
+      | _ ->
+        (* generic keys: the exchange materializes each build key once;
+           probes hash and compare column-wise through accessors *)
+        let rgets = Array.map (fun off -> Chunk.getter rstore off) roffs in
+        let lgets = Array.map (fun off -> Chunk.getter lstore off) loffs in
+        let phash kv = Keys.hash_array kv land max_int mod nparts in
+        let parts =
+          Array.init (max btasks 1) (fun _ ->
+              Array.init nparts (fun _ -> Storage.Vec.create ()))
+        in
+        dispatch p ~tasks:btasks (fun c ->
+            let lo, hi = bounds nr c in
+            for ri = lo to hi - 1 do
+              let pr = rphys ri in
+              let rec nullfree cc =
+                cc = nk
+                || ((not (Value.is_null (rgets.(cc) pr)))
+                    && nullfree (cc + 1))
+              in
+              if nullfree 0 then begin
+                let k = Array.init nk (fun cc -> rgets.(cc) pr) in
+                Storage.Vec.push parts.(c).(phash k) (ri, k)
+              end
+            done;
+            hi - lo);
+        let l_nullfree pl =
+          let rec go cc =
+            cc = nk
+            || ((not (Value.is_null (lgets.(cc) pl))) && go (cc + 1))
           in
-          dispatch p ~tasks:btasks (fun c ->
-              let lo, hi = bounds nr c in
-              for ri = lo to hi - 1 do
-                let k = extract_key roffs rrows.(ri) in
-                if key_nullfree k then
-                  Storage.Vec.push parts.(c).(phash k) (ri, k)
-              done;
-              hi - lo);
+          go 0
+        in
+        (* probe partition = [Keys.Cols_tbl.hash_cols], consistent with
+           [Keys.hash_array] of the materialized build key *)
+        let lpart pl = Keys.Cols_tbl.hash_cols lgets pl land max_int mod nparts in
+        if semi_only then begin
+          let absent = ref (-1) in
           let tbls =
             Array.init nparts (fun _ ->
-                Keys.Array_tbl.create (max 16 ((2 * nr / nparts) + 1)))
+                Keys.Cols_tbl.create ~dummy:absent
+                  (max 16 ((2 * nr / nparts) + 1)))
           in
           dispatch p ~tasks:nparts (fun pt ->
               let tbl = tbls.(pt) in
@@ -651,66 +884,64 @@ let run ?(ctx = Context.create ()) ?obs ?pool
                 Storage.Vec.iter
                   (fun (ri, k) ->
                      incr built;
-                     match Keys.Array_tbl.find_opt tbl k with
-                     | Some b ->
-                       b.blen <- b.blen + 1;
-                       b.items <- rrows.(ri) :: b.items
-                     | None ->
-                       Keys.Array_tbl.add tbl k
-                         { blen = 1; items = [ rrows.(ri) ] })
+                     let cnt = Keys.Cols_tbl.find tbl rgets (rphys ri) in
+                     if cnt == absent then Keys.Cols_tbl.add tbl k (ref 1)
+                     else incr cnt)
                   parts.(c).(pt)
               done;
               !built);
-          fun _li lt ->
-            let k = extract_key loffs lt in
-            if key_nullfree k then begin
-              match Keys.Array_tbl.find_opt tbls.(phash k) k with
-              | Some b -> (b.items, b.blen)
-              | None -> ([], 0)
-            end
-            else ([], 0)
-      in
-      let ptasks = ntasks nl in
-      let outs = Array.make (max ptasks 1) [||] in
-      let cpus = Array.make (max ptasks 1) 0 in
-      dispatch p ~tasks:ptasks (fun c ->
-          let lo, hi = bounds nl c in
-          let out = Storage.Vec.create () in
-          let cpu = ref 0 in
-          for li = lo to hi - 1 do
-            let lt = lrows.(li) in
-            let items, blen = probe li lt in
-            cpu := !cpu + blen;
-            emit_list out kind ~inner_arity lt items
-              ~matches:(fun rt -> holds lt rt)
-          done;
-          let a = Storage.Vec.to_array out in
-          outs.(c) <- a;
-          cpus.(c) <- !cpu;
-          Array.length a);
-      Context.charge_cpu ctx (Array.fold_left ( + ) 0 cpus);
-      Array.concat (Array.to_list outs)
+          probe_sel (fun li ->
+              let pl = lphys li in
+              if l_nullfree pl then begin
+                let cnt = Keys.Cols_tbl.find tbls.(lpart pl) lgets pl in
+                if cnt == absent then 0 else !cnt
+              end
+              else 0)
+        end
+        else begin
+          let rrows = Chunk.to_rows rch in
+          let absent = { blen = 0; items = [] } in
+          let tbls =
+            Array.init nparts (fun _ ->
+                Keys.Cols_tbl.create ~dummy:absent
+                  (max 16 ((2 * nr / nparts) + 1)))
+          in
+          dispatch p ~tasks:nparts (fun pt ->
+              let tbl = tbls.(pt) in
+              let built = ref 0 in
+              for c = 0 to btasks - 1 do
+                Storage.Vec.iter
+                  (fun (ri, k) ->
+                     incr built;
+                     let b = Keys.Cols_tbl.find tbl rgets (rphys ri) in
+                     if b == absent then
+                       Keys.Cols_tbl.add tbl k
+                         { blen = 1; items = [ rrows.(ri) ] }
+                     else begin
+                       b.blen <- b.blen + 1;
+                       b.items <- rrows.(ri) :: b.items
+                     end)
+                  parts.(c).(pt)
+              done;
+              !built);
+          probe_rows (fun li ->
+              let pl = lphys li in
+              if l_nullfree pl then begin
+                let b = Keys.Cols_tbl.find tbls.(lpart pl) lgets pl in
+                (b.items, b.blen)
+              end
+              else ([], 0))
+        end
 
     (* ---------------------------------------------------------------- *)
     (* Aggregation *)
 
     and aggregate p ~sorted keys aggs input =
-      let rows = exec input in
-      let n = Array.length rows in
+      let ch = exec input in
+      let store = ch.Chunk.store in
+      let n = Chunk.length ch in
       let s = Plan.schema cat input in
-      let keyfs =
-        Array.of_list (List.map (fun (e, _) -> Expr.compile s e) keys)
-      in
-      let nkeys = Array.length keyfs in
-      let argfs =
-        Array.of_list
-          (List.map
-             (fun (a, _) ->
-                match Expr.agg_arg a with
-                | None -> fun _ -> Value.Int 1 (* count-star: any non-null *)
-                | Some e -> Expr.compile s e)
-             aggs)
-      in
+      let nkeys = List.length keys in
       let agg_arr = Array.of_list (List.map fst aggs) in
       let naggs = Array.length agg_arr in
       Context.charge_cpu ctx n;
@@ -722,15 +953,29 @@ let run ?(ctx = Context.create ()) ?obs ?pool
       let fresh_states () =
         Array.init naggs (fun _ -> Expr.agg_init ())
       in
-      let step_all t states =
-        for a = 0 to naggs - 1 do
-          Expr.agg_step states.(a) (argfs.(a) t)
-        done
-      in
       let out =
         if sorted then begin
           (* stream aggregation over key-sorted input: sequential flush
              walk, same as Batch *)
+          let rows = Chunk.to_rows ch in
+          let keyfs =
+            Array.of_list (List.map (fun (e, _) -> Expr.compile s e) keys)
+          in
+          let argfs =
+            Array.of_list
+              (List.map
+                 (fun (a, _) ->
+                    match Expr.agg_arg a with
+                    | None ->
+                      fun _ -> Value.Int 1 (* count-star: any non-null *)
+                    | Some e -> Expr.compile s e)
+                 aggs)
+          in
+          let step_all t states =
+            for a = 0 to naggs - 1 do
+              Expr.agg_step states.(a) (argfs.(a) t)
+            done
+          in
           let out = Storage.Vec.create () in
           let cur_key = ref None in
           let cur_states = ref [||] in
@@ -754,12 +999,51 @@ let run ?(ctx = Context.create ()) ?obs ?pool
           Storage.Vec.to_array out
         end
         else begin
-          (* Exchange by key-hash partition: each key's entire fold runs
-             on one partition, sequentially in global row order — so
-             non-associative float sums come out bit-exact and no state
-             merging is needed.  Groups carry their first row index;
-             sorting the merged groups on it reproduces the sequential
-             first-occurrence emission order. *)
+          (* Exchange logical row indices by key-hash partition: each
+             key's entire fold runs on one partition, sequentially in
+             global row order — so non-associative float sums come out
+             bit-exact and no state merging is needed.  Groups carry
+             their first row index; sorting the merged groups on it
+             reproduces the sequential first-occurrence emission order.
+             Key accessors and steppers compile (and force the chunk's
+             caches) here on the coordinator; workers only run the pure
+             closures. *)
+          let phys = Chunk.phys ch in
+          let kgets =
+            Array.of_list
+              (List.map
+                 (fun (e, _) ->
+                    match col_offset s e with
+                    | Some off -> Chunk.getter store off
+                    | None ->
+                      let f = Expr.compile s e in
+                      let rows = Chunk.rows_view store in
+                      fun pp -> f rows.(pp))
+                 keys)
+          in
+          let steppers =
+            Array.of_list
+              (List.map
+                 (fun (a, _) ->
+                    match Expr.agg_arg a with
+                    | None -> fun st (_ : int) -> Expr.agg_step_int st 1
+                    | Some e -> (
+                      match int_expr s store e with
+                      | Some v ->
+                        fun st pp ->
+                          if not (v.inull pp) then
+                            Expr.agg_step_int st (v.iv pp)
+                      | None ->
+                        let f = Expr.compile s e in
+                        let rows = Chunk.rows_view store in
+                        fun st pp -> Expr.agg_step st (f rows.(pp))))
+                 aggs)
+          in
+          let step_all pp states =
+            for a = 0 to naggs - 1 do
+              steppers.(a) states.(a) pp
+            done
+          in
           let tasks = ntasks n in
           let parts =
             Array.init (max tasks 1) (fun _ ->
@@ -767,38 +1051,44 @@ let run ?(ctx = Context.create ()) ?obs ?pool
           in
           dispatch p ~tasks (fun c ->
               let lo, hi = bounds n c in
-              for ri = lo to hi - 1 do
-                let t = rows.(ri) in
-                let kv = Array.init nkeys (fun k -> keyfs.(k) t) in
-                let pt = Keys.hash_array kv land max_int mod nparts in
-                Storage.Vec.push parts.(c).(pt) (ri, kv, t)
+              for li = lo to hi - 1 do
+                let pt =
+                  Keys.Cols_tbl.hash_cols kgets (phys li)
+                  land max_int mod nparts
+                in
+                Storage.Vec.push parts.(c).(pt) li
               done;
               hi - lo);
           let group_arrays = Array.make nparts [||] in
+          let dummy = Array.make 1 (Expr.agg_init ()) in
           dispatch p ~tasks:nparts (fun pt ->
-              let tbl = Keys.Array_tbl.create 64 in
+              let tbl = Keys.Cols_tbl.create ~dummy 64 in
               let order = Storage.Vec.create () in
               let folded = ref 0 in
               for c = 0 to max tasks 1 - 1 do
                 Storage.Vec.iter
-                  (fun (ri, kv, t) ->
+                  (fun li ->
                      incr folded;
+                     let pp = phys li in
                      let states =
-                       match Keys.Array_tbl.find_opt tbl kv with
-                       | Some st -> st
-                       | None ->
+                       let st = Keys.Cols_tbl.find tbl kgets pp in
+                       if st != dummy then st
+                       else begin
                          let st = fresh_states () in
-                         Keys.Array_tbl.add tbl kv st;
-                         Storage.Vec.push order (ri, kv);
+                         let kv =
+                           Array.init nkeys (fun c -> kgets.(c) pp)
+                         in
+                         Keys.Cols_tbl.add tbl kv st;
+                         Storage.Vec.push order (li, kv, st);
                          st
+                       end
                      in
-                     step_all t states)
+                     step_all pp states)
                   parts.(c).(pt)
               done;
               group_arrays.(pt) <-
                 Array.map
-                  (fun (ri, kv) ->
-                     (ri, finalize kv (Keys.Array_tbl.find tbl kv)))
+                  (fun (li, kv, st) -> (li, finalize kv st))
                   (Storage.Vec.to_array order);
               !folded);
           let all = Array.concat (Array.to_list group_arrays) in
@@ -806,13 +1096,17 @@ let run ?(ctx = Context.create ()) ?obs ?pool
           Array.map snd all
         end
       in
-      if keys = [] && Array.length out = 0 then
-        (* scalar aggregate over the empty input: one row *)
-        [| finalize [||] (fresh_states ()) |]
-      else out
+      let out =
+        if keys = [] && Array.length out = 0 then
+          (* scalar aggregate over the empty input: one row *)
+          [| finalize [||] (fresh_states ()) |]
+        else out
+      in
+      Chunk.of_rows ~arity:(nkeys + naggs) out
 
     and hash_distinct p i =
-      let rows = exec i in
+      let ch = exec i in
+      let rows = Chunk.to_rows ch in
       let n = Array.length rows in
       Context.charge_cpu ctx n;
       (* exchange by whole-tuple hash; first-occurrence order restored by
@@ -848,7 +1142,9 @@ let run ?(ctx = Context.create ()) ?obs ?pool
           Array.length survivors.(pt));
       let all = Array.concat (Array.to_list survivors) in
       Array.sort (fun (a : int) b -> compare a b) all;
-      Array.map (fun ri -> rows.(ri)) all
+      Chunk.of_rows ~arity:(Schema.arity (Plan.schema cat i))
+        (Array.map (fun ri -> rows.(ri)) all)
     in
-    { Executor.schema = Plan.schema cat plan; rows = exec plan }
+    { Executor.schema = Plan.schema cat plan;
+      rows = Chunk.to_rows (exec plan) }
   end

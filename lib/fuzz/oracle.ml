@@ -29,6 +29,11 @@ let full_grid =
     { cname = "batch-dop4";
       config = lint { d with dop = 4; morsel_rows = 16 };
       counter_class = 1 };
+    (* tiny chunks force selection-vector block boundaries mid-operator;
+       the columnar layout must be invisible to rows and counters *)
+    { cname = "batch-columnar";
+      config = lint { d with chunk_rows = 7 };
+      counter_class = 1 };
     { cname = "batch-bushy";
       config =
         lint { d with join_config = { d.join_config with bushy = true } };
@@ -47,7 +52,8 @@ let fast_grid =
   List.filter
     (fun c ->
        List.mem c.cname
-         [ "interp-norw"; "batch"; "interp"; "batch-dop4"; "batch-analysis" ])
+         [ "interp-norw"; "batch"; "interp"; "batch-dop4"; "batch-columnar";
+           "batch-analysis" ])
     full_grid
 
 type failure = { oracle : string; cfg : string; detail : string }

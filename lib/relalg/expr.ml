@@ -274,6 +274,21 @@ let agg_step st (v : Value.t) =
     if Value.is_null st.maxv || Value.compare v st.maxv > 0 then st.maxv <- v
   end
 
+(* Unboxed integer step: identical state evolution to
+   [agg_step st (Value.Int k)], but the argument is never boxed — the
+   min/max slots allocate a [Value.Int] only when they actually change. *)
+let agg_step_int st (k : int) =
+  st.count <- st.count + 1;
+  st.sum <- st.sum +. float_of_int k;
+  (match st.minv with
+   | Value.Null -> st.minv <- Value.Int k
+   | Value.Int m -> if k < m then st.minv <- Value.Int k
+   | v -> if Value.compare (Value.Int k) v < 0 then st.minv <- Value.Int k);
+  (match st.maxv with
+   | Value.Null -> st.maxv <- Value.Int k
+   | Value.Int m -> if k > m then st.maxv <- Value.Int k
+   | v -> if Value.compare (Value.Int k) v > 0 then st.maxv <- Value.Int k)
+
 let agg_final (a : agg) st : Value.t =
   match a with
   | Count_star | Count _ -> Value.Int st.count

@@ -76,6 +76,12 @@ val compile2 : Schema.t -> Schema.t -> t -> Tuple.t -> Tuple.t -> Value.t
 (** {!holds} over two input tuples, via {!compile2}. *)
 val holds2 : Schema.t -> Schema.t -> t -> Tuple.t -> Tuple.t -> bool
 
+(** SQL arithmetic on two values: NULL operands propagate, Int pairs use
+    native integer arithmetic (Div/Mod by zero is NULL), mixed numerics
+    promote to Float, [Add] concatenates strings.
+    @raise Type_error on non-numeric operands otherwise. *)
+val arith : binop -> Value.t -> Value.t -> Value.t
+
 (** [compare_op op c] applies comparison operator [op] to the sign [c] of a
     three-way comparison. *)
 val compare_op : cmpop -> int -> bool
@@ -102,6 +108,13 @@ type agg_state
 
 val agg_init : unit -> agg_state
 val agg_step : agg_state -> Value.t -> unit
+
+(** [agg_step_int st k] = [agg_step st (Value.Int k)] without boxing the
+    argument (the min/max slots allocate only when they change).  The
+    columnar engines use it to fold unboxed integer columns; the resulting
+    state is field-identical to the boxed fold. *)
+val agg_step_int : agg_state -> int -> unit
+
 val agg_final : agg -> agg_state -> Value.t
 
 (** Merge two partial states — the combining form used by staged

@@ -164,6 +164,23 @@ let cap_distinct card cols =
        (k, { cs with Table_stats.n_distinct = Float.min cs.Table_stats.n_distinct (Float.max 1. card) }))
     cols
 
+(* Clamp a derived cardinality to at least one row when the input is
+   nonempty; an estimate of exactly zero is reserved for provably empty
+   inputs.  Complement selectivities (NOT, <>) and histogram range
+   estimates saturate to exactly 0 when the base selectivity saturates
+   to 1 or the histogram carries no mass in range — none of which proves
+   emptiness (the q-error oracle treats est=0/act>0 as a contradiction). *)
+let floor_one input_card est =
+  if input_card > 0. then Float.max 1. est else Float.max 0. est
+
+(* A predicate is provably false for estimation purposes only when a
+   literal FALSE appears as a conjunct — the form the analysis layer's
+   contradiction folding rewrites to. *)
+let provably_false e =
+  List.exists
+    (function Expr.Const (Value.Bool false) -> true | _ -> false)
+    (Pred.conjuncts e)
+
 (* Selection: scale cardinality; if the predicate constrains a single column
    through a histogram, restrict that histogram too (the simplest propagation
    case of 5.1.3). *)
@@ -171,6 +188,7 @@ let apply_select ?(asm = default_assumption) (r : rel_stats) (e : Expr.t) :
   rel_stats =
   let s = selectivity ~asm r e in
   let card = Float.max 0. (r.card *. s) in
+  let card = if provably_false e then card else floor_one r.card card in
   (* restrict histograms for conjuncts of shape col CMP const *)
   let conjuncts = Pred.conjuncts e in
   let restrict ((alias, col), cs) =
@@ -236,12 +254,6 @@ let apply_select ?(asm = default_assumption) (r : rel_stats) (e : Expr.t) :
   let cols = List.map restrict r.cols in
   { r with card; cols = cap_distinct card cols }
 
-(* Clamp a derived cardinality to at least one row when the input is
-   nonempty; an estimate of exactly zero is reserved for provably empty
-   inputs. *)
-let floor_one input_card est =
-  if input_card > 0. then Float.max 1. est else Float.max 0. est
-
 let join ?(asm = default_assumption) (kind : Algebra.join_kind)
     (l : rel_stats) (rr : rel_stats) (pred : Expr.t) : rel_stats =
   let combined_cols = l.cols @ rr.cols in
@@ -252,6 +264,13 @@ let join ?(asm = default_assumption) (kind : Algebra.join_kind)
   in
   let s = selectivity ~asm combined pred in
   let inner_card = Float.max 0. (l.card *. rr.card *. s) in
+  let inner_card =
+    (* same convention as Semi/Anti below: a complement selectivity
+       saturating to 0 (e.g. <> when both sides are single-valued) does
+       not prove the join output empty *)
+    if provably_false pred then inner_card
+    else floor_one combined.card inner_card
+  in
   let card, schema =
     match kind with
     | Algebra.Inner -> (inner_card, combined.schema)

@@ -9,6 +9,9 @@ type t = {
   name : string;
   schema : Schema.t; (* columns qualified by the table name *)
   rows : Tuple.t Vec.t;
+  mutable rows_view : Tuple.t array option;
+      (* memoized array view; tables are append-only, so a cached view
+         is stale iff its length differs from the live row count *)
 }
 
 let create ?(non_null = []) ~name ~(columns : (string * Value.ty) list) () : t
@@ -21,7 +24,7 @@ let create ?(non_null = []) ~name ~(columns : (string * Value.ty) list) () : t
            (Schema.column ~rel:name ~name:cn ~ty))
       columns
   in
-  { name; schema; rows = Vec.create () }
+  { name; schema; rows = Vec.create (); rows_view = None }
 
 let insert t (tuple : Tuple.t) =
   if Tuple.arity tuple <> Schema.arity t.schema then
@@ -35,6 +38,16 @@ let insert_all t tuples = List.iter (insert t) tuples
 let row_count t = Vec.length t.rows
 
 let get t rid = Vec.get t.rows rid
+
+(* Shared immutable array view of all rows, built once per table size.
+   Callers must treat it as read-only. *)
+let rows_array t =
+  match t.rows_view with
+  | Some a when Array.length a = Vec.length t.rows -> a
+  | _ ->
+    let a = Array.init (Vec.length t.rows) (Vec.get t.rows) in
+    t.rows_view <- Some a;
+    a
 
 let tuples_per_page t = Page.tuples_per_page t.schema
 

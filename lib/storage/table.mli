@@ -6,6 +6,9 @@ type t = {
   name : string;
   schema : Relalg.Schema.t;  (** columns qualified by the table name *)
   rows : Relalg.Tuple.t Vec.t;
+  mutable rows_view : Relalg.Tuple.t array option;
+      (** memoized {!rows_array} view; stale iff its length differs from
+          the live row count (tables are append-only) *)
 }
 
 (** [non_null] names columns declared NOT NULL; they are recorded as
@@ -26,6 +29,11 @@ val row_count : t -> int
 
 (** Tuple at row id [rid]. *)
 val get : t -> int -> Relalg.Tuple.t
+
+(** Shared immutable array view of all rows, memoized per table size —
+    the bulk accessor the vectorized engines scan from.  Read-only:
+    callers must never write through it. *)
+val rows_array : t -> Relalg.Tuple.t array
 
 val tuples_per_page : t -> int
 val page_count : t -> int

@@ -41,12 +41,13 @@ let pp_counters = Fmt.str "%a" Exec.Context.pp_snapshot
 
 (* The differential harness: run [plan] under both engines with
    identically-configured fresh contexts; rows must match bit-for-bit and
-   in order, counters must match exactly. *)
-let differ ?buffer_pages ?work_mem_pages name cat plan =
+   in order, counters must match exactly.  [chunk_rows] shrinks the
+   columnar engine's block granularity, which must be invisible. *)
+let differ ?buffer_pages ?work_mem_pages ?chunk_rows name cat plan =
   let ctx_i = Exec.Context.create ?buffer_pages ?work_mem_pages () in
   let oracle = Exec.Executor.run ~ctx:ctx_i cat plan in
   let ctx_b = Exec.Context.create ?buffer_pages ?work_mem_pages () in
-  let batch = Exec.Batch.run ~ctx:ctx_b cat plan in
+  let batch = Exec.Batch.run ~ctx:ctx_b ?chunk_rows cat plan in
   Alcotest.(check int)
     (name ^ ": row count")
     (Array.length oracle.Exec.Executor.rows)
@@ -482,6 +483,185 @@ let test_three_valued_logic () =
   differ "tvl distinct over nullable key" cat
     (Exec.Plan.Hash_distinct (Exec.Plan.Project ([ (x, "a") ], scan "R")))
 
+(* ------------------------------------------------------------------ *)
+(* Columnar-layout edge cases.  The typed column store classifies each
+   column as unboxed ints, unboxed floats, or a boxed fallback, and
+   filters produce selection vectors; every combination must stay
+   differentially identical to the interpreter: columns that are
+   entirely NULL, selection vectors that are empty, chunk granularities
+   smaller than any operator's appetite, and string keys that force the
+   boxed path under a selection vector. *)
+
+let mk_str_catalog rs ss =
+  let cat = Storage.Catalog.create () in
+  let r = Storage.Catalog.create_table cat ~name:"R"
+      ~columns:[ ("k", Value.Tstring); ("v", Value.Tint) ] in
+  let s = Storage.Catalog.create_table cat ~name:"S"
+      ~columns:[ ("k", Value.Tstring); ("w", Value.Tint) ] in
+  List.iter (fun (k, v) -> Storage.Table.insert r (Tuple.of_list [ k; v ])) rs;
+  List.iter (fun (k, w) -> Storage.Table.insert s (Tuple.of_list [ k; w ])) ss;
+  cat
+
+let test_columnar_edges () =
+  (* 1. an all-NULL key column: the null bitmap is fully set, so joins
+     match nothing and grouping collapses to the single NULL group *)
+  let all_null_r = List.init 7 (fun i -> (Value.Null, Value.Int i)) in
+  let cat = mk_catalog all_null_r default_s in
+  List.iter
+    (fun (kn, kind) ->
+       differ ("all-NULL keys hash " ^ kn) cat
+         (Exec.Plan.Hash_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue;
+              left = scan "R"; right = scan "S" }))
+    kinds;
+  differ "all-NULL group keys" cat
+    (Exec.Plan.Hash_agg
+       { keys = [ (Expr.col ~rel:"R" ~col:"a", "a") ];
+         aggs = [ (Expr.Count_star, "n");
+                  (Expr.Sum (Expr.col ~rel:"R" ~col:"a"), "t") ];
+         input = scan "R" });
+  (* an all-NULL aggregated column: SUM/AVG/MIN must come out NULL *)
+  let cat2 = mk_catalog (List.init 5 (fun i -> (Value.Int i, Value.Null))) []
+  in
+  differ "all-NULL agg input" cat2
+    (Exec.Plan.Hash_agg
+       { keys = [];
+         aggs = [ (Expr.Sum (Expr.col ~rel:"R" ~col:"b"), "s");
+                  (Expr.Avg (Expr.col ~rel:"R" ~col:"b"), "a");
+                  (Expr.Min (Expr.col ~rel:"R" ~col:"b"), "m") ];
+         input = scan "R" });
+  (* 2. an empty selection vector flowing into joins and aggregates: a
+     filter that rejects every row leaves a chunk with len > 0 but zero
+     selected positions *)
+  let cat = mk_catalog default_r default_s in
+  let none =
+    Exec.Plan.Filter
+      (Expr.Cmp (Expr.Gt, Expr.col ~rel:"R" ~col:"a", Expr.int 99), scan "R")
+  in
+  List.iter
+    (fun (kn, kind) ->
+       differ ("empty sel into hash join " ^ kn) cat
+         (Exec.Plan.Hash_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue; left = none;
+              right = scan "S" });
+       differ ("empty sel as build side " ^ kn) cat
+         (Exec.Plan.Hash_join
+            { kind;
+              pairs =
+                [ ({ Expr.rel = "S"; col = "a" }, { Expr.rel = "R"; col = "a" })
+                ];
+              residual = Expr.ftrue; left = scan "S"; right = none }))
+    kinds;
+  differ "empty sel into agg" cat
+    (Exec.Plan.Hash_agg
+       { keys = [ (Expr.col ~rel:"R" ~col:"a", "a") ];
+         aggs = [ (Expr.Count_star, "n") ]; input = none });
+  differ "empty sel into project+sort" cat
+    (Exec.Plan.Project
+       ([ (Expr.col ~rel:"R" ~col:"b", "b") ], sort_on "R" "b" none));
+  (* 3. chunk granularity smaller than any operator's appetite must be
+     invisible — rows, order, and counters *)
+  List.iter
+    (fun chunk_rows ->
+       differ ~chunk_rows
+         (Printf.sprintf "chunk_rows=%d composed" chunk_rows)
+         cat (composed_plan ()))
+    [ 1; 2; 3 ];
+  (* 4. string join keys force the boxed column fallback; the filter
+     underneath makes the boxed column read through a selection vector *)
+  let srs =
+    [ (Value.Str "ann", Value.Int 1); (Value.Str "bob", Value.Int 2);
+      (Value.Str "bob", Value.Int 3); (Value.Null, Value.Int 4);
+      (Value.Str "cat", Value.Int 5) ]
+  and sss =
+    [ (Value.Str "bob", Value.Int 10); (Value.Str "cat", Value.Int 20);
+      (Value.Null, Value.Int 30); (Value.Str "dee", Value.Int 40) ]
+  in
+  let scat = mk_str_catalog srs sss in
+  let spair = ({ Expr.rel = "R"; col = "k" }, { Expr.rel = "S"; col = "k" }) in
+  let filtered_r =
+    Exec.Plan.Filter
+      (Expr.Cmp (Expr.Ge, Expr.col ~rel:"R" ~col:"v", Expr.int 2), scan "R")
+  in
+  List.iter
+    (fun (kn, kind) ->
+       differ ("string keys under selection hash " ^ kn) scat
+         (Exec.Plan.Hash_join
+            { kind; pairs = [ spair ]; residual = Expr.ftrue;
+              left = filtered_r; right = scan "S" });
+       differ ("string keys under selection merge " ^ kn) scat
+         (Exec.Plan.Merge_join
+            { kind; pairs = [ spair ]; residual = Expr.ftrue;
+              left = sort_on "R" "k" filtered_r;
+              right = sort_on "S" "k" (scan "S") }))
+    kinds;
+  differ "string group keys under selection" scat
+    (Exec.Plan.Hash_agg
+       { keys = [ (Expr.col ~rel:"R" ~col:"k", "k") ];
+         aggs = [ (Expr.Count_star, "n");
+                  (Expr.Max (Expr.col ~rel:"R" ~col:"v"), "m") ];
+         input = filtered_r })
+
+(* Mixed Int/Float/Null cells in one column exercise the classifier's
+   Floats and Boxed layouts; project-over-filter reads expressions
+   through a selection vector.  Small chunk sizes shift every block
+   boundary. *)
+
+let arb_mixed_rows =
+  let cell =
+    QCheck.Gen.(frequency
+                  [ (4, map (fun i -> Value.Int i) (int_range 0 6));
+                    (2, map (fun f -> Value.Float (float_of_int f /. 2.))
+                         (int_range 0 12));
+                    (1, return Value.Null) ])
+  in
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 0 30) (pair cell cell))
+    ~print:(fun l ->
+        String.concat ";"
+          (List.map
+             (fun (a, b) ->
+                Printf.sprintf "(%s,%s)" (Value.to_string a)
+                  (Value.to_string b))
+             l))
+
+let prop_columnar_differential =
+  QCheck.Test.make ~name:"columnar layouts match interpreter" ~count:60
+    (QCheck.pair arb_mixed_rows (QCheck.make QCheck.Gen.(int_range 1 5)))
+    (fun (rs, chunk_rows) ->
+       let cat = mk_catalog rs [] in
+       let a = Expr.col ~rel:"R" ~col:"a"
+       and b = Expr.col ~rel:"R" ~col:"b" in
+       let filtered =
+         Exec.Plan.Filter (Expr.Cmp (Expr.Ge, a, Expr.int 2), scan "R")
+       in
+       let plans =
+         [ Exec.Plan.Project
+             ( [ (Expr.Binop (Expr.Add, b, Expr.int 1), "b1"); (a, "a") ],
+               filtered );
+           Exec.Plan.Project
+             ([ (Expr.Binop (Expr.Mul, a, b), "ab") ], filtered);
+           sort_on "R" "b" filtered;
+           Exec.Plan.Hash_agg
+             { keys = [ (a, "a") ];
+               aggs = [ (Expr.Count_star, "n"); (Expr.Sum b, "s") ];
+               input = filtered };
+           Exec.Plan.Hash_distinct (Exec.Plan.Project ([ (a, "a") ], filtered))
+         ]
+       in
+       List.for_all
+         (fun plan ->
+            let ctx_i = Exec.Context.create () in
+            let oracle = Exec.Executor.run ~ctx:ctx_i cat plan in
+            let ctx_b = Exec.Context.create () in
+            let batch = Exec.Batch.run ~ctx:ctx_b ~chunk_rows cat plan in
+            Array.length oracle.Exec.Executor.rows
+            = Array.length batch.Exec.Executor.rows
+            && Array.for_all2 Tuple.equal oracle.Exec.Executor.rows
+                 batch.Exec.Executor.rows
+            && counters ctx_i = counters ctx_b)
+         plans)
+
 let () =
   Alcotest.run "batch"
     [ ("operators",
@@ -494,7 +674,9 @@ let () =
          Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
          Alcotest.test_case "aggregates + distinct" `Quick test_aggregates;
          Alcotest.test_case "three-valued logic" `Quick
-           test_three_valued_logic ]);
+           test_three_valued_logic;
+         Alcotest.test_case "columnar layout edges" `Quick
+           test_columnar_edges ]);
       ("cost accounting",
        [ Alcotest.test_case "rescan faults identically" `Quick
            test_rescan_faults_identically;
@@ -504,7 +686,8 @@ let () =
       ("composed",
        [ Alcotest.test_case "lint-clean composed plan" `Quick
            test_composed_lint_clean;
-         QCheck_alcotest.to_alcotest prop_batch_differential ]);
+         QCheck_alcotest.to_alcotest prop_batch_differential;
+         QCheck_alcotest.to_alcotest prop_columnar_differential ]);
       ("pipeline",
        [ Alcotest.test_case "engines agree end-to-end" `Quick
            test_pipeline_engines_agree ]) ]

@@ -48,12 +48,12 @@ let pp_counters = Fmt.str "%a" Exec.Context.pp_snapshot
 (* The differential harness: Batch (oracle) vs Morsel under
    identically-configured fresh contexts; rows bit-identical and in
    order, counters exactly equal. *)
-let differ ?buffer_pages ?work_mem_pages ?(dop = 4) ?(morsel = 2) name cat
-    plan =
+let differ ?buffer_pages ?work_mem_pages ?(dop = 4) ?(morsel = 2) ?chunk_rows
+    name cat plan =
   let ctx_b = Exec.Context.create ?buffer_pages ?work_mem_pages () in
-  let oracle = Exec.Batch.run ~ctx:ctx_b cat plan in
+  let oracle = Exec.Batch.run ~ctx:ctx_b ?chunk_rows cat plan in
   let ctx_m = Exec.Context.create ?buffer_pages ?work_mem_pages () in
-  let par = Exec.Morsel.run ~ctx:ctx_m ~dop ~morsel cat plan in
+  let par = Exec.Morsel.run ~ctx:ctx_m ~dop ~morsel ?chunk_rows cat plan in
   Alcotest.(check int)
     (name ^ ": row count")
     (Array.length oracle.Exec.Executor.rows)
@@ -293,6 +293,86 @@ let test_dop_grid () =
          ~dop ~morsel cat plan)
     [ (1, 1); (2, 1); (2, 3); (4, 2); (8, 2); (16, 7) ]
 
+(* Columnar layout edges under parallel execution: chunk granularity
+   below the morsel size, all-NULL key columns, empty selection vectors,
+   and string keys on the boxed column fallback — all must stay
+   bit-identical to the batch oracle at every dop. *)
+let test_columnar_edges () =
+  let cat = mk_catalog default_r default_s in
+  (* chunks smaller than one morsel: granulation must be invisible *)
+  List.iter
+    (fun chunk_rows ->
+       differ
+         (Printf.sprintf "chunk_rows=%d < morsel composed" chunk_rows)
+         ~dop:4 ~morsel:8 ~chunk_rows cat (composed_plan ()))
+    [ 1; 2; 3 ];
+  (* all-NULL join/group keys *)
+  let ncat =
+    mk_catalog (List.init 9 (fun i -> (Value.Null, Value.Int i))) default_s
+  in
+  List.iter
+    (fun (kn, kind) ->
+       differ ("all-NULL keys hash " ^ kn) ncat
+         (Exec.Plan.Hash_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue;
+              left = scan "R"; right = scan "S" }))
+    kinds;
+  differ "all-NULL group keys" ncat
+    (Exec.Plan.Hash_agg
+       { keys = [ (Expr.col ~rel:"R" ~col:"a", "a") ];
+         aggs = [ (Expr.Count_star, "n");
+                  (Expr.Sum (Expr.col ~rel:"R" ~col:"a"), "t") ];
+         input = scan "R" });
+  (* an empty selection vector flowing into joins and aggregates *)
+  let none =
+    Exec.Plan.Filter
+      (Expr.Cmp (Expr.Gt, Expr.col ~rel:"R" ~col:"a", Expr.int 99), scan "R")
+  in
+  List.iter
+    (fun (kn, kind) ->
+       differ ("empty sel into hash join " ^ kn) cat
+         (Exec.Plan.Hash_join
+            { kind; pairs = [ pair ]; residual = Expr.ftrue; left = none;
+              right = scan "S" }))
+    kinds;
+  differ "empty sel into agg" cat
+    (Exec.Plan.Hash_agg
+       { keys = [ (Expr.col ~rel:"R" ~col:"a", "a") ];
+         aggs = [ (Expr.Count_star, "n") ]; input = none });
+  (* string keys force the boxed fallback; the filter underneath makes
+     the boxed column read through a selection vector *)
+  let scat = Storage.Catalog.create () in
+  let rt = Storage.Catalog.create_table scat ~name:"R"
+      ~columns:[ ("k", Value.Tstring); ("v", Value.Tint) ] in
+  let st = Storage.Catalog.create_table scat ~name:"S"
+      ~columns:[ ("k", Value.Tstring); ("w", Value.Tint) ] in
+  List.iteri
+    (fun i k -> Storage.Table.insert rt (Tuple.of_list [ k; Value.Int i ]))
+    [ Value.Str "ann"; Value.Str "bob"; Value.Str "bob"; Value.Null;
+      Value.Str "cat"; Value.Str "dee" ];
+  List.iteri
+    (fun i k ->
+       Storage.Table.insert st (Tuple.of_list [ k; Value.Int (10 * i) ]))
+    [ Value.Str "bob"; Value.Str "cat"; Value.Null; Value.Str "eve" ];
+  let spair = ({ Expr.rel = "R"; col = "k" }, { Expr.rel = "S"; col = "k" }) in
+  let filtered_r =
+    Exec.Plan.Filter
+      (Expr.Cmp (Expr.Ge, Expr.col ~rel:"R" ~col:"v", Expr.int 1), scan "R")
+  in
+  List.iter
+    (fun (kn, kind) ->
+       differ ("string keys under selection hash " ^ kn) scat
+         (Exec.Plan.Hash_join
+            { kind; pairs = [ spair ]; residual = Expr.ftrue;
+              left = filtered_r; right = scan "S" }))
+    kinds;
+  differ "string group keys under selection" scat
+    (Exec.Plan.Hash_agg
+       { keys = [ (Expr.col ~rel:"R" ~col:"k", "k") ];
+         aggs = [ (Expr.Count_star, "n");
+                  (Expr.Max (Expr.col ~rel:"R" ~col:"v"), "m") ];
+         input = filtered_r })
+
 (* Spills and a tiny buffer pool: charge ordering against the stateful
    LRU must survive parallel execution. *)
 let test_spill_and_pool () =
@@ -423,7 +503,14 @@ let test_pool_reuse () =
 let test_par_stats () =
   let rs = List.init 500 (fun i -> (Value.Int (i mod 7), Value.Int i)) in
   let cat = mk_catalog rs [] in
-  let plan = scan "R" in
+  (* a bare scan shares the table's array view without parallel work, so
+     push a keep-everything filter: its selection runs on the workers *)
+  let plan =
+    Exec.Plan.Seq_scan
+      { table = "R"; alias = "R";
+        filter = Some (Expr.Cmp (Expr.Ge, Expr.col ~rel:"R" ~col:"b",
+                                 Expr.int 0)) }
+  in
   let obs = Exec.Instrument.create plan in
   let ctx = Exec.Context.create () in
   ignore (Exec.Morsel.run ~ctx ~obs ~dop:4 ~morsel:16 cat plan);
@@ -571,6 +658,8 @@ let () =
            test_float_sum_exact ]);
       ("parallel machinery",
        [ Alcotest.test_case "dop/morsel grid" `Quick test_dop_grid;
+         Alcotest.test_case "columnar layout edges" `Quick
+           test_columnar_edges;
          Alcotest.test_case "spill + buffer pool" `Quick test_spill_and_pool;
          Alcotest.test_case "larger input" `Quick test_larger_input;
          Alcotest.test_case "per-worker stats" `Quick test_par_stats;

@@ -113,7 +113,8 @@ let actuals_of run cat plan =
 
 let actuals_agree cat plan =
   actuals_of (fun ~ctx ~obs -> Exec.Executor.run ~ctx ~obs) cat plan
-  = actuals_of (fun ~ctx ~obs -> Exec.Batch.run ~ctx ~obs) cat plan
+  = actuals_of (fun ~ctx ~obs cat plan -> Exec.Batch.run ~ctx ~obs cat plan)
+      cat plan
 
 let kinds = [ Algebra.Inner; Algebra.Semi; Algebra.Anti; Algebra.Left_outer ]
 
