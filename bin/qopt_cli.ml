@@ -54,6 +54,17 @@ let engine_of_string = function
   | "interpreted" -> `Interpreted
   | s -> failwith ("unknown engine: " ^ s ^ " (use batch or interpreted)")
 
+(* The feedback cache / sketch registry is created once per process and
+   carried in the config, so --repeat runs share it and later
+   optimizations see what earlier executions recorded. *)
+let estimator_of_string = function
+  | "histogram" -> `Histogram
+  | "feedback" -> `Feedback (Stats.Feedback.create ())
+  | "sketch" -> `Sketch (Stats.Sketch.registry_create ())
+  | s ->
+    failwith
+      ("unknown estimator: " ^ s ^ " (use histogram, feedback or sketch)")
+
 (* --bushy / --left-deep override the optimizer preset's tree shape, so the
    CLI drives exactly the code paths the enumeration bench measures. *)
 let apply_tree tree (config : Core.Pipeline.config) =
@@ -96,8 +107,8 @@ let write_trace_json file reports =
     reports;
   close_out oc
 
-let run_cmd db_name opt engine dop lint analysis limit tree opt_stats analyze
-    trace_json metrics sql =
+let run_cmd db_name opt engine dop estimator repeat lint analysis limit tree
+    opt_stats analyze trace_json metrics sql =
   with_query db_name sql (fun cat db block ->
       let config =
         apply_tree tree
@@ -106,8 +117,15 @@ let run_cmd db_name opt engine dop lint analysis limit tree opt_stats analyze
             analysis;
             engine = engine_of_string engine;
             dop = max 1 dop;
+            estimator = estimator_of_string estimator;
             instrument = analyze || trace_json <> None }
       in
+      (* Warm-up repeats share the estimator state: under --estimator
+         feedback/sketch, the final (printed) run re-optimizes with the
+         actual cardinalities / sketches its predecessors recorded. *)
+      for _ = 2 to max 1 repeat do
+        ignore (Core.Pipeline.run_query ~config cat db block)
+      done;
       let ctx = Exec.Context.create () in
       let t0 = Unix.gettimeofday () in
       let result, reports, analyze_text =
@@ -203,6 +221,23 @@ let dop_arg =
                  two-phase segment schedule; rows and cost accounting are \
                  bit-identical to --dop 1.")
 
+let estimator_arg =
+  Arg.(value & opt string "histogram"
+       & info [ "estimator" ] ~docv:"EST"
+           ~doc:"Cardinality estimator: histogram (stock derivation), \
+                 feedback (cache actual cardinalities from execution and \
+                 reuse them on re-optimization) or sketch (Fast-AGMS \
+                 sketches built during batch/morsel scans drive join \
+                 selectivities). feedback and sketch pay off with \
+                 --repeat > 1: the state persists across repeats.")
+
+let repeat_arg =
+  Arg.(value & opt int 1
+       & info [ "repeat" ] ~docv:"N"
+           ~doc:"Run the query N times (printing the last run). With \
+                 --estimator feedback or sketch, later runs re-optimize \
+                 using what earlier executions recorded.")
+
 let lint_arg =
   Arg.(value & flag
        & info [ "lint" ]
@@ -263,8 +298,8 @@ let sql_arg =
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a SQL query")
     Term.(
-      const run_cmd $ db_arg $ opt_arg $ engine_arg $ dop_arg $ lint_arg
-      $ analysis_arg
+      const run_cmd $ db_arg $ opt_arg $ engine_arg $ dop_arg
+      $ estimator_arg $ repeat_arg $ lint_arg $ analysis_arg
       $ limit_arg $ tree_arg $ opt_stats_arg $ analyze_arg $ trace_json_arg
       $ metrics_arg $ sql_arg)
 

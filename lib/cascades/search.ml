@@ -39,6 +39,10 @@ type ctx = {
   cfg : config;
 }
 
+(* Group statistics come from the shared [Join_order.stats_of], so a
+   configured feedback cache ([join_config.feedback]) overrides group
+   cardinalities here exactly as in the bottom-up enumerator: the memo
+   group is the logical subexpression the cache keys identify. *)
 let group_for ctx mask : Memo.group =
   Memo.find_or_create ctx.memo ~mask
     ~stats:(Systemr.Join_order.stats_of ctx.jctx mask)

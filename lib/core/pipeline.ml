@@ -37,6 +37,21 @@ type config = {
   chunk_rows : int;
       (* columnar-engine block granularity (selection-vector build and
          emission loops); results are chunk_rows-independent *)
+  estimator :
+    [ `Histogram
+    | `Feedback of Stats.Feedback.t
+    | `Sketch of Stats.Sketch.registry ];
+      (* cardinality estimation mode.  `Histogram is the stock
+         Stats.Derive path.  `Feedback carries an observed-cardinality
+         cache: every instrumented execution records per-operator
+         actuals under normalized subexpression digests, and
+         re-optimization overrides derived estimates with fresh cached
+         actuals.  `Sketch carries a Fast-AGMS registry: executions
+         build one-pass sketches over the plan's join-key columns
+         (batch/morsel engines), and join selectivities prefer sketch
+         estimates over histograms.  The mutable state lives in the
+         variant so one config reused across runs closes the loop;
+         default_config stays stateless. *)
 }
 
 let default_rewrites : Rewrite.Rules.t list list =
@@ -55,7 +70,21 @@ let default_config =
     analysis = false;
     dop = 1;
     morsel_rows = Exec.Morsel.default_morsel_rows;
-    chunk_rows = Exec.Batch.default_chunk_rows }
+    chunk_rows = Exec.Batch.default_chunk_rows;
+    estimator = `Histogram }
+
+(* Fold the estimator mode into the join config the planner actually
+   sees: `Feedback plugs the cache into [Join_order.stats_of] (and,
+   through the shared context, Cascades); `Sketch flips the assumption
+   so [Stats.Derive] prefers sketch join estimates. *)
+let effective_join_config (config : config) : Systemr.Join_order.config =
+  let jc = config.join_config in
+  match config.estimator with
+  | `Histogram -> jc
+  | `Feedback fb -> { jc with feedback = Some fb }
+  | `Sketch _ ->
+    { jc with
+      asm = { jc.Systemr.Join_order.asm with Stats.Derive.use_sketches = true } }
 
 (* The analyzer rules run after pushdown so contradictions pushed into a
    view fold there first; [fold_empty]'s own fixpoint then propagates the
@@ -69,9 +98,11 @@ let effective_rewrites (config : config) : Rewrite.Rules.t list list =
    two-phase segment schedule decides each node's parallelism; if
    deriving it fails (e.g. missing statistics) the morsel engine runs
    every eligible node at the full dop — either way results are exact. *)
-let exec_plan config ~ctx ?obs cat db plan =
+let exec_plan config ~ctx ?obs ?sketch cat db plan =
   match config.engine with
-  | `Interpreted -> Exec.Executor.run ~ctx ?obs cat plan
+  | `Interpreted ->
+    (* the tuple interpreter has no columnar scan to hook sketches into *)
+    Exec.Executor.run ~ctx ?obs cat plan
   | `Batch ->
     if config.dop > 1 then
       let schedule =
@@ -83,12 +114,146 @@ let exec_plan config ~ctx ?obs cat db plan =
                cat db plan)
         with _ -> None
       in
-      Exec.Morsel.run ~ctx ?obs ?schedule ~morsel:config.morsel_rows
+      Exec.Morsel.run ~ctx ?obs ?sketch ?schedule ~morsel:config.morsel_rows
         ~chunk_rows:config.chunk_rows ~dop:config.dop cat plan
-    else Exec.Batch.run ~ctx ?obs ~chunk_rows:config.chunk_rows cat plan
+    else
+      Exec.Batch.run ~ctx ?obs ?sketch ~chunk_rows:config.chunk_rows cat plan
 
 (* No rewriting at all: the naive baseline. *)
 let naive_config = { default_config with rewrites = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Sketch estimator plumbing *)
+
+let is_temp_table t = String.length t >= 5 && String.sub t 0 5 = "__mat"
+
+(* The (table, column) pairs used as join keys anywhere in the plan — the
+   columns worth sketching during this execution. *)
+let join_key_cols (plan : Exec.Plan.t) : (string * string) list =
+  let module P = Exec.Plan in
+  let alias_tbl = Hashtbl.create 8 in
+  let refs : Expr.col_ref list ref = ref [] in
+  let note (c : Expr.col_ref) = refs := c :: !refs in
+  let eq_cols pred =
+    List.iter
+      (function
+        | Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b)
+          when a.Expr.rel <> b.Expr.rel ->
+          note a;
+          note b
+        | _ -> ())
+      (Pred.conjuncts pred)
+  in
+  List.iter
+    (fun p ->
+       match p with
+       | P.Seq_scan { table; alias; _ } | P.Index_scan { table; alias; _ } ->
+         Hashtbl.replace alias_tbl alias table
+       | P.Index_nl { table; alias; columns; outer_keys; _ } ->
+         Hashtbl.replace alias_tbl alias table;
+         List.iter (fun c -> note { Expr.rel = alias; col = c }) columns;
+         List.iter
+           (function Expr.Col c -> note c | _ -> ())
+           outer_keys
+       | P.Merge_join { pairs; _ } | P.Hash_join { pairs; _ } ->
+         List.iter
+           (fun (a, b) ->
+              note a;
+              note b)
+           pairs
+       | P.Nested_loop { pred; _ } -> eq_cols pred
+       | P.Filter _ | P.Project _ | P.Sort _ | P.Materialize _
+       | P.Hash_agg _ | P.Stream_agg _ | P.Hash_distinct _ -> ())
+    (P.preorder plan);
+  List.filter_map
+    (fun (c : Expr.col_ref) ->
+       match Hashtbl.find_opt alias_tbl c.Expr.rel with
+       | Some table when not (is_temp_table table) -> Some (table, c.Expr.col)
+       | _ -> None)
+    !refs
+  |> List.sort_uniq compare
+
+(* Scan hook for one execution: start a sketch for every wanted join-key
+   column that has no fresh sketch yet, feeding at most one scan per
+   (table, column) — a self-joined table is scanned once per alias, but
+   its column must be summarized exactly once. *)
+let sketch_hook_for (reg : Stats.Sketch.registry) db plan :
+  Exec.Batch.sketch_hook * (string * string, Stats.Sketch.t) Hashtbl.t =
+  let wanted = join_key_cols plan in
+  let pending : (string * string, Stats.Sketch.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let rows_of table =
+    match Stats.Table_stats.find db table with
+    | Some ts -> ts.Stats.Table_stats.rows
+    | None -> -1.
+  in
+  let hook ~table ~column =
+    if not (List.mem (table, column) wanted) then None
+    else if Hashtbl.mem pending (table, column) then None
+    else
+      let fresh =
+        match Stats.Sketch.registry_find reg ~table ~column with
+        | Some e -> Stats.Sketch.entry_fresh e ~rows:(rows_of table) <> None
+        | None -> false
+      in
+      if fresh then None
+      else begin
+        let sk = Stats.Sketch.create () in
+        Hashtbl.replace pending (table, column) sk;
+        Some (fun v -> Stats.Sketch.update sk v)
+      end
+  in
+  (hook, pending)
+
+(* After execution: enter the sketches built during this run into the
+   registry, stamped with the tables' current row counts. *)
+let commit_sketches (reg : Stats.Sketch.registry) db pending : unit =
+  Hashtbl.iter
+    (fun (table, column) sk ->
+       let rows =
+         match Stats.Table_stats.find db table with
+         | Some ts -> ts.Stats.Table_stats.rows
+         | None -> -1.
+       in
+       Stats.Sketch.registry_set reg ~table ~column
+         { Stats.Sketch.sketch = sk; rows_at_build = rows };
+       Obs.Metrics.incr Obs.Metrics.sketches_built)
+    pending
+
+(* Before planning: surface every still-fresh sketch in the statistics
+   registry's column stats, where [Stats.Derive] consults them.  ANALYZE
+   rebuilds column stats with [sketch = None], so a statistics refresh
+   (or data change, via the row-count stamp) silently retires sketches
+   until an execution rebuilds them. *)
+let inject_sketches (reg : Stats.Sketch.registry) db : unit =
+  Stats.Sketch.registry_iter
+    (fun ~table ~column e ->
+       match Stats.Table_stats.find db table with
+       | None -> ()
+       | Some ts -> (
+         match Stats.Sketch.entry_fresh e ~rows:ts.Stats.Table_stats.rows with
+         | None -> ()
+         | Some sk ->
+           let changed = ref false in
+           let cols =
+             List.map
+               (fun (n, cs) ->
+                  if
+                    n = column
+                    && (match cs.Stats.Table_stats.sketch with
+                        | Some existing -> existing != sk
+                        | None -> true)
+                  then begin
+                    changed := true;
+                    (n, { cs with Stats.Table_stats.sketch = Some sk })
+                  end
+                  else (n, cs))
+               ts.Stats.Table_stats.cols
+           in
+           if !changed then
+             Hashtbl.replace db table { ts with Stats.Table_stats.cols }))
+    reg
 
 type path = Planned | Interpreted (* fallback for residual correlation *)
 
@@ -106,6 +271,15 @@ type report = {
          [] unless [config.instrument] and the block was planned *)
   trace_events : Obs.Trace.event list;
       (* optimizer trace in emission order; [] unless [config.instrument] *)
+  stats_at_plan : Stats.Table_stats.db option;
+      (* shallow copy of the statistics registry as the planner saw it
+         (bindings are immutable records, so a copy is a true snapshot).
+         Re-annotating the plan later — after an ANALYZE refresh — must
+         use this, not the live registry: [Obs.Est] re-synthesizes
+         index-scan bound selectivities from whatever stats it is
+         handed, and against refreshed stats the reported "estimates"
+         would be numbers the planner never produced.  None on the
+         interpreted path. *)
 }
 
 (* Can this block (and everything it contains) be planned, i.e. no subquery
@@ -374,15 +548,24 @@ let make_hooks (config : config) cat : hooks =
 let run_block ~ctx ~config (cat : Storage.Catalog.t)
     (db : Stats.Table_stats.db) (block : Rewrite.Qgm.block) :
   Exec.Executor.result * report * Exec.Instrument.t option =
+  (* resolve the estimator into the join config once; everything below
+     (enumeration, lints, annotation) sees the effective assumptions *)
+  let config = { config with join_config = effective_join_config config } in
   let h = make_hooks config cat in
   let rewritten, trace =
     Rewrite.Rules.run ?check:h.check ?on_reject:h.on_reject
       (effective_rewrites config) block
   in
   if plannable rewritten then begin
+    (match config.estimator with
+     | `Sketch reg -> inject_sketches reg db
+     | `Histogram | `Feedback _ -> ());
     let plan, est_cost, enum, temps =
       plan_block ~on_plan:h.on_plan ?trace:h.trace ctx config cat db rewritten
     in
+    (* snapshot the statistics the planner consulted — view temporaries
+       included — before execution can change anything *)
+    let stats_at_plan = Hashtbl.copy db in
     (* provable-bound lint: only here, while view temporaries are still
        registered with exact (ANALYZE-derived) statistics — the EXPLAIN
        path fabricates temp statistics from estimates, which would make
@@ -392,20 +575,62 @@ let run_block ~ctx ~config (cat : Storage.Catalog.t)
         !(h.diags)
         @ Analysis.Lint.physical
             ~asm:config.join_config.Systemr.Join_order.asm cat db plan;
+    let feedback =
+      match config.estimator with `Feedback fb -> Some fb | _ -> None
+    in
     let recorder =
-      if config.instrument then begin
+      (* feedback mode needs per-operator actuals even without EXPLAIN
+         ANALYZE — the recorder is how observed cardinalities reach the
+         cache *)
+      if config.instrument || feedback <> None then begin
         let r = Exec.Instrument.create plan in
         (* estimates must be derived while view temporaries are still in
-           the catalog and statistics registry *)
-        Obs.Est.attach
-          (Obs.Est.annotate ~asm:config.join_config.Systemr.Join_order.asm cat
-             db plan)
-          r;
+           the catalog and statistics registry, and against the plan-time
+           stats snapshot; with feedback, annotation applies the same
+           overrides the planner used *)
+        if config.instrument then
+          Obs.Est.attach
+            (Obs.Est.annotate ~asm:config.join_config.Systemr.Join_order.asm
+               ?feedback cat stats_at_plan plan)
+            r;
         Some r
       end
       else None
     in
-    let result = exec_plan config ~ctx ?obs:recorder cat db plan in
+    let sketching =
+      match config.estimator with
+      | `Sketch reg when config.engine = `Batch ->
+        Some (reg, sketch_hook_for reg db plan)
+      | _ -> None
+    in
+    let sketch = Option.map (fun (_, (hook, _)) -> hook) sketching in
+    let result = exec_plan config ~ctx ?obs:recorder ?sketch cat db plan in
+    (match sketching with
+     | Some (reg, (_, pending)) ->
+       commit_sketches reg db pending;
+       inject_sketches reg db
+     | None -> ());
+    (* feed observed per-operator cardinalities back into the cache while
+       temps are still present (their subtrees are skipped by keying, but
+       the base-table fingerprints must reflect the planned state) *)
+    (match (feedback, recorder) with
+     | Some fb, Some r ->
+       let keys = Obs.Est.feedback_keys plan in
+       List.iter
+         (fun (op : Exec.Instrument.op) ->
+            if op.Exec.Instrument.executed then
+              match List.assq_opt op.Exec.Instrument.node keys with
+              | None -> ()
+              | Some (k, tables) ->
+                let act = float_of_int op.Exec.Instrument.act_rows in
+                Stats.Feedback.record fb ~db ~tables k act;
+                Obs.Metrics.incr Obs.Metrics.feedback_recorded;
+                (match h.trace with
+                 | Some sink ->
+                   sink (Obs.Trace.Feedback_recorded { digest = k; act })
+                 | None -> ()))
+         (Exec.Instrument.ops r)
+     | _ -> ());
     List.iter
       (fun t ->
          Storage.Catalog.remove_table cat t;
@@ -413,18 +638,21 @@ let run_block ~ctx ~config (cat : Storage.Catalog.t)
       temps;
     Obs.Metrics.incr Obs.Metrics.blocks_planned;
     (match recorder with
-     | Some r -> (
+     | Some r when config.instrument -> (
        match Obs.Analyze.max_q_error r with
        | Some (q, _) when Float.is_finite q ->
          Obs.Metrics.observe_max Obs.Metrics.qerror_max q
        | _ -> ())
-     | None -> ());
+     | _ -> ());
     ( result,
       { rewritten; trace; path = Planned; plan = Some plan; est_cost;
         enum; diags = !(h.diags);
         op_stats =
-          (match recorder with Some r -> Exec.Instrument.ops r | None -> []);
-        trace_events = List.rev !(h.events) },
+          (match recorder with
+           | Some r when config.instrument -> Exec.Instrument.ops r
+           | _ -> []);
+        trace_events = List.rev !(h.events);
+        stats_at_plan = Some stats_at_plan },
       recorder )
   end
   else begin
@@ -435,7 +663,8 @@ let run_block ~ctx ~config (cat : Storage.Catalog.t)
     ( result,
       { rewritten; trace; path = Interpreted; plan = None; est_cost = 0.;
         enum = Systemr.Join_order.counters_zero; diags = !(h.diags);
-        op_stats = []; trace_events = List.rev !(h.events) },
+        op_stats = []; trace_events = List.rev !(h.events);
+        stats_at_plan = None },
       None )
   end
 
@@ -448,6 +677,13 @@ let run ?(ctx = Exec.Context.create ()) ?(config = default_config)
 
 let explain ?(config = default_config) cat db block : string =
   let ctx = Exec.Context.create () in
+  (* EXPLAIN re-optimizes under the same effective estimator as [run]:
+     with a warm feedback cache or fresh sketches it shows the plan a
+     re-execution would use *)
+  let config = { config with join_config = effective_join_config config } in
+  (match config.estimator with
+   | `Sketch reg -> inject_sketches reg db
+   | `Histogram | `Feedback _ -> ());
   let h = make_hooks config cat in
   let rewritten, trace =
     Rewrite.Rules.run ?check:h.check ?on_reject:h.on_reject

@@ -45,6 +45,23 @@ type config = {
       {!Exec.Batch.default_chunk_rows}); rows and counters are
       [chunk_rows]-independent — the fuzzer shrinks it to exercise block
       boundaries *)
+  estimator :
+    [ `Histogram
+    | `Feedback of Stats.Feedback.t
+    | `Sketch of Stats.Sketch.registry ];
+  (** cardinality estimation mode (default [`Histogram], the stock
+      {!Stats.Derive} path — bit-identical to the pre-estimator
+      pipeline).  [`Feedback] carries an observed-cardinality cache:
+      every execution records per-operator actuals under normalized
+      subexpression digests ({!Stats.Feedback}), and re-optimization
+      overrides derived estimates with fresh cached actuals —
+      invalidated when the involved tables' statistics are refreshed to
+      different row counts.  [`Sketch] carries a Fast-AGMS registry
+      ({!Stats.Sketch}): executions build one-pass sketches over the
+      plan's join-key columns (batch/morsel engines only), and join
+      selectivities prefer sketch estimates over histograms.  The
+      mutable state lives in the variant: reuse one config across runs
+      to close the loop. *)
 }
 
 (** view merging; unnesting; view merging again; constant propagation;
@@ -74,8 +91,17 @@ type report = {
       [config.instrument] and the block was planned *)
   trace_events : Obs.Trace.event list;
   (** optimizer trace (rewrites fired/rejected, per-level enumeration
-      counters, prunes, interesting-order retentions, memo statistics) in
-      emission order; [[]] unless [config.instrument] *)
+      counters, prunes, interesting-order retentions, memo statistics,
+      feedback records/overrides) in emission order; [[]] unless
+      [config.instrument] *)
+  stats_at_plan : Stats.Table_stats.db option;
+  (** snapshot of the statistics registry as the planner saw it (view
+      temporaries included).  Re-annotating the plan after an ANALYZE
+      refresh must use this, not the live registry — {!Obs.Est}
+      re-synthesizes index-scan bound selectivities from the stats it is
+      handed, and against refreshed stats the "estimates" would be
+      numbers the planner never produced.  [None] on the interpreted
+      path. *)
 }
 
 (** Can this block (including nested ones) be planned — no residual

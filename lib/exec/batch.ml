@@ -82,7 +82,28 @@ let gather_col (c : Chunk.col) (sel : int array) : Chunk.col =
    the chunk representation and the unboxed expression compilers) live
    in {!Eval}, common with the morsel executor. *)
 
-let run_node ?(ctx = Context.create ()) ?obs
+(* Sketch-build hook: asked per scanned (table, column), it returns the
+   feed callback for columns an estimator wants sketched, or [None].  A
+   plain function type — the sketch state itself lives above [exec] in
+   the dependency order (the pipeline owns a [Stats.Sketch] registry). *)
+type sketch_hook = table:string -> column:string -> (int -> unit) option
+
+(* Feed the full (pre-filter) stores of a sequential scan to the hook:
+   sketches summarize the base column, one pass, nulls skipped.  Index
+   scans never feed — a range fetch sees only part of the column. *)
+let feed_sketches (sketch : sketch_hook option) (t : Storage.Table.t)
+    (store : Chunk.store) : unit =
+  match sketch with
+  | None -> ()
+  | Some hook ->
+    List.iteri
+      (fun j (c : Schema.column) ->
+         match hook ~table:t.Storage.Table.name ~column:c.Schema.name with
+         | Some f -> ignore (Chunk.feed_ints store j f)
+         | None -> ())
+      t.Storage.Table.schema
+
+let run_node ?(ctx = Context.create ()) ?obs ?sketch
     ?(chunk_rows = default_chunk_rows) (cat : Storage.Catalog.t)
     (plan : Plan.t) : node =
   let memo : (Plan.t * node) list ref = ref [] in
@@ -168,6 +189,7 @@ let run_node ?(ctx = Context.create ()) ?obs
     let store =
       Chunk.store_of_rows ~arity:(Schema.arity s) (Storage.Table.rows_array t)
     in
+    feed_sketches sketch t store;
     let chunk =
       match filter with
       | None -> Chunk.dense store
@@ -1002,7 +1024,7 @@ let run_node ?(ctx = Context.create ()) ?obs
   in
   exec plan
 
-let run ?ctx ?obs ?chunk_rows (cat : Storage.Catalog.t) (plan : Plan.t) :
-  Executor.result =
+let run ?ctx ?obs ?sketch ?chunk_rows (cat : Storage.Catalog.t)
+    (plan : Plan.t) : Executor.result =
   { Executor.schema = Plan.schema cat plan;
-    rows = Chunk.to_rows (run_node ?ctx ?obs ?chunk_rows cat plan).chunk }
+    rows = Chunk.to_rows (run_node ?ctx ?obs ?sketch ?chunk_rows cat plan).chunk }

@@ -20,11 +20,26 @@
 (** Default block size for selection-vector gathering. *)
 val default_chunk_rows : int
 
+(** Sketch-build hook, asked once per scanned (table, column): return the
+    feed callback for columns an estimator wants summarized (Fast-AGMS
+    sketches built in one pass over sequential scans, nulls skipped), or
+    [None].  Plain function type — the sketch state lives above the
+    execution layer. *)
+type sketch_hook = table:string -> column:string -> (int -> unit) option
+
+(** Feed a sequential scan's full store to the hook (shared with the
+    morsel executor, which feeds on its coordinator). *)
+val feed_sketches :
+  sketch_hook option -> Storage.Table.t -> Eval.Chunk.store -> unit
+
 (** When [obs] is given, node executions and replay invocations are
     recorded against the {!Instrument} recorder; per-operator [act_rows]
-    and [rescans] match {!Executor.run} on the same plan. *)
+    and [rescans] match {!Executor.run} on the same plan.  [sketch]
+    feeds the full (pre-filter) stores of sequential scans — index
+    scans never feed, a range fetch sees only part of the column. *)
 val run :
-  ?ctx:Context.t -> ?obs:Instrument.t -> ?chunk_rows:int ->
+  ?ctx:Context.t -> ?obs:Instrument.t -> ?sketch:sketch_hook ->
+  ?chunk_rows:int ->
   Storage.Catalog.t -> Plan.t -> Executor.result
 
 (** An executed subtree: its chunk plus a [replay] closure that charges
@@ -40,7 +55,8 @@ type node = {
     morsel executor runs sequential-only subtrees (e.g. [Nested_loop]
     inners that must replay per outer tuple) through it. *)
 val run_node :
-  ?ctx:Context.t -> ?obs:Instrument.t -> ?chunk_rows:int ->
+  ?ctx:Context.t -> ?obs:Instrument.t -> ?sketch:sketch_hook ->
+  ?chunk_rows:int ->
   Storage.Catalog.t -> Plan.t -> node
 
 (** Test-only fault injection: treat NULL single-column integer join keys

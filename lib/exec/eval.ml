@@ -311,6 +311,18 @@ module Chunk = struct
     | Ints (d, nb) -> Some (d, nb)
     | Floats _ | Boxed _ -> None
 
+  (* Feed every non-null int of column [j] to [f], in physical order —
+     the one-pass sketch-build hook of the scan operators.  False when
+     the column is not int-typed (sketches cover int join keys only). *)
+  let feed_ints (st : store) j (f : int -> unit) : bool =
+    match int_col st j with
+    | None -> false
+    | Some (d, nb) ->
+      for i = 0 to st.len - 1 do
+        if Bytes.unsafe_get nb i = '\000' then f (Array.unsafe_get d i)
+      done;
+      true
+
   (* Physical-row accessor for column [j] that avoids allocation where
      possible: prefer the existing row view (tuple slots are already
      boxed), then the column cache (Ints/Floats re-box per access). *)

@@ -99,6 +99,11 @@ module Chunk : sig
       is neither Int nor Null. *)
   val int_col : store -> int -> (int array * Bytes.t) option
 
+  (** Feed every non-null int of column [j] to the callback, in physical
+      order (the scan operators' one-pass sketch-build hook); [false]
+      when the column is not int-typed. *)
+  val feed_ints : store -> int -> (int -> unit) -> bool
+
   (** Physical-row accessor for column [j], avoiding allocation where
       possible (prefers an existing row view over re-boxing typed
       columns). *)

@@ -50,12 +50,12 @@ open Eval
 
 let default_morsel_rows = 4096
 
-let run ?(ctx = Context.create ()) ?obs ?pool
+let run ?(ctx = Context.create ()) ?obs ?sketch ?pool
     ?(morsel = default_morsel_rows) ?schedule ?chunk_rows ~dop
     (cat : Storage.Catalog.t) (plan : Plan.t) : Executor.result =
   let dop = max 1 dop in
   if dop = 1 || not Domain_pool.available then
-    Batch.run ~ctx ?obs ?chunk_rows cat plan
+    Batch.run ~ctx ?obs ?sketch ?chunk_rows cat plan
   else begin
     let owned, pool =
       match pool with
@@ -178,6 +178,9 @@ let run ?(ctx = Context.create ()) ?obs ?pool
         Chunk.store_of_rows ~arity:(Schema.arity s)
           (Storage.Table.rows_array t)
       in
+      (* sketches feed on the coordinator, before any dispatch — workers
+         never touch the (unsynchronized) sketch state *)
+      Batch.feed_sketches sketch t store;
       match filter with
       | None -> Chunk.dense store
       | Some f ->
@@ -495,7 +498,7 @@ let run ?(ctx = Context.create ()) ?obs ?pool
         (* the inner subtree must replay its page-access pattern once per
            further outer tuple: run it through Batch, which provides the
            replay closure *)
-        let inode = Batch.run_node ~ctx ?obs ?chunk_rows cat inner in
+        let inode = Batch.run_node ~ctx ?obs ?sketch ?chunk_rows cat inner in
         let inner_rows = Chunk.to_rows inode.Batch.chunk in
         let n_in = Array.length inner_rows in
         Context.charge_cpu ctx n_in;

@@ -36,7 +36,8 @@
     With [obs], per-worker busy time and row counts of every parallel
     phase are folded into the operator's {!Instrument.par} stats. *)
 val run :
-  ?ctx:Context.t -> ?obs:Instrument.t -> ?pool:Domain_pool.t ->
+  ?ctx:Context.t -> ?obs:Instrument.t -> ?sketch:Batch.sketch_hook ->
+  ?pool:Domain_pool.t ->
   ?morsel:int -> ?schedule:(Plan.t -> int) -> ?chunk_rows:int ->
   dop:int ->
   Storage.Catalog.t -> Plan.t -> Executor.result

@@ -46,7 +46,19 @@ let full_grid =
        filters shift the cost counters, so no counter class *)
     { cname = "batch-analysis";
       config = lint { d with analysis = true };
-      counter_class = -1 } ]
+      counter_class = -1 };
+    (* estimator variants.  [run_one] resets the carried state per case,
+       so the first (only) grid run starts from an empty feedback cache /
+       sketch registry and must behave exactly like the stock histogram
+       path — counter class 1.  The loop-closing (second-run) behavior is
+       exercised by the dedicated feedback/sketch oracles below. *)
+    { cname = "batch-feedback";
+      config = lint { d with estimator = `Feedback (Stats.Feedback.create ()) };
+      counter_class = 1 };
+    { cname = "batch-sketch";
+      config =
+        lint { d with estimator = `Sketch (Stats.Sketch.registry_create ()) };
+      counter_class = 1 } ]
 
 let fast_grid =
   List.filter
@@ -119,6 +131,12 @@ type run = {
 let run_one spec ast c =
   let cat, db = Dbspec.build spec in
   let q = Sql.Binder.bind_query cat ast in
+  (* grid configs are module-level values shared across cases; reset the
+     estimator state they carry so every case starts from a cold cache *)
+  (match c.config.P.estimator with
+   | `Histogram -> ()
+   | `Feedback fb -> Stats.Feedback.clear fb
+   | `Sketch reg -> Stats.Sketch.registry_clear reg);
   let ctx = Exec.Context.create () in
   let res, reports = P.run_query ~ctx ~config:c.config cat db q in
   { res;
@@ -334,6 +352,81 @@ let check_case ?(grid = full_grid) spec ast =
                       o.Exec.Instrument.act_rows }
             else None)
     in
+    (* Loop-closing oracles: run the same query twice with a shared
+       estimator state.  The second run optimizes with what the first
+       execution recorded (feedback actuals / Fast-AGMS sketches);
+       whatever plan that produces must still return the reference
+       multiset, and — for feedback, when the fed-back plan equals the
+       histogram plan, so op-level estimates are comparable — the worst
+       finite q-error must not exceed the histogram-only run's.  (When
+       the overrides change the join order, per-operator q-errors
+       describe different operators and are not comparable.) *)
+    let max_qerror reports =
+      List.concat_map (fun r -> r.P.op_stats) reports
+      |> List.fold_left
+           (fun acc (o : Exec.Instrument.op) ->
+              match o.Exec.Instrument.est_rows with
+              | Some e
+                when o.Exec.Instrument.executed
+                     && o.Exec.Instrument.act_rows > 0 && e > 0. ->
+                let a = float_of_int o.Exec.Instrument.act_rows in
+                Float.max acc (Float.max (e /. a) (a /. e))
+              | _ -> acc)
+           1.
+    in
+    let plans_of reports =
+      String.concat "\n---\n"
+        (List.map
+           (fun r ->
+              match r.P.plan with
+              | Some p -> Exec.Plan.to_string p
+              | None -> "<interpreted>")
+           reports)
+    in
+    let rerun_check name state () =
+      let cat, db = Dbspec.build spec in
+      let q = Sql.Binder.bind_query cat ast in
+      let config =
+        { P.default_config with estimator = state; instrument = true }
+      in
+      match
+        let r1 = P.run_query ~config cat db q in
+        let r2 = P.run_query ~config cat db q in
+        (r1, r2)
+      with
+      | exception e ->
+        Some
+          { oracle = name; cfg = name ^ "-rerun";
+            detail = "repeated run raised: " ^ Printexc.to_string e }
+      | (res1, reps1), (res2, reps2) ->
+        if not (Exec.Executor.same_multiset res1 res2) then
+          Some
+            { oracle = name; cfg = name ^ "-rerun";
+              detail =
+                Printf.sprintf
+                  "re-optimized run returned %d rows vs %d on the first run"
+                  (Array.length res2.Exec.Executor.rows)
+                  (Array.length res1.Exec.Executor.rows) }
+        else if
+          name = "feedback"
+          && plans_of reps1 = plans_of reps2
+          && max_qerror reps2 > max_qerror reps1 *. (1. +. 1e-9)
+        then
+          Some
+            { oracle = name; cfg = name ^ "-rerun";
+              detail =
+                Printf.sprintf
+                  "fed-back re-optimization worsened the worst q-error: \
+                   %.4f vs %.4f on the cold run of the same plan"
+                  (max_qerror reps2) (max_qerror reps1) }
+        else None
+    in
+    let feedback_check =
+      rerun_check "feedback" (`Feedback (Stats.Feedback.create ()))
+    in
+    let sketch_check =
+      rerun_check "sketch" (`Sketch (Stats.Sketch.registry_create ()))
+    in
     (* Analyzer oracle (hard): the abstract interpretation must be sound
        on every query — the reference engine's actual row count lands
        inside the provable cardinality envelope (so provably-empty
@@ -409,7 +502,8 @@ let check_case ?(grid = full_grid) spec ast =
     in
     first_some
       [ exception_check; multiset_check; counters_check; lint_check;
-        sorted_check; qerror_check; analysis_check ]
+        sorted_check; qerror_check; feedback_check; sketch_check;
+        analysis_check ]
 
 let check ?grid spec ast =
   let failure = check_case ?grid spec ast in

@@ -8,10 +8,23 @@
 
 type t
 
-(** Derive estimates for every node of [plan]. *)
+(** Derive estimates for every node of [plan].  [db] must be the
+    statistics snapshot the planner used — annotating against a registry
+    refreshed after planning reports estimates the planner never saw
+    (and mis-synthesizes index-scan bound selectivities).  When
+    [feedback] is set, fresh observed cardinalities override the derived
+    ones node by node, propagating upward exactly as in the optimizer. *)
 val annotate :
   ?asm:Stats.Derive.assumption ->
+  ?feedback:Stats.Feedback.t ->
   Storage.Catalog.t -> Stats.Table_stats.db -> Exec.Plan.t -> t
+
+(** Feedback-cache key and involved base tables for every keyable node of
+    the plan (physical identity), mirroring
+    [Systemr.Join_order.feedback_key] for SPJ subtrees.  Subtrees
+    touching materialized-view temp tables are skipped. *)
+val feedback_keys :
+  Exec.Plan.t -> (Exec.Plan.t * (Stats.Feedback.key * string list)) list
 
 (** Estimated output cardinality of a node ([==] identity). *)
 val card : t -> Exec.Plan.t -> float option

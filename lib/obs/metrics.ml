@@ -53,3 +53,6 @@ let blocks_planned = "blocks_planned"
 let fuzz_oracle_pass = "fuzz_oracle_pass"
 let fuzz_oracle_fail = "fuzz_oracle_fail"
 let qerror_max = "qerror_max"
+let feedback_overrides = "feedback_overrides"
+let feedback_recorded = "feedback_recorded"
+let sketches_built = "sketches_built"

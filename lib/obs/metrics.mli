@@ -29,3 +29,7 @@ val blocks_planned : string
 val fuzz_oracle_pass : string
 val fuzz_oracle_fail : string
 val qerror_max : string
+
+val feedback_overrides : string
+val feedback_recorded : string
+val sketches_built : string

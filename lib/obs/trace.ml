@@ -26,6 +26,10 @@ type event =
     }
   | Order_retained of { order : string; cost : float; bound : float }
   | Memo_stats of { table : string; hits : int; misses : int }
+  | Feedback_override of { digest : string; est : float; act : float }
+      (* feedback-cache hit: derived estimate replaced by observed actual *)
+  | Feedback_recorded of { digest : string; act : float }
+      (* actual cardinality of an executed (sub)plan entered the cache *)
 
 (* FNV-1a (32-bit) over the pretty-printed form: a stable, dependency-free
    fingerprint for before/after rewrite comparisons.  Not cryptographic —
@@ -54,6 +58,11 @@ let pp ppf = function
       order cost bound
   | Memo_stats { table; hits; misses } ->
     Fmt.pf ppf "memo %s: %d hits, %d misses" table hits misses
+  | Feedback_override { digest; est; act } ->
+    Fmt.pf ppf "feedback %s: estimate %.1f overridden by actual %.1f" digest
+      est act
+  | Feedback_recorded { digest; act } ->
+    Fmt.pf ppf "feedback %s: recorded actual %.1f" digest act
 
 let to_string e = Fmt.str "%a" pp e
 
@@ -103,3 +112,10 @@ let to_json = function
   | Memo_stats { table; hits; misses } ->
     Printf.sprintf {|{"event":"memo_stats","table":%s,"hits":%d,"misses":%d}|}
       (jstr table) hits misses
+  | Feedback_override { digest; est; act } ->
+    Printf.sprintf
+      {|{"event":"feedback_override","digest":%s,"est":%s,"act":%s}|}
+      (jstr digest) (jfloat est) (jfloat act)
+  | Feedback_recorded { digest; act } ->
+    Printf.sprintf {|{"event":"feedback_recorded","digest":%s,"act":%s}|}
+      (jstr digest) (jfloat act)

@@ -24,6 +24,10 @@ type event =
   | Order_retained of { order : string; cost : float; bound : float }
       (** a costlier plan kept for its interesting order *)
   | Memo_stats of { table : string; hits : int; misses : int }
+  | Feedback_override of { digest : string; est : float; act : float }
+      (** feedback-cache hit: derived estimate replaced by observed actual *)
+  | Feedback_recorded of { digest : string; act : float }
+      (** actual cardinality of an executed (sub)plan entered the cache *)
 
 (** Stable FNV-1a fingerprint of a printed block (8 hex digits). *)
 val digest : string -> string

@@ -13,6 +13,7 @@ type col_stats = {
   min_v : float option; (* exact minimum (numeric columns) — sound bound *)
   max_v : float option; (* exact maximum — sound bound *)
   hist : Histogram.t option;
+  sketch : Sketch.t option; (* Fast-AGMS sketch, folded in after execution *)
 }
 
 type t = {
@@ -80,7 +81,8 @@ let analyze_column ?(hist_buckets = 20) ?(hist_kind = Sample.Equi_depth)
     hi;
     min_v;
     max_v;
-    hist }
+    hist;
+    sketch = None }
 
 let analyze ?hist_buckets ?hist_kind (table : Storage.Table.t) : t =
   { table = table.Storage.Table.name;

@@ -13,6 +13,10 @@ type col_stats = {
           the static plan analyzer relies on *)
   max_v : float option;  (** exact maximum — sound bound *)
   hist : Histogram.t option;
+  sketch : Sketch.t option;
+      (** Fast-AGMS sketch of the column, folded into the registry after an
+          execution that built one ({!Sketch}); consulted by the estimator
+          when [Derive.assumption.use_sketches] is set *)
 }
 
 type t = {

@@ -35,6 +35,8 @@ type config = {
   methods : meth list;
   graph_dp : bool;
   prune : bool;
+  feedback : Stats.Feedback.t option;
+      (* observed-cardinality cache consulted in [stats_of]; None = off *)
 }
 
 let default_config =
@@ -45,7 +47,8 @@ let default_config =
     bushy = false;
     methods = [ Nl; Inl; Smj; Hj ];
     graph_dp = true;
-    prune = true }
+    prune = true;
+    feedback = None }
 
 (* The 1979 System-R repertoire: nested loop and sort-merge only, linear
    trees, no Cartesian products. *)
@@ -305,9 +308,49 @@ let legacy_connected ctx m1 m2 =
             rels)
     ctx.join_preds
 
+(* Materialized views are planned under generated [__matN_alias] temp
+   tables whose names are unstable across runs — their subexpressions
+   must not enter (or consult) the feedback cache. *)
+let is_temp_table t = String.length t >= 5 && String.sub t 0 5 = "__mat"
+
+(* Feedback-cache key of a subset: its (alias, table) pairs plus every
+   conjunct applied anywhere within it — the local filters of each member
+   relation and the join conjuncts fully contained in the mask.  This is
+   exactly the information [stats_of] folds into the subset's summary, so
+   the key identifies the logical subexpression independently of join
+   order and selection placement. *)
+let feedback_key ctx mask : Stats.Feedback.key option =
+  let rels =
+    List.rev
+      (fold_bits
+         (fun acc i ->
+            (ctx.rels.(i).Spj.alias, ctx.rels.(i).Spj.table) :: acc)
+         [] mask)
+  in
+  if List.exists (fun (_, t) -> is_temp_table t) rels then None
+  else begin
+    let local_preds =
+      fold_bits
+        (fun acc i ->
+           List.rev_append (List.map Stats.Feedback.canon_pred ctx.locals.(i)) acc)
+        [] mask
+    in
+    let join_preds =
+      Array.fold_left
+        (fun acc (p, m) ->
+           if m land foreign_bit = 0 && m land mask = m && popcount m >= 2
+           then Stats.Feedback.canon_pred p :: acc
+           else acc)
+        [] ctx.pred_masks
+    in
+    Some (Stats.Feedback.key ~shape:"spj" ~rels ~preds:(local_preds @ join_preds))
+  end
+
 (* Canonical subset statistics: peel the highest relation and join it to the
    rest — the result is independent of which plan produced the subset
-   (statistics are a logical property, Section 5). *)
+   (statistics are a logical property, Section 5).  When a feedback cache
+   is configured and holds a fresh actual for the subset's logical
+   subexpression, the observed cardinality replaces the derived one. *)
 let rec stats_of ctx mask : Stats.Derive.rel_stats =
   match Hashtbl.find_opt ctx.stats_memo mask with
   | Some s ->
@@ -327,6 +370,21 @@ let rec stats_of ctx mask : Stats.Derive.rel_stats =
         Stats.Derive.join ~asm:ctx.cfg.asm Algebra.Inner ls rs
           (Pred.of_conjuncts preds)
       end
+    in
+    let s =
+      match ctx.cfg.feedback with
+      | None -> s
+      | Some fb -> (
+        match feedback_key ctx mask with
+        | None -> s
+        | Some k -> (
+          match Stats.Feedback.lookup fb ~db:ctx.db k with
+          | None -> s
+          | Some act ->
+            emit ctx (fun () ->
+                Obs.Trace.Feedback_override
+                  { digest = k; est = s.Stats.Derive.card; act });
+            { s with Stats.Derive.card = act }))
     in
     Hashtbl.replace ctx.stats_memo mask s;
     s

@@ -31,6 +31,10 @@ type config = {
   prune : bool;
   (** branch-and-bound against a greedy upper bound (on by default);
       interesting-order candidates are exempt *)
+  feedback : Stats.Feedback.t option;
+  (** observed-cardinality cache consulted by [stats_of]: a fresh entry
+      for a subset's logical subexpression overrides the derived
+      cardinality (off by default) *)
 }
 
 val default_config : config
@@ -125,8 +129,15 @@ val mask_connected : ctx -> int -> bool
 val graph_connected : ctx -> bool
 
 (** Canonical subset statistics (independent of how the subset's plans are
-    built — a logical property). *)
+    built — a logical property).  When [config.feedback] is set and holds
+    a fresh actual for the subset's logical subexpression, the observed
+    cardinality overrides the derived one. *)
 val stats_of : ctx -> int -> Stats.Derive.rel_stats
+
+(** Feedback-cache key of a subset: its (alias, table) pairs plus every
+    conjunct applied anywhere within it.  [None] when the subset involves
+    a materialized-view temp table (unstable generated names). *)
+val feedback_key : ctx -> int -> Stats.Feedback.key option
 
 (** All join candidates combining [left] with [right] ([right_base] set
     when the right side is one base relation, enabling index nested

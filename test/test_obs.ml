@@ -218,6 +218,50 @@ let test_trace_events_off_by_default () =
          (List.length r.Core.Pipeline.op_stats))
     reports
 
+(* Regression: per-node estimates must be re-synthesized from the
+   plan-time statistics snapshot ([report.stats_at_plan]), not the live
+   registry.  [Obs.Est.annotate] rebuilds index-scan bound selectivities
+   and scan cardinalities from whatever stats it is handed — against a
+   registry refreshed after planning it reports numbers the planner
+   never produced. *)
+let test_annotate_uses_plan_time_stats () =
+  let cat, db = emp_dept () in
+  let sql =
+    "SELECT Emp.name FROM Emp WHERE Emp.eid < 50 AND Emp.sal > 60000"
+  in
+  let q = Sql.Binder.query_of_string cat sql in
+  let config = { Core.Pipeline.default_config with instrument = true } in
+  let _, reports = Core.Pipeline.run_query ~config cat db q in
+  let r = List.hd reports in
+  let plan = Option.get r.Core.Pipeline.plan in
+  let snap = Option.get r.Core.Pipeline.stats_at_plan in
+  (* grow the table and refresh the live registry behind the plan's back *)
+  let t = Storage.Catalog.table cat "Emp" in
+  for i = 0 to 399 do
+    Storage.Table.insert t
+      (Tuple.of_list
+         [ Value.Int (10000 + i); Value.Str "late"; Value.Int (i mod 10);
+           Value.Str "dept"; Value.Int 90000; Value.Int 33; Value.Int 1 ])
+  done;
+  Hashtbl.replace db "Emp" (Stats.Table_stats.analyze t);
+  let against dbx =
+    let est = Obs.Est.annotate cat dbx plan in
+    List.map
+      (fun (o : Exec.Instrument.op) -> Obs.Est.card est o.Exec.Instrument.node)
+      r.Core.Pipeline.op_stats
+  in
+  let planned =
+    List.map
+      (fun (o : Exec.Instrument.op) -> o.Exec.Instrument.est_rows)
+      r.Core.Pipeline.op_stats
+  in
+  Alcotest.(check bool) "snapshot annotation reproduces planner estimates"
+    true
+    (against snap = planned);
+  Alcotest.(check bool) "live-registry annotation diverges after refresh"
+    true
+    (against db <> planned)
+
 (* Digests are stable fingerprints: equal inputs agree, different inputs
    (here) differ, and the format is 8 hex digits. *)
 let test_digest () =
@@ -252,4 +296,6 @@ let () =
             test_trace_json_wellformed;
           Alcotest.test_case "off by default" `Quick
             test_trace_events_off_by_default;
+          Alcotest.test_case "annotate uses plan-time stats" `Quick
+            test_annotate_uses_plan_time_stats;
           Alcotest.test_case "digest" `Quick test_digest ] ) ]

@@ -215,7 +215,8 @@ let test_derive_conjunction_modes () =
   let indep = Stats.Derive.selectivity r p in
   let most =
     Stats.Derive.selectivity
-      ~asm:{ Stats.Derive.conjunction = `Most_selective; use_histograms = true }
+      ~asm:{ Stats.Derive.conjunction = `Most_selective; use_histograms = true;
+             use_sketches = false }
       r p
   in
   Alcotest.(check bool) "independence <= most-selective" true (indep <= most +. 1e-9)
@@ -273,6 +274,107 @@ let prop_selectivity_in_unit =
        let s = Stats.Derive.selectivity r p in
        s >= 0. && s <= 1.)
 
+
+(* ---------- Fast-AGMS sketches ---------- *)
+
+(* The classical AGMS guarantee with the exact second moments:
+   |est - J| <= sqrt(8/w) * sqrt(F2(a) * F2(b)) holds with probability
+   >= 1 - exp(-d/8).  Data is generated deterministically from the
+   QCheck-drawn seed (Workload.Gen.rng), and the depth is raised so a
+   bound violation in this test is a code bug, not sketch bad luck. *)
+
+let exact_join_and_f2 (xs : int array) (ys : int array) =
+  let freq arr =
+    let h = Hashtbl.create 64 in
+    Array.iter
+      (fun v ->
+         Hashtbl.replace h v (1 + Option.value ~default:0 (Hashtbl.find_opt h v)))
+      arr;
+    h
+  in
+  let fa = freq xs and fb = freq ys in
+  let join = ref 0. and f2a = ref 0. and f2b = ref 0. in
+  Hashtbl.iter
+    (fun v ca ->
+       f2a := !f2a +. (float_of_int ca ** 2.);
+       match Hashtbl.find_opt fb v with
+       | Some cb -> join := !join +. float_of_int (ca * cb)
+       | None -> ())
+    fa;
+  Hashtbl.iter (fun _ cb -> f2b := !f2b +. (float_of_int cb ** 2.)) fb;
+  (!join, !f2a, !f2b)
+
+let sketch_of (arr : int array) =
+  let sk = Stats.Sketch.create ~width:512 ~depth:25 () in
+  Array.iter (Stats.Sketch.update sk) arr;
+  sk
+
+let prop_sketch_join_within_bound =
+  QCheck.Test.make ~name:"Fast-AGMS join estimate within (eps, delta) bound"
+    ~count:40
+    QCheck.(triple small_nat (int_range 0 2000) (int_range 0 2000))
+    (fun (seed, na, nb) ->
+       let st = Workload.Gen.rng (0x5ee * (seed + 1)) in
+       (* one uniform and one Zipfian key column: skew is where sketch
+          estimation earns its keep over ndv heuristics *)
+       let xs =
+         Array.init na (fun _ -> Workload.Gen.uniform_int st ~lo:0 ~hi:200)
+       in
+       let ys = Workload.Gen.zipf_array st ~n:200 ~size:nb ~skew:1.2 in
+       let sa = sketch_of xs and sb = sketch_of ys in
+       let j, f2a, f2b = exact_join_and_f2 xs ys in
+       let est = Stats.Sketch.join_estimate sa sb in
+       let bound = Stats.Sketch.epsilon sa *. sqrt (f2a *. f2b) in
+       Stats.Sketch.items sa = na
+       && Stats.Sketch.items sb = nb
+       && Float.abs (est -. j) <= bound +. 1e-9)
+
+let test_sketch_edges () =
+  let a = Stats.Sketch.create () and b = Stats.Sketch.create () in
+  (* empty sketches: exact zero, zero bound *)
+  Alcotest.(check (float 0.)) "empty join estimate" 0.
+    (Stats.Sketch.join_estimate a b);
+  Alcotest.(check (float 0.)) "empty error bound" 0.
+    (Stats.Sketch.error_bound a b);
+  (* one empty side stays exactly zero: its counters are all zero *)
+  Array.iter (Stats.Sketch.update a) [| 1; 2; 3; 1 |];
+  Alcotest.(check (float 0.)) "empty right side" 0.
+    (Stats.Sketch.join_estimate a b);
+  (* guarantee parameters *)
+  let s = Stats.Sketch.create ~width:512 ~depth:25 () in
+  Alcotest.(check (float 1e-9)) "epsilon" (sqrt (8. /. 512.))
+    (Stats.Sketch.epsilon s);
+  Alcotest.(check (float 1e-9)) "delta" (exp (-25. /. 8.))
+    (Stats.Sketch.delta s);
+  (* incompatible shapes are rejected, not silently mis-estimated *)
+  (match Stats.Sketch.join_estimate a s with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "incompatible sketches accepted")
+
+(* NULL keys never reach a sketch: the columnar feed skips null bits, so
+   a column with interleaved NULLs sketches exactly its non-null part. *)
+let test_sketch_null_keys_skipped () =
+  let rows =
+    Array.init 60 (fun i ->
+        Tuple.of_list
+          [ (if i mod 3 = 0 then Value.Null else Value.Int (i mod 7)) ])
+  in
+  let store = Exec.Eval.Chunk.store_of_rows ~arity:1 rows in
+  let sk = Stats.Sketch.create () in
+  Alcotest.(check bool) "int column feeds" true
+    (Exec.Eval.Chunk.feed_ints store 0 (Stats.Sketch.update sk));
+  let expect = Stats.Sketch.create () in
+  Array.iter
+    (fun t ->
+       match Tuple.get t 0 with
+       | Value.Int v -> Stats.Sketch.update expect v
+       | _ -> ())
+    rows;
+  Alcotest.(check int) "nulls skipped" (Stats.Sketch.items expect)
+    (Stats.Sketch.items sk);
+  Alcotest.(check (float 1e-9)) "same second moment"
+    (Stats.Sketch.second_moment expect)
+    (Stats.Sketch.second_moment sk)
 
 (* ---------- 2-d histograms ---------- *)
 
@@ -337,4 +439,9 @@ let () =
          Alcotest.test_case "selection" `Quick test_derive_select;
          Alcotest.test_case "conjunction modes" `Quick test_derive_conjunction_modes;
          Alcotest.test_case "join and group" `Quick test_derive_join_and_group;
-         QCheck_alcotest.to_alcotest prop_selectivity_in_unit ]) ]
+         QCheck_alcotest.to_alcotest prop_selectivity_in_unit ]);
+      ("sketch",
+       [ QCheck_alcotest.to_alcotest prop_sketch_join_within_bound;
+         Alcotest.test_case "edges" `Quick test_sketch_edges;
+         Alcotest.test_case "null keys skipped" `Quick
+           test_sketch_null_keys_skipped ]) ]
