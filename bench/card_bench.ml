@@ -124,9 +124,9 @@ let run_mode ~reps ~engine ~estimator cat db q =
   (* the state recorded by run 1 is now warm; time the re-optimized run *)
   let best = ref infinity and last = ref None in
   for _ = 1 to reps do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     let res2, reps2 = P.run_query ~config cat db q in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Obs.Clock.now () -. t0 in
     if dt < !best then best := dt;
     last := Some (res2, reps2)
   done;

@@ -12,12 +12,12 @@ let e1 () =
   for n = 2 to 7 do
     let p = Workload.Schemas.join_shape ~rows:50 ~shape:Workload.Schemas.Clique_q ~n () in
     let q = Util.spj_of_pieces p in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     let dp = Systemr.Join_order.optimize p.Workload.Schemas.jcat p.Workload.Schemas.jdb q in
-    let t_dp = Unix.gettimeofday () -. t0 in
-    let t1 = Unix.gettimeofday () in
+    let t_dp = Obs.Clock.now () -. t0 in
+    let t1 = Obs.Clock.now () in
     let nv = Systemr.Naive.optimize p.Workload.Schemas.jcat p.Workload.Schemas.jdb q in
-    let t_naive = Unix.gettimeofday () -. t1 in
+    let t_naive = Obs.Clock.now () -. t1 in
     (* identical search space: best costs must agree *)
     let agree =
       Float.abs

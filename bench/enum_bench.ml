@@ -124,9 +124,9 @@ let time_runs reps f =
   let best = ref infinity and last = ref None in
   for _ = 1 to reps do
     Gc.full_major ();
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     let r = f () in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Obs.Clock.now () -. t0 in
     if dt < !best then best := dt;
     last := Some r
   done;

@@ -8,12 +8,16 @@
    class, plus an optimized end-to-end query through the pipeline).
 
    Usage: exec_bench [--smoke] [--out FILE] [--trace-json FILE]
+                     [--metrics-out FILE] [--parallel]
      --smoke       tiny inputs, single repetition — a CI liveness check, no
                    timing claims
      --out         output path (default BENCH_exec.json; BENCH_par.json
                    under --parallel)
      --trace-json  also run the end-to-end query once with instrumentation
                    on and write its optimizer trace as line-delimited JSON
+     --metrics-out after the run, dump the process metrics registry
+                   (query/stage latency histograms included) to FILE in
+                   Prometheus text exposition format
      --parallel    benchmark the morsel-driven engine instead: sequential
                    batch vs Exec.Morsel at dop 1/2/4/8 on scan_filter,
                    hash_join, hash_agg and sort.  Equivalence (identical
@@ -95,9 +99,9 @@ let time_runs reps f =
   for _ = 1 to reps do
     Gc.full_major ();
     let a0 = Gc.minor_words () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     let r = f () in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Obs.Clock.now () -. t0 in
     if dt < !best then begin
       best := dt;
       alloc := Gc.minor_words () -. a0
@@ -451,19 +455,29 @@ let json_of_rows ~smoke (rows : row list) =
 let () =
   let smoke_flag = ref false and out = ref None in
   let trace_out = ref None and parallel = ref false in
+  let metrics_out = ref None in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest -> smoke_flag := true; parse rest
     | "--out" :: f :: rest -> out := Some f; parse rest
     | "--trace-json" :: f :: rest -> trace_out := Some f; parse rest
+    | "--metrics-out" :: f :: rest -> metrics_out := Some f; parse rest
     | "--parallel" :: rest -> parallel := true; parse rest
     | a :: _ -> Printf.eprintf "unknown argument: %s\n" a; exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let dump_metrics () =
+    match !metrics_out with
+    | Some f ->
+      Obs.Prometheus.write_file f;
+      Printf.printf "wrote %s (Prometheus exposition)\n" f
+    | None -> ()
+  in
   let sc = if !smoke_flag then smoke else full in
   if !parallel then begin
     let out = Option.value !out ~default:"BENCH_par.json" in
     run_parallel ~smoke:!smoke_flag ~out sc;
+    dump_metrics ();
     exit 0
   end;
   let out = ref (Option.value !out ~default:"BENCH_exec.json") in
@@ -482,4 +496,5 @@ let () =
   close_out oc;
   Printf.printf "wrote %s (all workloads verified: identical rows and \
                  counters)\n" !out;
-  match !trace_out with Some f -> write_trace sc f | None -> ()
+  (match !trace_out with Some f -> write_trace sc f | None -> ());
+  dump_metrics ()

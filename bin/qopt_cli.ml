@@ -28,9 +28,19 @@ let optimizer_config = function
   | "naive" -> Core.Pipeline.naive_config
   | s -> failwith ("unknown optimizer: " ^ s ^ " (use systemr, bushy or naive)")
 
-let with_query db_name sql f =
-  let cat, db = load db_name in
-  match Sql.Binder.query_of_string cat sql with
+(* Parse and bind as separate steps so they show up as the first two
+   spans of the query's telemetry tree. *)
+let with_query ?spans db_name sql f =
+  let in_span name g =
+    match spans with
+    | None -> g ()
+    | Some r -> Obs.Span.with_span r name g
+  in
+  let cat, db = in_span "load" (fun () -> load db_name) in
+  match
+    let stmts = in_span "parse" (fun () -> Sql.Parser.parse sql) in
+    in_span "bind" (fun () -> Sql.Binder.bind_script cat stmts)
+  with
   | q -> f cat db q
   | exception Sql.Parser.Error m ->
     Printf.eprintf "parse error: %s\n" m;
@@ -107,9 +117,74 @@ let write_trace_json file reports =
     reports;
   close_out oc
 
+(* The qlog record for one CLI run: digests (timed into the
+   digest_seconds histogram), per-stage micros from the span tree, root
+   est/act rows and worst q-error from the recorders, feedback-cache
+   traffic from the estimator. *)
+let qlog_record ~sql ~estimator ~est_mode ~engine ~dop ~rows ~wall ~root
+    ~reports ~recorders : Obs.Qlog.t =
+  let td = Obs.Clock.now () in
+  let query_digest = Obs.Trace.digest (String.trim sql) in
+  let plan_digest =
+    Obs.Trace.digest
+      (String.concat ";"
+         (List.filter_map
+            (fun (r : Core.Pipeline.report) ->
+               Option.map (Fmt.str "%a" Exec.Plan.pp) r.Core.Pipeline.plan)
+            reports))
+  in
+  Obs.Metrics.observe_hist Obs.Metrics.digest_seconds
+    (Obs.Clock.elapsed_s td);
+  let stages =
+    match root with
+    | None -> []
+    | Some r ->
+      List.filter_map
+        (fun n ->
+           let d = Obs.Span.dur_by_name r n in
+           if d > 0. then Some (n, d *. 1e6) else None)
+        [ "parse"; "bind"; "rewrite"; "optimize"; "verify"; "execute" ]
+  in
+  let est_rows, act_rows =
+    match recorders with
+    | r :: _ -> (
+      match Exec.Instrument.ops r with
+      | (op : Exec.Instrument.op) :: _ ->
+        ( op.Exec.Instrument.est_rows,
+          if op.Exec.Instrument.executed then
+            Some (float_of_int op.Exec.Instrument.act_rows)
+          else None )
+      | [] -> (None, None))
+    | [] -> (None, None)
+  in
+  let max_qerror =
+    List.fold_left
+      (fun acc r ->
+         match Obs.Analyze.max_q_error r with
+         | Some (q, _) when Float.is_finite q ->
+           Some (match acc with Some a -> Float.max a q | None -> q)
+         | _ -> acc)
+      None recorders
+  in
+  let feedback_hits, feedback_misses =
+    match est_mode with
+    | `Feedback fb -> (Stats.Feedback.hits fb, Stats.Feedback.misses fb)
+    | _ -> (0, 0)
+  in
+  { Obs.Qlog.ts_us = int_of_float (Unix.gettimeofday () *. 1e6);
+    query_digest; plan_digest; estimator; engine; dop = max 1 dop; rows;
+    total_us = wall *. 1e6; stages; est_rows; act_rows; max_qerror;
+    feedback_hits; feedback_misses }
+
 let run_cmd db_name opt engine dop estimator repeat lint analysis limit tree
-    opt_stats analyze trace_json metrics sql =
-  with_query db_name sql (fun cat db block ->
+    opt_stats analyze trace_json metrics profile_json metrics_out query_log
+    print_spans sql =
+  let want_spans =
+    profile_json <> None || query_log <> None || print_spans
+  in
+  let spans = if want_spans then Some (Obs.Span.create ()) else None in
+  with_query ?spans db_name sql (fun cat db block ->
+      let est_mode = estimator_of_string estimator in
       let config =
         apply_tree tree
           { (optimizer_config opt) with
@@ -117,30 +192,48 @@ let run_cmd db_name opt engine dop estimator repeat lint analysis limit tree
             analysis;
             engine = engine_of_string engine;
             dop = max 1 dop;
-            estimator = estimator_of_string estimator;
-            instrument = analyze || trace_json <> None }
+            estimator = est_mode;
+            instrument =
+              analyze || trace_json <> None || profile_json <> None;
+            spans }
       in
       (* Warm-up repeats share the estimator state: under --estimator
          feedback/sketch, the final (printed) run re-optimizes with the
-         actual cardinalities / sketches its predecessors recorded. *)
+         actual cardinalities / sketches its predecessors recorded.
+         They run span-less so the telemetry tree covers only the
+         printed run. *)
       for _ = 2 to max 1 repeat do
-        ignore (Core.Pipeline.run_query ~config cat db block)
+        ignore
+          (Core.Pipeline.run_query
+             ~config:{ config with Core.Pipeline.spans = None }
+             cat db block)
       done;
       let ctx = Exec.Context.create () in
-      let t0 = Unix.gettimeofday () in
-      let result, reports, analyze_text =
-        if analyze then
-          let result, reports, text =
-            Core.Pipeline.analyze_query ~ctx ~config cat db block
-          in
-          (result, reports, Some text)
-        else
-          let result, reports =
-            Core.Pipeline.run_query ~ctx ~config cat db block
-          in
-          (result, reports, None)
+      let t0 = Obs.Clock.now () in
+      let result, pairs =
+        Core.Pipeline.run_query_full ~ctx ~config cat db block
       in
-      let wall = Unix.gettimeofday () -. t0 in
+      let wall = Obs.Clock.elapsed_s t0 in
+      let reports = List.map fst pairs in
+      let analyze_text =
+        if not analyze then None
+        else
+          let many = List.length pairs > 1 in
+          Some
+            (String.concat ""
+               (List.mapi
+                  (fun i (_, recorder) ->
+                     (if many then
+                        Printf.sprintf "-- union arm %d\n" (i + 1)
+                      else "")
+                     ^
+                     match recorder with
+                     | Some r -> Obs.Analyze.render r
+                     | None ->
+                       "(correlated query: tuple-iteration interpreter — \
+                        no per-operator statistics)\n")
+                  pairs))
+      in
       let n = Array.length result.Exec.Executor.rows in
       Fmt.pr "%a@." Schema.pp result.Exec.Executor.schema;
       Array.iteri
@@ -160,6 +253,34 @@ let run_cmd db_name opt engine dop estimator repeat lint analysis limit tree
        | None -> ());
       (match trace_json with
        | Some file -> write_trace_json file reports
+       | None -> ());
+      (* close the span tree before anything renders or logs it *)
+      let root = Option.map Obs.Span.finish spans in
+      (match root with
+       | Some r when print_spans -> Fmt.pr "-- spans:@.%s" (Obs.Span.render r)
+       | _ -> ());
+      (match profile_json with
+       | Some file ->
+         let recorders =
+           List.mapi
+             (fun i (_, recorder) ->
+                Option.map
+                  (fun r -> (Printf.sprintf "block %d" (i + 1), r))
+                  recorder)
+             pairs
+           |> List.filter_map Fun.id
+         in
+         Obs.Profile.write_file ?span:root recorders file
+       | None -> ());
+      (match query_log with
+       | Some file ->
+         Obs.Qlog.append ~path:file
+           (qlog_record ~sql ~estimator ~est_mode ~engine ~dop ~rows:n ~wall
+              ~root ~reports
+              ~recorders:(List.filter_map snd pairs))
+       | None -> ());
+      (match metrics_out with
+       | Some file -> Obs.Prometheus.write_file file
        | None -> ());
       if opt_stats then print_opt_stats reports wall;
       if metrics then print_endline (Obs.Metrics.render ());
@@ -292,6 +413,35 @@ let metrics_arg =
            ~doc:"Print the process-wide metrics registry (queries run, \
                  blocks planned, max q-error, ...) after the query.")
 
+let profile_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile-json" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event profile to FILE: the query's \
+                 span tree (parse, bind, rewrite, optimize, verify, \
+                 execute) on one track plus, at --dop > 1, each morsel \
+                 worker's task timeline on its own track. Load it in \
+                 Perfetto (ui.perfetto.dev) or chrome://tracing.")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the metrics registry (counters, gauges, latency \
+                 histograms with cumulative buckets) to FILE in \
+                 Prometheus text exposition format.")
+
+let query_log_arg =
+  Arg.(value & opt (some string) None
+       & info [ "query-log" ] ~docv:"FILE"
+           ~doc:"Append one NDJSON record for this run to FILE: query and \
+                 plan digests, per-stage latencies, estimated vs. actual \
+                 root rows, worst q-error, and feedback-cache traffic.")
+
+let spans_arg =
+  Arg.(value & flag
+       & info [ "spans" ]
+           ~doc:"Print the query's span tree (wall-clock per pipeline \
+                 stage, nested) after the rows.")
+
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
 
@@ -301,7 +451,8 @@ let run_t =
       const run_cmd $ db_arg $ opt_arg $ engine_arg $ dop_arg
       $ estimator_arg $ repeat_arg $ lint_arg $ analysis_arg
       $ limit_arg $ tree_arg $ opt_stats_arg $ analyze_arg $ trace_json_arg
-      $ metrics_arg $ sql_arg)
+      $ metrics_arg $ profile_json_arg $ metrics_out_arg $ query_log_arg
+      $ spans_arg $ sql_arg)
 
 let explain_t =
   Cmd.v (Cmd.info "explain" ~doc:"Show rewrites and the chosen physical plan")

@@ -1,0 +1,21 @@
+(* Process-wide monotonic clock.
+
+   The tree has no dependency exposing CLOCK_MONOTONIC, so this clamps
+   [Unix.gettimeofday] to be non-decreasing across the whole process: a
+   wall-clock step backwards (NTP adjustment, manual reset) freezes the
+   reading instead of producing negative spans.  The clamp is shared by
+   every caller — instrumentation frames, morsel workers on other
+   domains, span recorders, bench timing — so intervals measured against
+   each other stay ordered.
+
+   Lock-free: a single CAS-updated cell holds the latest reading. *)
+
+let last : float Atomic.t = Atomic.make 0.
+
+let rec now () : float =
+  let t = Unix.gettimeofday () in
+  let l = Atomic.get last in
+  if t >= l then if Atomic.compare_and_set last l t then t else now ()
+  else l (* wall clock went backwards: hold the high-water mark *)
+
+let elapsed_s (t0 : float) : float = Float.max 0. (now () -. t0)

@@ -1,0 +1,12 @@
+(** Process-wide monotonic clock: [Unix.gettimeofday] clamped to be
+    non-decreasing process-wide, so intervals (spans, operator wall
+    times, worker timelines, bench timings) can never go negative under
+    a wall-clock adjustment.  Safe to call from any domain.
+
+    Re-exported as [Obs.Clock]; use that alias outside [exec]. *)
+
+(** Current time in seconds (Unix epoch based, monotonic non-decreasing). *)
+val now : unit -> float
+
+(** [elapsed_s t0] = [now () -. t0], clamped to [>= 0]. *)
+val elapsed_s : float -> float

@@ -52,6 +52,11 @@ type config = {
          estimates over histograms.  The mutable state lives in the
          variant so one config reused across runs closes the loop;
          default_config stays stateless. *)
+  spans : Obs.Span.recorder option;
+      (* span recorder for full-pipeline telemetry.  When set, every
+         stage (rewrite, optimize with nested view/enumerate spans,
+         verify, execute) opens a span and feeds the per-stage latency
+         histograms; None (the default) costs nothing. *)
 }
 
 let default_rewrites : Rewrite.Rules.t list list =
@@ -71,7 +76,30 @@ let default_config =
     dop = 1;
     morsel_rows = Exec.Morsel.default_morsel_rows;
     chunk_rows = Exec.Batch.default_chunk_rows;
-    estimator = `Histogram }
+    estimator = `Histogram;
+    spans = None }
+
+(* Wrap [f] in a span when a recorder is attached; no recorder, no work. *)
+let span config ?attrs name f =
+  match config.spans with
+  | None -> f ()
+  | Some r -> Obs.Span.with_span r ?attrs name f
+
+(* A top-level pipeline stage: a span plus the per-stage latency
+   histogram ([stage_seconds{stage="..."}]).  Only the flat stages go
+   through here — nested spans (views, enumerator calls) skip the
+   histogram so stage latencies sum to roughly the query total. *)
+let stage config ?attrs name f =
+  match config.spans with
+  | None -> f ()
+  | Some r ->
+    let t0 = Obs.Clock.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Metrics.observe_hist
+          (Obs.Metrics.stage_seconds name)
+          (Obs.Clock.elapsed_s t0))
+      (fun () -> Obs.Span.with_span r ?attrs name f)
 
 (* Fold the estimator mode into the join config the planner actually
    sees: `Feedback plugs the cache into [Join_order.stats_of] (and,
@@ -280,6 +308,10 @@ type report = {
          handed, and against refreshed stats the reported "estimates"
          would be numbers the planner never produced.  None on the
          interpreted path. *)
+  span : Obs.Span.t option;
+      (* this block's span subtree (rewrite / optimize / verify /
+         execute children), closed by the time the report is returned;
+         None unless [config.spans] *)
 }
 
 (* Can this block (and everything it contains) be planned, i.e. no subquery
@@ -319,6 +351,7 @@ let rec materialize_source ~on_plan ~trace ~exec_views ~on_view ctx config cat
   match s with
   | Rewrite.Qgm.Base _ -> (s, [], 0., Systemr.Join_order.counters_zero)
   | Rewrite.Qgm.Derived { block; alias } ->
+    span config ~attrs:[ ("alias", alias) ] "view" @@ fun () ->
     let plan, cost, enum, temps =
       plan_block ~on_plan ?trace ~exec_views ~on_view ctx config cat db block
     in
@@ -437,7 +470,33 @@ and plan_block ?(on_plan = fun (_ : Exec.Plan.t) -> ()) ?trace
     Systemr.Spj.make ~relations ~predicates ~order_by:spj_order ()
   in
   let res =
-    Systemr.Join_order.optimize ?trace ~config:config.join_config cat db q
+    (* one span per enumerator invocation (views recurse here too),
+       annotated with the DP effort counters once they are known *)
+    match config.spans with
+    | None ->
+      Systemr.Join_order.optimize ?trace ~config:config.join_config cat db q
+    | Some r ->
+      let s =
+        Obs.Span.enter r
+          ~attrs:
+            [ ("relations", string_of_int (List.length relations)) ]
+          "enumerate"
+      in
+      let res =
+        try
+          Systemr.Join_order.optimize ?trace ~config:config.join_config cat
+            db q
+        with e ->
+          Obs.Span.stop r s;
+          raise e
+      in
+      let c = res.Systemr.Join_order.counters in
+      Obs.Span.set_attr s "subsets"
+        (string_of_int c.Systemr.Join_order.subsets);
+      Obs.Span.set_attr s "costed" (string_of_int c.Systemr.Join_order.costed);
+      Obs.Span.set_attr s "pruned" (string_of_int c.Systemr.Join_order.pruned);
+      Obs.Span.stop r s;
+      res
   in
   let plan = ref res.Systemr.Join_order.best.Systemr.Candidate.plan in
   let cost = ref res.Systemr.Join_order.best.Systemr.Candidate.cost in
@@ -552,7 +611,16 @@ let run_block ~ctx ~config (cat : Storage.Catalog.t)
      (enumeration, lints, annotation) sees the effective assumptions *)
   let config = { config with join_config = effective_join_config config } in
   let h = make_hooks config cat in
+  let blk_span =
+    Option.map (fun r -> Obs.Span.enter r "block") config.spans
+  in
+  let stop_blk () =
+    match (config.spans, blk_span) with
+    | Some r, Some s -> Obs.Span.stop r s
+    | _ -> ()
+  in
   let rewritten, trace =
+    stage config "rewrite" @@ fun () ->
     Rewrite.Rules.run ?check:h.check ?on_reject:h.on_reject
       (effective_rewrites config) block
   in
@@ -561,6 +629,7 @@ let run_block ~ctx ~config (cat : Storage.Catalog.t)
      | `Sketch reg -> inject_sketches reg db
      | `Histogram | `Feedback _ -> ());
     let plan, est_cost, enum, temps =
+      stage config "optimize" @@ fun () ->
       plan_block ~on_plan:h.on_plan ?trace:h.trace ctx config cat db rewritten
     in
     (* snapshot the statistics the planner consulted — view temporaries
@@ -571,10 +640,11 @@ let run_block ~ctx ~config (cat : Storage.Catalog.t)
        path fabricates temp statistics from estimates, which would make
        the envelope itself unsound *)
     if config.analysis then
-      h.diags :=
-        !(h.diags)
-        @ Analysis.Lint.physical
-            ~asm:config.join_config.Systemr.Join_order.asm cat db plan;
+      stage config "verify" (fun () ->
+        h.diags :=
+          !(h.diags)
+          @ Analysis.Lint.physical
+              ~asm:config.join_config.Systemr.Join_order.asm cat db plan);
     let feedback =
       match config.estimator with `Feedback fb -> Some fb | _ -> None
     in
@@ -604,7 +674,17 @@ let run_block ~ctx ~config (cat : Storage.Catalog.t)
       | _ -> None
     in
     let sketch = Option.map (fun (_, (hook, _)) -> hook) sketching in
-    let result = exec_plan config ~ctx ?obs:recorder ?sketch cat db plan in
+    let result =
+      stage config
+        ~attrs:
+          [ ( "engine",
+              match config.engine with
+              | `Interpreted -> "interpreted"
+              | `Batch -> if config.dop > 1 then "morsel" else "batch" );
+            ("dop", string_of_int config.dop) ]
+        "execute"
+      @@ fun () -> exec_plan config ~ctx ?obs:recorder ?sketch cat db plan
+    in
     (match sketching with
      | Some (reg, (_, pending)) ->
        commit_sketches reg db pending;
@@ -641,9 +721,11 @@ let run_block ~ctx ~config (cat : Storage.Catalog.t)
      | Some r when config.instrument -> (
        match Obs.Analyze.max_q_error r with
        | Some (q, _) when Float.is_finite q ->
-         Obs.Metrics.observe_max Obs.Metrics.qerror_max q
+         Obs.Metrics.observe_max Obs.Metrics.qerror_max q;
+         Obs.Metrics.observe_hist Obs.Metrics.qerror_hist q
        | _ -> ())
      | _ -> ());
+    stop_blk ();
     ( result,
       { rewritten; trace; path = Planned; plan = Some plan; est_cost;
         enum; diags = !(h.diags);
@@ -652,26 +734,43 @@ let run_block ~ctx ~config (cat : Storage.Catalog.t)
            | Some r when config.instrument -> Exec.Instrument.ops r
            | _ -> []);
         trace_events = List.rev !(h.events);
-        stats_at_plan = Some stats_at_plan },
+        stats_at_plan = Some stats_at_plan;
+        span = blk_span },
       recorder )
   end
   else begin
     (* interpreted fallback: no physical plan to lint, but the block's
        scoping can still be checked statically *)
     if config.lint then h.diags := !(h.diags) @ Verify.block rewritten;
-    let result = Rewrite.Qgm_eval.run ~ctx cat rewritten in
+    let result =
+      stage config ~attrs:[ ("engine", "interpreter") ] "execute"
+      @@ fun () -> Rewrite.Qgm_eval.run ~ctx cat rewritten
+    in
+    stop_blk ();
     ( result,
       { rewritten; trace; path = Interpreted; plan = None; est_cost = 0.;
         enum = Systemr.Join_order.counters_zero; diags = !(h.diags);
         op_stats = []; trace_events = List.rev !(h.events);
-        stats_at_plan = None },
+        stats_at_plan = None;
+        span = blk_span },
       None )
   end
+
+(* End-to-end latency histogram for every entry point; one monotonic
+   read per query when nothing else is instrumented. *)
+let timed_query f =
+  let t0 = Obs.Clock.now () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.observe_hist Obs.Metrics.query_seconds
+        (Obs.Clock.elapsed_s t0))
+    f
 
 let run ?(ctx = Exec.Context.create ()) ?(config = default_config)
     (cat : Storage.Catalog.t) (db : Stats.Table_stats.db)
     (block : Rewrite.Qgm.block) : Exec.Executor.result * report =
   Obs.Metrics.incr Obs.Metrics.queries_run;
+  timed_query @@ fun () ->
   let result, report, _ = run_block ~ctx ~config cat db block in
   (result, report)
 
@@ -775,8 +874,15 @@ let rec run_query_blocks ~ctx ~config cat db (q : Rewrite.Qgm.query) :
 let run_query ?(ctx = Exec.Context.create ()) ?(config = default_config) cat
     db (q : Rewrite.Qgm.query) : Exec.Executor.result * report list =
   Obs.Metrics.incr Obs.Metrics.queries_run;
+  timed_query @@ fun () ->
   let result, pairs = run_query_blocks ~ctx ~config cat db q in
   (result, List.map fst pairs)
+
+let run_query_full ?(ctx = Exec.Context.create ())
+    ?(config = default_config) cat db (q : Rewrite.Qgm.query) :
+  Exec.Executor.result * (report * Exec.Instrument.t option) list =
+  Obs.Metrics.incr Obs.Metrics.queries_run;
+  timed_query @@ fun () -> run_query_blocks ~ctx ~config cat db q
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN ANALYZE: execute with instrumentation on, render the plan
@@ -795,6 +901,7 @@ let analyze ?(ctx = Exec.Context.create ()) ?(config = default_config)
   Exec.Executor.result * report * string =
   let config = { config with instrument = true } in
   Obs.Metrics.incr Obs.Metrics.queries_run;
+  timed_query @@ fun () ->
   let result, report, recorder = run_block ~ctx ~config cat db block in
   (result, report, render_analysis ?show_wall recorder)
 
@@ -803,6 +910,7 @@ let analyze_query ?(ctx = Exec.Context.create ())
   Exec.Executor.result * report list * string =
   let config = { config with instrument = true } in
   Obs.Metrics.incr Obs.Metrics.queries_run;
+  timed_query @@ fun () ->
   let result, pairs = run_query_blocks ~ctx ~config cat db q in
   let many = List.length pairs > 1 in
   let text =

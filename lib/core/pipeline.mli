@@ -62,6 +62,14 @@ type config = {
       selectivities prefer sketch estimates over histograms.  The
       mutable state lives in the variant: reuse one config across runs
       to close the loop. *)
+  spans : Obs.Span.recorder option;
+  (** span recorder for full-pipeline telemetry (default [None] — zero
+      cost).  When set, every stage (rewrite, optimize with nested
+      view/enumerate spans, verify, execute) opens a span in the
+      recorder and feeds the [stage_seconds{stage="..."}] latency
+      histograms; the caller owns the recorder (typically wrapping
+      parse/bind spans around the pipeline) and calls
+      {!Obs.Span.finish} to close the tree. *)
 }
 
 (** view merging; unnesting; view merging again; constant propagation;
@@ -102,6 +110,10 @@ type report = {
       handed, and against refreshed stats the "estimates" would be
       numbers the planner never produced.  [None] on the interpreted
       path. *)
+  span : Obs.Span.t option;
+  (** this block's span subtree (rewrite / optimize / verify / execute
+      children), closed by the time the report is returned; [None]
+      unless [config.spans] *)
 }
 
 (** Can this block (including nested ones) be planned — no residual
@@ -147,6 +159,16 @@ val run_query :
   ?ctx:Exec.Context.t -> ?config:config -> Storage.Catalog.t ->
   Stats.Table_stats.db -> Rewrite.Qgm.query ->
   Exec.Executor.result * report list
+
+(** [run_query] returning each block's instrumentation recorder
+    alongside its report — recorders carry the per-operator actuals and
+    the worker task timelines behind the {!Obs.Profile} export.  [None]
+    per block on the interpreted path, or when neither
+    [config.instrument] nor the feedback estimator created one. *)
+val run_query_full :
+  ?ctx:Exec.Context.t -> ?config:config -> Storage.Catalog.t ->
+  Stats.Table_stats.db -> Rewrite.Qgm.query ->
+  Exec.Executor.result * (report * Exec.Instrument.t option) list
 
 val explain_query :
   ?config:config -> Storage.Catalog.t -> Stats.Table_stats.db ->

@@ -27,6 +27,18 @@ type par = {
   worker_rows : int array;
 }
 
+(* One executed parallel task (a morsel, a partition build, ...):
+   which worker ran which operator over which monotonic-clock interval.
+   The full list is the execution's worker timeline — the raw material
+   for the Chrome-trace profile export. *)
+type task = {
+  t_worker : int;
+  t_op : int; (* operator id *)
+  t_name : string; (* operator description, for display *)
+  t_start : float; (* absolute Mclock seconds *)
+  t_end : float;
+}
+
 type op = {
   id : int;
   node : Plan.t;
@@ -52,6 +64,10 @@ type t = {
   ops : op array;
   index : (Plan.t * op) list; (* physical-identity lookup *)
   mutable stack : frame list;
+  mutable timeline : task list; (* reversed; [timeline] reverses *)
+  mutable par_mismatches : int;
+      (* parallel phases whose worker-array width differed from an
+         earlier phase of the same operator (merged, not dropped) *)
 }
 
 let create (plan : Plan.t) : t =
@@ -66,7 +82,7 @@ let create (plan : Plan.t) : t =
          nodes)
   in
   let index = Array.to_list (Array.map (fun o -> (o.node, o)) ops) in
-  { ops; index; stack = [] }
+  { ops; index; stack = []; timeline = []; par_mismatches = 0 }
 
 (* Physical identity: the engines execute the exact nodes [create] walked,
    and plans are small trees, so a linear [==] scan is both correct and
@@ -80,11 +96,29 @@ let lookup (r : t) (p : Plan.t) : op option =
 
 let ops (r : t) : op list = Array.to_list r.ops
 
+let timeline (r : t) : task list = List.rev r.timeline
+
+let par_mismatches (r : t) : int = r.par_mismatches
+
+(* Record one parallel task's interval on [p]'s operator.  Called by the
+   coordinator after a parallel phase completes (workers write disjoint
+   slots of a pre-sized array; the coordinator folds it in here), so the
+   recorder's mutable state is only ever touched from one domain. *)
+let record_task (r : t) (p : Plan.t) ~(worker : int) ~(start_s : float)
+    ~(end_s : float) : unit =
+  match lookup r p with
+  | None -> ()
+  | Some o ->
+    r.timeline <-
+      { t_worker = worker; t_op = o.id; t_name = Plan.describe o.node;
+        t_start = start_s; t_end = Float.max start_s end_s }
+      :: r.timeline
+
 let push_frame (r : t) (o : op) (ctx : Context.t) : frame =
   let f =
     { op = o;
       start_snap = Context.snapshot ctx;
-      start_time = Unix.gettimeofday ();
+      start_time = Mclock.now ();
       child_snap = Context.snapshot_zero;
       child_time = 0. }
   in
@@ -96,7 +130,7 @@ let push_frame (r : t) (o : op) (ctx : Context.t) : frame =
    child accumulators. *)
 let finish_frame (r : t) (f : frame) (ctx : Context.t) =
   r.stack <- List.tl r.stack;
-  let total_time = Unix.gettimeofday () -. f.start_time in
+  let total_time = Mclock.elapsed_s f.start_time in
   let total_snap = Context.diff (Context.snapshot ctx) f.start_snap in
   let o = f.op in
   o.wall_s <- o.wall_s +. (total_time -. f.child_time);
@@ -146,7 +180,22 @@ let record_par (r : t) (p : Plan.t) ~(dop : int) ~(wall : float array)
         pr.worker_wall.(w) <- pr.worker_wall.(w) +. wall.(w);
         pr.worker_rows.(w) <- pr.worker_rows.(w) + rows.(w)
       done
-    | Some _ | None ->
+    | Some pr ->
+      (* width changed between phases (e.g. pool resized between runs):
+         merge into max-width arrays rather than dropping the sample,
+         and count the mismatch so callers can surface it *)
+      r.par_mismatches <- r.par_mismatches + 1;
+      let n = max (Array.length pr.worker_wall) (Array.length wall) in
+      let mwall = Array.make n 0. and mrows = Array.make n 0 in
+      Array.iteri (fun w v -> mwall.(w) <- v) pr.worker_wall;
+      Array.iteri (fun w v -> mrows.(w) <- v) pr.worker_rows;
+      Array.iteri (fun w v -> mwall.(w) <- mwall.(w) +. v) wall;
+      Array.iteri (fun w v -> mrows.(w) <- mrows.(w) + v) rows;
+      o.par <-
+        Some
+          { par_dop = max pr.par_dop dop; worker_wall = mwall;
+            worker_rows = mrows }
+    | None ->
       o.par <-
         Some
           { par_dop = dop; worker_wall = Array.copy wall;

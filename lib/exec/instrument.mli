@@ -14,6 +14,17 @@ type par = {
   worker_rows : int array;  (** rows produced per worker *)
 }
 
+(** One executed parallel task: worker, operator, and its monotonic
+    start/end ({!Mclock} seconds).  The execution's full task list is
+    the worker timeline behind the Chrome-trace profile export. *)
+type task = {
+  t_worker : int;
+  t_op : int;  (** operator id *)
+  t_name : string;  (** operator description *)
+  t_start : float;
+  t_end : float;
+}
+
 type op = {
   id : int;  (** pre-order index in the plan tree *)
   node : Plan.t;
@@ -37,6 +48,20 @@ val create : Plan.t -> t
 
 (** All operators in id order. *)
 val ops : t -> op list
+
+(** Worker timeline: every recorded parallel task, in recording order. *)
+val timeline : t -> task list
+
+(** Parallel phases whose worker-array width differed from an earlier
+    phase of the same operator; such samples are merged into max-width
+    arrays (never dropped), and this counter surfaces that it happened. *)
+val par_mismatches : t -> int
+
+(** Record one parallel task's interval against node [p] (coordinator
+    only).  Unknown nodes are ignored; [end_s] is clamped to
+    [>= start_s]. *)
+val record_task :
+  t -> Plan.t -> worker:int -> start_s:float -> end_s:float -> unit
 
 (** Find the operator for a physical node ([==] identity). *)
 val lookup : t -> Plan.t -> op option

@@ -90,15 +90,36 @@ let run ?(ctx = Context.create ()) ?obs ?sketch ?pool
           for c = 0 to tasks - 1 do ignore (f c) done
         else begin
           let wall = Array.make pdop 0. and wrows = Array.make pdop 0 in
+          (* per-task (worker, start, end) intervals: workers write
+             disjoint slots; the coordinator folds them into the
+             recorder's timeline after the phase, so only one domain
+             ever mutates recorder state *)
+          let tl =
+            match obs with
+            | Some _ -> Some (Array.make tasks (-1, 0., 0.))
+            | None -> None
+          in
           Domain_pool.run pool ~workers:w ~tasks (fun ~worker c ->
-              let t0 = Unix.gettimeofday () in
+              let t0 = Mclock.now () in
               let r = f c in
-              wall.(worker) <-
-                wall.(worker) +. (Unix.gettimeofday () -. t0);
+              let t1 = Mclock.now () in
+              (match tl with
+               | Some a -> a.(c) <- (worker, t0, t1)
+               | None -> ());
+              wall.(worker) <- wall.(worker) +. (t1 -. t0);
               wrows.(worker) <- wrows.(worker) + r);
           match obs with
           | Some rc ->
-            Instrument.record_par rc node ~dop:pdop ~wall ~rows:wrows
+            Instrument.record_par rc node ~dop:pdop ~wall ~rows:wrows;
+            (match tl with
+             | Some a ->
+               Array.iter
+                 (fun (worker, t0, t1) ->
+                    if worker >= 0 then
+                      Instrument.record_task rc node ~worker ~start_s:t0
+                        ~end_s:t1)
+                 a
+             | None -> ())
           | None -> ()
         end
       end

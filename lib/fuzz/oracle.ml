@@ -506,7 +506,10 @@ let check_case ?(grid = full_grid) spec ast =
         analysis_check ]
 
 let check ?grid spec ast =
+  let t0 = Obs.Clock.now () in
   let failure = check_case ?grid spec ast in
+  Obs.Metrics.observe_hist Obs.Metrics.fuzz_case_seconds
+    (Obs.Clock.elapsed_s t0);
   Obs.Metrics.incr
     (match failure with
      | None -> Obs.Metrics.fuzz_oracle_pass

@@ -1,0 +1,5 @@
+(* Alias: the monotonic clock lives in its own tiny library ([mclock])
+   because [exec] needs it and [obs] depends on [exec]; everything above
+   the execution layer should reach it as [Obs.Clock]. *)
+
+include Mclock

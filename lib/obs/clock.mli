@@ -1,0 +1,6 @@
+(** Monotonic clock (alias of [Mclock], see lib/clock).  All span,
+    profile and bench timing goes through this so a wall-clock step
+    backwards can never produce a negative interval. *)
+
+val now : unit -> float
+val elapsed_s : float -> float

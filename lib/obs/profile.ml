@@ -1,0 +1,94 @@
+(* Chrome trace-event export: the query's span tree plus the morsel
+   engine's per-worker task timelines as one JSON object loadable in
+   Perfetto / chrome://tracing.
+
+   Layout: a single process (pid 1); thread 0 carries the pipeline span
+   tree (parse -> ... -> execute, nested), and thread [w + 1] carries
+   the interval of every parallel task domain [w] executed — so at
+   dop > 1 the trace shows the actual morsel schedule next to the stage
+   spans, on a shared monotonic time axis.
+
+   Events are complete events (ph "X", ts/dur in microseconds relative
+   to the earliest timestamp in the profile); thread names are metadata
+   events (ph "M"). *)
+
+module I = Exec.Instrument
+
+let jstr = Trace.jstr
+
+let buf_event b ~first ~tid ~name ~ts_us ~dur_us ~args =
+  if not first then Buffer.add_string b ",\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       {|  {"name":%s,"ph":"X","pid":1,"tid":%d,"ts":%.1f,"dur":%.1f%s}|}
+       (jstr name) tid ts_us (Float.max 0. dur_us)
+       (match args with
+        | [] -> ""
+        | kvs ->
+          ",\"args\":{"
+          ^ String.concat ","
+              (List.map (fun (k, v) -> jstr k ^ ":" ^ v) kvs)
+          ^ "}"))
+
+let buf_thread_name b ~tid ~name =
+  Buffer.add_string b
+    (Printf.sprintf
+       {|  {"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}},|}
+       tid (jstr name));
+  Buffer.add_char b '\n'
+
+(* The earliest timestamp anywhere in the profile is the time origin. *)
+let epoch_of ?span (timelines : I.task list list) : float =
+  let m = ref infinity in
+  (match span with Some (s : Span.t) -> m := s.Span.start_s | None -> ());
+  List.iter
+    (List.iter (fun (t : I.task) -> if t.I.t_start < !m then m := t.I.t_start))
+    timelines;
+  if Float.is_finite !m then !m else 0.
+
+let render ?span (recorders : (string * I.t) list) : string =
+  let timelines = List.map (fun (_, r) -> I.timeline r) recorders in
+  let epoch = epoch_of ?span timelines in
+  let us t = Float.max 0. (t -. epoch) *. 1e6 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  buf_thread_name b ~tid:0 ~name:"pipeline";
+  let workers =
+    List.concat_map (List.map (fun (t : I.task) -> t.I.t_worker)) timelines
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun w -> buf_thread_name b ~tid:(w + 1) ~name:(Printf.sprintf "worker %d" w))
+    workers;
+  let first = ref true in
+  (match span with
+   | None -> ()
+   | Some root ->
+     Span.iter
+       (fun ~depth:_ (s : Span.t) ->
+          buf_event b ~first:!first ~tid:0 ~name:s.Span.name
+            ~ts_us:(us s.Span.start_s)
+            ~dur_us:(Float.max 0. s.Span.dur_s *. 1e6)
+            ~args:
+              (List.map (fun (k, v) -> (k, jstr v)) s.Span.attrs);
+          first := false)
+       root);
+  List.iter2
+    (fun (label, _) tl ->
+       List.iter
+         (fun (t : I.task) ->
+            buf_event b ~first:!first ~tid:(t.I.t_worker + 1) ~name:t.I.t_name
+              ~ts_us:(us t.I.t_start)
+              ~dur_us:((t.I.t_end -. t.I.t_start) *. 1e6)
+              ~args:[ ("op", string_of_int t.I.t_op); ("block", jstr label) ];
+            first := false)
+         tl)
+    recorders timelines;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write_file ?span (recorders : (string * I.t) list) (path : string) : unit
+    =
+  let oc = open_out path in
+  output_string oc (render ?span recorders);
+  close_out oc

@@ -1,0 +1,15 @@
+(** Chrome trace-event export (Perfetto / chrome://tracing loadable):
+    the query's span tree on thread 0 and each morsel worker's task
+    timeline on thread [w + 1], as one JSON object with complete events
+    ("ph":"X", microsecond timestamps relative to the profile's earliest
+    point on the shared monotonic clock).
+
+    [recorders] pairs a display label (e.g. ["block 1"]) with each
+    executed block's instrument recorder; their {!Exec.Instrument.timeline}
+    tasks become the worker rows.  Sequential executions have empty
+    timelines — the profile then holds just the span tree. *)
+
+val render : ?span:Span.t -> (string * Exec.Instrument.t) list -> string
+
+val write_file :
+  ?span:Span.t -> (string * Exec.Instrument.t) list -> string -> unit

@@ -1,0 +1,126 @@
+(* Prometheus text exposition (format 0.0.4) over the metrics registry.
+
+   Counters and max-gauges render as single samples; histograms render
+   the standard triple: cumulative `_bucket{le="..."}` series ending in
+   `le="+Inf"`, plus `_sum` and `_count`.
+
+   Registry keys may embed labels (`stage_seconds{stage="optimize"}`);
+   the base name and label body are split here and the `le` label is
+   appended to any existing labels.  Built exclusively on
+   [Metrics.dump_cells] — a read-only, typed accessor — so rendering can
+   never raise on name collisions, whatever the registry holds. *)
+
+let prefix = "qopt_"
+
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; anything else
+   becomes '_'.  Label values keep their text (escaped). *)
+let sanitize_name (s : string) : string =
+  String.mapi
+    (fun i c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+       | '0' .. '9' when i > 0 -> c
+       | _ -> '_')
+    s
+
+let escape_label_value (s : string) : string =
+  let b = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+       match c with
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '"' -> Buffer.add_string b "\\\""
+       | '\n' -> Buffer.add_string b "\\n"
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* "stage_seconds{stage=\"optimize\"}" -> ("stage_seconds",
+   Some "stage=\"optimize\"").  Keys without '{' have no labels. *)
+let split_labels (key : string) : string * string option =
+  match String.index_opt key '{' with
+  | None -> (sanitize_name key, None)
+  | Some i ->
+    let base = String.sub key 0 i in
+    let rest = String.sub key (i + 1) (String.length key - i - 1) in
+    let body =
+      match String.rindex_opt rest '}' with
+      | Some j -> String.sub rest 0 j
+      | None -> rest
+    in
+    (sanitize_name base, if body = "" then None else Some body)
+
+let labelset = function
+  | None -> ""
+  | Some body -> "{" ^ body ^ "}"
+
+let with_le labels le =
+  let le_s = Printf.sprintf "le=\"%s\"" (escape_label_value le) in
+  match labels with
+  | None -> "{" ^ le_s ^ "}"
+  | Some body -> "{" ^ body ^ "," ^ le_s ^ "}"
+
+let fnum (v : float) : string =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* "le" bound formatting: Prometheus convention uses decimal text; any
+   stable spelling works as long as buckets sort consistently. *)
+let fle (v : float) : string =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render_cells (cells : (string * Metrics.value) list) : string =
+  let b = Buffer.create 1024 in
+  (* group cells by base metric name so # TYPE appears once per family
+     even when several label sets share it, as Prometheus requires *)
+  let seen_type : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let header name ty =
+    if not (Hashtbl.mem seen_type name) then begin
+      Hashtbl.replace seen_type name ();
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name ty)
+    end
+  in
+  List.iter
+    (fun (key, v) ->
+       let base, labels = split_labels key in
+       match v with
+       | Metrics.Counter_v n ->
+         let name = prefix ^ base ^ "_total" in
+         header name "counter";
+         Buffer.add_string b
+           (Printf.sprintf "%s%s %d\n" name (labelset labels) n)
+       | Metrics.Gauge_v g ->
+         let name = prefix ^ base in
+         header name "gauge";
+         Buffer.add_string b
+           (Printf.sprintf "%s%s %s\n" name (labelset labels) (fnum g))
+       | Metrics.Histogram_v s ->
+         let name = prefix ^ base in
+         header name "histogram";
+         List.iter
+           (fun (ub, cum) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" name
+                   (with_le labels (fle ub))
+                   cum))
+           s.Metrics.buckets;
+         Buffer.add_string b
+           (Printf.sprintf "%s_bucket%s %d\n" name (with_le labels "+Inf")
+              s.Metrics.count);
+         Buffer.add_string b
+           (Printf.sprintf "%s_sum%s %s\n" name (labelset labels)
+              (fnum s.Metrics.sum));
+         Buffer.add_string b
+           (Printf.sprintf "%s_count%s %d\n" name (labelset labels)
+              s.Metrics.count))
+    cells;
+  Buffer.contents b
+
+let render () : string = render_cells (Metrics.dump_cells ())
+
+let write_file (path : string) : unit =
+  let oc = open_out path in
+  output_string oc (render ());
+  close_out oc

@@ -1,0 +1,18 @@
+(** Prometheus text exposition (format 0.0.4) of the {!Metrics}
+    registry.  Counters render as [qopt_<name>_total], gauges as
+    [qopt_<name>], histograms as cumulative [_bucket{le="..."}] series
+    (ending in [le="+Inf"]) plus [_sum] and [_count].  Registry keys with
+    inline labels ([stage_seconds{stage="optimize"}]) keep their labels,
+    with [le] appended for buckets.
+
+    Built only on {!Metrics.dump_cells}: read-only and typed, so
+    rendering never raises regardless of what names the registry holds. *)
+
+(** Render a specific cell list (tests). *)
+val render_cells : (string * Metrics.value) list -> string
+
+(** Render the whole registry. *)
+val render : unit -> string
+
+(** [render] to a file. *)
+val write_file : string -> unit

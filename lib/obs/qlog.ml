@@ -1,0 +1,116 @@
+(* Structured query log: one JSON object per executed query, appended
+   as NDJSON.  Each record fingerprints the query and chosen plan,
+   carries per-stage latencies from the span tree, and closes the
+   estimation loop with est/act row counts and feedback-cache traffic —
+   enough to find regressions ("same query digest, new plan digest,
+   slower") by grepping the log. *)
+
+type t = {
+  ts_us : int;  (** wall-clock Unix epoch, microseconds, at log time *)
+  query_digest : string;  (** {!Trace.digest} of the bound query text *)
+  plan_digest : string;  (** digest of the chosen physical plan *)
+  estimator : string;
+  engine : string;
+  dop : int;
+  rows : int;  (** result rows returned *)
+  total_us : float;
+  stages : (string * float) list;  (** stage name, duration in µs *)
+  est_rows : float option;
+  act_rows : float option;
+  max_qerror : float option;
+  feedback_hits : int;
+  feedback_misses : int;
+}
+
+let jstr = Trace.jstr
+let jfloat = Trace.jfloat
+let jopt = function None -> "null" | Some v -> jfloat v
+
+let to_json (r : t) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  let field ?(first = false) k v =
+    if not first then Buffer.add_char b ',';
+    Buffer.add_string b (jstr k);
+    Buffer.add_char b ':';
+    Buffer.add_string b v
+  in
+  field ~first:true "ts_us" (string_of_int r.ts_us);
+  field "query_digest" (jstr r.query_digest);
+  field "plan_digest" (jstr r.plan_digest);
+  field "estimator" (jstr r.estimator);
+  field "engine" (jstr r.engine);
+  field "dop" (string_of_int r.dop);
+  field "rows" (string_of_int r.rows);
+  field "total_us" (jfloat r.total_us);
+  field "stages"
+    ("{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> jstr k ^ ":" ^ jfloat v) r.stages)
+    ^ "}");
+  field "est_rows" (jopt r.est_rows);
+  field "act_rows" (jopt r.act_rows);
+  field "max_qerror" (jopt r.max_qerror);
+  field "feedback_hits" (string_of_int r.feedback_hits);
+  field "feedback_misses" (string_of_int r.feedback_misses);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let num = function Json.Num f -> Some f | _ -> None
+let str = function Json.Str s -> Some s | _ -> None
+
+let get conv k v =
+  match Json.member k v with Some x -> conv x | None -> None
+
+let get_num_opt k v =
+  (* absent and [null] both mean "not recorded" *)
+  match Json.member k v with Some (Json.Num f) -> Some f | _ -> None
+
+let of_json (line : string) : (t, string) result =
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok v -> (
+    let ( let* ) o f =
+      match o with Some x -> f x | None -> Error "qlog: missing field"
+    in
+    let* ts_us = get num "ts_us" v in
+    let* query_digest = get str "query_digest" v in
+    let* plan_digest = get str "plan_digest" v in
+    let* estimator = get str "estimator" v in
+    let* engine = get str "engine" v in
+    let* dop = get num "dop" v in
+    let* rows = get num "rows" v in
+    let* total_us = get num "total_us" v in
+    let* feedback_hits = get num "feedback_hits" v in
+    let* feedback_misses = get num "feedback_misses" v in
+    let stages =
+      match Json.member "stages" v with
+      | Some (Json.Obj kvs) ->
+        List.filter_map
+          (fun (k, x) -> match x with Json.Num f -> Some (k, f) | _ -> None)
+          kvs
+      | _ -> []
+    in
+    Ok
+      {
+        ts_us = int_of_float ts_us;
+        query_digest;
+        plan_digest;
+        estimator;
+        engine;
+        dop = int_of_float dop;
+        rows = int_of_float rows;
+        total_us;
+        stages;
+        est_rows = get_num_opt "est_rows" v;
+        act_rows = get_num_opt "act_rows" v;
+        max_qerror = get_num_opt "max_qerror" v;
+        feedback_hits = int_of_float feedback_hits;
+        feedback_misses = int_of_float feedback_misses;
+      })
+
+let append ~(path : string) (r : t) : unit =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (to_json r);
+  output_char oc '\n';
+  close_out oc

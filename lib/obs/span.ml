@@ -1,0 +1,175 @@
+(* Hierarchical span recorder.
+
+   A recorder owns one root span and a stack of open spans; [enter]
+   pushes a child of the innermost open span, [stop] pops it (closing
+   any younger spans still open — defensive against exceptions skipping
+   a stop).  Timing uses the shared monotonic clock, so durations can
+   never go negative.
+
+   The pipeline threads one recorder per query through
+   parse -> bind -> rewrite -> optimize -> verify -> execute; the tree
+   renders as indented text or line-delimited JSON ([show_wall:false]
+   drops the only nondeterministic columns, for goldens), and feeds the
+   Chrome-trace profile exporter. *)
+
+type t = {
+  id : int;
+  parent_id : int; (* -1 for the root *)
+  name : string;
+  mutable attrs : (string * string) list; (* in [set_attr] order *)
+  start_s : float; (* absolute Clock.now seconds *)
+  mutable dur_s : float; (* -1. while open *)
+  mutable children : t list; (* reversed while open; in start order after *)
+}
+
+type recorder = {
+  mutable next_id : int;
+  root : t;
+  mutable stack : t list; (* innermost first; root at the bottom *)
+}
+
+let mk_span ~id ~parent_id ~name ~attrs =
+  { id; parent_id; name; attrs; start_s = Clock.now (); dur_s = -1.;
+    children = [] }
+
+let create ?(name = "query") () : recorder =
+  let root = mk_span ~id:0 ~parent_id:(-1) ~name ~attrs:[] in
+  { next_id = 1; root; stack = [ root ] }
+
+let root (r : recorder) : t = r.root
+
+let set_attr (s : t) (k : string) (v : string) : unit =
+  s.attrs <- s.attrs @ [ (k, v) ]
+
+let enter (r : recorder) ?(attrs = []) (name : string) : t =
+  let parent = match r.stack with p :: _ -> p | [] -> r.root in
+  let s =
+    mk_span ~id:r.next_id ~parent_id:parent.id ~name ~attrs
+  in
+  r.next_id <- r.next_id + 1;
+  parent.children <- s :: parent.children;
+  r.stack <- s :: r.stack;
+  s
+
+let close_span (s : t) : unit =
+  if s.dur_s < 0. then begin
+    s.dur_s <- Clock.elapsed_s s.start_s;
+    s.children <- List.rev s.children
+  end
+
+(* Stop [s], closing any spans opened under it that were never stopped
+   (an exception unwound past them).  Stopping a span not on the stack is
+   a no-op apart from closing it. *)
+let stop (r : recorder) (s : t) : unit =
+  let rec pop = function
+    | top :: rest ->
+      close_span top;
+      if top == s then r.stack <- rest else pop rest
+    | [] -> r.stack <- [ r.root ]
+  in
+  if List.memq s r.stack then pop r.stack else close_span s
+
+let with_span (r : recorder) ?attrs (name : string) (f : unit -> 'a) : 'a =
+  let s = enter r ?attrs name in
+  match f () with
+  | v ->
+    stop r s;
+    v
+  | exception e ->
+    stop r s;
+    raise e
+
+(* Close everything still open (root included) and return the tree. *)
+let finish (r : recorder) : t =
+  List.iter close_span r.stack;
+  r.stack <- [];
+  close_span r.root;
+  r.root
+
+let iter (f : depth:int -> t -> unit) (s : t) : unit =
+  let rec go depth s =
+    f ~depth s;
+    List.iter (go (depth + 1)) (if s.dur_s < 0. then List.rev s.children else s.children)
+  in
+  go 0 s
+
+(* Total time of a subtree's direct children — used by tests to check
+   stage spans cover the root. *)
+let children_dur (s : t) : float =
+  List.fold_left
+    (fun acc c -> acc +. Float.max 0. c.dur_s)
+    0.
+    (if s.dur_s < 0. then List.rev s.children else s.children)
+
+(* Sum of [dur_s] over every span in the tree named [name]. *)
+let dur_by_name (s : t) (name : string) : float =
+  let acc = ref 0. in
+  iter
+    (fun ~depth:_ sp ->
+       if sp.name = name && sp.dur_s >= 0. then acc := !acc +. sp.dur_s)
+    s;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+    Fmt.pf ppf " {%s}"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) attrs))
+
+(* Indented tree, one span per line.  [show_wall:false] drops durations
+   (the only nondeterministic column), keeping ids, names and attrs —
+   deterministic golden output. *)
+let render ?(show_wall = true) (s : t) : string =
+  let b = Buffer.create 256 in
+  iter
+    (fun ~depth sp ->
+       let pad = String.make (2 * depth) ' ' in
+       if show_wall then
+         Buffer.add_string b
+           (Fmt.str "[%2d] %s%s%a %.3fms\n" sp.id pad sp.name pp_attrs
+              sp.attrs
+              (Float.max 0. sp.dur_s *. 1000.))
+       else
+         Buffer.add_string b
+           (Fmt.str "[%2d] %s%s%a\n" sp.id pad sp.name pp_attrs sp.attrs))
+    s;
+  Buffer.contents b
+
+(* One JSON object per span, line-delimited, emitted in pre-order.
+   Timestamps are microseconds relative to the ROOT span's start, so
+   logs from one query are self-contained.  [show_wall:false] drops
+   [start_us]/[dur_us] for deterministic goldens. *)
+let to_json_lines ?(show_wall = true) (s : t) : string =
+  let b = Buffer.create 512 in
+  let epoch = s.start_s in
+  iter
+    (fun ~depth sp ->
+       Buffer.add_string b
+         (Printf.sprintf {|{"id":%d,"parent":%d,"depth":%d,"name":%s|}
+            sp.id sp.parent_id depth
+            ("\"" ^ Trace.json_escape sp.name ^ "\""));
+       if show_wall then
+         Buffer.add_string b
+           (Printf.sprintf {|,"start_us":%.0f,"dur_us":%.0f|}
+              (Float.max 0. (sp.start_s -. epoch) *. 1e6)
+              (Float.max 0. sp.dur_s *. 1e6));
+       (match sp.attrs with
+        | [] -> ()
+        | attrs ->
+          Buffer.add_string b ",\"attrs\":{";
+          List.iteri
+            (fun i (k, v) ->
+               if i > 0 then Buffer.add_char b ',';
+               Buffer.add_string b
+                 (Printf.sprintf "%s:%s"
+                    ("\"" ^ Trace.json_escape k ^ "\"")
+                    ("\"" ^ Trace.json_escape v ^ "\"")))
+            attrs;
+          Buffer.add_char b '}');
+       Buffer.add_string b "}\n")
+    s;
+  Buffer.contents b

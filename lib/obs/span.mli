@@ -1,0 +1,59 @@
+(** Hierarchical span recorder: a per-query tree of named, monotonic
+    wall-clock intervals with string attributes.
+
+    The pipeline opens one recorder per query and wraps each stage
+    (parse, bind, rewrite, optimize, verify, execute) in a span;
+    enumerator and view sub-spans nest naturally.  [stop] closes any
+    younger spans still open, so an exception unwinding past a stage
+    cannot corrupt the tree; {!with_span} is the exception-safe form. *)
+
+type t = {
+  id : int;  (** creation order, root = 0 *)
+  parent_id : int;  (** -1 for the root *)
+  name : string;
+  mutable attrs : (string * string) list;
+  start_s : float;  (** absolute {!Clock.now} seconds *)
+  mutable dur_s : float;  (** seconds; -1 while the span is open *)
+  mutable children : t list;  (** in start order once closed *)
+}
+
+type recorder
+
+(** New recorder with an open root span (default name ["query"]). *)
+val create : ?name:string -> unit -> recorder
+
+val root : recorder -> t
+
+(** Open a child of the innermost open span. *)
+val enter : recorder -> ?attrs:(string * string) list -> string -> t
+
+(** Close [s] (and any unstopped spans opened under it). *)
+val stop : recorder -> t -> unit
+
+(** [with_span r name f] = enter; [f ()]; stop — exception-safe. *)
+val with_span :
+  recorder -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Append an attribute (rendered in insertion order). *)
+val set_attr : t -> string -> string -> unit
+
+(** Close every open span including the root; returns the root. *)
+val finish : recorder -> t
+
+(** Pre-order walk with depth. *)
+val iter : (depth:int -> t -> unit) -> t -> unit
+
+(** Sum of the direct children's durations. *)
+val children_dur : t -> float
+
+(** Sum of durations over every span named [name] in the tree. *)
+val dur_by_name : t -> string -> float
+
+(** Indented text tree; [show_wall:false] drops durations (deterministic
+    goldens). *)
+val render : ?show_wall:bool -> t -> string
+
+(** Line-delimited JSON, one object per span in pre-order, timestamps in
+    microseconds relative to the root's start; [show_wall:false] drops
+    [start_us]/[dur_us]. *)
+val to_json_lines : ?show_wall:bool -> t -> string

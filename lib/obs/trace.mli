@@ -32,6 +32,16 @@ type event =
 (** Stable FNV-1a fingerprint of a printed block (8 hex digits). *)
 val digest : string -> string
 
+(** RFC 8259 string-body escaping, shared by the hand-built JSON
+    emitters in this library ({!Span}, {!Profile}, {!Qlog}). *)
+val json_escape : string -> string
+
+(** [json_escape] wrapped in quotes. *)
+val jstr : string -> string
+
+(** Finite floats as compact decimals; non-finite as [null]. *)
+val jfloat : float -> string
+
 val pp : Format.formatter -> event -> unit
 val to_string : event -> string
 

@@ -1,8 +1,16 @@
-(* CI gate for --trace-json output: read line-delimited JSON on stdin,
-   exit 0 iff every non-empty line is a well-formed JSON value (checked by
-   the hand-rolled reader in [Obs.Json], independent of the writer). *)
+(* CI gate for telemetry JSON output.
+
+   Default mode: read line-delimited JSON on stdin (--trace-json,
+   --query-log, span NDJSON), exit 0 iff every non-empty line is a
+   well-formed JSON value.
+
+   --object mode: treat all of stdin as one JSON value (--profile-json
+   Chrome traces), and additionally require a non-empty "traceEvents"
+   array.  Both modes check with the hand-rolled reader in [Obs.Json],
+   independent of the writers. *)
 
 let () =
+  let object_mode = Array.exists (( = ) "--object") Sys.argv in
   let buf = Buffer.create 4096 in
   (try
      while true do
@@ -10,14 +18,31 @@ let () =
      done
    with End_of_file -> ());
   let input = Buffer.contents buf in
-  let lines =
-    List.length
-      (List.filter
-         (fun l -> String.trim l <> "")
-         (String.split_on_char '\n' input))
-  in
-  match Obs.Json.validate_lines input with
-  | Ok () -> Printf.printf "trace ok: %d well-formed JSON line(s)\n" lines
-  | Error m ->
-    Printf.eprintf "malformed trace: %s\n" m;
-    exit 1
+  if object_mode then
+    match Obs.Json.parse input with
+    | Error m ->
+      Printf.eprintf "malformed profile: %s\n" m;
+      exit 1
+    | Ok v -> (
+      match Obs.Json.member "traceEvents" v with
+      | Some (Obs.Json.Arr (_ :: _ as evs)) ->
+        Printf.printf "profile ok: %d trace event(s)\n" (List.length evs)
+      | Some (Obs.Json.Arr []) ->
+        Printf.eprintf "profile has no trace events\n";
+        exit 1
+      | _ ->
+        Printf.eprintf "profile missing traceEvents array\n";
+        exit 1)
+  else begin
+    let lines =
+      List.length
+        (List.filter
+           (fun l -> String.trim l <> "")
+           (String.split_on_char '\n' input))
+    in
+    match Obs.Json.validate_lines input with
+    | Ok () -> Printf.printf "trace ok: %d well-formed JSON line(s)\n" lines
+    | Error m ->
+      Printf.eprintf "malformed trace: %s\n" m;
+      exit 1
+  end

@@ -278,6 +278,405 @@ let test_digest () =
     d1
 
 (* ------------------------------------------------------------------ *)
+(* Span recorder: golden tree shape on the join query, nesting
+   invariants, exception safety. *)
+
+let join_sql =
+  "SELECT Emp.name, Dept.name FROM Emp, Dept WHERE Emp.did = Dept.did"
+
+let run_with_spans ?(config = Core.Pipeline.default_config) sql =
+  let cat, db = emp_dept () in
+  let q = Sql.Binder.query_of_string cat sql in
+  let r = Obs.Span.create () in
+  let config = { config with Core.Pipeline.spans = Some r } in
+  let result, pairs = Core.Pipeline.run_query_full ~config cat db q in
+  (result, pairs, Obs.Span.finish r)
+
+let test_span_golden_text () =
+  let _, _, root = run_with_spans join_sql in
+  Alcotest.(check string) "span tree"
+    "[ 0] query\n\
+     [ 1]   block\n\
+     [ 2]     rewrite\n\
+     [ 3]     optimize\n\
+     [ 4]       enumerate {relations=2, subsets=3, costed=24, pruned=4}\n\
+     [ 5]     execute {engine=batch, dop=1}\n"
+    (Obs.Span.render ~show_wall:false root)
+
+let test_span_golden_json () =
+  let _, _, root = run_with_spans join_sql in
+  let json = Obs.Span.to_json_lines ~show_wall:false root in
+  Alcotest.(check string) "span NDJSON"
+    ({|{"id":0,"parent":-1,"depth":0,"name":"query"}|} ^ "\n"
+    ^ {|{"id":1,"parent":0,"depth":1,"name":"block"}|} ^ "\n"
+    ^ {|{"id":2,"parent":1,"depth":2,"name":"rewrite"}|} ^ "\n"
+    ^ {|{"id":3,"parent":1,"depth":2,"name":"optimize"}|} ^ "\n"
+    ^ {|{"id":4,"parent":3,"depth":3,"name":"enumerate","attrs":{"relations":"2","subsets":"3","costed":"24","pruned":"4"}}|}
+    ^ "\n"
+    ^ {|{"id":5,"parent":1,"depth":2,"name":"execute","attrs":{"engine":"batch","dop":"1"}}|}
+    ^ "\n")
+    json;
+  (match Obs.Json.validate_lines json with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail ("span JSON malformed: " ^ m));
+  (* with wall clock on, every line must still be well-formed JSON *)
+  match Obs.Json.validate_lines (Obs.Span.to_json_lines root) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("timed span JSON malformed: " ^ m)
+
+(* Stage spans nest: every span is closed, no child outlasts its parent,
+   and sequential children never sum past their parent — so per-stage
+   latencies are bounded by (and approximately cover) the query total. *)
+let test_span_nesting_invariants () =
+  let _, _, root = run_with_spans join_sql in
+  Obs.Span.iter
+    (fun ~depth:_ (s : Obs.Span.t) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "span %s closed" s.Obs.Span.name)
+         true
+         (s.Obs.Span.dur_s >= 0.);
+       Alcotest.(check bool)
+         (Printf.sprintf "children of %s fit inside it" s.Obs.Span.name)
+         true
+         (Obs.Span.children_dur s <= s.Obs.Span.dur_s +. 1e-9);
+       List.iter
+         (fun (c : Obs.Span.t) ->
+            Alcotest.(check bool) "child starts after parent" true
+              (c.Obs.Span.start_s >= s.Obs.Span.start_s))
+         s.Obs.Span.children)
+    root;
+  List.iter
+    (fun stage ->
+       Alcotest.(check bool) (stage ^ " stage present") true
+         (Obs.Span.dur_by_name root stage >= 0.
+          && Obs.Span.dur_by_name root stage <= root.Obs.Span.dur_s +. 1e-9))
+    [ "rewrite"; "optimize"; "execute" ]
+
+let test_span_exception_safety () =
+  let r = Obs.Span.create () in
+  (try
+     Obs.Span.with_span r "outer" (fun () ->
+         let _inner = Obs.Span.enter r "inner" in
+         (* [inner] is never stopped: the exception unwinds past it *)
+         failwith "boom")
+   with Failure _ -> ());
+  let root = Obs.Span.finish r in
+  Obs.Span.iter
+    (fun ~depth:_ (s : Obs.Span.t) ->
+       Alcotest.(check bool) (s.Obs.Span.name ^ " closed") true
+         (s.Obs.Span.dur_s >= 0.))
+    root;
+  Alcotest.(check string) "tree intact"
+    "[ 0] query\n[ 1]   outer\n[ 2]     inner\n"
+    (Obs.Span.render ~show_wall:false root)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event profile: well-formed JSON (checked by the
+   independent reader), and at dop > 1 the worker task timelines appear
+   on their own threads. *)
+
+let test_profile_trace () =
+  let dop = if Domain_pool.available then 4 else 1 in
+  let config =
+    { Core.Pipeline.default_config with
+      Core.Pipeline.instrument = true;
+      dop;
+      morsel_rows = 16 }
+  in
+  let _, pairs, root = run_with_spans ~config join_sql in
+  let recorders =
+    List.mapi
+      (fun i (_, rc) ->
+         Option.map (fun rc -> (Printf.sprintf "block %d" (i + 1), rc)) rc)
+      pairs
+    |> List.filter_map Fun.id
+  in
+  Alcotest.(check bool) "instrumented" true (recorders <> []);
+  let json = Obs.Profile.render ~span:root recorders in
+  match Obs.Json.parse json with
+  | Error m -> Alcotest.fail ("profile JSON malformed: " ^ m)
+  | Ok v -> (
+    match Obs.Json.member "traceEvents" v with
+    | Some (Obs.Json.Arr evs) ->
+      Alcotest.(check bool) "has events" true (evs <> []);
+      let worker_tasks = ref 0 in
+      List.iter
+        (fun ev ->
+           let mem k = Obs.Json.member k ev in
+           (match (mem "name", mem "ph", mem "pid", mem "tid") with
+            | Some (Obs.Json.Str _), Some (Obs.Json.Str ph),
+              Some (Obs.Json.Num _), Some (Obs.Json.Num tid) ->
+              Alcotest.(check bool) "ph is X or M" true
+                (ph = "X" || ph = "M");
+              if ph = "X" && tid >= 1. then incr worker_tasks;
+              if ph = "X" then (
+                match (mem "ts", mem "dur") with
+                | Some (Obs.Json.Num ts), Some (Obs.Json.Num dur) ->
+                  Alcotest.(check bool) "ts/dur non-negative" true
+                    (ts >= 0. && dur >= 0.)
+                | _ -> Alcotest.fail "complete event missing ts/dur")
+            | _ -> Alcotest.fail "event missing name/ph/pid/tid"))
+        evs;
+      if dop > 1 then
+        (* Emp has 200 rows and morsel_rows is 16: the scan must have
+           run as parallel tasks, each on a worker thread *)
+        Alcotest.(check bool) "worker timeline events present" true
+          (!worker_tasks > 0)
+    | _ -> Alcotest.fail "profile missing traceEvents")
+
+(* ------------------------------------------------------------------ *)
+(* Histogram buckets and percentiles *)
+
+let test_hist_buckets () =
+  Obs.Metrics.reset ();
+  let name = "test_latency" in
+  List.iter (Obs.Metrics.observe_hist name) [ 0.75; 1.0; 1.5; 3.0; 1000.0 ];
+  match Obs.Metrics.find_hist name with
+  | None -> Alcotest.fail "histogram not registered"
+  | Some h ->
+    Alcotest.(check int) "count" 5 h.Obs.Metrics.count;
+    Alcotest.(check (float 1e-9)) "sum" 1006.25 h.Obs.Metrics.sum;
+    (* power-of-two upper bounds; exact powers land in their own bucket;
+       counts are cumulative *)
+    Alcotest.(check (list (pair (float 1e-9) int)))
+      "cumulative buckets"
+      [ (1., 2); (2., 3); (4., 4); (1024., 5) ]
+      h.Obs.Metrics.buckets;
+    let pct p =
+      match Obs.Metrics.percentile h p with
+      | Some v -> v
+      | None -> Alcotest.fail "percentile on non-empty histogram"
+    in
+    Alcotest.(check (float 1e-9)) "p0 = first bucket" 1. (pct 0.);
+    Alcotest.(check (float 1e-9)) "p50" 2. (pct 0.5);
+    Alcotest.(check (float 1e-9)) "p99" 1024. (pct 0.99);
+    Alcotest.(check bool) "empty histogram has no percentile" true
+      (Obs.Metrics.percentile
+         { Obs.Metrics.count = 0; sum = 0.; buckets = [] }
+         0.5
+       = None)
+
+(* Extreme and invalid observations clamp to the edge buckets instead of
+   raising. *)
+let test_hist_clamping () =
+  Obs.Metrics.reset ();
+  let name = "test_clamp" in
+  List.iter (Obs.Metrics.observe_hist name) [ 0.; -3.; 1e300; Float.nan ];
+  match Obs.Metrics.find_hist name with
+  | None -> Alcotest.fail "histogram not registered"
+  | Some h ->
+    Alcotest.(check int) "all observations kept" 4 h.Obs.Metrics.count;
+    Alcotest.(check int) "final cumulative = count" 4
+      (snd (List.nth h.Obs.Metrics.buckets
+              (List.length h.Obs.Metrics.buckets - 1)))
+
+let hist_seq = ref 0
+
+let prop_percentile_monotone =
+  let arb =
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range 1e-6 1e6))
+  in
+  QCheck.Test.make ~name:"percentile is monotone in p and 2x-accurate"
+    ~count:100 arb (fun vs ->
+      incr hist_seq;
+      let name = Printf.sprintf "prop_hist_%d" !hist_seq in
+      List.iter (Obs.Metrics.observe_hist name) vs;
+      match Obs.Metrics.find_hist name with
+      | None -> false
+      | Some h ->
+        let ps = [ 0.; 0.25; 0.5; 0.75; 0.9; 0.99; 1. ] in
+        let vals =
+          List.map
+            (fun p ->
+               match Obs.Metrics.percentile h p with
+               | Some v -> v
+               | None -> QCheck.Test.fail_report "no percentile")
+            ps
+        in
+        let rec mono = function
+          | a :: (b :: _ as rest) -> a <= b && mono rest
+          | _ -> true
+        in
+        let vmin = List.fold_left Float.min infinity vs in
+        let vmax = List.fold_left Float.max neg_infinity vs in
+        (* every percentile is a bucket upper bound: at least the bucket
+           holding the minimum, at most 2x the maximum *)
+        mono vals
+        && List.for_all (fun v -> v >= vmin /. 2. && v <= vmax *. 2.) vals)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition *)
+
+let contains_line text line =
+  List.exists (String.equal line) (String.split_on_char '\n' text)
+
+let test_prometheus_render () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr ~by:3 "widgets";
+  Obs.Metrics.observe_max "depth" 2.5;
+  List.iter
+    (Obs.Metrics.observe_hist (Obs.Metrics.stage_seconds "x"))
+    [ 0.5; 0.5; 2.0 ];
+  let text = Obs.Prometheus.render () in
+  List.iter
+    (fun l ->
+       Alcotest.(check bool) ("exposition has: " ^ l) true
+         (contains_line text l))
+    [ "# TYPE qopt_widgets_total counter";
+      "qopt_widgets_total 3";
+      "qopt_depth 2.5";
+      "qopt_stage_seconds_bucket{stage=\"x\",le=\"0.5\"} 2";
+      "qopt_stage_seconds_bucket{stage=\"x\",le=\"2\"} 3";
+      "qopt_stage_seconds_bucket{stage=\"x\",le=\"+Inf\"} 3";
+      "qopt_stage_seconds_count{stage=\"x\"} 3" ];
+  Alcotest.(check bool) "histogram sum line present" true
+    (List.exists
+       (fun l ->
+          String.length l > 30
+          && String.sub l 0 30 = "qopt_stage_seconds_sum{stage=\"")
+       (String.split_on_char '\n' text))
+
+(* The renderer reads typed cells only: hostile metric names (label
+   braces, spaces, quotes) must never make it raise. *)
+let test_prometheus_never_raises () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr "weird name{with=\"label\", and junk";
+  Obs.Metrics.observe_max "another{unclosed" 1.;
+  Obs.Metrics.observe_hist "spaces in name" 0.1;
+  let text = try Obs.Prometheus.render () with e -> raise e in
+  Alcotest.(check bool) "rendered something" true (String.length text > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Query log round-trip *)
+
+let qlog_testable =
+  Alcotest.testable
+    (fun ppf r -> Fmt.string ppf (Obs.Qlog.to_json r))
+    ( = )
+
+let test_qlog_roundtrip () =
+  let r =
+    { Obs.Qlog.ts_us = 1754600000123456;
+      query_digest = "e94493f3";
+      plan_digest = "82e74e93";
+      estimator = "feed\"back\n";
+      (* escaping must survive *)
+      engine = "batch";
+      dop = 4;
+      rows = 90;
+      total_us = 13111.8;
+      stages = [ ("parse", 27.9); ("optimize", 223.2); ("execute", 12743.9) ];
+      est_rows = Some 100.;
+      act_rows = None;
+      max_qerror = Some 1.147;
+      feedback_hits = 2;
+      feedback_misses = 5 }
+  in
+  (match Obs.Json.validate (Obs.Qlog.to_json r) with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail ("qlog JSON malformed: " ^ m));
+  match Obs.Qlog.of_json (Obs.Qlog.to_json r) with
+  | Ok r' -> Alcotest.check qlog_testable "round-trip" r r'
+  | Error m -> Alcotest.fail ("qlog parse failed: " ^ m)
+
+let test_qlog_append () =
+  let path = Filename.temp_file "qlog" ".ndjson" in
+  let mk i =
+    { Obs.Qlog.ts_us = i; query_digest = "q"; plan_digest = "p";
+      estimator = "histogram"; engine = "batch"; dop = 1; rows = i;
+      total_us = float_of_int i; stages = []; est_rows = None;
+      act_rows = None; max_qerror = None; feedback_hits = 0;
+      feedback_misses = 0 }
+  in
+  Obs.Qlog.append ~path (mk 1);
+  Obs.Qlog.append ~path (mk 2);
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let parsed =
+    List.rev_map
+      (fun l ->
+         match Obs.Qlog.of_json l with
+         | Ok r -> r
+         | Error m -> Alcotest.fail ("qlog line unparseable: " ^ m))
+      !lines
+  in
+  Alcotest.(check (list qlog_testable)) "append accumulates records"
+    [ mk 1; mk 2 ] parsed
+
+(* ------------------------------------------------------------------ *)
+(* JSON value parser *)
+
+let test_json_parse () =
+  (match Obs.Json.parse {| {"a":[1,true,null,"xA\n"],"b":-2.5e1} |} with
+   | Error m -> Alcotest.fail m
+   | Ok v -> (
+     (match Obs.Json.member "a" v with
+      | Some
+          (Obs.Json.Arr
+             [ Obs.Json.Num n; Obs.Json.Bool true; Obs.Json.Null;
+               Obs.Json.Str s ]) ->
+        Alcotest.(check (float 0.)) "num" 1. n;
+        Alcotest.(check string) "escapes decoded" "xA\n" s
+      | _ -> Alcotest.fail "array mismatch");
+     match Obs.Json.member "b" v with
+     | Some (Obs.Json.Num n) -> Alcotest.(check (float 0.)) "neg exp" (-25.) n
+     | _ -> Alcotest.fail "b missing"));
+  (match Obs.Json.parse "{\"a\":1,}" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "trailing comma accepted");
+  match Obs.Json.parse "[1,2] trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Instrument: parallel-phase width mismatches merge instead of being
+   dropped; task intervals clamp to non-negative length. *)
+
+let test_record_par_merge () =
+  let plan =
+    Exec.Plan.Seq_scan { table = "Emp"; alias = "Emp"; filter = None }
+  in
+  let r = Exec.Instrument.create plan in
+  Exec.Instrument.record_par r plan ~dop:2 ~wall:[| 1.; 2. |]
+    ~rows:[| 10; 20 |];
+  Exec.Instrument.record_par r plan ~dop:4 ~wall:[| 1.; 1.; 1.; 1. |]
+    ~rows:[| 1; 1; 1; 1 |];
+  Alcotest.(check int) "mismatch surfaced" 1
+    (Exec.Instrument.par_mismatches r);
+  let op = List.hd (Exec.Instrument.ops r) in
+  (match op.Exec.Instrument.par with
+   | None -> Alcotest.fail "no par stats recorded"
+   | Some p ->
+     Alcotest.(check int) "dop is the max" 4 p.Exec.Instrument.par_dop;
+     Alcotest.(check (array (float 1e-9))) "wall merged element-wise"
+       [| 2.; 3.; 1.; 1. |] p.Exec.Instrument.worker_wall;
+     Alcotest.(check (array int)) "rows merged element-wise"
+       [| 11; 21; 1; 1 |] p.Exec.Instrument.worker_rows);
+  Exec.Instrument.record_task r plan ~worker:1 ~start_s:10. ~end_s:9.;
+  match Exec.Instrument.timeline r with
+  | [ t ] ->
+    Alcotest.(check bool) "task end clamped to start" true
+      (t.Exec.Instrument.t_end >= t.Exec.Instrument.t_start)
+  | _ -> Alcotest.fail "task not recorded"
+
+(* The monotonic clock never goes backwards, even against a stepping
+   system clock (it clamps), and elapsed_s is non-negative. *)
+let test_clock_monotone () =
+  let prev = ref (Obs.Clock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Obs.Clock.now () in
+    Alcotest.(check bool) "non-decreasing" true (t >= !prev);
+    prev := t
+  done;
+  Alcotest.(check bool) "elapsed non-negative" true
+    (Obs.Clock.elapsed_s (Obs.Clock.now () +. 1e6) >= 0.)
 
 let () =
   Alcotest.run "obs"
@@ -298,4 +697,30 @@ let () =
             test_trace_events_off_by_default;
           Alcotest.test_case "annotate uses plan-time stats" `Quick
             test_annotate_uses_plan_time_stats;
-          Alcotest.test_case "digest" `Quick test_digest ] ) ]
+          Alcotest.test_case "digest" `Quick test_digest ] );
+      ( "spans",
+        [ Alcotest.test_case "golden tree" `Quick test_span_golden_text;
+          Alcotest.test_case "golden json" `Quick test_span_golden_json;
+          Alcotest.test_case "nesting invariants" `Quick
+            test_span_nesting_invariants;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety ] );
+      ( "profile",
+        [ Alcotest.test_case "chrome trace well-formed" `Quick
+            test_profile_trace ] );
+      ( "metrics",
+        [ Alcotest.test_case "histogram buckets" `Quick test_hist_buckets;
+          Alcotest.test_case "histogram clamping" `Quick test_hist_clamping;
+          QCheck_alcotest.to_alcotest prop_percentile_monotone;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_render;
+          Alcotest.test_case "prometheus never raises" `Quick
+            test_prometheus_never_raises;
+          Alcotest.test_case "clock monotone" `Quick test_clock_monotone ] );
+      ( "qlog",
+        [ Alcotest.test_case "round-trip" `Quick test_qlog_roundtrip;
+          Alcotest.test_case "ndjson append" `Quick test_qlog_append;
+          Alcotest.test_case "json parser" `Quick test_json_parse ] );
+      ( "instrument",
+        [ Alcotest.test_case "record_par merge" `Quick
+            test_record_par_merge ] ) ]
